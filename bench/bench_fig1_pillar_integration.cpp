@@ -1,0 +1,117 @@
+// Experiment F1 (paper Fig. 1): the three technical pillars integrated.
+// Drives both use cases through the full stack — Pillar 3 (DPE: model,
+// threat analysis, DSE, CSAR) feeding Pillar 2 (MIRTO: authenticated deploy,
+// negotiation, MAPE-K) running on Pillar 1 (continuum infrastructure +
+// network + KB) — and reports the end-to-end pipeline latencies per phase.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "mirto/engine.hpp"
+#include "usecases/scenario.hpp"
+
+using namespace myrtus;
+
+namespace {
+
+void PrintIntegrationTable() {
+  std::printf("=== Fig. 1: pillar integration, per-phase wall times ===\n");
+  std::printf("%-16s | %-12s | %-14s | %-16s | KPIs\n", "use case",
+              "P3 design", "P2 deploy", "P1+2 runtime");
+  for (const bool mobility : {true, false}) {
+    usecases::Scenario scenario = mobility ? usecases::SmartMobilityScenario()
+                                           : usecases::TelerehabScenario();
+    const auto t0 = std::chrono::steady_clock::now();
+
+    // Pillar 3: design time.
+    dpe::DpePipeline dpe_pipeline(11);
+    auto design = dpe_pipeline.Run(scenario.dpe_input);
+    if (!design.ok()) continue;
+    const auto t1 = std::chrono::steady_clock::now();
+
+    // Pillar 1 + 2: infrastructure, agents, negotiated deployment.
+    sim::Engine engine;
+    continuum::Infrastructure infra = continuum::BuildInfrastructure(engine, {});
+    net::Network network(engine, infra.topology, 3);
+    mirto::MirtoEngine mirto(network, infra);
+    mirto.Start();
+    engine.RunUntil(sim::SimTime::Millis(400));
+    bool deployed = false;
+    mirto.DeployNegotiated(design->package,
+                           [&](util::Status s) { deployed = s.ok(); });
+    engine.RunUntil(engine.Now() + sim::SimTime::Seconds(3));
+    const auto t2 = std::chrono::steady_clock::now();
+
+    // Runtime traffic over the per-stage pods.
+    sched::Cluster stages_cluster(engine, sched::Scheduler::Default());
+    for (auto& n : infra.nodes) stages_cluster.AddNode(n.get());
+    (void)usecases::DeployScenario(scenario, stages_cluster, 1);
+    usecases::RequestPipeline pipeline(network, infra, stages_cluster, scenario);
+    pipeline.StartStream(engine.Now() + sim::SimTime::Seconds(3), 5);
+    engine.RunUntil(engine.Now() + sim::SimTime::Seconds(4));
+    mirto.Stop();
+    const auto t3 = std::chrono::steady_clock::now();
+
+    const auto ms = [](auto a, auto b) {
+      return std::chrono::duration<double, std::milli>(b - a).count();
+    };
+    const usecases::ScenarioKpis& kpis = pipeline.kpis();
+    std::printf("%-16s | %9.1f ms | %11.1f ms | %13.1f ms | "
+                "deployed=%d frames=%llu p95=%.1fms viol=%.1f%%\n",
+                scenario.name.c_str(), ms(t0, t1), ms(t1, t2), ms(t2, t3),
+                deployed ? 1 : 0,
+                static_cast<unsigned long long>(kpis.completed),
+                kpis.latency_ms.p95(), kpis.ViolationRate() * 100);
+  }
+  std::printf("\n");
+}
+
+void BM_FullStackDeployAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    usecases::Scenario scenario = usecases::SmartMobilityScenario();
+    dpe::DpePipeline dpe_pipeline(11);
+    auto design = dpe_pipeline.Run(scenario.dpe_input);
+    sim::Engine engine;
+    continuum::Infrastructure infra = continuum::BuildInfrastructure(engine, {});
+    net::Network network(engine, infra.topology, 3);
+    mirto::MirtoEngine mirto(network, infra);
+    mirto.Start();
+    engine.RunUntil(sim::SimTime::Millis(400));
+    bool deployed = false;
+    mirto.DeployNegotiated(design->package,
+                           [&](util::Status s) { deployed = s.ok(); });
+    engine.RunUntil(engine.Now() + sim::SimTime::Seconds(3));
+    mirto.Stop();
+    benchmark::DoNotOptimize(deployed);
+  }
+}
+BENCHMARK(BM_FullStackDeployAndRun)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedSecondOfTraffic(benchmark::State& state) {
+  // Wall cost of simulating one second of scenario traffic (simulator
+  // throughput metric).
+  sim::Engine engine;
+  continuum::Infrastructure infra = continuum::BuildInfrastructure(engine, {});
+  net::Network network(engine, infra.topology, 3);
+  sched::Cluster cluster(engine, sched::Scheduler::Default());
+  for (auto& n : infra.nodes) cluster.AddNode(n.get());
+  usecases::Scenario scenario = usecases::TelerehabScenario();
+  (void)usecases::DeployScenario(scenario, cluster, 1);
+  usecases::RequestPipeline pipeline(network, infra, cluster, scenario);
+  for (auto _ : state) {
+    pipeline.StartStream(engine.Now() + sim::SimTime::Seconds(1), 5);
+    engine.RunUntil(engine.Now() + sim::SimTime::Seconds(2));
+  }
+  state.counters["completed"] = static_cast<double>(pipeline.kpis().completed);
+}
+BENCHMARK(BM_SimulatedSecondOfTraffic)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintIntegrationTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

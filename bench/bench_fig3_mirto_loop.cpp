@@ -1,0 +1,161 @@
+// Experiment F3 (paper Fig. 3): the MIRTO Cognitive Engine agent and its
+// MAPE-K orchestration loop. Measures (a) the sense→reconfigure reaction time
+// after injected node failures, (b) KPI recovery (requests complete again
+// after healing) vs a no-orchestrator baseline, and (c) the cost of one MAPE
+// iteration as the fleet grows.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "mirto/agent.hpp"
+#include "usecases/scenario.hpp"
+
+using namespace myrtus;
+
+namespace {
+
+struct World {
+  sim::Engine engine;
+  continuum::Infrastructure infra;
+  std::unique_ptr<net::Network> network;
+  sched::Cluster cluster;
+  kb::Store kb_store;
+  std::unique_ptr<mirto::MirtoAgent> agent;
+
+  explicit World(int edge_scale = 1, bool with_agent = true)
+      : infra(continuum::BuildInfrastructure(
+            engine,
+            continuum::InfrastructureSpec{.edge_hmpsoc = 2 * edge_scale,
+                                          .edge_riscv = 2 * edge_scale,
+                                          .edge_multicore = 2 * edge_scale})),
+        cluster(engine, sched::Scheduler::Default()) {
+    net::Topology topo = infra.topology;
+    topo.AddBidirectional("mirto-0", "gw-0", sim::SimTime::Micros(200), 1e9);
+    network = std::make_unique<net::Network>(engine, std::move(topo), 5);
+    for (auto& n : infra.nodes) cluster.AddNode(n.get());
+    if (with_agent) {
+      mirto::AgentConfig config;
+      config.host = "mirto-0";
+      config.mape_period = sim::SimTime::Millis(250);
+      agent = std::make_unique<mirto::MirtoAgent>(
+          *network, cluster, infra, kb_store,
+          mirto::AuthModule(util::BytesOf("bench")), config);
+      agent->Start();
+    }
+  }
+};
+
+/// Reaction time: kill a pod-hosting node, measure sim-time until the pod
+/// runs elsewhere.
+double MeasureRecoveryMs(World& world, usecases::Scenario& scenario) {
+  if (!usecases::DeployScenario(scenario, world.cluster, 1).ok()) return -1;
+  world.engine.RunUntil(world.engine.Now() + sim::SimTime::Seconds(1));
+
+  const sched::Pod* detect =
+      world.cluster.FindPod(scenario.name + "/" + scenario.stages[1].pod_name);
+  if (detect == nullptr) return -1;
+  const std::string victim = detect->node_id;
+  world.infra.FindNode(victim)->SetUp(false);
+  const sim::SimTime failed_at = world.engine.Now();
+
+  while (world.engine.Now() < failed_at + sim::SimTime::Seconds(30)) {
+    world.engine.RunUntil(world.engine.Now() + sim::SimTime::Millis(50));
+    const sched::Pod* pod = world.cluster.FindPod(scenario.name + "/" +
+                                                  scenario.stages[1].pod_name);
+    if (pod != nullptr && pod->phase == sched::PodPhase::kRunning &&
+        pod->node_id != victim) {
+      return (world.engine.Now() - failed_at).ToMillisF();
+    }
+  }
+  return -1;
+}
+
+void PrintRecoveryTable() {
+  std::printf("=== Fig. 3: MAPE-K loop reaction to node failure ===\n");
+  std::printf("%-28s | recovery time after node kill\n", "configuration");
+  for (const auto period_ms : {100, 250, 500, 1000}) {
+    World world;
+    world.agent->Stop();
+    mirto::AgentConfig config;
+    config.host = "mirto-1";
+    config.mape_period = sim::SimTime::Millis(period_ms);
+    world.network->topology().AddBidirectional("mirto-1", "gw-0",
+                                               sim::SimTime::Micros(200), 1e9);
+    mirto::MirtoAgent agent(*world.network, world.cluster, world.infra,
+                            world.kb_store,
+                            mirto::AuthModule(util::BytesOf("bench")), config);
+    agent.Start();
+    usecases::Scenario scenario = usecases::SmartMobilityScenario();
+    const double ms = MeasureRecoveryMs(world, scenario);
+    if (ms < 0) {
+      std::printf("MAPE period %4d ms           | NOT RECOVERED\n", period_ms);
+    } else {
+      std::printf("MAPE period %4d ms           | %.0f ms\n", period_ms, ms);
+    }
+    agent.Stop();
+  }
+  {
+    World world(1, /*with_agent=*/false);
+    usecases::Scenario scenario = usecases::SmartMobilityScenario();
+    const double ms = MeasureRecoveryMs(world, scenario);
+    std::printf("%-28s | %s\n", "no orchestrator (baseline)",
+                ms < 0 ? "NOT RECOVERED (expected)" : "unexpectedly recovered");
+  }
+  std::printf("\n");
+}
+
+void BM_MapeIteration(benchmark::State& state) {
+  World world(static_cast<int>(state.range(0)));
+  usecases::Scenario scenario = usecases::SmartMobilityScenario();
+  (void)usecases::DeployScenario(scenario, world.cluster, 1);
+  for (auto _ : state) {
+    world.agent->RunMapeIteration();
+  }
+  state.counters["nodes"] = static_cast<double>(world.infra.nodes.size());
+}
+BENCHMARK(BM_MapeIteration)->Arg(1)->Arg(4)->Arg(16)->ArgNames({"edge_scale"});
+
+void BM_DeployThroughApi(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    World world;
+    world.network->topology().AddBidirectional("client", "gw-0",
+                                               sim::SimTime::Millis(1), 1e9);
+    usecases::Scenario scenario = usecases::TelerehabScenario();
+    dpe::DpePipeline pipeline(3);
+    auto design = pipeline.Run(scenario.dpe_input);
+    mirto::AuthModule client(util::BytesOf("bench"));
+    util::Json request = util::Json::MakeObject()
+                             .Set("token", client.IssueToken("bench"))
+                             .Set("csar", design->package.Pack());
+    state.ResumeTiming();
+    bool done = false;
+    world.network->Call("client", "mirto-0", "mirto.deploy", std::move(request),
+                        [&](util::StatusOr<util::Json> r) { done = r.ok(); });
+    world.engine.RunUntil(world.engine.Now() + sim::SimTime::Seconds(2));
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_DeployThroughApi)->Unit(benchmark::kMillisecond);
+
+void BM_TrustUpdateSweep(benchmark::State& state) {
+  mirto::PrivacySecurityManager psm;
+  const int nodes = static_cast<int>(state.range(0));
+  util::Rng rng(3);
+  for (auto _ : state) {
+    for (int i = 0; i < nodes; ++i) {
+      psm.RecordOutcome("node-" + std::to_string(i), rng.NextBool(0.95));
+    }
+    benchmark::DoNotOptimize(psm.VetoedNodes());
+  }
+}
+BENCHMARK(BM_TrustUpdateSweep)->Arg(16)->Arg(256)->ArgNames({"nodes"});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintRecoveryTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

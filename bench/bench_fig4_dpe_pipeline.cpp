@@ -1,0 +1,125 @@
+// Experiment F4 (paper Fig. 4): the DPE three-step flow. Measures (a) model
+// analysis (balance equations, fusion) vs graph size, (b) DSE quality —
+// genetic front vs exhaustive ground truth — and cost vs graph size, and
+// (c) deployment-spec (CSAR) emission throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "dpe/pipeline.hpp"
+
+using namespace myrtus;
+
+namespace {
+
+void PrintDseQualityTable() {
+  std::printf("=== Fig. 4: DPE pipeline — DSE front quality and cost ===\n");
+  std::printf("%-8s | %-10s | %-12s | %-14s | %-12s\n", "actors", "method",
+              "evaluations", "best latency", "front size");
+  for (const int actors : {3, 5, 7}) {
+    util::Rng gen(100 + static_cast<unsigned>(actors));
+    dpe::DataflowGraph graph = dpe::RandomPipeline(actors, gen);
+    dpe::KpiEstimator estimator(graph, dpe::HmpsocTargets());
+    auto exhaustive = dpe::ExploreExhaustive(estimator, 2'000'000);
+    if (exhaustive.ok() && !exhaustive->front.empty()) {
+      std::printf("%-8d | %-10s | %-12d | %11.3f ms | %-12zu\n", actors,
+                  "exhaustive", exhaustive->evaluated,
+                  exhaustive->front.front().kpi.latency_s * 1e3,
+                  exhaustive->front.size());
+    }
+    util::Rng rng(7);
+    const dpe::DseResult ga = dpe::ExploreGenetic(estimator, rng, 48, 30);
+    if (!ga.front.empty()) {
+      std::printf("%-8d | %-10s | %-12d | %11.3f ms | %-12zu\n", actors,
+                  "genetic", ga.evaluated, ga.front.front().kpi.latency_s * 1e3,
+                  ga.front.size());
+    }
+  }
+  // Larger graphs: genetic only.
+  for (const int actors : {15, 30, 60}) {
+    util::Rng gen(200 + static_cast<unsigned>(actors));
+    dpe::DataflowGraph graph = dpe::RandomPipeline(actors, gen);
+    dpe::KpiEstimator estimator(graph, dpe::HmpsocTargets());
+    util::Rng rng(9);
+    const dpe::DseResult ga = dpe::ExploreGenetic(estimator, rng, 48, 30);
+    if (!ga.front.empty()) {
+      std::printf("%-8d | %-10s | %-12d | %11.3f ms | %-12zu\n", actors,
+                  "genetic", ga.evaluated, ga.front.front().kpi.latency_s * 1e3,
+                  ga.front.size());
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_RepetitionVector(benchmark::State& state) {
+  util::Rng gen(1);
+  dpe::DataflowGraph graph =
+      dpe::RandomPipeline(static_cast<int>(state.range(0)), gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.RepetitionVector());
+  }
+}
+BENCHMARK(BM_RepetitionVector)->Arg(10)->Arg(40)->Arg(160)->ArgNames({"actors"});
+
+void BM_FusionPass(benchmark::State& state) {
+  util::Rng gen(2);
+  dpe::DataflowGraph graph =
+      dpe::RandomPipeline(static_cast<int>(state.range(0)), gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.FuseLinearChains());
+  }
+}
+BENCHMARK(BM_FusionPass)->Arg(10)->Arg(40)->Arg(160)->ArgNames({"actors"});
+
+void BM_GeneticDse(benchmark::State& state) {
+  util::Rng gen(3);
+  dpe::DataflowGraph graph =
+      dpe::RandomPipeline(static_cast<int>(state.range(0)), gen);
+  dpe::KpiEstimator estimator(graph, dpe::HmpsocTargets());
+  util::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpe::ExploreGenetic(estimator, rng, 32, 10));
+  }
+  state.SetLabel("pop=32,gen=10");
+}
+BENCHMARK(BM_GeneticDse)->Arg(10)->Arg(30)->ArgNames({"actors"})->Unit(benchmark::kMillisecond);
+
+void BM_FullPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    dpe::DpeInput input;
+    input.app_name = "bench-app";
+    util::Rng gen(static_cast<std::uint64_t>(state.iterations()));
+    input.graph = dpe::RandomPipeline(static_cast<int>(state.range(0)), gen);
+    dpe::DpePipeline pipeline(5);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(pipeline.Run(input));
+  }
+}
+BENCHMARK(BM_FullPipeline)->Arg(6)->Arg(20)->ArgNames({"actors"})->Unit(benchmark::kMillisecond);
+
+void BM_CsarPackUnpack(benchmark::State& state) {
+  dpe::DpeInput input;
+  input.app_name = "bench-app";
+  util::Rng gen(11);
+  input.graph = dpe::RandomPipeline(12, gen);
+  dpe::DpePipeline pipeline(5);
+  auto out = pipeline.Run(input);
+  const std::string wire = out->package.Pack();
+  for (auto _ : state) {
+    auto unpacked = tosca::CsarPackage::Unpack(wire);
+    benchmark::DoNotOptimize(unpacked->Pack());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_CsarPackUnpack);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintDseQualityTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Experiment T2 (paper Table II): the three MYRTUS security levels and their
+// primitive suites. Reproduces the table as (a) the suite matrix with modeled
+// asymmetric costs, (b) host-measured throughput of the real symmetric/hash
+// implementations across payload sizes — expected shape: cost(High) >
+// cost(Medium) > cost(Low), with the lightweight suite winning hardest on
+// small payloads.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "security/ascon.hpp"
+#include "security/channel.hpp"
+#include "security/gcm.hpp"
+#include "security/hmac.hpp"
+#include "security/sha2.hpp"
+
+using namespace myrtus;
+using security::SecurityLevel;
+
+namespace {
+
+util::Bytes Payload(std::size_t n) { return util::Bytes(n, 0x5A); }
+const util::Bytes kKey32(32, 1);
+const util::Bytes kKey16(16, 2);
+const util::Bytes kNonce12(12, 3);
+const util::Bytes kNonce16(16, 4);
+
+void PrintTable() {
+  std::printf("=== Table II: MYRTUS security levels ===\n");
+  std::printf("%-8s | %-12s | %-22s | %-20s | %-10s | handshake@1GHz | wire bytes\n",
+              "level", "encryption", "authentication", "key exchange", "hashing");
+  for (const auto level : {SecurityLevel::kHigh, SecurityLevel::kMedium,
+                           SecurityLevel::kLow}) {
+    const security::SecuritySuite& s = security::SuiteFor(level);
+    std::printf("%-8s | %-12s | %-22s | %-20s | %-10s | %11.1f us | %7llu\n",
+                std::string(security::SecurityLevelName(level)).c_str(),
+                std::string(security::SymAlgName(s.encryption)).c_str(),
+                std::string(security::AsymAlgName(s.authentication)).c_str(),
+                std::string(security::AsymAlgName(s.key_exchange)).c_str(),
+                std::string(security::SymAlgName(s.hashing)).c_str(),
+                security::HandshakeLatencyUs(level, 1.0),
+                static_cast<unsigned long long>(security::HandshakeWireBytes(level)));
+  }
+  std::printf("\n");
+}
+
+void BM_Encrypt(benchmark::State& state) {
+  const auto level = static_cast<SecurityLevel>(state.range(0));
+  const std::size_t bytes = static_cast<std::size_t>(state.range(1));
+  const util::Bytes pt = Payload(bytes);
+  for (auto _ : state) {
+    switch (security::SuiteFor(level).encryption) {
+      case security::SymAlg::kAes256Gcm:
+        benchmark::DoNotOptimize(security::AesGcmSeal(kKey32, kNonce12, {}, pt));
+        break;
+      case security::SymAlg::kAes128Gcm:
+        benchmark::DoNotOptimize(security::AesGcmSeal(kKey16, kNonce12, {}, pt));
+        break;
+      default:
+        benchmark::DoNotOptimize(security::Ascon128Seal(kKey16, kNonce16, {}, pt));
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  state.SetLabel(std::string(security::SecurityLevelName(level)));
+}
+BENCHMARK(BM_Encrypt)
+    ->ArgsProduct({{0, 1, 2}, {64, 1024, 16384, 262144, 1048576}})
+    ->ArgNames({"level", "bytes"});
+
+void BM_Hash(benchmark::State& state) {
+  const auto level = static_cast<SecurityLevel>(state.range(0));
+  const std::size_t bytes = static_cast<std::size_t>(state.range(1));
+  const util::Bytes data = Payload(bytes);
+  for (auto _ : state) {
+    switch (security::SuiteFor(level).hashing) {
+      case security::SymAlg::kSha512:
+        benchmark::DoNotOptimize(security::Sha512::Digest(data));
+        break;
+      case security::SymAlg::kSha256:
+        benchmark::DoNotOptimize(security::Sha256::Digest(data));
+        break;
+      default:
+        benchmark::DoNotOptimize(security::AsconHash(data));
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  state.SetLabel(std::string(security::SecurityLevelName(level)));
+}
+BENCHMARK(BM_Hash)
+    ->ArgsProduct({{0, 1, 2}, {64, 4096, 262144}})
+    ->ArgNames({"level", "bytes"});
+
+void BM_ChannelRecordRoundtrip(benchmark::State& state) {
+  const auto level = static_cast<SecurityLevel>(state.range(0));
+  util::Rng rng(7);
+  auto pair = security::SecureChannel::Establish(level, rng);
+  const util::Bytes msg = Payload(1024);
+  for (auto _ : state) {
+    auto sealed = pair->initiator.Seal(msg);
+    auto opened = pair->responder.Open(*sealed);
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetLabel(std::string(security::SecurityLevelName(level)));
+}
+BENCHMARK(BM_ChannelRecordRoundtrip)->Arg(0)->Arg(1)->Arg(2)->ArgNames({"level"});
+
+void BM_HandshakeModeledLatency(benchmark::State& state) {
+  const auto level = static_cast<SecurityLevel>(state.range(0));
+  double acc = 0;
+  for (auto _ : state) {
+    acc += security::HandshakeLatencyUs(level, 1.0);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["modeled_us_at_1GHz"] = security::HandshakeLatencyUs(level, 1.0);
+  state.counters["wire_bytes"] =
+      static_cast<double>(security::HandshakeWireBytes(level));
+  state.SetLabel(std::string(security::SecurityLevelName(level)));
+}
+BENCHMARK(BM_HandshakeModeledLatency)->Arg(0)->Arg(1)->Arg(2)->ArgNames({"level"});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Virtual Telerehabilitation use case: privacy-driven orchestration. The ADT
+// threat analysis raises the security floor, placement honors Table II level
+// pinning, and patient data travels over a real post-quantum-tier secure
+// channel (AES-256-GCM records, replay-protected).
+//
+//   $ ./example_telerehab
+#include <cstdio>
+
+#include "mirto/agent.hpp"
+#include "security/channel.hpp"
+#include "usecases/scenario.hpp"
+
+using namespace myrtus;
+
+int main() {
+  std::printf("== Virtual Telerehabilitation ==\n\n");
+  sim::Engine engine;
+  continuum::Infrastructure infra = continuum::BuildInfrastructure(engine, {});
+  net::Network network(engine, infra.topology, 13);
+
+  usecases::Scenario scenario = usecases::TelerehabScenario();
+
+  // Design time: the threat model forces the archive path to High security.
+  dpe::DpePipeline dpe_pipeline(21);
+  auto design = dpe_pipeline.Run(scenario.dpe_input);
+  if (!design.ok()) {
+    std::printf("DPE failed: %s\n", design.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("threat analysis: residual attack probability %.3f, "
+              "security level raised %s -> %s\n",
+              design->countermeasures.residual_probability,
+              scenario.dpe_input.security_level.c_str(),
+              design->effective_security_level.c_str());
+
+  // Runtime: deploy the stage pods and check where health data may live.
+  sched::Cluster cluster(engine, sched::Scheduler::Default());
+  for (auto& n : infra.nodes) cluster.AddNode(n.get());
+  if (auto st = usecases::DeployScenario(scenario, cluster, 5); !st.ok()) {
+    std::printf("deploy failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nstage placements:\n");
+  for (const usecases::Stage& stage : scenario.stages) {
+    const sched::Pod* pod = cluster.FindPod(scenario.name + "/" + stage.pod_name);
+    const continuum::ComputeNode* node = infra.FindNode(pod->node_id);
+    std::printf("  %-10s -> %-8s (node level: %-6s, required: %s)\n",
+                stage.pod_name.c_str(), pod->node_id.c_str(),
+                std::string(security::SecurityLevelName(node->security_level())).c_str(),
+                std::string(security::SecurityLevelName(stage.min_security)).c_str());
+  }
+
+  // The patient->archive channel uses the High suite of Table II.
+  util::Rng rng(2026);
+  auto channel = security::SecureChannel::Establish(
+      security::SecurityLevel::kHigh, rng);
+  if (!channel.ok()) {
+    std::printf("channel establishment failed\n");
+    return 1;
+  }
+  std::printf("\nsecure channel (level=high, AES-256-GCM records):\n");
+  std::printf("  modeled handshake: %.1f us on a 1 GHz fog core, %llu wire bytes\n",
+              security::HandshakeLatencyUs(security::SecurityLevel::kHigh, 1.0),
+              static_cast<unsigned long long>(
+                  security::HandshakeWireBytes(security::SecurityLevel::kHigh)));
+  const util::Bytes session = util::BytesOf(
+      R"({"patient":"p-042","exercise":"shoulder-abduction","score":0.87})");
+  auto sealed = channel->initiator.Seal(session);
+  auto opened = channel->responder.Open(*sealed);
+  std::printf("  sealed %zu plaintext bytes into %zu record bytes; roundtrip %s\n",
+              session.size(), sealed->size(),
+              opened.ok() && *opened == session ? "OK" : "FAILED");
+  auto replayed = channel->responder.Open(*sealed);
+  std::printf("  replayed record rejected: %s\n",
+              replayed.ok() ? "NO (BUG)" : "yes");
+
+  // Drive a therapy session's worth of frames.
+  usecases::RequestPipeline pipeline(network, infra, cluster, scenario);
+  pipeline.StartStream(sim::SimTime::Seconds(10), 17);
+  engine.RunUntil(sim::SimTime::Seconds(15));
+  const usecases::ScenarioKpis& kpis = pipeline.kpis();
+  std::printf("\n10s session @%.0f Hz: %llu frames, p50=%.2fms p95=%.2fms, "
+              "violation rate %.1f%%\n",
+              scenario.arrival_rate_hz,
+              static_cast<unsigned long long>(kpis.completed),
+              kpis.latency_ms.p50(), kpis.latency_ms.p95(),
+              kpis.ViolationRate() * 100.0);
+  std::printf("\ntelerehab example done.\n");
+  return 0;
+}

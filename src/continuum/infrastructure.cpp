@@ -1,0 +1,116 @@
+#include "continuum/infrastructure.hpp"
+
+namespace myrtus::continuum {
+
+ComputeNode* Infrastructure::FindNode(const std::string& id) const {
+  for (const auto& n : nodes) {
+    if (n->id() == id) return n.get();
+  }
+  return nullptr;
+}
+
+std::vector<ComputeNode*> Infrastructure::NodesInLayer(Layer layer) const {
+  std::vector<ComputeNode*> out;
+  for (const auto& n : nodes) {
+    if (n->layer() == layer) out.push_back(n.get());
+  }
+  return out;
+}
+
+std::string Infrastructure::DefaultGateway() const {
+  for (const auto& n : nodes) {
+    if (n->kind() == "gateway") return n->id();
+  }
+  return nodes.empty() ? std::string() : nodes.front()->id();
+}
+
+Infrastructure BuildInfrastructure(sim::Engine& engine,
+                                   const InfrastructureSpec& spec) {
+  Infrastructure infra;
+  std::vector<std::string> gateway_ids;
+  std::vector<std::string> fmdc_ids;
+
+  // --- Fog layer: smart gateways and FMDCs --------------------------------
+  for (int g = 0; g < spec.gateways; ++g) {
+    const std::string id = "gw-" + std::to_string(g);
+    auto node = std::make_unique<ComputeNode>(
+        engine, id, Layer::kFog, "gateway", security::SecurityLevel::kMedium,
+        4096);
+    // Light local processing only (§III: "supports light local processing").
+    node->AddDevice(MakeLittleCore(id + "/cpu"));
+    gateway_ids.push_back(id);
+    infra.nodes.push_back(std::move(node));
+  }
+  for (int f = 0; f < spec.fmdcs; ++f) {
+    const std::string id = "fmdc-" + std::to_string(f);
+    auto node = std::make_unique<ComputeNode>(
+        engine, id, Layer::kFog, "fmdc", security::SecurityLevel::kHigh,
+        65536);
+    node->AddDevice(
+        MakeServerCpu(id + "/servers", 8 * spec.fmdc_servers, 2.6));
+    fmdc_ids.push_back(id);
+    infra.nodes.push_back(std::move(node));
+  }
+
+  // --- Cloud layer ---------------------------------------------------------
+  {
+    auto node = std::make_unique<ComputeNode>(
+        engine, "cloud-0", Layer::kCloud, "dc", security::SecurityLevel::kHigh,
+        1048576);
+    node->AddDevice(MakeServerCpu("cloud-0/servers", 16 * spec.cloud_servers, 3.0));
+    infra.nodes.push_back(std::move(node));
+  }
+
+  // --- Edge layer ----------------------------------------------------------
+  int edge_counter = 0;
+  const auto add_edge_node = [&](const std::string& kind) {
+    const std::string id = "edge-" + std::to_string(edge_counter++);
+    security::SecurityLevel level = security::SecurityLevel::kLow;
+    auto node = std::make_unique<ComputeNode>(engine, id, Layer::kEdge, kind,
+                                              level, 2048);
+    if (kind == "hmpsoc") {
+      node->AddDevice(MakeBigCore(id + "/big"));
+      node->AddDevice(MakeLittleCore(id + "/little"));
+      node->AddDevice(MakeFpgaAccelerator(id + "/fpga"));
+    } else if (kind == "riscv") {
+      node->AddDevice(MakeRiscvCcu(id + "/riscv"));
+    } else {  // multicore
+      node->AddDevice(MakeBigCore(id + "/big"));
+      node->AddDevice(MakeLittleCore(id + "/little"));
+    }
+    // Home gateway round-robin; degenerate specs uplink to fog/cloud directly.
+    const std::string uplink =
+        !gateway_ids.empty()
+            ? gateway_ids[static_cast<std::size_t>(edge_counter - 1) %
+                          gateway_ids.size()]
+            : (!fmdc_ids.empty() ? fmdc_ids[0] : std::string("cloud-0"));
+    infra.topology.AddBidirectional(id, uplink, spec.edge_gw_latency,
+                                    spec.edge_gw_bw_bps);
+    infra.nodes.push_back(std::move(node));
+  };
+  for (int i = 0; i < spec.edge_hmpsoc; ++i) add_edge_node("hmpsoc");
+  for (int i = 0; i < spec.edge_riscv; ++i) add_edge_node("riscv");
+  for (int i = 0; i < spec.edge_multicore; ++i) add_edge_node("multicore");
+
+  // --- Inter-layer links ---------------------------------------------------
+  for (const std::string& gw : gateway_ids) {
+    for (const std::string& fmdc : fmdc_ids) {
+      infra.topology.AddBidirectional(gw, fmdc, spec.gw_fmdc_latency,
+                                      spec.gw_fmdc_bw_bps);
+    }
+  }
+  for (const std::string& fmdc : fmdc_ids) {
+    infra.topology.AddBidirectional(fmdc, "cloud-0", spec.fmdc_cloud_latency,
+                                    spec.fmdc_cloud_bw_bps);
+  }
+  // Degenerate specs: connect gateways straight to the cloud.
+  if (fmdc_ids.empty()) {
+    for (const std::string& gw : gateway_ids) {
+      infra.topology.AddBidirectional(gw, "cloud-0", spec.fmdc_cloud_latency,
+                                      spec.fmdc_cloud_bw_bps);
+    }
+  }
+  return infra;
+}
+
+}  // namespace myrtus::continuum

@@ -1,0 +1,54 @@
+// Builder for the Fig. 2 layered continuum: edge devices (HMPSoC+FPGA,
+// RISC-V CCU, multicores) behind smart gateways, fog micro data centers
+// (FMDC), and a cloud data center — all wired into one network topology with
+// layer-appropriate latencies and bandwidths.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "continuum/node.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace myrtus::continuum {
+
+struct InfrastructureSpec {
+  int edge_hmpsoc = 2;   // FPGA-accelerated HMPSoCs
+  int edge_riscv = 2;    // adaptive RISC-V nodes
+  int edge_multicore = 2;
+  int gateways = 1;      // smart gateways (fog)
+  int fmdcs = 1;         // fog micro data centers
+  int fmdc_servers = 4;  // disaggregated servers per FMDC (capacity)
+  int cloud_servers = 16;
+
+  // Link parameters (defaults approximate the paper's deployment classes).
+  sim::SimTime edge_gw_latency = sim::SimTime::Millis(2);
+  double edge_gw_bw_bps = 100e6;       // WiFi/Ethernet at the edge
+  sim::SimTime gw_fmdc_latency = sim::SimTime::Millis(5);
+  double gw_fmdc_bw_bps = 1e9;         // metro fiber
+  sim::SimTime fmdc_cloud_latency = sim::SimTime::Millis(25);
+  double fmdc_cloud_bw_bps = 10e9;     // WAN backbone
+};
+
+/// The instantiated infrastructure: nodes plus the network topology that
+/// connects them. Node ids double as network host ids.
+struct Infrastructure {
+  std::vector<std::unique_ptr<ComputeNode>> nodes;
+  net::Topology topology;
+
+  [[nodiscard]] ComputeNode* FindNode(const std::string& id) const;
+  [[nodiscard]] std::vector<ComputeNode*> NodesInLayer(Layer layer) const;
+  /// The gateway each edge node homes to (first gateway by default).
+  [[nodiscard]] std::string DefaultGateway() const;
+};
+
+/// Builds nodes and topology per `spec`. Security levels follow the paper's
+/// deployment guidance: constrained edge devices are certified Low/Medium,
+/// fog Medium/High, cloud High (Table II usage in §III).
+Infrastructure BuildInfrastructure(sim::Engine& engine,
+                                   const InfrastructureSpec& spec);
+
+}  // namespace myrtus::continuum

@@ -1,0 +1,53 @@
+#include "continuum/monitor.hpp"
+
+namespace myrtus::continuum {
+
+MonitoringService::MonitoringService(sim::Engine& engine, Infrastructure& infra,
+                                     kb::ResourceRegistry& registry)
+    : engine_(engine), infra_(infra), registry_(registry) {}
+
+void MonitoringService::Start(sim::SimTime period) {
+  Stop();
+  loop_ = engine_.SchedulePeriodic(period, [this] { SampleOnce(); });
+}
+
+void MonitoringService::Stop() {
+  engine_.Cancel(loop_);
+  loop_ = {};
+}
+
+void MonitoringService::AddAlertRule(std::string metric, double threshold,
+                                     AlertHandler handler) {
+  rules_.push_back(Rule{std::move(metric), threshold, std::move(handler)});
+}
+
+void MonitoringService::SampleOnce() {
+  ++samples_;
+  const std::int64_t now_ns = engine_.Now().ns;
+  for (const auto& node : infra_.nodes) {
+    double max_util = 0.0;
+    for (std::size_t d = 0; d < node->devices().size(); ++d) {
+      max_util = std::max(max_util, node->Utilization(d));
+    }
+    const auto depth = static_cast<double>(node->QueueDepth());
+    const double energy = node->total_energy_mj();
+
+    registry_.AppendTelemetry(node->id(), "utilization", {now_ns, max_util});
+    registry_.AppendTelemetry(node->id(), "queue_depth", {now_ns, depth});
+    registry_.AppendTelemetry(node->id(), "energy_mj", {now_ns, energy});
+
+    for (const Rule& rule : rules_) {
+      double value = 0.0;
+      if (rule.metric == "utilization") value = max_util;
+      else if (rule.metric == "queue_depth") value = depth;
+      else if (rule.metric == "energy_mj") value = energy;
+      else continue;
+      if (value > rule.threshold) {
+        ++alerts_;
+        rule.handler(Alert{node->id(), rule.metric, value, rule.threshold, now_ns});
+      }
+    }
+  }
+}
+
+}  // namespace myrtus::continuum

@@ -1,0 +1,65 @@
+// Monitoring & Observability building block, infrastructure side (§III):
+// periodic PMC sampling on every node (latency/energy/utilization — "FPGA-
+// based edge devices are already instrumented … performance monitoring
+// counters"), published to the KB registry, plus threshold alert rules that
+// turn raw telemetry into the "internal triggers" the MIRTO loop senses.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "continuum/infrastructure.hpp"
+#include "kb/registry.hpp"
+#include "sim/engine.hpp"
+
+namespace myrtus::continuum {
+
+/// A fired alert.
+struct Alert {
+  std::string node_id;
+  std::string metric;
+  double value = 0.0;
+  double threshold = 0.0;
+  std::int64_t at_ns = 0;
+};
+
+class MonitoringService {
+ public:
+  /// Samples every node of `infra` each `period`, writing utilization,
+  /// queue depth, and cumulative energy into `registry`.
+  MonitoringService(sim::Engine& engine, Infrastructure& infra,
+                    kb::ResourceRegistry& registry);
+
+  void Start(sim::SimTime period);
+  void Stop();
+  /// One sampling pass (also used by Start's periodic loop).
+  void SampleOnce();
+
+  /// Alert when `metric` exceeds `threshold` on any node. Metrics:
+  /// "utilization", "queue_depth", "energy_mj". The handler runs inside the
+  /// sampling pass; alerts re-fire on every violating sample (edge-triggered
+  /// dedup is the consumer's job — MIRTO's Analyze step).
+  using AlertHandler = std::function<void(const Alert&)>;
+  void AddAlertRule(std::string metric, double threshold, AlertHandler handler);
+
+  [[nodiscard]] std::uint64_t samples_taken() const { return samples_; }
+  [[nodiscard]] std::uint64_t alerts_fired() const { return alerts_; }
+
+ private:
+  struct Rule {
+    std::string metric;
+    double threshold;
+    AlertHandler handler;
+  };
+
+  sim::Engine& engine_;
+  Infrastructure& infra_;
+  kb::ResourceRegistry& registry_;
+  std::vector<Rule> rules_;
+  sim::EventHandle loop_;
+  std::uint64_t samples_ = 0;
+  std::uint64_t alerts_ = 0;
+};
+
+}  // namespace myrtus::continuum

@@ -1,0 +1,104 @@
+// Continuum compute nodes: a node owns one or more devices, a memory budget,
+// a certified security level, and per-device FIFO execution queues driven by
+// the simulation engine. Performance-monitoring counters (latency, energy,
+// utilization) are exposed exactly as the paper's instrumented edge devices
+// do (§III Monitoring & Observability).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "continuum/device.hpp"
+#include "security/policy.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::continuum {
+
+enum class Layer : std::uint8_t { kEdge, kFog, kCloud };
+std::string_view LayerName(Layer layer);
+
+/// Completion report for one task execution on a node.
+struct TaskReport {
+  std::string node_id;
+  std::string device_name;
+  sim::SimTime queued;     // time spent waiting for the device
+  sim::SimTime service;    // execution latency on the device
+  double energy_mj = 0.0;
+};
+
+class ComputeNode {
+ public:
+  ComputeNode(sim::Engine& engine, std::string id, Layer layer,
+              std::string kind, security::SecurityLevel level,
+              std::uint64_t mem_capacity_mb);
+
+  void AddDevice(Device device);
+
+  [[nodiscard]] const std::string& id() const { return id_; }
+  [[nodiscard]] Layer layer() const { return layer_; }
+  [[nodiscard]] const std::string& kind() const { return kind_; }
+  [[nodiscard]] security::SecurityLevel security_level() const { return level_; }
+  [[nodiscard]] std::uint64_t mem_capacity_mb() const { return mem_capacity_mb_; }
+  [[nodiscard]] std::uint64_t mem_allocated_mb() const { return mem_allocated_mb_; }
+  [[nodiscard]] const std::vector<Device>& devices() const { return devices_; }
+  Device& mutable_device(std::size_t i) { return devices_[i]; }
+
+  /// Total abstract CPU capacity: sum over devices of units * speedup * GHz.
+  [[nodiscard]] double CpuCapacity() const;
+
+  /// Memory reservation used by the scheduler's bind step.
+  util::Status ReserveMemory(std::uint64_t mb);
+  void ReleaseMemory(std::uint64_t mb);
+
+  /// Picks the best device for a demand (lowest latency estimate among
+  /// devices; accelerable work prefers fabric devices).
+  [[nodiscard]] std::size_t BestDeviceFor(const TaskDemand& demand) const;
+
+  using CompletionFn = std::function<void(const TaskReport&)>;
+  /// Enqueues `demand` on device `device_index` (FIFO per device). The
+  /// completion callback fires at simulated finish time.
+  void Submit(const TaskDemand& demand, std::size_t device_index,
+              CompletionFn done);
+  /// Enqueues on the best device.
+  void Submit(const TaskDemand& demand, CompletionFn done);
+
+  /// Node availability (failure injection). Down nodes reject submissions.
+  void SetUp(bool up) { up_ = up; }
+  [[nodiscard]] bool up() const { return up_; }
+
+  /// --- PMC-style counters ----------------------------------------------
+  [[nodiscard]] std::uint64_t tasks_completed() const { return tasks_completed_; }
+  [[nodiscard]] double total_energy_mj() const { return total_energy_mj_; }
+  /// Busy fraction of a device since the node was created.
+  [[nodiscard]] double Utilization(std::size_t device_index) const;
+  /// Instantaneous queue depth across all devices.
+  [[nodiscard]] std::size_t QueueDepth() const;
+  /// Idle-power energy accumulated up to `now` (integrates idle draw).
+  [[nodiscard]] double IdleEnergyMj(sim::SimTime now) const;
+
+ private:
+  sim::Engine& engine_;
+  std::string id_;
+  Layer layer_;
+  std::string kind_;
+  security::SecurityLevel level_;
+  std::uint64_t mem_capacity_mb_;
+  std::uint64_t mem_allocated_mb_ = 0;
+  bool up_ = true;
+
+  std::vector<Device> devices_;
+  std::vector<sim::SimTime> busy_until_;   // per device
+  std::vector<sim::SimTime> busy_accum_;   // per device total busy time
+  std::vector<std::size_t> queue_depth_;   // per device outstanding tasks
+  sim::SimTime created_at_;
+
+  std::uint64_t tasks_completed_ = 0;
+  double total_energy_mj_ = 0.0;
+};
+
+}  // namespace myrtus::continuum

@@ -1,0 +1,117 @@
+#include "dpe/adt.hpp"
+
+#include <algorithm>
+
+namespace myrtus::dpe {
+
+AdtNode::AdtNode(std::string name, AdtGate gate, double probability)
+    : name_(std::move(name)), gate_(gate), probability_(probability) {}
+
+std::unique_ptr<AdtNode> AdtNode::Leaf(std::string name, double probability) {
+  return std::unique_ptr<AdtNode>(
+      new AdtNode(std::move(name), AdtGate::kLeaf,
+                  std::clamp(probability, 0.0, 1.0)));
+}
+
+std::unique_ptr<AdtNode> AdtNode::And(
+    std::string name, std::vector<std::unique_ptr<AdtNode>> children) {
+  auto node = std::unique_ptr<AdtNode>(
+      new AdtNode(std::move(name), AdtGate::kAnd, 0.0));
+  node->children_ = std::move(children);
+  return node;
+}
+
+std::unique_ptr<AdtNode> AdtNode::Or(
+    std::string name, std::vector<std::unique_ptr<AdtNode>> children) {
+  auto node = std::unique_ptr<AdtNode>(
+      new AdtNode(std::move(name), AdtGate::kOr, 0.0));
+  node->children_ = std::move(children);
+  return node;
+}
+
+AdtNode* AdtNode::AddDefence(Defence defence) {
+  defences_.push_back(std::move(defence));
+  return this;
+}
+
+double AdtNode::AttackProbability(
+    const std::vector<std::string>& active_defences) const {
+  double p;
+  switch (gate_) {
+    case AdtGate::kLeaf:
+      p = probability_;
+      break;
+    case AdtGate::kAnd: {
+      p = 1.0;
+      for (const auto& child : children_) {
+        p *= child->AttackProbability(active_defences);
+      }
+      break;
+    }
+    case AdtGate::kOr: {
+      double none = 1.0;
+      for (const auto& child : children_) {
+        none *= 1.0 - child->AttackProbability(active_defences);
+      }
+      p = 1.0 - none;
+      break;
+    }
+  }
+  for (const Defence& d : defences_) {
+    if (std::find(active_defences.begin(), active_defences.end(), d.name) !=
+        active_defences.end()) {
+      p *= std::clamp(d.mitigation, 0.0, 1.0);
+    }
+  }
+  return p;
+}
+
+std::vector<const Defence*> AdtNode::AllDefences() const {
+  std::vector<const Defence*> out;
+  for (const Defence& d : defences_) out.push_back(&d);
+  for (const auto& child : children_) {
+    const auto sub = child->AllDefences();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+CountermeasurePlan SynthesizeCountermeasures(const AdtNode& root, double budget) {
+  CountermeasurePlan plan;
+  plan.residual_probability = root.AttackProbability({});
+  const std::vector<const Defence*> all = root.AllDefences();
+
+  while (true) {
+    const Defence* best = nullptr;
+    double best_ratio = 0.0;
+    double best_prob = plan.residual_probability;
+    for (const Defence* d : all) {
+      if (std::find(plan.selected.begin(), plan.selected.end(), d->name) !=
+          plan.selected.end()) {
+        continue;
+      }
+      if (plan.total_cost + d->cost > budget) continue;
+      std::vector<std::string> trial = plan.selected;
+      trial.push_back(d->name);
+      const double p = root.AttackProbability(trial);
+      const double gain = plan.residual_probability - p;
+      if (gain <= 1e-12) continue;
+      const double ratio = gain / d->cost;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = d;
+        best_prob = p;
+      }
+    }
+    if (best == nullptr) break;
+    plan.selected.push_back(best->name);
+    if (!best->countermeasure.empty()) {
+      plan.countermeasures.push_back(best->countermeasure);
+    }
+    plan.total_cost += best->cost;
+    plan.residual_probability = best_prob;
+  }
+  return plan;
+}
+
+}  // namespace myrtus::dpe

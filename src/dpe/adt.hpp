@@ -1,0 +1,79 @@
+// Attack-Defence Trees (§V: Modelio's ADT modeling "for the analysis of the
+// threats to which the system is exposed", synthesizing "a set of adapted
+// counter-measures"). An ADT is a tree of attack goals (AND/OR refinement)
+// whose leaves carry success probabilities and attacker costs; defences
+// attach to nodes and reduce leaf success probability at a deployment cost.
+// Countermeasure synthesis selects the defence set that minimizes root
+// attack probability under a budget.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace myrtus::dpe {
+
+enum class AdtGate : std::uint8_t { kLeaf, kAnd, kOr };
+
+struct Defence {
+  std::string name;
+  double cost = 1.0;            // deployment cost units
+  double mitigation = 0.5;      // multiplies the attack probability when active
+  /// Countermeasure artifact the DPE emits when selected — e.g. raising the
+  /// Table II security level or enabling a primitive.
+  std::string countermeasure;
+};
+
+class AdtNode {
+ public:
+  /// Leaf attack step with base success probability.
+  static std::unique_ptr<AdtNode> Leaf(std::string name, double probability);
+  /// AND: all children must succeed. OR: any child suffices.
+  static std::unique_ptr<AdtNode> And(std::string name,
+                                      std::vector<std::unique_ptr<AdtNode>> children);
+  static std::unique_ptr<AdtNode> Or(std::string name,
+                                     std::vector<std::unique_ptr<AdtNode>> children);
+
+  /// Attaches a defence to this node (applies to the whole subtree's
+  /// aggregated probability).
+  AdtNode* AddDefence(Defence defence);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] AdtGate gate() const { return gate_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<AdtNode>>& children() const {
+    return children_;
+  }
+  [[nodiscard]] const std::vector<Defence>& defences() const { return defences_; }
+
+  /// Success probability of this (sub)tree given the set of active defence
+  /// names (children independent).
+  [[nodiscard]] double AttackProbability(
+      const std::vector<std::string>& active_defences) const;
+
+  /// All defences in the subtree.
+  [[nodiscard]] std::vector<const Defence*> AllDefences() const;
+
+ private:
+  AdtNode(std::string name, AdtGate gate, double probability);
+  std::string name_;
+  AdtGate gate_;
+  double probability_ = 0.0;
+  std::vector<std::unique_ptr<AdtNode>> children_;
+  std::vector<Defence> defences_;
+};
+
+struct CountermeasurePlan {
+  std::vector<std::string> selected;        // defence names
+  std::vector<std::string> countermeasures; // emitted artifacts
+  double residual_probability = 1.0;
+  double total_cost = 0.0;
+};
+
+/// Greedy marginal-benefit synthesis: repeatedly adds the defence with the
+/// best probability-reduction per cost until the budget is exhausted or no
+/// defence helps.
+CountermeasurePlan SynthesizeCountermeasures(const AdtNode& root, double budget);
+
+}  // namespace myrtus::dpe

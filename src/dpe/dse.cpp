@@ -1,0 +1,257 @@
+#include "dpe/dse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+namespace myrtus::dpe {
+
+KpiEstimator::KpiEstimator(const DataflowGraph& graph,
+                           std::vector<TargetDevice> targets)
+    : graph_(graph), targets_(std::move(targets)) {
+  if (auto q = graph_.RepetitionVector(); q.ok()) {
+    repetitions_ = std::move(q).value();
+  } else {
+    repetitions_.assign(graph_.actors().size(), 1);
+  }
+}
+
+util::StatusOr<KpiEstimate> KpiEstimator::Estimate(
+    const Configuration& config) const {
+  const auto& actors = graph_.actors();
+  if (config.actor_to_device.size() != actors.size()) {
+    return util::Status::InvalidArgument("mapping size != actor count");
+  }
+  if (config.operating_point.size() != targets_.size()) {
+    return util::Status::InvalidArgument("operating points size != device count");
+  }
+  for (std::size_t d = 0; d < targets_.size(); ++d) {
+    const int pi = config.operating_point[d];
+    if (pi < 0 || static_cast<std::size_t>(pi) >=
+                      targets_[d].device.operating_points().size()) {
+      return util::Status::InvalidArgument("operating point out of range");
+    }
+  }
+
+  KpiEstimate kpi;
+  std::vector<double> device_busy_s(targets_.size(), 0.0);
+
+  for (std::size_t a = 0; a < actors.size(); ++a) {
+    const int di = config.actor_to_device[a];
+    if (di < 0 || static_cast<std::size_t>(di) >= targets_.size()) {
+      return util::Status::InvalidArgument("device index out of range");
+    }
+    const TargetDevice& target = targets_[static_cast<std::size_t>(di)];
+    const int pi = config.operating_point[static_cast<std::size_t>(di)];
+    if (pi < 0 || static_cast<std::size_t>(pi) >=
+                      target.device.operating_points().size()) {
+      return util::Status::InvalidArgument("operating point out of range");
+    }
+    continuum::TaskDemand demand;
+    demand.cycles = actors[a].cycles_per_firing * repetitions_[a];
+    demand.parallel_fraction = actors[a].parallel_fraction;
+    demand.accelerable = actors[a].accelerable;
+    const continuum::ExecutionEstimate est = target.device.EstimateAt(
+        demand, target.device.operating_points()[static_cast<std::size_t>(pi)]);
+    device_busy_s[static_cast<std::size_t>(di)] += est.latency.ToSecondsF();
+    kpi.energy_mj += est.energy_mj;
+
+    // Non-accelerable actors mapped to a pure fabric device are infeasible
+    // in the MDC flow (the fabric runs only synthesized kernels).
+    if (!actors[a].accelerable &&
+        target.device.kind() == continuum::DeviceKind::kFpgaAccelerator) {
+      kpi.feasible = false;
+    }
+  }
+
+  // Inter-device transfers.
+  auto q_or = graph_.RepetitionVector();
+  for (const Channel& ch : graph_.channels()) {
+    const std::size_t a = graph_.ActorIndex(ch.from);
+    const std::size_t b = graph_.ActorIndex(ch.to);
+    const int da = config.actor_to_device[a];
+    const int db = config.actor_to_device[b];
+    if (da == db) continue;
+    const std::uint64_t bytes =
+        repetitions_[a] * static_cast<std::uint64_t>(ch.produce) * ch.token_bytes;
+    const TargetDevice& src = targets_[static_cast<std::size_t>(da)];
+    const double xfer = src.interconnect_latency_s +
+                        static_cast<double>(bytes) / src.interconnect_bw_bps;
+    // Transfers serialize on the producing device's timeline (DMA model) and
+    // cost interconnect energy at a flat 100 pJ/byte.
+    device_busy_s[static_cast<std::size_t>(da)] += xfer;
+    kpi.energy_mj += static_cast<double>(bytes) * 100e-12 * 1e3;
+  }
+
+  double makespan = 0.0;
+  for (const double busy : device_busy_s) makespan = std::max(makespan, busy);
+  kpi.latency_s = makespan;
+  if (makespan > 0) kpi.max_device_utilization = 1.0;  // bottleneck device
+  (void)q_or;
+  return kpi;
+}
+
+std::vector<ParetoPoint> ParetoFilter(std::vector<ParetoPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.kpi.latency_s != b.kpi.latency_s) {
+                return a.kpi.latency_s < b.kpi.latency_s;
+              }
+              return a.kpi.energy_mj < b.kpi.energy_mj;
+            });
+  std::vector<ParetoPoint> front;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (ParetoPoint& p : points) {
+    if (!p.kpi.feasible) continue;
+    if (p.kpi.energy_mj < best_energy - 1e-12) {
+      best_energy = p.kpi.energy_mj;
+      front.push_back(std::move(p));
+    }
+  }
+  return front;
+}
+
+util::StatusOr<DseResult> ExploreExhaustive(const KpiEstimator& estimator,
+                                            std::size_t max_states) {
+  const std::size_t actors = estimator.graph().actors().size();
+  const std::size_t devices = estimator.targets().size();
+  double states = 1.0;
+  for (std::size_t i = 0; i < actors; ++i) states *= static_cast<double>(devices);
+  for (const TargetDevice& t : estimator.targets()) {
+    states *= static_cast<double>(t.device.operating_points().size());
+  }
+  if (states > static_cast<double>(max_states)) {
+    return util::Status::InvalidArgument("DSE space too large for exhaustive");
+  }
+
+  DseResult result;
+  std::vector<ParetoPoint> all;
+  Configuration config;
+  config.actor_to_device.assign(actors, 0);
+  config.operating_point.assign(devices, 0);
+
+  const std::function<void(std::size_t)> enum_points = [&](std::size_t d) {
+    if (d == devices) {
+      auto kpi = estimator.Estimate(config);
+      ++result.evaluated;
+      if (kpi.ok()) all.push_back(ParetoPoint{config, *kpi});
+      return;
+    }
+    const std::size_t npoints =
+        estimator.targets()[d].device.operating_points().size();
+    for (std::size_t p = 0; p < npoints; ++p) {
+      config.operating_point[d] = static_cast<int>(p);
+      enum_points(d + 1);
+    }
+  };
+  const std::function<void(std::size_t)> enum_mapping = [&](std::size_t a) {
+    if (a == actors) {
+      enum_points(0);
+      return;
+    }
+    for (std::size_t d = 0; d < devices; ++d) {
+      config.actor_to_device[a] = static_cast<int>(d);
+      enum_mapping(a + 1);
+    }
+  };
+  enum_mapping(0);
+  result.front = ParetoFilter(std::move(all));
+  return result;
+}
+
+DseResult ExploreGenetic(const KpiEstimator& estimator, util::Rng& rng,
+                         int population, int generations) {
+  const std::size_t actors = estimator.graph().actors().size();
+  const std::size_t devices = estimator.targets().size();
+
+  const auto random_config = [&] {
+    Configuration c;
+    c.actor_to_device.resize(actors);
+    for (int& d : c.actor_to_device) {
+      d = static_cast<int>(rng.NextBounded(devices));
+    }
+    c.operating_point.resize(devices);
+    for (std::size_t d = 0; d < devices; ++d) {
+      c.operating_point[d] = static_cast<int>(rng.NextBounded(
+          estimator.targets()[d].device.operating_points().size()));
+    }
+    return c;
+  };
+
+  DseResult result;
+  std::vector<ParetoPoint> archive;
+  std::vector<ParetoPoint> current;
+  for (int i = 0; i < population; ++i) {
+    Configuration c = random_config();
+    auto kpi = estimator.Estimate(c);
+    ++result.evaluated;
+    if (kpi.ok()) current.push_back(ParetoPoint{std::move(c), *kpi});
+  }
+
+  // Scalarized tournament with rotating weights drives diversity along the
+  // front; the archive keeps every non-dominated point seen.
+  for (int gen = 0; gen < generations; ++gen) {
+    archive.insert(archive.end(), current.begin(), current.end());
+    archive = ParetoFilter(std::move(archive));
+
+    const double w = (gen % 5) / 4.0;  // 0..1 sweep latency<->energy emphasis
+    const auto scalar = [&](const ParetoPoint& p) {
+      return w * p.kpi.latency_s * 1e3 + (1 - w) * p.kpi.energy_mj +
+             (p.kpi.feasible ? 0.0 : 1e9);
+    };
+    const auto pick = [&]() -> const ParetoPoint& {
+      const ParetoPoint* best = nullptr;
+      for (int i = 0; i < 3; ++i) {
+        const ParetoPoint& cand = current[rng.NextBounded(current.size())];
+        if (best == nullptr || scalar(cand) < scalar(*best)) best = &cand;
+      }
+      return *best;
+    };
+
+    std::vector<ParetoPoint> next;
+    while (next.size() < static_cast<std::size_t>(population)) {
+      const ParetoPoint& a = pick();
+      const ParetoPoint& b = pick();
+      Configuration child;
+      child.actor_to_device.resize(actors);
+      for (std::size_t i = 0; i < actors; ++i) {
+        child.actor_to_device[i] = rng.NextBool()
+                                       ? a.config.actor_to_device[i]
+                                       : b.config.actor_to_device[i];
+        if (rng.NextBool(0.08)) {
+          child.actor_to_device[i] = static_cast<int>(rng.NextBounded(devices));
+        }
+      }
+      child.operating_point.resize(devices);
+      for (std::size_t d = 0; d < devices; ++d) {
+        child.operating_point[d] = rng.NextBool()
+                                       ? a.config.operating_point[d]
+                                       : b.config.operating_point[d];
+        if (rng.NextBool(0.08)) {
+          child.operating_point[d] = static_cast<int>(rng.NextBounded(
+              estimator.targets()[d].device.operating_points().size()));
+        }
+      }
+      auto kpi = estimator.Estimate(child);
+      ++result.evaluated;
+      if (kpi.ok()) next.push_back(ParetoPoint{std::move(child), *kpi});
+    }
+    current = std::move(next);
+  }
+  archive.insert(archive.end(), current.begin(), current.end());
+  result.front = ParetoFilter(std::move(archive));
+  return result;
+}
+
+std::vector<TargetDevice> HmpsocTargets() {
+  std::vector<TargetDevice> targets;
+  targets.push_back(TargetDevice{"big", continuum::MakeBigCore("big"), 8e9, 5e-6});
+  targets.push_back(
+      TargetDevice{"little", continuum::MakeLittleCore("little"), 8e9, 5e-6});
+  targets.push_back(TargetDevice{"fpga", continuum::MakeFpgaAccelerator("fpga"),
+                                 4e9, 20e-6});
+  return targets;
+}
+
+}  // namespace myrtus::dpe

@@ -1,0 +1,85 @@
+// Design-space exploration (§V: "DSE support and device specialization",
+// Mocasin-style mapping exploration). A configuration maps each actor of a
+// dataflow application to a device (with an operating point); the KPI
+// estimator predicts latency and energy; the explorer builds the Pareto
+// front by exhaustive enumeration (small spaces) or genetic search.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "continuum/device.hpp"
+#include "dpe/dataflow.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::dpe {
+
+/// One target device the DSE may map actors onto.
+struct TargetDevice {
+  std::string name;
+  continuum::Device device;
+  /// Cost (seconds) and bytes/s of moving data to/from this device across
+  /// the interconnect when producer and consumer map to different devices.
+  double interconnect_bw_bps = 1e9;
+  double interconnect_latency_s = 50e-6;
+};
+
+/// A point in the design space.
+struct Configuration {
+  std::vector<int> actor_to_device;        // per actor
+  std::vector<int> operating_point;        // per device
+};
+
+/// Estimated KPIs of a configuration (one graph iteration).
+struct KpiEstimate {
+  double latency_s = 0.0;   // makespan along the device timeline
+  double energy_mj = 0.0;
+  double max_device_utilization = 0.0;
+  bool feasible = true;     // accelerable-only constraint violations etc.
+};
+
+/// Deterministic analytical estimator (no simulation): per-device serialized
+/// work + inter-device channel transfers.
+class KpiEstimator {
+ public:
+  KpiEstimator(const DataflowGraph& graph, std::vector<TargetDevice> targets);
+
+  [[nodiscard]] util::StatusOr<KpiEstimate> Estimate(
+      const Configuration& config) const;
+  [[nodiscard]] const std::vector<TargetDevice>& targets() const { return targets_; }
+  [[nodiscard]] const DataflowGraph& graph() const { return graph_; }
+
+ private:
+  const DataflowGraph& graph_;
+  std::vector<TargetDevice> targets_;
+  std::vector<std::uint64_t> repetitions_;
+};
+
+/// A Pareto-optimal design point.
+struct ParetoPoint {
+  Configuration config;
+  KpiEstimate kpi;
+};
+
+struct DseResult {
+  std::vector<ParetoPoint> front;  // sorted by latency ascending
+  int evaluated = 0;
+};
+
+/// Non-dominated filter over (latency, energy).
+std::vector<ParetoPoint> ParetoFilter(std::vector<ParetoPoint> points);
+
+/// Exhaustive exploration (devices^actors * points^devices states); returns
+/// INVALID_ARGUMENT when the space exceeds `max_states`.
+util::StatusOr<DseResult> ExploreExhaustive(const KpiEstimator& estimator,
+                                            std::size_t max_states = 2'000'000);
+
+/// Genetic exploration for larger spaces.
+DseResult ExploreGenetic(const KpiEstimator& estimator, util::Rng& rng,
+                         int population = 48, int generations = 40);
+
+/// Standard target set modeling an HMPSoC (big CPU, LITTLE CPU, FPGA fabric).
+std::vector<TargetDevice> HmpsocTargets();
+
+}  // namespace myrtus::dpe

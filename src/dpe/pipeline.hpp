@@ -1,0 +1,63 @@
+// The DPE pipeline facade (Fig. 4): Step 1 models and analyzes the
+// application, Step 2 turns the model into an implementation plan (fusion,
+// partitioning, countermeasure synthesis), and Step 3 performs node-level
+// optimization (DSE, operating-point table) and emits the deployment
+// specification as a CSAR package with runtime metadata — the Pillar 3 → 2
+// hand-off MIRTO consumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dpe/adt.hpp"
+#include "dpe/dataflow.hpp"
+#include "dpe/dse.hpp"
+#include "tosca/csar.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::dpe {
+
+/// Application-level inputs to the DPE.
+struct DpeInput {
+  std::string app_name;
+  DataflowGraph graph;
+  double deadline_ms = 100.0;       // end-to-end latency requirement
+  std::string security_level = "low";  // floor before threat analysis
+  const AdtNode* threat_model = nullptr;  // optional
+  double defence_budget = 3.0;
+  int partitions = 2;               // workload split for distribution
+};
+
+/// Everything the pipeline produced.
+struct DpeOutput {
+  DataflowGraph implementation;          // after fusion
+  int fusions_applied = 0;
+  std::vector<int> partition;            // actor -> partition
+  std::vector<ParetoPoint> pareto_front; // node-level DSE result
+  int chosen_point = -1;                 // index into pareto_front meeting deadline
+  CountermeasurePlan countermeasures;
+  std::string effective_security_level;  // possibly raised by the ADT
+  tosca::CsarPackage package;            // final deployment specification
+  bool deadline_met = false;
+};
+
+class DpePipeline {
+ public:
+  explicit DpePipeline(std::uint64_t seed) : rng_(seed, "dpe") {}
+
+  /// Runs all three steps against the HMPSoC target set.
+  util::StatusOr<DpeOutput> Run(const DpeInput& input);
+
+ private:
+  util::Rng rng_;
+};
+
+/// Builds the TOSCA service template for a partitioned application: one
+/// workload node template per partition, sized from the actors it contains,
+/// with security and placement policies attached.
+tosca::ServiceTemplate BuildServiceTemplate(
+    const std::string& app_name, const DataflowGraph& graph,
+    const std::vector<int>& partition, const std::string& security_level);
+
+}  // namespace myrtus::dpe

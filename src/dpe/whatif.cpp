@@ -1,0 +1,150 @@
+#include "dpe/whatif.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+namespace myrtus::dpe {
+namespace {
+
+int Bucket(double value, const std::vector<double>& thresholds) {
+  int b = 0;
+  for (const double t : thresholds) {
+    if (value >= t) ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+swarm::RuleSpec SwarmRuleSpec() {
+  swarm::RuleSpec spec;
+  spec.feature_levels = {4, 3, 3};
+  spec.actions = 3;
+  return spec;
+}
+
+WhatIfOutcome EvaluateRules(const swarm::RulePolicy& policy,
+                            const WhatIfConfig& config, std::uint64_t seed) {
+  util::Rng rng(seed, "whatif");
+
+  struct Task {
+    double size;
+    int age = 0;
+    double extra_latency = 0.0;
+  };
+  std::vector<std::deque<Task>> queues(static_cast<std::size_t>(config.peers));
+  double total_latency = 0.0;
+  double energy = 0.0;
+  int completed = 0;
+
+  for (int step = 0; step < config.steps; ++step) {
+    // Arrivals.
+    for (auto& q : queues) {
+      if (rng.NextBool(config.arrival_prob)) {
+        q.push_back(Task{rng.Uniform(0.4, 2.5)});
+      }
+    }
+    // Neighborhood load (mean queue depth).
+    double mean_depth = 0.0;
+    for (const auto& q : queues) mean_depth += static_cast<double>(q.size());
+    mean_depth /= static_cast<double>(queues.size());
+
+    // Decisions on freshly arrived heads.
+    for (std::size_t p = 0; p < queues.size(); ++p) {
+      if (queues[p].empty()) continue;
+      Task& head = queues[p].front();
+      if (head.age > 0) continue;  // only decide once, on arrival at the head
+      const int f0 = std::min<int>(3, static_cast<int>(queues[p].size()) / 2);
+      const int f1 = Bucket(mean_depth, {1.5, 3.5});
+      const int f2 = Bucket(head.size, {1.0, 1.8});
+      const int action = policy.Act({f0, f1, f2});
+      if (action == 1) {
+        // Offload to the least-loaded neighbor.
+        std::size_t target = p;
+        std::size_t best_depth = queues[p].size();
+        for (std::size_t q = 0; q < queues.size(); ++q) {
+          if (q != p && queues[q].size() < best_depth) {
+            best_depth = queues[q].size();
+            target = q;
+          }
+        }
+        if (target != p) {
+          Task moved = head;
+          moved.extra_latency += config.offload_latency;
+          queues[p].pop_front();
+          queues[target].push_back(moved);
+          energy += 0.2;  // radio cost
+          continue;
+        }
+      } else if (action == 2) {
+        // Upstream has infinite capacity but fixed distance.
+        total_latency += head.age + head.extra_latency +
+                         config.upstream_latency + head.size * 0.25;
+        energy += 0.5 + head.size * 0.1;
+        ++completed;
+        queues[p].pop_front();
+        continue;
+      }
+      // action 0 (or failed offload): stays local.
+    }
+
+    // Service + aging.
+    for (auto& q : queues) {
+      double budget = config.local_service;
+      while (!q.empty() && budget > 0) {
+        Task& head = q.front();
+        const double work = std::min(budget, head.size);
+        head.size -= work;
+        budget -= work;
+        energy += work * 1.0;
+        if (head.size <= 1e-9) {
+          total_latency += head.age + head.extra_latency;
+          ++completed;
+          q.pop_front();
+        }
+      }
+      for (Task& t : q) ++t.age;
+    }
+  }
+  // Drain penalty: whatever is still queued counts as very late.
+  for (const auto& q : queues) {
+    for (const Task& t : q) {
+      total_latency += t.age + t.extra_latency + 10.0;
+      ++completed;
+    }
+  }
+
+  WhatIfOutcome out;
+  out.completed = completed;
+  out.mean_latency =
+      completed == 0 ? 0.0 : total_latency / static_cast<double>(completed);
+  out.energy = energy;
+  out.fitness = -(out.mean_latency + config.energy_weight * energy /
+                                         std::max(1, completed));
+  return out;
+}
+
+SwarmRuleSynthesis SynthesizeSwarmRules(const WhatIfConfig& config,
+                                        std::uint64_t seed,
+                                        const swarm::GaConfig& ga) {
+  util::Rng rng(seed, "frevo");
+  const swarm::RuleSpec spec = SwarmRuleSpec();
+  swarm::EvolutionResult evolved = swarm::EvolveRules(
+      spec,
+      [&](const swarm::RulePolicy& policy) {
+        // Average over a few seeds so rules generalize, not overfit one run.
+        double f = 0.0;
+        for (std::uint64_t s = 0; s < 3; ++s) {
+          f += EvaluateRules(policy, config, seed + s).fitness;
+        }
+        return f / 3.0;
+      },
+      rng, ga);
+  WhatIfOutcome outcome = EvaluateRules(evolved.best, config, seed);
+  SwarmRuleSynthesis result{std::move(evolved.best), outcome,
+                            std::move(evolved.fitness_history)};
+  return result;
+}
+
+}  // namespace myrtus::dpe

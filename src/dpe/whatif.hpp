@@ -1,0 +1,56 @@
+// DynAA-style what-if simulation (§V: "To explore the effect of changes to
+// the local rules on system's KPIs, a simulator such as DynAA can be used").
+// A lightweight closed-loop load model evaluates a candidate swarm rule
+// policy: N peers receive tasks and each decides — from its discretized local
+// view — whether to process locally, offload to the least-loaded neighbor,
+// or offload upstream. The resulting KPI score is the fitness FREVO-style
+// evolution maximizes, closing the Fig. 4 loop (FREVO → local rules →
+// Modelio/DynAA → MIRTO swarm agents).
+#pragma once
+
+#include "swarm/rules.hpp"
+#include "util/rng.hpp"
+
+namespace myrtus::dpe {
+
+/// Observation space of a swarm agent's local rules:
+///   f0: own queue depth bucket      (0..3)
+///   f1: neighborhood load bucket    (0..2)
+///   f2: task size bucket            (0..2)
+/// Actions: 0 = run locally, 1 = offload to least-loaded neighbor,
+///          2 = offload upstream (fog/cloud).
+swarm::RuleSpec SwarmRuleSpec();
+
+struct WhatIfConfig {
+  int peers = 8;
+  int steps = 400;              // simulated decision rounds
+  double arrival_prob = 0.55;   // per peer per step
+  double local_service = 1.0;   // work units a peer drains per step
+  double upstream_latency = 4.0;  // fixed extra latency for action 2
+  double offload_latency = 1.0;   // neighbor-hop latency for action 1
+  double energy_weight = 0.15;
+};
+
+struct WhatIfOutcome {
+  double mean_latency = 0.0;
+  double energy = 0.0;
+  double fitness = 0.0;  // higher is better
+  int completed = 0;
+};
+
+/// Evaluates a rule policy on the what-if model (deterministic given seed).
+WhatIfOutcome EvaluateRules(const swarm::RulePolicy& policy,
+                            const WhatIfConfig& config, std::uint64_t seed);
+
+/// The full FREVO loop: evolve rules against the what-if model. Returns the
+/// evolved policy and its outcome.
+struct SwarmRuleSynthesis {
+  swarm::RulePolicy policy;
+  WhatIfOutcome outcome;
+  std::vector<double> fitness_history;
+};
+SwarmRuleSynthesis SynthesizeSwarmRules(const WhatIfConfig& config,
+                                        std::uint64_t seed,
+                                        const swarm::GaConfig& ga = {});
+
+}  // namespace myrtus::dpe

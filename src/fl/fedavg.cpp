@@ -1,0 +1,119 @@
+#include "fl/fedavg.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace myrtus::fl {
+
+FederatedTrainer::FederatedTrainer(std::vector<Dataset> client_data,
+                                   std::size_t features, LinearModel::Link link,
+                                   std::uint64_t seed)
+    : client_data_(std::move(client_data)),
+      features_(features),
+      link_(link),
+      rng_(seed, "fedavg") {}
+
+LinearModel FederatedTrainer::Train(const FederatedConfig& config,
+                                    FederatedMetrics* metrics) {
+  LinearModel global(features_, link_);
+  const std::size_t param_bytes = (features_ + 1) * sizeof(double);
+  const Dataset pooled = PooledData();
+
+  for (int round = 0; round < config.rounds; ++round) {
+    const std::vector<double> global_params = global.Parameters();
+
+    // Sample participating clients.
+    std::vector<std::size_t> participants;
+    for (std::size_t c = 0; c < client_data_.size(); ++c) {
+      if (client_data_[c].empty()) continue;
+      if (config.client_fraction >= 1.0 || rng_.NextBool(config.client_fraction)) {
+        participants.push_back(c);
+      }
+    }
+    if (participants.empty() && !client_data_.empty()) {
+      participants.push_back(rng_.NextBounded(client_data_.size()));
+    }
+
+    // Local training.
+    std::vector<double> aggregate(features_ + 1, 0.0);
+    double total_weight = 0.0;
+    for (const std::size_t c : participants) {
+      LinearModel local(features_, link_);
+      local.SetParameters(global_params);
+      for (int e = 0; e < config.local_epochs; ++e) {
+        local.TrainEpoch(client_data_[c], config.learning_rate, rng_, config.l2,
+                         config.prox_mu > 0 ? &global_params : nullptr,
+                         config.prox_mu);
+      }
+      const double weight = static_cast<double>(client_data_[c].size());
+      const std::vector<double> params = local.Parameters();
+      for (std::size_t i = 0; i < aggregate.size(); ++i) {
+        aggregate[i] += weight * params[i];
+      }
+      total_weight += weight;
+      if (metrics != nullptr) {
+        metrics->bytes_uploaded += param_bytes;
+        metrics->bytes_downloaded += param_bytes;
+      }
+    }
+    if (total_weight > 0) {
+      for (double& p : aggregate) p /= total_weight;
+      global.SetParameters(aggregate);
+    }
+    if (metrics != nullptr) {
+      metrics->global_loss_per_round.push_back(global.Evaluate(pooled));
+      metrics->participating_clients = static_cast<int>(participants.size());
+    }
+  }
+  return global;
+}
+
+std::vector<LinearModel> FederatedTrainer::TrainLocalOnly(int epochs,
+                                                          double learning_rate) {
+  std::vector<LinearModel> models;
+  models.reserve(client_data_.size());
+  for (const Dataset& data : client_data_) {
+    LinearModel local(features_, link_);
+    for (int e = 0; e < epochs; ++e) {
+      local.TrainEpoch(data, learning_rate, rng_);
+    }
+    models.push_back(std::move(local));
+  }
+  return models;
+}
+
+Dataset FederatedTrainer::PooledData() const {
+  Dataset pooled;
+  for (const Dataset& d : client_data_) {
+    pooled.insert(pooled.end(), d.begin(), d.end());
+  }
+  return pooled;
+}
+
+std::vector<Dataset> NonIidSplit(Dataset data, std::size_t clients,
+                                 util::Rng& rng, int shards_per_client) {
+  std::sort(data.begin(), data.end(), [](const Example& a, const Example& b) {
+    return a.label < b.label;
+  });
+  const std::size_t total_shards = clients * static_cast<std::size_t>(shards_per_client);
+  std::vector<std::size_t> shard_order(total_shards);
+  std::iota(shard_order.begin(), shard_order.end(), 0);
+  std::shuffle(shard_order.begin(), shard_order.end(), rng);
+
+  std::vector<Dataset> out(clients);
+  if (data.empty() || total_shards == 0) return out;
+  const std::size_t shard_size = std::max<std::size_t>(1, data.size() / total_shards);
+  for (std::size_t s = 0; s < total_shards; ++s) {
+    const std::size_t begin = std::min(data.size(), shard_order[s] * shard_size);
+    const std::size_t end =
+        shard_order[s] + 1 == total_shards
+            ? data.size()
+            : std::min(data.size(), (shard_order[s] + 1) * shard_size);
+    Dataset& target = out[s % clients];
+    target.insert(target.end(), data.begin() + static_cast<long>(begin),
+                  data.begin() + static_cast<long>(end));
+  }
+  return out;
+}
+
+}  // namespace myrtus::fl

@@ -1,0 +1,61 @@
+// Federated learning across MIRTO agents (§IV: "combining learned models
+// from different agents using FL techniques, allowing MIRTO edge agents to
+// evolve based on each other's experiences"). FedAvg and FedProx aggregation
+// over simulated clients, with a non-IID partitioner for realistic edge data.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fl/model.hpp"
+
+namespace myrtus::fl {
+
+struct FederatedConfig {
+  int rounds = 20;
+  int local_epochs = 2;
+  double learning_rate = 0.05;
+  double client_fraction = 1.0;  // fraction of clients sampled per round
+  double prox_mu = 0.0;          // >0 enables FedProx
+  double l2 = 0.0;
+};
+
+struct FederatedMetrics {
+  std::vector<double> global_loss_per_round;
+  std::uint64_t bytes_uploaded = 0;    // client -> server traffic
+  std::uint64_t bytes_downloaded = 0;  // server -> client traffic
+  int participating_clients = 0;
+};
+
+class FederatedTrainer {
+ public:
+  /// `client_data[i]` is client i's private dataset (never leaves the client
+  /// — only parameter vectors travel, matching the paper's privacy framing).
+  FederatedTrainer(std::vector<Dataset> client_data, std::size_t features,
+                   LinearModel::Link link, std::uint64_t seed);
+
+  /// Runs federated training; returns the final global model.
+  LinearModel Train(const FederatedConfig& config, FederatedMetrics* metrics = nullptr);
+
+  /// Baseline: each client trains alone; returns per-client models.
+  std::vector<LinearModel> TrainLocalOnly(int epochs, double learning_rate);
+
+  /// Union of all client data (for evaluation only; a real deployment never
+  /// materializes this).
+  [[nodiscard]] Dataset PooledData() const;
+
+ private:
+  std::vector<Dataset> client_data_;
+  std::size_t features_;
+  LinearModel::Link link_;
+  util::Rng rng_;
+};
+
+/// Splits `data` across `clients` in a non-IID way: examples are sorted by
+/// label and dealt in contiguous shards, so each client sees a skewed slice.
+std::vector<Dataset> NonIidSplit(Dataset data, std::size_t clients,
+                                 util::Rng& rng, int shards_per_client = 2);
+
+}  // namespace myrtus::fl

@@ -1,0 +1,115 @@
+#include "fl/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace myrtus::fl {
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+LinearModel::LinearModel(std::size_t features, Link link)
+    : weights_(features, 0.0), link_(link) {}
+
+double LinearModel::Forward(const std::vector<double>& x) const {
+  double z = bias_;
+  const std::size_t n = std::min(x.size(), weights_.size());
+  for (std::size_t i = 0; i < n; ++i) z += weights_[i] * x[i];
+  return z;
+}
+
+double LinearModel::Predict(const std::vector<double>& x) const {
+  const double z = Forward(x);
+  return link_ == Link::kLogistic ? Sigmoid(z) : z;
+}
+
+double LinearModel::TrainEpoch(const Dataset& data, double learning_rate,
+                               util::Rng& rng, double l2,
+                               const std::vector<double>* prox_center,
+                               double prox_mu) {
+  if (data.empty()) return 0.0;
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  double total_loss = 0.0;
+  for (const std::size_t idx : order) {
+    const Example& ex = data[idx];
+    const double pred = Predict(ex.features);
+    double grad_out;  // d(loss)/d(z), same form for both links
+    if (link_ == Link::kLogistic) {
+      const double p = std::clamp(pred, 1e-12, 1.0 - 1e-12);
+      total_loss += -(ex.label * std::log(p) + (1 - ex.label) * std::log(1 - p));
+      grad_out = pred - ex.label;
+    } else {
+      const double err = pred - ex.label;
+      total_loss += err * err;
+      grad_out = 2.0 * err;
+    }
+    const std::size_t n = std::min(ex.features.size(), weights_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      double grad = grad_out * ex.features[i] + l2 * weights_[i];
+      if (prox_center != nullptr && prox_mu > 0 && i < prox_center->size()) {
+        grad += prox_mu * (weights_[i] - (*prox_center)[i]);
+      }
+      weights_[i] -= learning_rate * grad;
+    }
+    double bias_grad = grad_out;
+    if (prox_center != nullptr && prox_mu > 0 &&
+        prox_center->size() == weights_.size() + 1) {
+      bias_grad += prox_mu * (bias_ - prox_center->back());
+    }
+    bias_ -= learning_rate * bias_grad;
+  }
+  return total_loss / static_cast<double>(data.size());
+}
+
+double LinearModel::Evaluate(const Dataset& data) const {
+  if (data.empty()) return 0.0;
+  double total = 0.0;
+  for (const Example& ex : data) {
+    const double pred = Predict(ex.features);
+    if (link_ == Link::kLogistic) {
+      const double p = std::clamp(pred, 1e-12, 1.0 - 1e-12);
+      total += -(ex.label * std::log(p) + (1 - ex.label) * std::log(1 - p));
+    } else {
+      const double err = pred - ex.label;
+      total += err * err;
+    }
+  }
+  return total / static_cast<double>(data.size());
+}
+
+double LinearModel::Accuracy(const Dataset& data) const {
+  if (data.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const Example& ex : data) {
+    if (Classify(ex.features) == (ex.label >= 0.5)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+std::vector<double> LinearModel::Parameters() const {
+  std::vector<double> p = weights_;
+  p.push_back(bias_);
+  return p;
+}
+
+void LinearModel::SetParameters(const std::vector<double>& params) {
+  for (std::size_t i = 0; i < weights_.size() && i < params.size(); ++i) {
+    weights_[i] = params[i];
+  }
+  if (params.size() >= weights_.size() + 1) bias_ = params[weights_.size()];
+}
+
+}  // namespace myrtus::fl

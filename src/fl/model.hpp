@@ -1,0 +1,61 @@
+// Small learning models for the MIRTO agents: linear / logistic models
+// trained with SGD. Edge agents use them to "estimate the best operating
+// point of a workload" (§IV); the FL layer averages them across agents.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace myrtus::fl {
+
+/// A labeled example.
+struct Example {
+  std::vector<double> features;
+  double label = 0.0;  // regression target or {0,1} class
+};
+
+using Dataset = std::vector<Example>;
+
+/// Linear model y = w.x + b, used as a regressor (identity link) or a binary
+/// classifier (logistic link).
+class LinearModel {
+ public:
+  enum class Link : std::uint8_t { kIdentity, kLogistic };
+
+  LinearModel(std::size_t features, Link link);
+
+  [[nodiscard]] double Predict(const std::vector<double>& x) const;
+  /// For logistic models: class decision at 0.5.
+  [[nodiscard]] bool Classify(const std::vector<double>& x) const {
+    return Predict(x) >= 0.5;
+  }
+
+  /// One epoch of SGD over `data` (shuffled with `rng`); returns mean loss
+  /// (squared error or cross-entropy). `l2` applies weight decay;
+  /// `prox_center`/`prox_mu` add a FedProx proximal pull toward a reference
+  /// parameter vector (ignored when prox_mu == 0).
+  double TrainEpoch(const Dataset& data, double learning_rate, util::Rng& rng,
+                    double l2 = 0.0, const std::vector<double>* prox_center = nullptr,
+                    double prox_mu = 0.0);
+
+  /// Mean loss without updating.
+  [[nodiscard]] double Evaluate(const Dataset& data) const;
+  /// Classification accuracy (logistic models).
+  [[nodiscard]] double Accuracy(const Dataset& data) const;
+
+  /// Flat parameter vector: weights then bias.
+  [[nodiscard]] std::vector<double> Parameters() const;
+  void SetParameters(const std::vector<double>& params);
+  [[nodiscard]] std::size_t feature_count() const { return weights_.size(); }
+  [[nodiscard]] Link link() const { return link_; }
+
+ private:
+  [[nodiscard]] double Forward(const std::vector<double>& x) const;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  Link link_;
+};
+
+}  // namespace myrtus::fl

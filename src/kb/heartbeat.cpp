@@ -1,0 +1,64 @@
+#include "kb/heartbeat.hpp"
+
+namespace myrtus::kb {
+
+HeartbeatService::HeartbeatService(sim::Engine& engine, Store& store,
+                                   sim::SimTime ttl)
+    : engine_(engine), store_(store), ttl_(ttl) {}
+
+HeartbeatService::~HeartbeatService() {
+  StopSweeper();
+  for (auto& [id, member] : members_) {
+    engine_.Cancel(member.keepalive);
+  }
+}
+
+void HeartbeatService::Register(const NodeRecord& record) {
+  const std::string& id = record.node_id;
+  const auto existing = members_.find(id);
+  if (existing != members_.end()) {
+    engine_.Cancel(existing->second.keepalive);
+    members_.erase(existing);
+  }
+  Member member;
+  member.lease_id = store_.GrantLease(engine_.Now().ns + ttl_.ns);
+  store_.Put(ResourceRegistry::NodeKey(id), record.ToJson(), member.lease_id);
+  // Component-side keepalive at ttl/3 (etcd's default cadence).
+  member.keepalive = engine_.SchedulePeriodic(
+      sim::SimTime::Nanos(ttl_.ns / 3), [this, id] { Renew(id); });
+  members_[id] = member;
+}
+
+void HeartbeatService::Renew(const std::string& node_id) {
+  const auto it = members_.find(node_id);
+  if (it == members_.end() || !it->second.beating) return;
+  store_.RenewLease(it->second.lease_id, engine_.Now().ns + ttl_.ns);
+}
+
+void HeartbeatService::StopBeating(const std::string& node_id) {
+  const auto it = members_.find(node_id);
+  if (it == members_.end()) return;
+  it->second.beating = false;
+  engine_.Cancel(it->second.keepalive);
+  it->second.keepalive = {};
+}
+
+bool HeartbeatService::IsBeating(const std::string& node_id) const {
+  const auto it = members_.find(node_id);
+  return it != members_.end() && it->second.beating;
+}
+
+void HeartbeatService::StartSweeper() {
+  StopSweeper();
+  sweeper_ = engine_.SchedulePeriodic(
+      sim::SimTime::Nanos(std::max<std::int64_t>(1, ttl_.ns / 2)), [this] {
+        expirations_ += store_.ExpireLeases(engine_.Now().ns);
+      });
+}
+
+void HeartbeatService::StopSweeper() {
+  engine_.Cancel(sweeper_);
+  sweeper_ = {};
+}
+
+}  // namespace myrtus::kb

@@ -1,0 +1,55 @@
+// Lease-based component liveness — the etcd pattern behind the paper's
+// Resource Registry "snapshot of the components availability and their
+// status" (§III/§VI). Every component's registry record is attached to a TTL
+// lease the component must keep renewing; a crashed component stops renewing
+// and its record evaporates, which prefix watchers (MIRTO agents) observe as
+// a delete event — failure detection without any explicit probe.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "kb/registry.hpp"
+#include "kb/store.hpp"
+#include "sim/engine.hpp"
+
+namespace myrtus::kb {
+
+class HeartbeatService {
+ public:
+  /// Records expire `ttl` after their last renewal. The expiry sweeper runs
+  /// every `ttl/2` once started.
+  HeartbeatService(sim::Engine& engine, Store& store, sim::SimTime ttl);
+  ~HeartbeatService();
+
+  /// Registers a component: writes its record under a fresh lease and starts
+  /// auto-renewal (the component-side keepalive loop).
+  void Register(const NodeRecord& record);
+  /// Stops renewing (models a crash/disconnect — the record then expires).
+  void StopBeating(const std::string& node_id);
+  /// True while the component's lease is being renewed.
+  [[nodiscard]] bool IsBeating(const std::string& node_id) const;
+
+  /// Starts the server-side expiry sweeper.
+  void StartSweeper();
+  void StopSweeper();
+
+  [[nodiscard]] std::uint64_t expirations() const { return expirations_; }
+
+ private:
+  void Renew(const std::string& node_id);
+
+  sim::Engine& engine_;
+  Store& store_;
+  sim::SimTime ttl_;
+  struct Member {
+    std::int64_t lease_id;
+    sim::EventHandle keepalive;
+    bool beating = true;
+  };
+  std::map<std::string, Member> members_;
+  sim::EventHandle sweeper_;
+  std::uint64_t expirations_ = 0;
+};
+
+}  // namespace myrtus::kb

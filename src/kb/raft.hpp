@@ -1,0 +1,130 @@
+// Raft consensus (Ongaro & Ousterhout) over the simulated network — the
+// replication core of the MYRTUS Knowledge Base. Implements leader election,
+// log replication, commit safety (leader completeness via the
+// current-term-commit rule), crash/recover, and client proposal forwarding.
+// Log compaction/snapshotting is out of scope (logs are bounded in our
+// experiments).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "sim/engine.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::kb {
+
+enum class RaftRole : std::uint8_t { kFollower, kCandidate, kLeader };
+std::string_view RaftRoleName(RaftRole role);
+
+struct RaftConfig {
+  sim::SimTime election_timeout_min = sim::SimTime::Millis(150);
+  sim::SimTime election_timeout_max = sim::SimTime::Millis(300);
+  sim::SimTime heartbeat_interval = sim::SimTime::Millis(50);
+  std::size_t max_entries_per_append = 64;
+};
+
+struct LogEntry {
+  std::int64_t term = 0;
+  util::Json command;
+};
+
+class RaftNode {
+ public:
+  /// Called once per committed entry, in log order.
+  using ApplyFn = std::function<void(const util::Json& command)>;
+  /// Completion for Propose: OK once the entry is committed and applied on
+  /// this leader, or an error (not leader / lost leadership / crashed).
+  using ProposeCallback = std::function<void(util::StatusOr<std::int64_t>)>;
+
+  RaftNode(net::Network& network, net::HostId self,
+           std::vector<net::HostId> peers, std::uint64_t seed, ApplyFn apply,
+           RaftConfig config = {});
+
+  /// Registers RPC handlers and arms the election timer.
+  void Start();
+
+  /// Proposes a command. Fails immediately with FAILED_PRECONDITION and a
+  /// leader hint in the message when this node is not the leader.
+  void Propose(util::Json command, ProposeCallback done);
+
+  /// Crash-stop: drops volatile state (role, timers); keeps the persistent
+  /// state (term, vote, log) as a real node's disk would.
+  void Crash();
+  /// Restarts a crashed node as a follower.
+  void Recover();
+
+  [[nodiscard]] RaftRole role() const { return role_; }
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] std::int64_t current_term() const { return current_term_; }
+  [[nodiscard]] std::int64_t commit_index() const { return commit_index_; }
+  [[nodiscard]] std::int64_t last_applied() const { return last_applied_; }
+  [[nodiscard]] std::size_t log_size() const { return log_.size() - 1; }
+  [[nodiscard]] const net::HostId& self() const { return self_; }
+  [[nodiscard]] const net::HostId& known_leader() const { return known_leader_; }
+
+ private:
+  // --- Role transitions --------------------------------------------------
+  void BecomeFollower(std::int64_t term);
+  void StartElection();
+  void BecomeLeader();
+  void ArmElectionTimer();
+  void DisarmTimers();
+
+  // --- RPC handlers (receiver side) --------------------------------------
+  util::StatusOr<util::Json> OnRequestVote(const util::Json& req);
+  util::StatusOr<util::Json> OnAppendEntries(const util::Json& req);
+
+  // --- Leader machinery ---------------------------------------------------
+  void SendAppendEntries(const net::HostId& peer);
+  void BroadcastHeartbeat();
+  void AdvanceCommitIndex();
+  void ApplyCommitted();
+  void FailPendingProposals(const util::Status& status);
+
+  [[nodiscard]] std::int64_t LastLogIndex() const {
+    return static_cast<std::int64_t>(log_.size()) - 1;
+  }
+  [[nodiscard]] std::int64_t LastLogTerm() const { return log_.back().term; }
+
+  net::Network& network_;
+  net::HostId self_;
+  std::vector<net::HostId> peers_;  // excluding self
+  util::Rng rng_;
+  ApplyFn apply_;
+  RaftConfig config_;
+
+  // Persistent state (survives Crash()).
+  std::int64_t current_term_ = 0;
+  net::HostId voted_for_;
+  std::vector<LogEntry> log_;  // index 0 is a sentinel (term 0)
+
+  // Volatile state.
+  RaftRole role_ = RaftRole::kFollower;
+  bool crashed_ = false;
+  std::int64_t commit_index_ = 0;
+  std::int64_t last_applied_ = 0;
+  net::HostId known_leader_;
+
+  // Candidate state.
+  std::size_t votes_received_ = 0;
+  std::int64_t election_term_ = 0;
+
+  // Leader state.
+  std::map<net::HostId, std::int64_t> next_index_;
+  std::map<net::HostId, std::int64_t> match_index_;
+  std::map<net::HostId, bool> append_in_flight_;
+  std::map<std::int64_t, ProposeCallback> pending_;  // log index -> cb
+
+  sim::EventHandle election_timer_;
+  sim::EventHandle heartbeat_timer_;
+  std::uint64_t timer_epoch_ = 0;  // invalidates stale timer callbacks
+};
+
+}  // namespace myrtus::kb

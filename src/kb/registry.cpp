@@ -1,0 +1,147 @@
+#include "kb/registry.hpp"
+
+namespace myrtus::kb {
+
+util::Json NodeRecord::ToJson() const {
+  return util::Json::MakeObject()
+      .Set("node_id", node_id)
+      .Set("layer", layer)
+      .Set("kind", kind)
+      .Set("ready", ready)
+      .Set("cpu_capacity", cpu_capacity)
+      .Set("cpu_allocated", cpu_allocated)
+      .Set("mem_capacity_mb", mem_capacity_mb)
+      .Set("mem_allocated_mb", mem_allocated_mb)
+      .Set("security_level", security_level)
+      .Set("has_accelerator", has_accelerator)
+      .Set("energy_mw", energy_mw)
+      .Set("trust_score", trust_score);
+}
+
+util::StatusOr<NodeRecord> NodeRecord::FromJson(const util::Json& j) {
+  if (!j.is_object() || !j.has("node_id")) {
+    return util::Status::InvalidArgument("not a node record");
+  }
+  NodeRecord r;
+  r.node_id = j.at("node_id").as_string();
+  r.layer = j.at("layer").as_string();
+  r.kind = j.at("kind").as_string();
+  r.ready = j.at("ready").as_bool(true);
+  r.cpu_capacity = j.at("cpu_capacity").as_double();
+  r.cpu_allocated = j.at("cpu_allocated").as_double();
+  r.mem_capacity_mb = static_cast<std::uint64_t>(j.at("mem_capacity_mb").as_int());
+  r.mem_allocated_mb = static_cast<std::uint64_t>(j.at("mem_allocated_mb").as_int());
+  r.security_level = static_cast<int>(j.at("security_level").as_int());
+  r.has_accelerator = j.at("has_accelerator").as_bool();
+  r.energy_mw = j.at("energy_mw").as_double();
+  r.trust_score = j.at("trust_score").as_double(1.0);
+  return r;
+}
+
+std::string ResourceRegistry::NodeKey(const std::string& node_id) {
+  return "/registry/nodes/" + node_id;
+}
+
+std::string ResourceRegistry::WorkloadKey(const std::string& workload_id) {
+  return "/registry/workloads/" + workload_id;
+}
+
+std::string ResourceRegistry::TelemetryKey(const std::string& node_id,
+                                           const std::string& metric) {
+  return "/telemetry/" + node_id + "/" + metric;
+}
+
+void ResourceRegistry::PutNode(const NodeRecord& record) {
+  store_.Put(NodeKey(record.node_id), record.ToJson());
+}
+
+util::StatusOr<NodeRecord> ResourceRegistry::GetNode(
+    const std::string& node_id) const {
+  auto kv = store_.Get(NodeKey(node_id));
+  if (!kv.ok()) return kv.status();
+  return NodeRecord::FromJson(kv->value);
+}
+
+std::vector<NodeRecord> ResourceRegistry::ListNodes(
+    const std::string& layer) const {
+  std::vector<NodeRecord> out;
+  for (const KeyValue& kv : store_.Range("/registry/nodes/")) {
+    auto record = NodeRecord::FromJson(kv.value);
+    if (record.ok() && (layer.empty() || record->layer == layer)) {
+      out.push_back(std::move(record).value());
+    }
+  }
+  return out;
+}
+
+void ResourceRegistry::RemoveNode(const std::string& node_id) {
+  store_.Delete(NodeKey(node_id));
+}
+
+void ResourceRegistry::PutWorkload(const std::string& workload_id,
+                                   util::Json record) {
+  store_.Put(WorkloadKey(workload_id), std::move(record));
+}
+
+util::StatusOr<util::Json> ResourceRegistry::GetWorkload(
+    const std::string& workload_id) const {
+  auto kv = store_.Get(WorkloadKey(workload_id));
+  if (!kv.ok()) return kv.status();
+  return kv->value;
+}
+
+std::vector<std::pair<std::string, util::Json>> ResourceRegistry::ListWorkloads()
+    const {
+  std::vector<std::pair<std::string, util::Json>> out;
+  const std::string prefix = "/registry/workloads/";
+  for (const KeyValue& kv : store_.Range(prefix)) {
+    out.emplace_back(kv.key.substr(prefix.size()), kv.value);
+  }
+  return out;
+}
+
+void ResourceRegistry::AppendTelemetry(const std::string& node_id,
+                                       const std::string& metric,
+                                       TelemetrySample sample,
+                                       std::size_t max_samples) {
+  const std::string key = TelemetryKey(node_id, metric);
+  util::Json series = util::Json::MakeArray();
+  if (auto existing = store_.Get(key); existing.ok()) {
+    series = existing->value;
+  }
+  series.Append(util::Json::MakeObject()
+                    .Set("t", sample.at_ns)
+                    .Set("v", sample.value));
+  auto& items = series.mutable_items();
+  if (items.size() > max_samples) {
+    items.erase(items.begin(),
+                items.begin() + static_cast<long>(items.size() - max_samples));
+  }
+  store_.Put(key, std::move(series));
+}
+
+std::vector<TelemetrySample> ResourceRegistry::GetTelemetry(
+    const std::string& node_id, const std::string& metric) const {
+  std::vector<TelemetrySample> out;
+  auto kv = store_.Get(TelemetryKey(node_id, metric));
+  if (!kv.ok()) return out;
+  for (const util::Json& item : kv->value.items()) {
+    out.push_back(TelemetrySample{item.at("t").as_int(), item.at("v").as_double()});
+  }
+  return out;
+}
+
+double ResourceRegistry::RecentMean(const std::string& node_id,
+                                    const std::string& metric,
+                                    std::size_t window) const {
+  const std::vector<TelemetrySample> samples = GetTelemetry(node_id, metric);
+  if (samples.empty()) return 0.0;
+  const std::size_t n = std::min(window, samples.size());
+  double sum = 0.0;
+  for (std::size_t i = samples.size() - n; i < samples.size(); ++i) {
+    sum += samples[i].value;
+  }
+  return sum / static_cast<double>(n);
+}
+
+}  // namespace myrtus::kb

@@ -1,0 +1,83 @@
+// Resource Registry / Status — the KB schema the paper names as the
+// observability backbone: "a snapshot of the components availability and
+// their status" plus historical telemetry (§III Monitoring, §VI KB activity).
+// The registry is a typed veneer over the MVCC store under reserved key
+// prefixes:
+//   /registry/nodes/<node-id>        -> NodeRecord
+//   /registry/workloads/<wl-id>      -> workload placement record
+//   /telemetry/<node-id>/<metric>    -> ring of recent samples
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kb/store.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::kb {
+
+/// Availability/status snapshot of one continuum component.
+struct NodeRecord {
+  std::string node_id;
+  std::string layer;          // "edge" | "fog" | "cloud"
+  std::string kind;           // "hmpsoc", "riscv", "gateway", "fmdc", "dc", ...
+  bool ready = true;
+  double cpu_capacity = 0.0;      // abstract CPU units
+  double cpu_allocated = 0.0;
+  std::uint64_t mem_capacity_mb = 0;
+  std::uint64_t mem_allocated_mb = 0;
+  int security_level = 0;         // 0=low 1=medium 2=high (Table II)
+  bool has_accelerator = false;
+  double energy_mw = 0.0;         // current draw
+  double trust_score = 1.0;       // runtime trust indicator (§III)
+
+  [[nodiscard]] util::Json ToJson() const;
+  static util::StatusOr<NodeRecord> FromJson(const util::Json& j);
+};
+
+/// Telemetry sample appended by monitors.
+struct TelemetrySample {
+  std::int64_t at_ns = 0;
+  double value = 0.0;
+};
+
+/// Registry facade over a Store (typically a local KB replica).
+class ResourceRegistry {
+ public:
+  explicit ResourceRegistry(Store& store) : store_(store) {}
+
+  static std::string NodeKey(const std::string& node_id);
+  static std::string WorkloadKey(const std::string& workload_id);
+  static std::string TelemetryKey(const std::string& node_id,
+                                  const std::string& metric);
+
+  /// Upserts a node record.
+  void PutNode(const NodeRecord& record);
+  [[nodiscard]] util::StatusOr<NodeRecord> GetNode(const std::string& node_id) const;
+  /// All registered nodes (optionally restricted to one layer).
+  [[nodiscard]] std::vector<NodeRecord> ListNodes(const std::string& layer = "") const;
+  void RemoveNode(const std::string& node_id);
+
+  /// Records a workload placement (workload -> node binding + metadata).
+  void PutWorkload(const std::string& workload_id, util::Json record);
+  [[nodiscard]] util::StatusOr<util::Json> GetWorkload(const std::string& workload_id) const;
+  [[nodiscard]] std::vector<std::pair<std::string, util::Json>> ListWorkloads() const;
+
+  /// Appends a telemetry sample, keeping at most `max_samples` per series.
+  void AppendTelemetry(const std::string& node_id, const std::string& metric,
+                       TelemetrySample sample, std::size_t max_samples = 256);
+  [[nodiscard]] std::vector<TelemetrySample> GetTelemetry(
+      const std::string& node_id, const std::string& metric) const;
+  /// Mean of the most recent `window` samples (0 when empty).
+  [[nodiscard]] double RecentMean(const std::string& node_id,
+                                  const std::string& metric,
+                                  std::size_t window = 16) const;
+
+ private:
+  Store& store_;
+};
+
+}  // namespace myrtus::kb

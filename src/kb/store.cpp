@@ -1,0 +1,103 @@
+#include "kb/store.hpp"
+
+#include <algorithm>
+
+namespace myrtus::kb {
+
+std::int64_t Store::Put(const std::string& key, util::Json value,
+                        std::int64_t lease_id) {
+  ++revision_;
+  KeyValue& kv = data_[key];
+  if (kv.create_revision == 0) {
+    kv.key = key;
+    kv.create_revision = revision_;
+  }
+  kv.value = std::move(value);
+  kv.mod_revision = revision_;
+  kv.version += 1;
+  kv.lease_id = lease_id;
+  Notify(WatchEvent{WatchEvent::Type::kPut, kv});
+  return revision_;
+}
+
+std::optional<std::int64_t> Store::Delete(const std::string& key) {
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  ++revision_;
+  KeyValue last = it->second;
+  last.mod_revision = revision_;
+  data_.erase(it);
+  Notify(WatchEvent{WatchEvent::Type::kDelete, std::move(last)});
+  return revision_;
+}
+
+util::StatusOr<KeyValue> Store::Get(const std::string& key) const {
+  const auto it = data_.find(key);
+  if (it == data_.end()) return util::Status::NotFound("key: " + key);
+  return it->second;
+}
+
+std::vector<KeyValue> Store::Range(const std::string& prefix) const {
+  std::vector<KeyValue> out;
+  for (auto it = data_.lower_bound(prefix);
+       it != data_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::int64_t Store::Watch(const std::string& prefix, WatchCallback cb) {
+  const std::int64_t id = next_watch_id_++;
+  watchers_.push_back(Watcher{id, prefix, std::move(cb)});
+  return id;
+}
+
+void Store::CancelWatch(std::int64_t watch_id) {
+  std::erase_if(watchers_, [&](const Watcher& w) { return w.id == watch_id; });
+}
+
+void Store::Notify(const WatchEvent& event) {
+  // Copy the watcher list: a callback may add/cancel watches re-entrantly.
+  const std::vector<Watcher> snapshot = watchers_;
+  for (const Watcher& w : snapshot) {
+    if (event.kv.key.compare(0, w.prefix.size(), w.prefix) == 0) {
+      w.cb(event);
+    }
+  }
+}
+
+std::int64_t Store::GrantLease(std::int64_t expiry_ns) {
+  const std::int64_t id = next_lease_id_++;
+  leases_[id] = expiry_ns;
+  return id;
+}
+
+bool Store::RenewLease(std::int64_t lease_id, std::int64_t new_expiry_ns) {
+  const auto it = leases_.find(lease_id);
+  if (it == leases_.end()) return false;
+  it->second = new_expiry_ns;
+  return true;
+}
+
+std::size_t Store::ExpireLeases(std::int64_t now_ns) {
+  std::vector<std::int64_t> expired;
+  for (const auto& [id, expiry] : leases_) {
+    if (expiry <= now_ns) expired.push_back(id);
+  }
+  std::size_t removed = 0;
+  for (const std::int64_t id : expired) {
+    leases_.erase(id);
+    std::vector<std::string> doomed;
+    for (const auto& [key, kv] : data_) {
+      if (kv.lease_id == id) doomed.push_back(key);
+    }
+    for (const std::string& key : doomed) {
+      Delete(key);
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+}  // namespace myrtus::kb

@@ -1,0 +1,264 @@
+#include "mirto/agent.hpp"
+
+#include <algorithm>
+
+namespace myrtus::mirto {
+
+AuthModule::AuthModule(util::Bytes shared_secret)
+    : secret_(std::move(shared_secret)) {}
+
+std::string AuthModule::IssueToken(const std::string& principal) const {
+  const util::Bytes mac = security::HmacSha256(secret_, util::BytesOf(principal));
+  return principal + "." + util::ToHex(mac);
+}
+
+util::StatusOr<std::string> AuthModule::Authenticate(
+    const std::string& token) const {
+  const std::size_t dot = token.rfind('.');
+  if (dot == std::string::npos) {
+    return util::Status::Unauthenticated("malformed token");
+  }
+  const std::string principal = token.substr(0, dot);
+  const util::Bytes expected =
+      security::HmacSha256(secret_, util::BytesOf(principal));
+  auto provided = util::FromHex(token.substr(dot + 1));
+  if (!provided.ok() || !util::ConstantTimeEqual(*provided, expected)) {
+    return util::Status::Unauthenticated("bad token for " + principal);
+  }
+  return principal;
+}
+
+MirtoAgent::MirtoAgent(net::Network& network, sched::Cluster& cluster,
+                       continuum::Infrastructure& infra, kb::Store& kb_store,
+                       AuthModule auth, AgentConfig config)
+    : network_(network),
+      cluster_(cluster),
+      infra_(infra),
+      kb_(kb_store),
+      registry_(kb_store),
+      auth_(std::move(auth)),
+      config_(std::move(config)),
+      wl_(cluster, config_.strategy, config_.seed),
+      node_(),
+      netmgr_(network.topology()),
+      psm_() {
+  // Observability is watch-driven, not poll-only: a component record
+  // vanishing from the registry (e.g. heartbeat-lease expiry) marks the
+  // fleet dirty for the next MAPE Analyze pass.
+  registry_watch_ = kb_.Watch(
+      kb::ResourceRegistry::NodeKey(""), [this](const kb::WatchEvent& event) {
+        if (event.type == kb::WatchEvent::Type::kDelete) {
+          failure_signal_ = true;
+        }
+      });
+}
+
+void MirtoAgent::Start() {
+  network_.RegisterRpc(
+      config_.host, "mirto.deploy",
+      [this](const net::HostId&, const util::Json& req)
+          -> util::StatusOr<util::Json> {
+        auto principal = auth_.Authenticate(req.at("token").as_string());
+        if (!principal.ok()) {
+          ++stats_.auth_failures;
+          return principal.status();
+        }
+        auto package = tosca::CsarPackage::Unpack(req.at("csar").as_string());
+        if (!package.ok()) {
+          ++stats_.deployments_rejected;
+          return package.status();
+        }
+        const util::Status deployed = Deploy(*package);
+        if (!deployed.ok()) return deployed;
+        return util::Json::MakeObject()
+            .Set("status", "deployed")
+            .Set("principal", *principal);
+      });
+  network_.RegisterRpc(
+      config_.host, "mirto.undeploy",
+      [this](const net::HostId&, const util::Json& req)
+          -> util::StatusOr<util::Json> {
+        auto principal = auth_.Authenticate(req.at("token").as_string());
+        if (!principal.ok()) {
+          ++stats_.auth_failures;
+          return principal.status();
+        }
+        MYRTUS_RETURN_IF_ERROR(Undeploy(req.at("app").as_string()));
+        return util::Json::MakeObject().Set("status", "undeployed");
+      });
+  network_.RegisterRpc(
+      config_.host, "mirto.status",
+      [this](const net::HostId&, const util::Json&)
+          -> util::StatusOr<util::Json> {
+        return util::Json::MakeObject()
+            .Set("running_pods", cluster_.RunningPods())
+            .Set("pending_pods", cluster_.PendingPods())
+            .Set("mape_iterations", stats_.mape_iterations)
+            .Set("strategy", std::string(PlacementStrategyName(wl_.strategy())));
+      });
+  loop_ = network_.engine().SchedulePeriodic(config_.mape_period,
+                                             [this] { RunMapeIteration(); });
+}
+
+void MirtoAgent::Stop() {
+  network_.engine().Cancel(loop_);
+  loop_ = {};
+}
+
+util::Status MirtoAgent::Deploy(const tosca::CsarPackage& package) {
+  auto tpl = package.EntryTemplate();
+  if (!tpl.ok()) {
+    ++stats_.deployments_rejected;
+    return tpl.status();
+  }
+  // TOSCA Validation Processor (Fig. 3) runs inside LowerToPods.
+  auto pods = tosca::LowerToPods(*tpl);
+  if (!pods.ok()) {
+    ++stats_.deployments_rejected;
+    return pods.status();
+  }
+  // Application identity: the CSAR entry file name (without extension).
+  std::string app_name = "app";
+  if (auto entry = package.EntryPath(); entry.ok()) {
+    app_name = *entry;
+    const std::size_t slash = app_name.rfind('/');
+    if (slash != std::string::npos) app_name = app_name.substr(slash + 1);
+    const std::size_t dot = app_name.rfind('.');
+    if (dot != std::string::npos) app_name = app_name.substr(0, dot);
+  }
+  // In-place update: drop the previous incarnation's pods first.
+  if (app_pods_.count(app_name) > 0) {
+    MYRTUS_RETURN_IF_ERROR(Undeploy(app_name));
+  }
+
+  // Gather network costs (Network Manager) and vetoes (P&S Manager), then
+  // plan (WL Manager) — the §VI interaction pattern.
+  std::vector<std::string> node_ids;
+  for (const auto& node : infra_.nodes) node_ids.push_back(node->id());
+  const std::string anchor = config_.gateway_anchor.empty()
+                                 ? infra_.DefaultGateway()
+                                 : config_.gateway_anchor;
+  const auto latency_costs = netmgr_.LatencyCostMs(anchor, node_ids);
+  auto directives = wl_.PlanPlacement(*pods, latency_costs, psm_.VetoedNodes());
+  if (!directives.ok()) {
+    ++stats_.deployments_rejected;
+    return directives.status();
+  }
+  const util::Status executed = wl_.Execute(*pods, *directives);
+  if (!executed.ok()) {
+    ++stats_.deployments_rejected;
+    return executed;
+  }
+  ++stats_.deployments_accepted;
+
+  // Record placements in the KB (Resource Registry / workload records) and
+  // track the app's pod set for lifecycle management.
+  std::vector<std::string>& tracked = app_pods_[app_name];
+  for (const sched::PodSpec& pod : *pods) {
+    const sched::Pod* bound = cluster_.FindPod(pod.name);
+    tracked.push_back(pod.name);
+    registry_.PutWorkload(
+        pod.name, util::Json::MakeObject()
+                      .Set("app", app_name)
+                      .Set("node", bound != nullptr ? bound->node_id : "")
+                      .Set("cpu", pod.cpu_request)
+                      .Set("min_security",
+                           std::string(security::SecurityLevelName(pod.min_security))));
+  }
+  return util::Status::Ok();
+}
+
+util::Status MirtoAgent::Undeploy(const std::string& app_name) {
+  const auto it = app_pods_.find(app_name);
+  if (it == app_pods_.end()) {
+    return util::Status::NotFound("application " + app_name + " not deployed");
+  }
+  for (const std::string& pod : it->second) {
+    (void)cluster_.DeletePod(pod);  // pod may already be gone after failures
+    kb_.Delete(kb::ResourceRegistry::WorkloadKey(pod));
+  }
+  app_pods_.erase(it);
+  return util::Status::Ok();
+}
+
+std::vector<std::string> MirtoAgent::DeployedApps() const {
+  std::vector<std::string> out;
+  for (const auto& [app, pods] : app_pods_) out.push_back(app);
+  return out;
+}
+
+void MirtoAgent::RunMapeIteration() {
+  ++stats_.mape_iterations;
+  Monitor();
+  Analyze();
+  Plan();
+  Execute();
+}
+
+void MirtoAgent::Monitor() {
+  const std::int64_t now_ns = network_.engine().Now().ns;
+  for (const auto& node : infra_.nodes) {
+    kb::NodeRecord record;
+    record.node_id = node->id();
+    record.layer = std::string(continuum::LayerName(node->layer()));
+    record.kind = node->kind();
+    record.ready = node->up();
+    record.cpu_capacity = node->CpuCapacity();
+    record.mem_capacity_mb = node->mem_capacity_mb();
+    record.mem_allocated_mb = node->mem_allocated_mb();
+    record.security_level = static_cast<int>(node->security_level());
+    record.trust_score = psm_.TrustOf(node->id());
+    if (const sched::NodeState* state = cluster_.FindNodeState(node->id())) {
+      record.cpu_allocated = state->cpu_allocated;
+      record.has_accelerator = state->HasAccelerator();
+    }
+    double energy = node->total_energy_mj();
+    record.energy_mw = energy;  // cumulative mJ as the registry's energy field
+    registry_.PutNode(record);
+    if (!node->devices().empty()) {
+      registry_.AppendTelemetry(node->id(), "utilization",
+                                {now_ns, node->Utilization(0)});
+    }
+    registry_.AppendTelemetry(node->id(), "queue_depth",
+                              {now_ns, static_cast<double>(node->QueueDepth())});
+  }
+}
+
+void MirtoAgent::Analyze() {
+  reallocation_needed_ = failure_signal_;
+  failure_signal_ = false;
+  for (const auto& node : infra_.nodes) {
+    const bool healthy = node->up();
+    psm_.RecordOutcome(node->id(), healthy);
+    if (!healthy && !cluster_.PodsOnNode(node->id()).empty()) {
+      reallocation_needed_ = true;
+    }
+  }
+  if (cluster_.PendingPods() > 0) reallocation_needed_ = true;
+}
+
+void MirtoAgent::Plan() {
+  planned_points_.clear();
+  for (const auto& node : infra_.nodes) {
+    if (!node->up()) continue;
+    for (const NodeManager::Decision& d : node_.PlanNode(*node)) {
+      if (d.changed) planned_points_.push_back(d);
+    }
+  }
+}
+
+void MirtoAgent::Execute() {
+  for (const NodeManager::Decision& d : planned_points_) {
+    if (continuum::ComputeNode* node = infra_.FindNode(d.node_id)) {
+      if (node_.Execute(*node, d).ok()) ++stats_.operating_point_changes;
+    }
+  }
+  if (reallocation_needed_) {
+    const std::uint64_t before = cluster_.reschedules();
+    cluster_.Reconcile();
+    stats_.reallocations += cluster_.reschedules() - before;
+  }
+  psm_.PublishTrust(registry_);
+}
+
+}  // namespace myrtus::mirto

@@ -1,0 +1,122 @@
+// The MIRTO Cognitive Engine agent (Fig. 3): a per-layer/component service
+// exposing a REST-like API daemon (TOSCA deployment requests, authenticated
+// by the Authentication Module and checked by the TOSCA Validation
+// Processor), a MIRTO Manager unifying the four optimization drivers, and
+// proxies toward the Knowledge Base and the deployment mechanism. The agent
+// runs the MAPE-K loop of §IV: sense → evaluate → decide → reconfigure.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "continuum/infrastructure.hpp"
+#include "kb/registry.hpp"
+#include "kb/store.hpp"
+#include "mirto/managers.hpp"
+#include "net/transport.hpp"
+#include "sched/controller.hpp"
+#include "security/hmac.hpp"
+#include "tosca/csar.hpp"
+
+namespace myrtus::mirto {
+
+/// HMAC-based bearer-token authentication (Fig. 3 "Authentication Module").
+class AuthModule {
+ public:
+  explicit AuthModule(util::Bytes shared_secret);
+
+  /// Issues a token for a principal: "<principal>.<hex hmac>".
+  [[nodiscard]] std::string IssueToken(const std::string& principal) const;
+  /// Validates; returns the principal or UNAUTHENTICATED.
+  [[nodiscard]] util::StatusOr<std::string> Authenticate(
+      const std::string& token) const;
+
+ private:
+  util::Bytes secret_;
+};
+
+struct AgentConfig {
+  std::string host;                 // network address of this agent
+  sim::SimTime mape_period = sim::SimTime::Millis(250);
+  PlacementStrategy strategy = PlacementStrategy::kGreedy;
+  std::string gateway_anchor;       // host used for latency costs
+  std::uint64_t seed = 1;
+};
+
+/// Counters the Fig-3 bench reads out.
+struct AgentStats {
+  std::uint64_t deployments_accepted = 0;
+  std::uint64_t deployments_rejected = 0;
+  std::uint64_t mape_iterations = 0;
+  std::uint64_t reallocations = 0;
+  std::uint64_t operating_point_changes = 0;
+  std::uint64_t auth_failures = 0;
+};
+
+class MirtoAgent {
+ public:
+  /// The agent orchestrates `cluster` (its slice of the continuum), reads and
+  /// writes the local KB replica `kb_store`, and serves its API on
+  /// `config.host` of `network`.
+  MirtoAgent(net::Network& network, sched::Cluster& cluster,
+             continuum::Infrastructure& infra, kb::Store& kb_store,
+             AuthModule auth, AgentConfig config);
+
+  /// Registers the API daemon endpoints ("mirto.deploy", "mirto.status") and
+  /// starts the periodic MAPE-K loop.
+  void Start();
+  void Stop();
+
+  /// Local (in-process) deployment entry — same path the API daemon uses:
+  /// validate the CSAR, lower to pods, plan with the managers, execute.
+  /// Redeploying an application with the same entry name updates it in place
+  /// (old pods are removed first) — the paper's CH2 "dynamically updated for
+  /// continuous optimization".
+  util::Status Deploy(const tosca::CsarPackage& package);
+  /// Removes every pod of a previously deployed application.
+  util::Status Undeploy(const std::string& app_name);
+  [[nodiscard]] std::vector<std::string> DeployedApps() const;
+
+  /// One MAPE-K iteration (also invoked by the periodic loop).
+  void RunMapeIteration();
+
+  [[nodiscard]] const AgentStats& stats() const { return stats_; }
+  [[nodiscard]] WlManager& wl_manager() { return wl_; }
+  [[nodiscard]] NodeManager& node_manager() { return node_; }
+  [[nodiscard]] NetworkManager& network_manager() { return netmgr_; }
+  [[nodiscard]] PrivacySecurityManager& security_manager() { return psm_; }
+  [[nodiscard]] kb::ResourceRegistry& registry() { return registry_; }
+  [[nodiscard]] const std::string& host() const { return config_.host; }
+
+ private:
+  void Monitor();   // sample PMCs into the registry (KB)
+  void Analyze();   // detect violations, mark pending work
+  void Plan();      // consult managers
+  void Execute();   // apply decisions
+
+  net::Network& network_;
+  sched::Cluster& cluster_;
+  continuum::Infrastructure& infra_;
+  kb::Store& kb_;
+  kb::ResourceRegistry registry_;
+  AuthModule auth_;
+  AgentConfig config_;
+
+  WlManager wl_;
+  NodeManager node_;
+  NetworkManager netmgr_;
+  PrivacySecurityManager psm_;
+
+  AgentStats stats_;
+  sim::EventHandle loop_;
+  bool reallocation_needed_ = false;
+  // Set asynchronously by the KB watch when a component record disappears
+  // (lease expiry / explicit removal); consumed by the next Analyze pass.
+  bool failure_signal_ = false;
+  std::int64_t registry_watch_ = 0;
+  std::vector<NodeManager::Decision> planned_points_;
+  std::map<std::string, std::vector<std::string>> app_pods_;  // app -> pods
+};
+
+}  // namespace myrtus::mirto

@@ -1,0 +1,80 @@
+#include "mirto/op_predictor.hpp"
+
+namespace myrtus::mirto {
+
+void OperatingPointLearner::Observe(double utilization, double deadline_slack,
+                                    bool fast_needed) {
+  data_.push_back(fl::Example{{utilization, deadline_slack},
+                              fast_needed ? 1.0 : 0.0});
+  // Bounded buffer: keep the freshest 2048 observations.
+  if (data_.size() > 2048) {
+    data_.erase(data_.begin(), data_.begin() + 1024);
+  }
+}
+
+void OperatingPointLearner::TrainLocal(int epochs, double learning_rate) {
+  for (int e = 0; e < epochs; ++e) {
+    model_.TrainEpoch(data_, learning_rate, rng_);
+  }
+}
+
+double OperatingPointLearner::PredictFastNeeded(double utilization,
+                                                double deadline_slack) const {
+  return model_.Predict({utilization, deadline_slack});
+}
+
+FederationReport FederateLearners(std::vector<OperatingPointLearner*> learners,
+                                  int rounds, std::uint64_t seed) {
+  FederationReport report;
+  report.rounds = rounds;
+  std::vector<fl::Dataset> datasets;
+  datasets.reserve(learners.size());
+  for (const OperatingPointLearner* l : learners) datasets.push_back(l->data());
+
+  fl::FederatedTrainer trainer(std::move(datasets), 2,
+                               fl::LinearModel::Link::kLogistic, seed);
+  fl::FederatedConfig config;
+  config.rounds = rounds;
+  config.local_epochs = 2;
+  config.learning_rate = 0.3;
+  fl::FederatedMetrics metrics;
+  const fl::LinearModel global = trainer.Train(config, &metrics);
+  report.bytes_exchanged = metrics.bytes_uploaded + metrics.bytes_downloaded;
+  if (!metrics.global_loss_per_round.empty()) {
+    report.global_loss = metrics.global_loss_per_round.back();
+  }
+  // Broadcast the federated model back into every agent.
+  const std::vector<double> params = global.Parameters();
+  for (OperatingPointLearner* l : learners) {
+    l->model().SetParameters(params);
+  }
+  return report;
+}
+
+NodeManager::Decision LearnedNodeManager::Plan(continuum::ComputeNode& node,
+                                               std::size_t device_index,
+                                               double recent_slack) const {
+  NodeManager::Decision decision;
+  decision.node_id = node.id();
+  decision.device_index = device_index;
+  const continuum::Device& device = node.devices()[device_index];
+  decision.operating_point = device.active_point_index();
+
+  const double util = node.Utilization(device_index);
+  if (learner_.data().size() < kMinObservations) {
+    // Cold start: plain hysteresis.
+    NodeManager fallback;
+    auto all = fallback.PlanNode(node);
+    return device_index < all.size() ? all[device_index] : decision;
+  }
+  const double p_fast = learner_.PredictFastNeeded(util, recent_slack);
+  const std::size_t target =
+      p_fast >= 0.5 ? 0 : device.operating_points().size() - 1;
+  if (target != device.active_point_index()) {
+    decision.operating_point = target;
+    decision.changed = true;
+  }
+  return decision;
+}
+
+}  // namespace myrtus::mirto

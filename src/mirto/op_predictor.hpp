@@ -1,0 +1,75 @@
+// Federated operating-point prediction (§IV: "MIRTO agents will use ML-based
+// models to estimate the best operating point of a workload … The possibility
+// of combining learned models from different agents using FL techniques …
+// is currently under consideration"). Each edge agent records
+// (utilization, deadline-slack) → did-the-fast-point-pay-off observations;
+// agents periodically FedAvg their logistic models; the NodeManager can then
+// consult the shared predictor instead of fixed hysteresis thresholds.
+#pragma once
+
+#include <vector>
+
+#include "fl/fedavg.hpp"
+#include "mirto/managers.hpp"
+
+namespace myrtus::mirto {
+
+/// One agent's private experience buffer + local model.
+class OperatingPointLearner {
+ public:
+  explicit OperatingPointLearner(std::uint64_t seed)
+      : model_(2, fl::LinearModel::Link::kLogistic), rng_(seed, "op-learner") {}
+
+  /// Records an observation: at `utilization` with `deadline_slack` (fraction
+  /// of the deadline left when the task finished), running fast was (not)
+  /// necessary.
+  void Observe(double utilization, double deadline_slack, bool fast_needed);
+
+  /// Local SGD pass over the buffer.
+  void TrainLocal(int epochs = 2, double learning_rate = 0.3);
+
+  /// P(fast point needed) under the current model.
+  [[nodiscard]] double PredictFastNeeded(double utilization,
+                                         double deadline_slack) const;
+
+  [[nodiscard]] const fl::Dataset& data() const { return data_; }
+  [[nodiscard]] fl::LinearModel& model() { return model_; }
+  [[nodiscard]] const fl::LinearModel& model() const { return model_; }
+
+ private:
+  fl::LinearModel model_;
+  fl::Dataset data_;
+  util::Rng rng_;
+};
+
+/// Federates a fleet of learners: FedAvg over their private buffers, then
+/// pushes the global parameters back into every agent's model.
+struct FederationReport {
+  double global_loss = 0.0;
+  std::uint64_t bytes_exchanged = 0;
+  int rounds = 0;
+};
+FederationReport FederateLearners(std::vector<OperatingPointLearner*> learners,
+                                  int rounds, std::uint64_t seed);
+
+/// A NodeManager variant whose up/down decisions come from a learned
+/// predictor instead of fixed thresholds. Falls back to hysteresis while the
+/// model has seen too little data.
+class LearnedNodeManager {
+ public:
+  LearnedNodeManager(OperatingPointLearner& learner, double deadline_ms)
+      : learner_(learner), deadline_ms_(deadline_ms) {}
+
+  /// Plans a device's operating point from predicted need.
+  [[nodiscard]] NodeManager::Decision Plan(continuum::ComputeNode& node,
+                                           std::size_t device_index,
+                                           double recent_slack) const;
+
+  static constexpr std::size_t kMinObservations = 32;
+
+ private:
+  OperatingPointLearner& learner_;
+  double deadline_ms_;
+};
+
+}  // namespace myrtus::mirto

@@ -1,0 +1,55 @@
+// LIQO-style cluster peering (§IV Proxies: "LIQO allows for clustering and
+// resource virtualization … achieving seamless virtualization of the
+// underlying infrastructure"). A peering reflects a remote cluster's free
+// capacity into the local cluster as a *virtual node*; pods bound to the
+// virtual node are transparently forwarded to the remote cluster.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sched/controller.hpp"
+#include "sim/engine.hpp"
+
+namespace myrtus::mirto {
+
+class LiqoPeering {
+ public:
+  /// Peers `local` with `remote`. The virtual node appears in the local
+  /// cluster under the id "liqo-<remote_name>".
+  LiqoPeering(sim::Engine& engine, sched::Cluster& local, sched::Cluster& remote,
+              std::string remote_name);
+  ~LiqoPeering();
+
+  LiqoPeering(const LiqoPeering&) = delete;
+  LiqoPeering& operator=(const LiqoPeering&) = delete;
+
+  /// Refreshes the virtual node's advertised capacity from the remote
+  /// cluster's current free resources (periodic in production; explicit here
+  /// so tests control staleness).
+  void SyncCapacity();
+
+  /// Attempts to offload a pod to the remote cluster (as LIQO does when the
+  /// local scheduler binds to the virtual node). The pod name is prefixed
+  /// "offloaded/" on the remote side.
+  util::StatusOr<std::string> Offload(const sched::PodSpec& pod);
+  /// Returns an offloaded pod's remote node, if any.
+  [[nodiscard]] util::StatusOr<std::string> RemoteNodeOf(
+      const std::string& pod_name) const;
+  /// Releases an offloaded pod on the remote cluster.
+  util::Status Reclaim(const std::string& pod_name);
+
+  [[nodiscard]] const std::string& virtual_node_id() const { return virtual_id_; }
+  [[nodiscard]] continuum::ComputeNode* virtual_node() { return virtual_node_.get(); }
+  [[nodiscard]] std::size_t offloaded_count() const { return offloaded_.size(); }
+
+ private:
+  sched::Cluster& local_;
+  sched::Cluster& remote_;
+  std::string virtual_id_;
+  std::unique_ptr<continuum::ComputeNode> virtual_node_;
+  std::map<std::string, std::string> offloaded_;  // pod -> remote node
+};
+
+}  // namespace myrtus::mirto

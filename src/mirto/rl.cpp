@@ -1,0 +1,82 @@
+#include "mirto/rl.hpp"
+
+#include <algorithm>
+
+namespace myrtus::mirto {
+
+QLearner::QLearner(std::size_t states, std::size_t actions, double alpha,
+                   double gamma, double epsilon)
+    : states_(states),
+      actions_(actions),
+      alpha_(alpha),
+      gamma_(gamma),
+      epsilon_(epsilon),
+      q_(states * actions, 0.0) {}
+
+std::size_t QLearner::ChooseAction(std::size_t state, util::Rng& rng) const {
+  if (rng.NextBool(epsilon_)) return rng.NextBounded(actions_);
+  return BestAction(state);
+}
+
+std::size_t QLearner::BestAction(std::size_t state) const {
+  std::size_t best = 0;
+  double best_q = Q(state, 0);
+  for (std::size_t a = 1; a < actions_; ++a) {
+    if (Q(state, a) > best_q) {
+      best_q = Q(state, a);
+      best = a;
+    }
+  }
+  return best;
+}
+
+double QLearner::Q(std::size_t state, std::size_t action) const {
+  return q_[state * actions_ + action];
+}
+
+void QLearner::Update(std::size_t state, std::size_t action, double reward,
+                      std::size_t next_state) {
+  double max_next = Q(next_state, 0);
+  for (std::size_t a = 1; a < actions_; ++a) {
+    max_next = std::max(max_next, Q(next_state, a));
+  }
+  double& cell = q_[state * actions_ + action];
+  cell += alpha_ * (reward + gamma_ * max_next - cell);
+}
+
+void QLearner::UpdateTerminal(std::size_t state, std::size_t action,
+                              double reward) {
+  double& cell = q_[state * actions_ + action];
+  cell += alpha_ * (reward - cell);
+}
+
+RlOffloadSelector::RlOffloadSelector(std::uint64_t seed)
+    : learner_(kCongestionBuckets * kCongestionBuckets, kActions, 0.25, 0.0,
+               0.15),
+      rng_(seed, "rl-offload") {}
+
+std::size_t RlOffloadSelector::EncodeState(double own_congestion,
+                                           double uplink_congestion) {
+  const auto bucket = [](double v) {
+    return static_cast<std::size_t>(
+        std::clamp(v, 0.0, 0.999) * kCongestionBuckets);
+  };
+  return bucket(own_congestion) * kCongestionBuckets + bucket(uplink_congestion);
+}
+
+std::size_t RlOffloadSelector::ChooseTarget(double own_congestion,
+                                            double uplink_congestion,
+                                            bool explore) {
+  const std::size_t state = EncodeState(own_congestion, uplink_congestion);
+  return explore ? learner_.ChooseAction(state, rng_)
+                 : learner_.BestAction(state);
+}
+
+void RlOffloadSelector::Reward(double own_congestion, double uplink_congestion,
+                               std::size_t action, double latency_ms) {
+  const std::size_t state = EncodeState(own_congestion, uplink_congestion);
+  // Contextual-bandit setting (gamma = 0): reward is the negative latency.
+  learner_.UpdateTerminal(state, action, -latency_ms);
+}
+
+}  // namespace myrtus::mirto

@@ -1,0 +1,74 @@
+// Tabular Q-learning for the Network Manager (§VI: "historical batch data
+// needed to implement, for example, Reinforcement Learning-based strategy
+// within the Network Manager"). A generic discounted Q-learner over small
+// discretized state spaces, plus an offload-target selector that learns,
+// from KB-style congestion history, which layer to route a flow through.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace myrtus::mirto {
+
+/// Generic tabular Q-learning with epsilon-greedy exploration.
+class QLearner {
+ public:
+  QLearner(std::size_t states, std::size_t actions, double alpha = 0.2,
+           double gamma = 0.9, double epsilon = 0.1);
+
+  /// Epsilon-greedy action for a state.
+  [[nodiscard]] std::size_t ChooseAction(std::size_t state, util::Rng& rng) const;
+  /// Greedy (exploitation-only) action.
+  [[nodiscard]] std::size_t BestAction(std::size_t state) const;
+  /// Q-update after observing (s, a, r, s').
+  void Update(std::size_t state, std::size_t action, double reward,
+              std::size_t next_state);
+  /// Terminal-transition update (no bootstrap).
+  void UpdateTerminal(std::size_t state, std::size_t action, double reward);
+
+  [[nodiscard]] double Q(std::size_t state, std::size_t action) const;
+  void set_epsilon(double e) { epsilon_ = e; }
+  [[nodiscard]] std::size_t states() const { return states_; }
+  [[nodiscard]] std::size_t actions() const { return actions_; }
+
+ private:
+  std::size_t states_;
+  std::size_t actions_;
+  double alpha_;
+  double gamma_;
+  double epsilon_;
+  std::vector<double> q_;  // states x actions
+};
+
+/// RL-driven offload-target choice for the Network Manager. State = (own
+/// congestion bucket, uplink congestion bucket); actions = {gateway, fmdc,
+/// cloud}. Reward = negative observed delivery latency. Learns online from
+/// the latencies the transport actually measured.
+class RlOffloadSelector {
+ public:
+  explicit RlOffloadSelector(std::uint64_t seed);
+
+  static constexpr std::size_t kCongestionBuckets = 4;
+  static constexpr std::size_t kActions = 3;  // gateway / fmdc / cloud
+
+  [[nodiscard]] static std::size_t EncodeState(double own_congestion,
+                                               double uplink_congestion);
+  /// Picks a target layer (0=gateway, 1=fmdc, 2=cloud) for the current state.
+  [[nodiscard]] std::size_t ChooseTarget(double own_congestion,
+                                         double uplink_congestion,
+                                         bool explore = true);
+  /// Feeds back the measured latency for the last (state, action).
+  void Reward(double own_congestion, double uplink_congestion,
+              std::size_t action, double latency_ms);
+
+  [[nodiscard]] const QLearner& learner() const { return learner_; }
+  QLearner& mutable_learner() { return learner_; }
+
+ private:
+  QLearner learner_;
+  util::Rng rng_;
+};
+
+}  // namespace myrtus::mirto

@@ -1,0 +1,113 @@
+#include "net/gateway.hpp"
+
+#include <algorithm>
+
+namespace myrtus::net {
+
+SmartGateway::SmartGateway(Network& network, HostId host)
+    : network_(network), host_(std::move(host)) {
+  network_.Attach(host_, [this](const Message& msg) { OnMessage(msg); });
+}
+
+int SmartGateway::AddBridgeRule(const std::string& kind, HostId upstream,
+                                Protocol upstream_protocol, int priority) {
+  const int id = next_rule_id_++;
+  bridges_.push_back(BridgeRule{id, kind, std::move(upstream),
+                                upstream_protocol, priority});
+  return id;
+}
+
+void SmartGateway::RemoveBridgeRule(int rule_id) {
+  std::erase_if(bridges_, [rule_id](const BridgeRule& r) { return r.id == rule_id; });
+}
+
+void SmartGateway::EnableAggregation(const std::string& kind, HostId upstream,
+                                     sim::SimTime window, std::size_t max_batch) {
+  AggregationRule rule;
+  rule.upstream = std::move(upstream);
+  rule.window = window;
+  rule.max_batch = max_batch;
+  aggregations_[kind] = std::move(rule);
+}
+
+void SmartGateway::AddAdapter(const std::string& kind, Adapter adapter) {
+  adapters_[kind].push_back(std::move(adapter));
+}
+
+void SmartGateway::OnMessage(const Message& msg) {
+  Message working = msg;
+  // Custom adapters first (filter/transform at the edge).
+  const auto ait = adapters_.find(working.kind);
+  if (ait != adapters_.end()) {
+    for (const Adapter& adapter : ait->second) {
+      if (!adapter(working)) {
+        ++dropped_;
+        return;
+      }
+    }
+  }
+
+  // Aggregation has precedence over direct bridging for the same kind.
+  const auto agg = aggregations_.find(working.kind);
+  if (agg != aggregations_.end()) {
+    AggregationRule& rule = agg->second;
+    rule.buffer.push_back(util::Json::MakeObject()
+                              .Set("from", working.from)
+                              .Set("payload", working.payload));
+    rule.buffered_bytes += std::max<std::size_t>(working.body_bytes, 1);
+    ++aggregated_in_;
+    if (rule.buffer.size() >= rule.max_batch) {
+      Flush(working.kind);
+    } else if (!rule.flush_scheduled) {
+      rule.flush_scheduled = true;
+      network_.engine().ScheduleAfter(
+          rule.window, [this, kind = working.kind] { Flush(kind); });
+    }
+    return;
+  }
+
+  for (const BridgeRule& rule : bridges_) {
+    if (rule.kind != working.kind) continue;
+    Message onward = working;
+    onward.from = host_;
+    onward.to = rule.upstream;
+    onward.protocol = rule.protocol;
+    onward.priority = rule.priority;
+    // Preserve provenance for the upstream consumer.
+    onward.payload = util::Json::MakeObject()
+                         .Set("origin", working.from)
+                         .Set("payload", working.payload);
+    onward.body_bytes = std::max<std::size_t>(working.body_bytes, 1);
+    (void)network_.Send(std::move(onward));
+    ++bridged_;
+  }
+}
+
+void SmartGateway::Flush(const std::string& kind) {
+  const auto it = aggregations_.find(kind);
+  if (it == aggregations_.end()) return;
+  AggregationRule& rule = it->second;
+  rule.flush_scheduled = false;
+  if (rule.buffer.empty()) return;
+
+  Message batch;
+  batch.from = host_;
+  batch.to = rule.upstream;
+  batch.protocol = Protocol::kHttp;
+  batch.kind = "gw.batch";
+  batch.priority = 0;  // bulk slice
+  util::Json items = util::Json::MakeArray();
+  for (util::Json& item : rule.buffer) items.Append(std::move(item));
+  batch.payload = util::Json::MakeObject()
+                      .Set("kind", kind)
+                      .Set("count", rule.buffer.size())
+                      .Set("items", std::move(items));
+  // One batch header amortizes over all readings.
+  batch.body_bytes = rule.buffered_bytes;
+  rule.buffer.clear();
+  rule.buffered_bytes = 0;
+  (void)network_.Send(std::move(batch));
+  ++batches_out_;
+}
+
+}  // namespace myrtus::net

@@ -1,0 +1,104 @@
+#include "net/pubsub.hpp"
+
+#include <utility>
+
+namespace myrtus::net {
+
+bool TopicMatches(const std::string& filter, const std::string& topic) {
+  std::size_t fi = 0;
+  std::size_t ti = 0;
+  const auto next_level = [](const std::string& s, std::size_t from) {
+    const std::size_t slash = s.find('/', from);
+    return slash == std::string::npos ? s.size() : slash;
+  };
+  while (fi < filter.size() || ti < topic.size()) {
+    const std::size_t fe = next_level(filter, fi);
+    const std::size_t te = next_level(topic, ti);
+    const std::string_view flevel(filter.data() + fi, fe - fi);
+    if (flevel == "#") return true;  // trailing multi-level wildcard
+    if (fi >= filter.size() || ti >= topic.size()) return false;
+    const std::string_view tlevel(topic.data() + ti, te - ti);
+    if (flevel != "+" && flevel != tlevel) return false;
+    fi = fe + 1;
+    ti = te + 1;
+    if (fe == filter.size()) fi = filter.size();
+    if (te == topic.size()) ti = topic.size();
+    // Both exhausted -> match; one exhausted -> checked on next iteration.
+    if (fi >= filter.size() && ti >= topic.size()) return true;
+  }
+  return fi >= filter.size() && ti >= topic.size();
+}
+
+Broker::Broker(Network& network, HostId host)
+    : network_(network), host_(std::move(host)) {
+  network_.topology().AddHost(host_);
+  // Publishers reach the broker through this RPC; the broker fans out.
+  network_.RegisterRpc(
+      host_, "pubsub.publish",
+      [this](const HostId& publisher, const util::Json& req)
+          -> util::StatusOr<util::Json> {
+        (void)publisher;
+        ++publishes_;
+        const std::string topic = req.at("topic").as_string();
+        const auto body_bytes =
+            static_cast<std::size_t>(req.at("bytes").as_int());
+        int fanout = 0;
+        for (const Subscription& sub : subscriptions_) {
+          if (!TopicMatches(sub.filter, topic)) continue;
+          ++fanout;
+          util::Json event = util::Json::MakeObject()
+                                 .Set("topic", topic)
+                                 .Set("filter", sub.filter)
+                                 .Set("payload", req.at("payload"));
+          network_.Call(
+              host_, sub.subscriber, "pubsub.deliver", std::move(event),
+              [this](util::StatusOr<util::Json> reply) {
+                if (reply.ok()) ++deliveries_;
+              },
+              sim::SimTime::Seconds(5), Protocol::kMqtt);
+          (void)body_bytes;
+        }
+        return util::Json::MakeObject().Set("fanout", fanout);
+      });
+}
+
+void Broker::Subscribe(const HostId& subscriber, const std::string& topic_filter,
+                       Subscriber handler) {
+  subscriptions_.push_back(Subscription{subscriber, topic_filter});
+  handlers_[{subscriber, topic_filter}] = std::move(handler);
+  // Install (or refresh) the subscriber-side delivery endpoint.
+  network_.RegisterRpc(
+      subscriber, "pubsub.deliver",
+      [this, subscriber](const HostId&, const util::Json& event)
+          -> util::StatusOr<util::Json> {
+        const std::string topic = event.at("topic").as_string();
+        const std::string filter = event.at("filter").as_string();
+        const auto it = handlers_.find({subscriber, filter});
+        if (it != handlers_.end() && it->second) {
+          it->second(topic, event.at("payload"));
+        }
+        return util::Json::MakeObject().Set("ack", true);
+      });
+}
+
+void Broker::Unsubscribe(const HostId& subscriber,
+                         const std::string& topic_filter) {
+  std::erase_if(subscriptions_, [&](const Subscription& s) {
+    return s.subscriber == subscriber && s.filter == topic_filter;
+  });
+  handlers_.erase({subscriber, topic_filter});
+}
+
+void Broker::Publish(const HostId& publisher, const std::string& topic,
+                     util::Json payload, std::size_t body_bytes) {
+  util::Json req = util::Json::MakeObject()
+                       .Set("topic", topic)
+                       .Set("payload", std::move(payload))
+                       .Set("bytes", body_bytes);
+  network_.Call(
+      publisher, host_, "pubsub.publish", std::move(req),
+      [](util::StatusOr<util::Json>) {}, sim::SimTime::Seconds(5),
+      Protocol::kMqtt);
+}
+
+}  // namespace myrtus::net

@@ -1,0 +1,60 @@
+// MQTT-style publish/subscribe broker — the paper's smart gateway acts as
+// "a hub for data exchange among a diversity of actors at the edge" (§III
+// Data Management). The broker is itself a host on the topology: publishes
+// travel publisher→broker, then fan out broker→subscriber, each leg paying
+// real (simulated) network cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace myrtus::net {
+
+/// Topic filters support MQTT-style wildcards: '+' matches one level,
+/// a trailing '#' matches any suffix. Levels separated by '/'.
+bool TopicMatches(const std::string& filter, const std::string& topic);
+
+class Broker {
+ public:
+  /// `host` is the broker's address on the network (e.g. the smart gateway).
+  Broker(Network& network, HostId host);
+
+  /// Subscribes a host. `handler` runs on the subscriber side when a
+  /// publication is delivered to it over the network.
+  using Subscriber = std::function<void(const std::string& topic,
+                                        const util::Json& payload)>;
+  void Subscribe(const HostId& subscriber, const std::string& topic_filter,
+                 Subscriber handler);
+  void Unsubscribe(const HostId& subscriber, const std::string& topic_filter);
+
+  /// Publishes from `publisher`; payload is fanned out to all matching
+  /// subscribers. `body_bytes` models the sensor payload size (0 = derive
+  /// from JSON encoding).
+  void Publish(const HostId& publisher, const std::string& topic,
+               util::Json payload, std::size_t body_bytes = 0);
+
+  [[nodiscard]] std::uint64_t publishes() const { return publishes_; }
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+  [[nodiscard]] const HostId& host() const { return host_; }
+
+ private:
+  struct Subscription {
+    HostId subscriber;
+    std::string filter;
+  };
+
+  Network& network_;
+  HostId host_;
+  std::vector<Subscription> subscriptions_;
+  // Handlers keyed by (subscriber, filter); invoked on subscriber delivery.
+  std::map<std::pair<HostId, std::string>, Subscriber> handlers_;
+  std::uint64_t publishes_ = 0;
+  std::uint64_t deliveries_ = 0;
+};
+
+}  // namespace myrtus::net

@@ -1,0 +1,117 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace myrtus::net {
+
+void Topology::AddHost(const HostId& id) {
+  if (host_index_.count(id) > 0) return;
+  host_index_[id] = hosts_.size();
+  hosts_.push_back(id);
+  out_links_.emplace_back();
+  routes_dirty_ = true;
+}
+
+void Topology::AddLink(Link link) {
+  AddHost(link.from);
+  AddHost(link.to);
+  const std::size_t index = links_.size();
+  out_links_[host_index_[link.from]].push_back(index);
+  links_.push_back(std::move(link));
+  link_up_.push_back(true);
+  routes_dirty_ = true;
+}
+
+void Topology::AddBidirectional(const HostId& a, const HostId& b,
+                                sim::SimTime latency, double bandwidth_bps,
+                                double loss_rate, sim::SimTime jitter) {
+  AddLink(Link{a, b, latency, bandwidth_bps, loss_rate, jitter});
+  AddLink(Link{b, a, latency, bandwidth_bps, loss_rate, jitter});
+}
+
+bool Topology::HasHost(const HostId& id) const {
+  return host_index_.count(id) > 0;
+}
+
+void Topology::SetLinkUp(std::size_t index, bool up) {
+  if (index < link_up_.size() && link_up_[index] != up) {
+    link_up_[index] = up;
+    routes_dirty_ = true;
+  }
+}
+
+bool Topology::IsLinkUp(std::size_t index) const {
+  return index < link_up_.size() && link_up_[index];
+}
+
+void Topology::EnsureRoutesFresh() const {
+  if (!routes_dirty_) return;
+  const std::size_t n = hosts_.size();
+  next_link_.assign(n, std::vector<std::int32_t>(n, -1));
+
+  // Dijkstra from every source. Control-plane topologies are small (tens to
+  // low hundreds of hosts), so O(V * E log V) is fine.
+  for (std::size_t src = 0; src < n; ++src) {
+    std::vector<std::int64_t> dist(n, std::numeric_limits<std::int64_t>::max());
+    std::vector<std::int32_t> first_link(n, -1);
+    using QItem = std::pair<std::int64_t, std::size_t>;  // (dist, host)
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+    dist[src] = 0;
+    pq.emplace(0, src);
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d != dist[u]) continue;
+      for (const std::size_t li : out_links_[u]) {
+        if (!link_up_[li]) continue;
+        const Link& l = links_[li];
+        const std::size_t v = host_index_.at(l.to);
+        const std::int64_t nd = d + l.latency.ns;
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          first_link[v] = (u == src) ? static_cast<std::int32_t>(li) : first_link[u];
+          pq.emplace(nd, v);
+        }
+      }
+    }
+    next_link_[src] = std::move(first_link);
+  }
+  routes_dirty_ = false;
+}
+
+util::StatusOr<Route> Topology::FindRoute(const HostId& from,
+                                          const HostId& to) const {
+  const auto fit = host_index_.find(from);
+  const auto tit = host_index_.find(to);
+  if (fit == host_index_.end() || tit == host_index_.end()) {
+    return util::Status::NotFound("unknown host in route query");
+  }
+  if (fit->second == tit->second) {
+    return Route{};  // loopback: empty path, zero latency
+  }
+  EnsureRoutesFresh();
+
+  Route route;
+  std::size_t cur = fit->second;
+  const std::size_t dst = tit->second;
+  route.min_bandwidth_bps = std::numeric_limits<double>::max();
+  // Walk first-hop pointers; bounded by host count to guard against cycles.
+  for (std::size_t step = 0; step <= hosts_.size(); ++step) {
+    if (cur == dst) {
+      if (route.link_indices.empty()) break;
+      return route;
+    }
+    const std::int32_t li = next_link_[cur][dst];
+    if (li < 0) break;
+    const Link& l = links_[static_cast<std::size_t>(li)];
+    route.link_indices.push_back(static_cast<std::size_t>(li));
+    route.propagation += l.latency;
+    route.min_bandwidth_bps = std::min(route.min_bandwidth_bps, l.bandwidth_bps);
+    cur = host_index_.at(l.to);
+  }
+  if (cur == dst && !route.link_indices.empty()) return route;
+  return util::Status::NotFound("no route from " + from + " to " + to);
+}
+
+}  // namespace myrtus::net

@@ -1,0 +1,259 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace myrtus::net {
+
+std::string_view ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kHttp: return "http";
+    case Protocol::kMqtt: return "mqtt";
+    case Protocol::kCoap: return "coap";
+  }
+  return "?";
+}
+
+std::size_t ProtocolOverheadBytes(Protocol p) {
+  switch (p) {
+    case Protocol::kHttp: return 220;  // request line + typical headers
+    case Protocol::kMqtt: return 8;    // fixed header + topic overhead share
+    case Protocol::kCoap: return 12;   // 4-byte header + options
+  }
+  return 0;
+}
+
+Network::Network(sim::Engine& engine, Topology topology, std::uint64_t seed)
+    : engine_(engine), topology_(std::move(topology)), rng_(seed, "network") {}
+
+void Network::Attach(const HostId& host, MessageHandler handler) {
+  topology_.AddHost(host);
+  handlers_[host] = std::move(handler);
+}
+
+util::StatusOr<std::uint64_t> Network::Send(Message msg) {
+  msg.id = next_msg_id_++;
+  if (msg.body_bytes == 0) {
+    msg.body_bytes = msg.payload.Dump().size();
+  }
+  if (msg.from == msg.to) {
+    // Loopback: deliver on the next event-loop turn, zero cost.
+    Message local = std::move(msg);
+    const std::uint64_t id = local.id;
+    engine_.ScheduleAfter(sim::SimTime::Zero(),
+                          [this, m = std::move(local)] { Dispatch(m); });
+    return id;
+  }
+  auto route = topology_.FindRoute(msg.from, msg.to);
+  if (!route.ok()) return route.status();
+  const std::uint64_t id = msg.id;
+  DeliverHop(std::move(msg), std::move(route).value(), 0);
+  return id;
+}
+
+void Network::DeliverHop(Message msg, Route route, std::size_t hop_index) {
+  if (hop_index >= route.link_indices.size()) {
+    Dispatch(msg);
+    return;
+  }
+  const std::size_t li = route.link_indices[hop_index];
+  const Link& link = topology_.link(li);
+  const std::size_t wire_bytes =
+      msg.body_bytes + ProtocolOverheadBytes(msg.protocol);
+
+  // Loss check per hop.
+  if (link.loss_rate > 0.0 && rng_.NextBool(link.loss_rate)) {
+    ++dropped_;
+    trace_.Emit(engine_.Now(), link.from + "->" + link.to, "drop",
+                static_cast<double>(wire_bytes));
+    return;
+  }
+
+  LinkState& state = link_state_[li];
+  if (state.busy) {
+    // Enqueue by (priority desc, seq asc); vector kept sorted on insert so
+    // the next frame to send is always at the back.
+    PendingTx pending{msg.priority, next_tx_seq_++, std::move(msg),
+                      std::move(route), hop_index};
+    auto it = std::lower_bound(
+        state.waiting.begin(), state.waiting.end(), pending,
+        [](const PendingTx& a, const PendingTx& b) {
+          if (a.priority != b.priority) return a.priority < b.priority;
+          return a.seq > b.seq;  // older (smaller seq) closer to the back
+        });
+    state.waiting.insert(it, std::move(pending));
+    trace_.Emit(engine_.Now(), link.from + "->" + link.to, "queued", 1.0);
+    return;
+  }
+  StartTransmission(li, std::move(msg), std::move(route), hop_index);
+}
+
+void Network::StartTransmission(std::size_t link_index, Message msg,
+                                Route route, std::size_t hop_index) {
+  const Link& link = topology_.link(link_index);
+  const std::size_t wire_bytes =
+      msg.body_bytes + ProtocolOverheadBytes(msg.protocol);
+  const sim::SimTime serialization = sim::SimTime::FromSeconds(
+      static_cast<double>(wire_bytes) * 8.0 / link.bandwidth_bps);
+  const sim::SimTime jitter =
+      link.jitter.ns > 0
+          ? sim::SimTime::Nanos(static_cast<std::int64_t>(
+                rng_.NextDouble() * static_cast<double>(link.jitter.ns)))
+          : sim::SimTime::Zero();
+
+  link_state_[link_index].busy = true;
+  bytes_sent_ += wire_bytes;
+
+  const sim::SimTime tx_done = engine_.Now() + serialization;
+  const sim::SimTime arrival = tx_done + link.latency + jitter;
+  // The link frees when the last bit leaves; the frame arrives after the
+  // propagation delay.
+  engine_.ScheduleAt(tx_done, [this, link_index] { OnLinkFree(link_index); });
+  engine_.ScheduleAt(arrival,
+                     [this, m = std::move(msg), route = std::move(route),
+                      hop_index]() mutable {
+                       DeliverHop(std::move(m), std::move(route), hop_index + 1);
+                     });
+}
+
+void Network::OnLinkFree(std::size_t link_index) {
+  LinkState& state = link_state_[link_index];
+  state.busy = false;
+  if (state.waiting.empty()) return;
+  PendingTx next = std::move(state.waiting.back());
+  state.waiting.pop_back();
+  StartTransmission(link_index, std::move(next.msg), std::move(next.route),
+                    next.hop_index);
+}
+
+void Network::Dispatch(const Message& msg) {
+  ++delivered_;
+  if (msg.kind == "rpc.request") {
+    HandleRpcRequest(msg);
+    return;
+  }
+  if (msg.kind == "rpc.reply") {
+    HandleRpcReply(msg);
+    return;
+  }
+  const auto it = handlers_.find(msg.to);
+  if (it != handlers_.end() && it->second) {
+    it->second(msg);
+  }
+}
+
+void Network::RegisterRpc(const HostId& host, const std::string& method,
+                          RpcHandler handler) {
+  RegisterAsyncRpc(host, method,
+                   [handler = std::move(handler)](const HostId& caller,
+                                                  const util::Json& request,
+                                                  RpcResponder respond) {
+                     respond(handler(caller, request));
+                   });
+}
+
+void Network::RegisterAsyncRpc(const HostId& host, const std::string& method,
+                               AsyncRpcHandler handler) {
+  topology_.AddHost(host);
+  rpc_handlers_[{host, method}] = std::move(handler);
+}
+
+void Network::Call(const HostId& from, const HostId& to,
+                   const std::string& method, util::Json request,
+                   RpcCallback on_reply, sim::SimTime timeout,
+                   Protocol protocol, std::size_t body_bytes, int priority) {
+  const std::uint64_t call_id = next_call_id_++;
+
+  PendingCall pending;
+  pending.callback = std::move(on_reply);
+  pending.timeout_event = engine_.ScheduleAfter(timeout, [this, call_id] {
+    const auto it = pending_calls_.find(call_id);
+    if (it == pending_calls_.end()) return;
+    RpcCallback cb = std::move(it->second.callback);
+    pending_calls_.erase(it);
+    cb(util::Status::DeadlineExceeded("rpc timed out"));
+  });
+  pending_calls_[call_id] = std::move(pending);
+
+  Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.protocol = protocol;
+  msg.kind = "rpc.request";
+  msg.body_bytes = body_bytes;
+  msg.priority = priority;
+  msg.payload = util::Json::MakeObject()
+                    .Set("call_id", call_id)
+                    .Set("method", method)
+                    .Set("request", std::move(request));
+  auto sent = Send(std::move(msg));
+  if (!sent.ok()) {
+    const auto it = pending_calls_.find(call_id);
+    if (it != pending_calls_.end()) {
+      engine_.Cancel(it->second.timeout_event);
+      RpcCallback cb = std::move(it->second.callback);
+      pending_calls_.erase(it);
+      cb(sent.status());
+    }
+  }
+}
+
+void Network::HandleRpcRequest(const Message& msg) {
+  const std::string method = msg.payload.at("method").as_string();
+  const std::int64_t call_id = msg.payload.at("call_id").as_int();
+
+  // The responder may run immediately (sync handlers) or later (replicated
+  // writes). A shared fired-flag makes double responses harmless.
+  auto fired = std::make_shared<bool>(false);
+  const HostId responder_host = msg.to;
+  const HostId caller_host = msg.from;
+  const Protocol protocol = msg.protocol;
+  const int priority = msg.priority;
+  RpcResponder respond = [this, fired, responder_host, caller_host, protocol,
+                          priority, call_id](util::StatusOr<util::Json> result) {
+    if (*fired) return;
+    *fired = true;
+    Message reply;
+    reply.from = responder_host;
+    reply.to = caller_host;
+    reply.protocol = protocol;
+    reply.priority = priority;
+    reply.kind = "rpc.reply";
+    util::Json body = util::Json::MakeObject();
+    body.Set("call_id", call_id);
+    if (result.ok()) {
+      body.Set("ok", true).Set("result", std::move(result).value());
+    } else {
+      body.Set("ok", false)
+          .Set("code", static_cast<std::int64_t>(result.status().code()))
+          .Set("error", result.status().message());
+    }
+    reply.payload = std::move(body);
+    (void)Send(std::move(reply));  // reply loss behaves like a timeout
+  };
+
+  const auto it = rpc_handlers_.find({msg.to, method});
+  if (it == rpc_handlers_.end()) {
+    respond(util::Status::Unimplemented("no handler for " + method + " on " +
+                                        msg.to));
+    return;
+  }
+  it->second(msg.from, msg.payload.at("request"), std::move(respond));
+}
+
+void Network::HandleRpcReply(const Message& msg) {
+  const auto call_id = static_cast<std::uint64_t>(msg.payload.at("call_id").as_int());
+  const auto it = pending_calls_.find(call_id);
+  if (it == pending_calls_.end()) return;  // raced with timeout
+  engine_.Cancel(it->second.timeout_event);
+  RpcCallback cb = std::move(it->second.callback);
+  pending_calls_.erase(it);
+  if (msg.payload.at("ok").as_bool()) {
+    cb(msg.payload.at("result"));
+  } else {
+    cb(util::Status(static_cast<util::StatusCode>(msg.payload.at("code").as_int()),
+                    msg.payload.at("error").as_string()));
+  }
+}
+
+}  // namespace myrtus::net

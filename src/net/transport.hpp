@@ -1,0 +1,145 @@
+// Message transport over the simulated topology. Models, per hop:
+//   queueing (FIFO per link) + serialization (size/bandwidth) + propagation
+//   (+ jitter) and i.i.d. loss. On top of raw datagrams it offers a
+// request/response RPC fabric used by MIRTO agents, the KB's consensus
+// traffic, and the kube-like control plane.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::net {
+
+/// Application protocols with distinct framing overheads (paper §III Network:
+/// components interoperate over HTTP/MQTT/CoAP).
+enum class Protocol : std::uint8_t { kHttp, kMqtt, kCoap };
+std::string_view ProtocolName(Protocol p);
+/// Per-message framing overhead in bytes added to the payload.
+std::size_t ProtocolOverheadBytes(Protocol p);
+
+/// A datagram in flight.
+struct Message {
+  HostId from;
+  HostId to;
+  Protocol protocol = Protocol::kHttp;
+  std::string kind;          // application-level tag ("rpc", "pub", ...)
+  util::Json payload;        // structured body
+  std::size_t body_bytes = 0;  // simulated body size (>= serialized payload)
+  std::uint64_t id = 0;      // assigned by the network
+  /// Network-slice priority (EU-CEI Network BB, §III "network slicing"):
+  /// higher classes are transmitted first at every congested link.
+  /// Convention: 0 = bulk data, 1 = application control, 2 = orchestration.
+  int priority = 0;
+};
+
+/// Delivery callback on the receiving host.
+using MessageHandler = std::function<void(const Message&)>;
+
+class Network {
+ public:
+  Network(sim::Engine& engine, Topology topology, std::uint64_t seed);
+
+  [[nodiscard]] Topology& topology() { return topology_; }
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] sim::Trace& trace() { return trace_; }
+
+  /// Registers the datagram handler for a host (one per host; later
+  /// registrations replace earlier ones).
+  void Attach(const HostId& host, MessageHandler handler);
+
+  /// Sends a message. Returns the message id, or an error when no route
+  /// exists. Loss is silent (no callback), like a real datagram network.
+  util::StatusOr<std::uint64_t> Send(Message msg);
+
+  /// --- RPC fabric -------------------------------------------------------
+  /// A host exposes named methods; peers call them and receive a reply (or
+  /// DEADLINE_EXCEEDED after `timeout`).
+  using RpcHandler =
+      std::function<util::StatusOr<util::Json>(const HostId& caller,
+                                               const util::Json& request)>;
+  using RpcCallback = std::function<void(util::StatusOr<util::Json>)>;
+  /// Deferred-reply handler: `respond` may be invoked later (e.g. once a
+  /// replicated write commits). Invoking it more than once is ignored.
+  using RpcResponder = std::function<void(util::StatusOr<util::Json>)>;
+  using AsyncRpcHandler = std::function<void(
+      const HostId& caller, const util::Json& request, RpcResponder respond)>;
+
+  void RegisterRpc(const HostId& host, const std::string& method,
+                   RpcHandler handler);
+  void RegisterAsyncRpc(const HostId& host, const std::string& method,
+                        AsyncRpcHandler handler);
+  /// `body_bytes` overrides the simulated request size (0 = derive from the
+  /// JSON encoding) so calls can model bulk payloads without materializing
+  /// them.
+  /// RPC traffic defaults to the control slice (priority 1); replies inherit
+  /// the request's class.
+  void Call(const HostId& from, const HostId& to, const std::string& method,
+            util::Json request, RpcCallback on_reply,
+            sim::SimTime timeout = sim::SimTime::Seconds(5),
+            Protocol protocol = Protocol::kHttp, std::size_t body_bytes = 0,
+            int priority = 1);
+
+  /// Total simulated bytes that crossed any link.
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+
+ private:
+  void DeliverHop(Message msg, Route route, std::size_t hop_index);
+  void StartTransmission(std::size_t link_index, Message msg, Route route,
+                         std::size_t hop_index);
+  void OnLinkFree(std::size_t link_index);
+  void HandleRpcRequest(const Message& msg);
+  void HandleRpcReply(const Message& msg);
+  void Dispatch(const Message& msg);
+
+  sim::Engine& engine_;
+  Topology topology_;
+  util::Rng rng_;
+  sim::Trace trace_;
+
+  std::map<HostId, MessageHandler> handlers_;
+  std::map<std::pair<HostId, std::string>, AsyncRpcHandler> rpc_handlers_;
+
+  struct PendingCall {
+    RpcCallback callback;
+    sim::EventHandle timeout_event;
+  };
+  std::map<std::uint64_t, PendingCall> pending_calls_;
+
+  // Per-link transmission state: one frame in flight; waiting frames are
+  // served highest-priority-first (FIFO within a class) — the "network
+  // slicing" behaviour of the EU-CEI Network building block.
+  struct PendingTx {
+    int priority;
+    std::uint64_t seq;  // FIFO tie-break
+    Message msg;
+    Route route;
+    std::size_t hop_index;
+  };
+  struct LinkState {
+    bool busy = false;
+    std::vector<PendingTx> waiting;  // kept as a max-heap by (priority, -seq)
+  };
+  std::map<std::size_t, LinkState> link_state_;
+  std::uint64_t next_tx_seq_ = 1;
+
+  std::uint64_t next_msg_id_ = 1;
+  std::uint64_t next_call_id_ = 1;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace myrtus::net

@@ -1,0 +1,322 @@
+#include "sched/controller.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <cmath>
+
+namespace myrtus::sched {
+
+Cluster::Cluster(sim::Engine& engine, Scheduler scheduler)
+    : engine_(engine), scheduler_(std::move(scheduler)) {}
+
+void Cluster::AddNode(continuum::ComputeNode* node,
+                      std::map<std::string, std::string> labels) {
+  auto state = std::make_unique<NodeState>();
+  state->node = node;
+  state->labels = std::move(labels);
+  nodes_.push_back(std::move(state));
+}
+
+NodeState* Cluster::FindNodeState(const std::string& node_id) {
+  for (auto& n : nodes_) {
+    if (n->node->id() == node_id) return n.get();
+  }
+  return nullptr;
+}
+
+std::vector<NodeState*> Cluster::NodeStates() {
+  std::vector<NodeState*> out;
+  out.reserve(nodes_.size());
+  for (auto& n : nodes_) out.push_back(n.get());
+  return out;
+}
+
+void Cluster::Cordon(const std::string& node_id, bool cordoned) {
+  if (NodeState* n = FindNodeState(node_id)) n->cordoned = cordoned;
+}
+
+util::StatusOr<std::string> Cluster::TryBind(Pod& pod) {
+  auto result = scheduler_.Schedule(pod.spec, NodeStates());
+  if (!result.ok()) return result.status();
+  NodeState* target = FindNodeState(result->node_id);
+  if (target == nullptr) return util::Status::Internal("scheduler chose unknown node");
+  MYRTUS_RETURN_IF_ERROR(target->node->ReserveMemory(pod.spec.mem_request_mb));
+  target->cpu_allocated += pod.spec.cpu_request;
+  target->mem_allocated_mb += pod.spec.mem_request_mb;
+  pod.phase = PodPhase::kRunning;
+  pod.node_id = result->node_id;
+  pod.bound_at_ns = engine_.Now().ns;
+  metrics_.Inc("pods_bound");
+  return result->node_id;
+}
+
+util::StatusOr<std::string> Cluster::BindPod(const PodSpec& spec) {
+  if (pods_.count(spec.name) > 0) {
+    return util::Status::AlreadyExists("pod " + spec.name);
+  }
+  Pod pod;
+  pod.spec = spec;
+  auto bound = TryBind(pod);
+  pods_[spec.name] = std::move(pod);  // kept (pending) even on failure
+  return bound;
+}
+
+util::StatusOr<std::string> Cluster::BindPodToNode(const PodSpec& spec,
+                                                   const std::string& node_id) {
+  if (pods_.count(spec.name) > 0) {
+    return util::Status::AlreadyExists("pod " + spec.name);
+  }
+  NodeState* target = FindNodeState(node_id);
+  if (target == nullptr) return util::Status::NotFound("node " + node_id);
+  if (!target->node->up() || target->cordoned) {
+    return util::Status::Unavailable(node_id + " not schedulable");
+  }
+  if (target->CpuFree() < spec.cpu_request ||
+      target->mem_capacity_mb() - target->mem_allocated_mb < spec.mem_request_mb) {
+    return util::Status::ResourceExhausted(node_id + " cannot fit " + spec.name);
+  }
+  if (!security::Satisfies(target->node->security_level(), spec.min_security)) {
+    return util::Status::PermissionDenied(node_id + " below required security level");
+  }
+  if (spec.needs_accelerator && !target->HasAccelerator()) {
+    return util::Status::FailedPrecondition(node_id + " has no accelerator");
+  }
+  Pod pod;
+  pod.spec = spec;
+  MYRTUS_RETURN_IF_ERROR(target->node->ReserveMemory(spec.mem_request_mb));
+  target->cpu_allocated += spec.cpu_request;
+  target->mem_allocated_mb += spec.mem_request_mb;
+  pod.phase = PodPhase::kRunning;
+  pod.node_id = node_id;
+  pod.bound_at_ns = engine_.Now().ns;
+  metrics_.Inc("pods_bound_directed");
+  pods_[spec.name] = std::move(pod);
+  return node_id;
+}
+
+util::StatusOr<std::string> Cluster::BindPodWithPreemption(const PodSpec& spec) {
+  auto direct = BindPod(spec);
+  if (direct.ok()) return direct;
+  if (direct.status().code() != util::StatusCode::kResourceExhausted) {
+    return direct;
+  }
+
+  // Find a node where evicting strictly-lower-priority pods frees enough
+  // room; prefer the node sacrificing the least total priority.
+  NodeState* best_node = nullptr;
+  std::vector<std::string> best_victims;
+  int best_cost = INT_MAX;
+  for (auto& ns : nodes_) {
+    if (!ns->node->up() || ns->cordoned) continue;
+    if (!security::Satisfies(ns->node->security_level(), spec.min_security)) continue;
+    if (spec.needs_accelerator && !ns->HasAccelerator()) continue;
+    if (!spec.layer_affinity.empty() &&
+        spec.layer_affinity != continuum::LayerName(ns->node->layer())) {
+      continue;
+    }
+    bool selector_ok = true;
+    for (const auto& [k, v] : spec.node_selector) {
+      const auto it = ns->labels.find(k);
+      if (it == ns->labels.end() || it->second != v) {
+        selector_ok = false;
+        break;
+      }
+    }
+    if (!selector_ok) continue;
+    double cpu_needed = spec.cpu_request - ns->CpuFree();
+    std::int64_t mem_needed =
+        static_cast<std::int64_t>(spec.mem_request_mb) -
+        static_cast<std::int64_t>(ns->mem_capacity_mb() - ns->mem_allocated_mb);
+    // Victims: lowest priority first.
+    std::vector<const Pod*> candidates;
+    for (const Pod* p : PodsOnNode(ns->node->id())) {
+      if (p->spec.priority < spec.priority) candidates.push_back(p);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Pod* a, const Pod* b) {
+                return a->spec.priority < b->spec.priority;
+              });
+    std::vector<std::string> victims;
+    int cost = 0;
+    for (const Pod* p : candidates) {
+      if (cpu_needed <= 0 && mem_needed <= 0) break;
+      victims.push_back(p->spec.name);
+      cost += p->spec.priority + 1;
+      cpu_needed -= p->spec.cpu_request;
+      mem_needed -= static_cast<std::int64_t>(p->spec.mem_request_mb);
+    }
+    // A node needing no evictions would have been found by the direct bind;
+    // only eviction-bearing plans are preemption candidates.
+    if (victims.empty()) continue;
+    if (cpu_needed <= 0 && mem_needed <= 0 && cost < best_cost) {
+      best_cost = cost;
+      best_node = ns.get();
+      best_victims = std::move(victims);
+    }
+  }
+  if (best_node == nullptr) return direct.status();
+
+  for (const std::string& victim : best_victims) {
+    Pod& v = pods_.at(victim);
+    ReleasePodResources(v);
+    v.phase = PodPhase::kEvicted;
+    v.node_id.clear();
+    ++evictions_;
+    metrics_.Inc("pods_evicted");
+  }
+  Pod& pod = pods_.at(spec.name);
+  return TryBind(pod);
+}
+
+void Cluster::ReleasePodResources(Pod& pod) {
+  if (pod.node_id.empty()) return;
+  if (NodeState* n = FindNodeState(pod.node_id)) {
+    n->cpu_allocated -= pod.spec.cpu_request;
+    n->mem_allocated_mb -= std::min(n->mem_allocated_mb, pod.spec.mem_request_mb);
+    n->node->ReleaseMemory(pod.spec.mem_request_mb);
+  }
+}
+
+util::Status Cluster::DeletePod(const std::string& pod_name) {
+  const auto it = pods_.find(pod_name);
+  if (it == pods_.end()) return util::Status::NotFound("pod " + pod_name);
+  ReleasePodResources(it->second);
+  pods_.erase(it);
+  return util::Status::Ok();
+}
+
+const Pod* Cluster::FindPod(const std::string& pod_name) const {
+  const auto it = pods_.find(pod_name);
+  return it == pods_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Pod*> Cluster::PodsOnNode(const std::string& node_id) const {
+  std::vector<const Pod*> out;
+  for (const auto& [name, pod] : pods_) {
+    if (pod.node_id == node_id && pod.phase == PodPhase::kRunning) {
+      out.push_back(&pod);
+    }
+  }
+  return out;
+}
+
+std::size_t Cluster::RunningPods() const {
+  std::size_t n = 0;
+  for (const auto& [name, pod] : pods_) {
+    if (pod.phase == PodPhase::kRunning) ++n;
+  }
+  return n;
+}
+
+std::size_t Cluster::PendingPods() const {
+  std::size_t n = 0;
+  for (const auto& [name, pod] : pods_) {
+    if (pod.phase == PodPhase::kPending || pod.phase == PodPhase::kEvicted) ++n;
+  }
+  return n;
+}
+
+std::string Cluster::NextPodName(const std::string& base) {
+  return base + "-" + std::to_string(name_counter_++);
+}
+
+void Cluster::ApplyDeployment(Deployment deployment) {
+  deployments_[deployment.name] = std::move(deployment);
+  Reconcile();
+}
+
+util::Status Cluster::ScaleDeployment(const std::string& name, int replicas) {
+  const auto it = deployments_.find(name);
+  if (it == deployments_.end()) {
+    return util::Status::NotFound("deployment " + name);
+  }
+  it->second.replicas = replicas;
+  Reconcile();
+  return util::Status::Ok();
+}
+
+int Cluster::DeploymentReadyReplicas(const std::string& name) const {
+  const auto it = deployment_pods_.find(name);
+  if (it == deployment_pods_.end()) return 0;
+  int ready = 0;
+  for (const std::string& pod_name : it->second) {
+    const Pod* p = FindPod(pod_name);
+    if (p != nullptr && p->phase == PodPhase::kRunning) ++ready;
+  }
+  return ready;
+}
+
+void Cluster::Reconcile() {
+  // 1. Evict pods bound to failed nodes.
+  for (auto& [name, pod] : pods_) {
+    if (pod.phase == PodPhase::kRunning) {
+      NodeState* n = FindNodeState(pod.node_id);
+      if (n == nullptr || !n->node->up()) {
+        ReleasePodResources(pod);
+        pod.phase = PodPhase::kEvicted;
+        pod.node_id.clear();
+        ++evictions_;
+        metrics_.Inc("pods_evicted_node_failure");
+      }
+    }
+  }
+
+  // 2. Autoscalers adjust desired replica counts.
+  for (auto& [name, dep] : deployments_) {
+    if (dep.max_replicas > 0 && dep.load_signal) {
+      const double demand = dep.load_signal();
+      const double per_replica = std::max(1e-9, dep.pod_template.cpu_request);
+      const int desired = static_cast<int>(std::ceil(demand / per_replica));
+      dep.replicas = std::clamp(desired, dep.min_replicas, dep.max_replicas);
+      metrics_.Set("autoscale_" + name, dep.replicas);
+    }
+  }
+
+  // 3. Converge each deployment's replica set.
+  for (auto& [name, dep] : deployments_) {
+    auto& pod_names = deployment_pods_[name];
+    // Drop deleted pods from the tracking list.
+    std::erase_if(pod_names, [&](const std::string& pn) {
+      return pods_.count(pn) == 0;
+    });
+    // Scale down: remove newest pods first.
+    while (static_cast<int>(pod_names.size()) > dep.replicas) {
+      (void)DeletePod(pod_names.back());
+      pod_names.pop_back();
+    }
+    // Scale up: create missing replicas.
+    while (static_cast<int>(pod_names.size()) < dep.replicas) {
+      PodSpec spec = dep.pod_template;
+      spec.name = NextPodName(name);
+      Pod pod;
+      pod.spec = spec;
+      pods_[spec.name] = std::move(pod);
+      pod_names.push_back(spec.name);
+    }
+  }
+
+  // 4. Retry all pending/evicted pods.
+  for (auto& [name, pod] : pods_) {
+    if (pod.phase == PodPhase::kPending || pod.phase == PodPhase::kEvicted) {
+      if (TryBind(pod).ok()) {
+        ++reschedules_;
+      } else {
+        pod.phase = PodPhase::kPending;
+      }
+    }
+  }
+  metrics_.Set("running_pods", static_cast<double>(RunningPods()));
+  metrics_.Set("pending_pods", static_cast<double>(PendingPods()));
+}
+
+void Cluster::StartReconcileLoop(sim::SimTime period) {
+  StopReconcileLoop();
+  reconcile_loop_ = engine_.SchedulePeriodic(period, [this] { Reconcile(); });
+}
+
+void Cluster::StopReconcileLoop() {
+  engine_.Cancel(reconcile_loop_);
+  reconcile_loop_ = {};
+}
+
+}  // namespace myrtus::sched

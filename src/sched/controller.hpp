@@ -1,0 +1,91 @@
+// Declarative cluster controller: deployments (replicated pod templates),
+// a reconciliation loop that keeps actual state converged with desired state
+// (rebinding pods off failed/cordoned nodes), priority preemption, and a
+// horizontal autoscaler — the kube-like substrate MIRTO drives (§III/§IV).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace myrtus::sched {
+
+struct Deployment {
+  std::string name;
+  PodSpec pod_template;
+  int replicas = 1;
+  // Autoscaler (disabled when max_replicas == 0).
+  int min_replicas = 1;
+  int max_replicas = 0;
+  std::function<double()> load_signal;  // abstract demand (units of cpu)
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Engine& engine, Scheduler scheduler);
+
+  /// Registers a node with optional labels. The node must outlive the cluster.
+  void AddNode(continuum::ComputeNode* node,
+               std::map<std::string, std::string> labels = {});
+  [[nodiscard]] NodeState* FindNodeState(const std::string& node_id);
+  [[nodiscard]] std::vector<NodeState*> NodeStates();
+  void Cordon(const std::string& node_id, bool cordoned);
+
+  /// --- Direct pod operations --------------------------------------------
+  /// Schedules and binds one pod. On success resources are reserved.
+  util::StatusOr<std::string> BindPod(const PodSpec& spec);
+  /// Binds a pod to a specific node (MIRTO directives). Validates readiness,
+  /// resources, security level, and accelerator requirements on the target.
+  util::StatusOr<std::string> BindPodToNode(const PodSpec& spec,
+                                            const std::string& node_id);
+  /// Binding with preemption: when no node fits, evicts the cheapest set of
+  /// strictly-lower-priority pods that makes room on some node.
+  util::StatusOr<std::string> BindPodWithPreemption(const PodSpec& spec);
+  /// Unbinds and releases resources. NOT_FOUND if absent.
+  util::Status DeletePod(const std::string& pod_name);
+  [[nodiscard]] const Pod* FindPod(const std::string& pod_name) const;
+  [[nodiscard]] std::vector<const Pod*> PodsOnNode(const std::string& node_id) const;
+  [[nodiscard]] std::size_t RunningPods() const;
+  [[nodiscard]] std::size_t PendingPods() const;
+
+  /// --- Deployments & reconciliation --------------------------------------
+  void ApplyDeployment(Deployment deployment);
+  util::Status ScaleDeployment(const std::string& name, int replicas);
+  [[nodiscard]] int DeploymentReadyReplicas(const std::string& name) const;
+
+  /// One reconciliation pass: evict pods from failed nodes, (re)create
+  /// missing replicas, run autoscalers, retry pending pods.
+  void Reconcile();
+  /// Runs Reconcile() every `period` on the engine.
+  void StartReconcileLoop(sim::SimTime period);
+  void StopReconcileLoop();
+
+  [[nodiscard]] sim::Metrics& metrics() { return metrics_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+  [[nodiscard]] std::uint64_t reschedules() const { return reschedules_; }
+
+ private:
+  util::StatusOr<std::string> TryBind(Pod& pod);
+  void ReleasePodResources(Pod& pod);
+  std::string NextPodName(const std::string& base);
+
+  sim::Engine& engine_;
+  Scheduler scheduler_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  std::map<std::string, Pod> pods_;  // by pod name
+  std::map<std::string, Deployment> deployments_;
+  std::map<std::string, std::vector<std::string>> deployment_pods_;
+  sim::EventHandle reconcile_loop_;
+  sim::Metrics metrics_;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t reschedules_ = 0;
+  std::uint64_t name_counter_ = 0;
+};
+
+}  // namespace myrtus::sched

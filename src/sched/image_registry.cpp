@@ -1,0 +1,134 @@
+#include "sched/image_registry.hpp"
+
+#include "security/sha2.hpp"
+
+namespace myrtus::sched {
+
+std::uint64_t ImageManifest::TotalBytes() const {
+  std::uint64_t total = 0;
+  for (const ImageLayer& l : layers) total += l.size_bytes;
+  return total;
+}
+
+std::string ImageRegistry::DigestOf(const util::Bytes& content) {
+  return "sha256:" + util::ToHex(security::Sha256::Digest(content));
+}
+
+util::Status ImageRegistry::Push(const std::string& name, const std::string& tag,
+                                 const std::vector<util::Bytes>& layer_contents) {
+  if (name.empty() || tag.empty()) {
+    return util::Status::InvalidArgument("image name and tag required");
+  }
+  if (layer_contents.empty()) {
+    return util::Status::InvalidArgument("image must have at least one layer");
+  }
+  // Validate + scan everything before mutating (atomic push).
+  ImageManifest manifest;
+  manifest.name = name;
+  manifest.tag = tag;
+  for (const util::Bytes& content : layer_contents) {
+    ImageLayer layer;
+    layer.digest = DigestOf(content);
+    layer.size_bytes = content.size();
+    if (scan_) {
+      MYRTUS_RETURN_IF_ERROR(scan_(layer, content));
+    }
+    manifest.layers.push_back(std::move(layer));
+  }
+  for (std::size_t i = 0; i < layer_contents.size(); ++i) {
+    blobs_.emplace(manifest.layers[i].digest, layer_contents[i]);
+  }
+  manifests_[manifest.Reference()] = std::move(manifest);
+  return util::Status::Ok();
+}
+
+util::StatusOr<ImageManifest> ImageRegistry::Manifest(
+    const std::string& reference) const {
+  const auto it = manifests_.find(reference);
+  if (it == manifests_.end()) {
+    return util::Status::NotFound("image " + reference);
+  }
+  return it->second;
+}
+
+std::vector<std::string> ImageRegistry::ListImages() const {
+  std::vector<std::string> out;
+  for (const auto& [ref, manifest] : manifests_) out.push_back(ref);
+  return out;
+}
+
+std::uint64_t ImageRegistry::StoredBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [digest, blob] : blobs_) total += blob.size();
+  return total;
+}
+
+std::uint64_t ImageRegistry::LogicalBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [ref, manifest] : manifests_) total += manifest.TotalBytes();
+  return total;
+}
+
+util::StatusOr<PullReceipt> ImageRegistry::Pull(const std::string& reference,
+                                                const std::string& node_id) {
+  const auto it = manifests_.find(reference);
+  if (it == manifests_.end()) {
+    return util::Status::NotFound("image " + reference);
+  }
+  PullReceipt receipt;
+  std::set<std::string>& cache = node_cache_[node_id];
+  for (const ImageLayer& layer : it->second.layers) {
+    if (cache.count(layer.digest) > 0) {
+      receipt.bytes_deduplicated += layer.size_bytes;
+      ++receipt.layers_cached;
+    } else {
+      receipt.bytes_transferred += layer.size_bytes;
+      ++receipt.layers_fetched;
+      cache.insert(layer.digest);
+    }
+  }
+  return receipt;
+}
+
+void ImageRegistry::EvictNodeCache(const std::string& node_id) {
+  node_cache_.erase(node_id);
+}
+
+bool ImageRegistry::NodeHasImage(const std::string& reference,
+                                 const std::string& node_id) const {
+  const auto mit = manifests_.find(reference);
+  const auto nit = node_cache_.find(node_id);
+  if (mit == manifests_.end() || nit == node_cache_.end()) return false;
+  for (const ImageLayer& layer : mit->second.layers) {
+    if (nit->second.count(layer.digest) == 0) return false;
+  }
+  return true;
+}
+
+util::StatusOr<std::uint64_t> ImageRegistry::DeleteImage(
+    const std::string& reference) {
+  const auto it = manifests_.find(reference);
+  if (it == manifests_.end()) {
+    return util::Status::NotFound("image " + reference);
+  }
+  manifests_.erase(it);
+  // GC: drop blobs no remaining manifest references.
+  std::set<std::string> referenced;
+  for (const auto& [ref, manifest] : manifests_) {
+    for (const ImageLayer& layer : manifest.layers) {
+      referenced.insert(layer.digest);
+    }
+  }
+  std::uint64_t reclaimed = 0;
+  for (auto bit = blobs_.begin(); bit != blobs_.end();) {
+    if (referenced.count(bit->first) == 0) {
+      reclaimed += bit->second.size();
+      bit = blobs_.erase(bit);
+    } else {
+      ++bit;
+    }
+  }
+  return reclaimed;
+}
+
+}  // namespace myrtus::sched

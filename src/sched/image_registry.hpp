@@ -1,0 +1,89 @@
+// Container Image Registry & Repository (§VI ongoing activity: "Candidate
+// solutions should be easily accessible by all layers and expose security
+// guarantees (e.g. access controls, image scanning)"). A content-addressed
+// store: images are manifests over SHA-256-addressed layers, shared layers
+// are deduplicated, pulls are charged only for layers a node does not yet
+// cache, and pushes run a scan hook before acceptance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::sched {
+
+struct ImageLayer {
+  std::string digest;  // "sha256:<hex>"
+  std::uint64_t size_bytes = 0;
+};
+
+struct ImageManifest {
+  std::string name;      // "myrtus/pose-estimation"
+  std::string tag;       // "v1.2"
+  std::vector<ImageLayer> layers;
+
+  [[nodiscard]] std::uint64_t TotalBytes() const;
+  [[nodiscard]] std::string Reference() const { return name + ":" + tag; }
+};
+
+/// Result of a pull: which bytes actually moved.
+struct PullReceipt {
+  std::uint64_t bytes_transferred = 0;
+  std::uint64_t bytes_deduplicated = 0;
+  int layers_fetched = 0;
+  int layers_cached = 0;
+};
+
+class ImageRegistry {
+ public:
+  /// Scan hook: returns an error to quarantine a layer (simulated CVE scan).
+  using ScanHook = std::function<util::Status(const ImageLayer&,
+                                              const util::Bytes& content)>;
+
+  ImageRegistry() = default;
+  void set_scan_hook(ScanHook hook) { scan_ = std::move(hook); }
+
+  /// Computes the canonical digest of layer content.
+  static std::string DigestOf(const util::Bytes& content);
+
+  /// Pushes an image: layers are content-addressed; identical content is
+  /// stored once regardless of image. Fails (and stores nothing new) if any
+  /// layer fails the scan or a digest mismatches its content.
+  util::Status Push(const std::string& name, const std::string& tag,
+                    const std::vector<util::Bytes>& layer_contents);
+
+  [[nodiscard]] util::StatusOr<ImageManifest> Manifest(
+      const std::string& reference) const;
+  [[nodiscard]] std::vector<std::string> ListImages() const;
+  [[nodiscard]] std::size_t unique_layers() const { return blobs_.size(); }
+  /// Bytes stored (after dedup) and logical bytes (sum over manifests).
+  [[nodiscard]] std::uint64_t StoredBytes() const;
+  [[nodiscard]] std::uint64_t LogicalBytes() const;
+
+  /// Pulls an image to a node; the node's cache grows. Only uncached layers
+  /// transfer.
+  util::StatusOr<PullReceipt> Pull(const std::string& reference,
+                                   const std::string& node_id);
+  /// Drops a node's cache (node reprovisioned).
+  void EvictNodeCache(const std::string& node_id);
+  [[nodiscard]] bool NodeHasImage(const std::string& reference,
+                                  const std::string& node_id) const;
+
+  /// Deletes a tag; unreferenced layers are garbage-collected. Returns the
+  /// bytes reclaimed.
+  util::StatusOr<std::uint64_t> DeleteImage(const std::string& reference);
+
+ private:
+  std::map<std::string, ImageManifest> manifests_;    // by reference
+  std::map<std::string, util::Bytes> blobs_;          // by digest
+  std::map<std::string, std::set<std::string>> node_cache_;  // node -> digests
+  ScanHook scan_;
+};
+
+}  // namespace myrtus::sched

@@ -1,0 +1,50 @@
+// Pod/workload model for the kube-like low-level orchestrator the paper
+// adopts at every layer ("all layers support Kubernetes as low-level
+// orchestrator", §III). A pod is the unit of placement; deployments manage
+// replica sets of pods declaratively.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "security/policy.hpp"
+#include "util/json.hpp"
+
+namespace myrtus::sched {
+
+enum class PodPhase : std::uint8_t {
+  kPending,
+  kBound,
+  kRunning,
+  kSucceeded,
+  kFailed,
+  kEvicted,
+};
+std::string_view PodPhaseName(PodPhase phase);
+
+/// Placement requirements of one pod.
+struct PodSpec {
+  std::string name;
+  double cpu_request = 0.5;       // abstract CPU units (capacity scale)
+  std::uint64_t mem_request_mb = 128;
+  security::SecurityLevel min_security = security::SecurityLevel::kLow;
+  bool needs_accelerator = false;
+  int priority = 0;               // higher preempts lower
+  std::string layer_affinity;     // "", "edge", "fog", "cloud"
+  std::map<std::string, std::string> node_selector;  // label constraints
+  double expected_load = 0.0;     // abstract work rate, for energy scoring
+
+  [[nodiscard]] util::Json ToJson() const;
+  static PodSpec FromJson(const util::Json& j);
+};
+
+/// A pod bound (or trying to bind) to a node.
+struct Pod {
+  PodSpec spec;
+  PodPhase phase = PodPhase::kPending;
+  std::string node_id;   // set when bound
+  std::int64_t bound_at_ns = -1;
+};
+
+}  // namespace myrtus::sched

@@ -1,0 +1,229 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace myrtus::sched {
+
+std::string_view PodPhaseName(PodPhase phase) {
+  switch (phase) {
+    case PodPhase::kPending: return "pending";
+    case PodPhase::kBound: return "bound";
+    case PodPhase::kRunning: return "running";
+    case PodPhase::kSucceeded: return "succeeded";
+    case PodPhase::kFailed: return "failed";
+    case PodPhase::kEvicted: return "evicted";
+  }
+  return "?";
+}
+
+util::Json PodSpec::ToJson() const {
+  util::Json selector = util::Json::MakeObject();
+  for (const auto& [k, v] : node_selector) selector.Set(k, v);
+  return util::Json::MakeObject()
+      .Set("name", name)
+      .Set("cpu_request", cpu_request)
+      .Set("mem_request_mb", mem_request_mb)
+      .Set("min_security",
+           std::string(security::SecurityLevelName(min_security)))
+      .Set("needs_accelerator", needs_accelerator)
+      .Set("priority", priority)
+      .Set("layer_affinity", layer_affinity)
+      .Set("node_selector", std::move(selector))
+      .Set("expected_load", expected_load);
+}
+
+PodSpec PodSpec::FromJson(const util::Json& j) {
+  PodSpec s;
+  s.name = j.at("name").as_string();
+  s.cpu_request = j.at("cpu_request").as_double(0.5);
+  s.mem_request_mb = static_cast<std::uint64_t>(j.at("mem_request_mb").as_int(128));
+  if (auto lvl = security::ParseSecurityLevel(j.at("min_security").as_string());
+      lvl.ok()) {
+    s.min_security = *lvl;
+  }
+  s.needs_accelerator = j.at("needs_accelerator").as_bool();
+  s.priority = static_cast<int>(j.at("priority").as_int());
+  s.layer_affinity = j.at("layer_affinity").as_string();
+  for (const auto& [k, v] : j.at("node_selector").fields()) {
+    s.node_selector[k] = v.as_string();
+  }
+  s.expected_load = j.at("expected_load").as_double();
+  return s;
+}
+
+bool NodeState::HasAccelerator() const {
+  for (const continuum::Device& d : node->devices()) {
+    if (d.kind() == continuum::DeviceKind::kFpgaAccelerator ||
+        d.kind() == continuum::DeviceKind::kRiscvCcu) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace plugins {
+
+FilterFn FitsResources() {
+  return [](const PodSpec& pod, const NodeState& n) -> std::optional<std::string> {
+    if (n.CpuFree() < pod.cpu_request) return "insufficient cpu";
+    if (n.mem_capacity_mb() - n.mem_allocated_mb < pod.mem_request_mb) {
+      return "insufficient memory";
+    }
+    return std::nullopt;
+  };
+}
+
+FilterFn SecurityLevel() {
+  return [](const PodSpec& pod, const NodeState& n) -> std::optional<std::string> {
+    if (!security::Satisfies(n.node->security_level(), pod.min_security)) {
+      return "security level too low";
+    }
+    return std::nullopt;
+  };
+}
+
+FilterFn Accelerator() {
+  return [](const PodSpec& pod, const NodeState& n) -> std::optional<std::string> {
+    if (pod.needs_accelerator && !n.HasAccelerator()) {
+      return "no accelerator";
+    }
+    return std::nullopt;
+  };
+}
+
+FilterFn LayerAffinity() {
+  return [](const PodSpec& pod, const NodeState& n) -> std::optional<std::string> {
+    if (!pod.layer_affinity.empty() &&
+        pod.layer_affinity != continuum::LayerName(n.node->layer())) {
+      return "layer mismatch";
+    }
+    return std::nullopt;
+  };
+}
+
+FilterFn NodeSelector() {
+  return [](const PodSpec& pod, const NodeState& n) -> std::optional<std::string> {
+    for (const auto& [k, v] : pod.node_selector) {
+      const auto it = n.labels.find(k);
+      if (it == n.labels.end() || it->second != v) {
+        return "selector mismatch on " + k;
+      }
+    }
+    return std::nullopt;
+  };
+}
+
+FilterFn NotCordoned() {
+  return [](const PodSpec&, const NodeState& n) -> std::optional<std::string> {
+    if (n.cordoned) return "cordoned";
+    return std::nullopt;
+  };
+}
+
+FilterFn NodeReady() {
+  return [](const PodSpec&, const NodeState& n) -> std::optional<std::string> {
+    if (!n.node->up()) return "node down";
+    return std::nullopt;
+  };
+}
+
+ScorePlugin LeastAllocated(double weight) {
+  return {"least-allocated", weight, [](const PodSpec&, const NodeState& n) {
+            const double cap = n.cpu_capacity();
+            return cap <= 0 ? 0.0 : std::max(0.0, n.CpuFree() / cap);
+          }};
+}
+
+ScorePlugin Balanced(double weight) {
+  return {"balanced", weight, [](const PodSpec& pod, const NodeState& n) {
+            const double cpu_frac =
+                (n.cpu_allocated + pod.cpu_request) /
+                std::max(1e-9, n.cpu_capacity());
+            const double mem_frac =
+                static_cast<double>(n.mem_allocated_mb + pod.mem_request_mb) /
+                std::max<double>(1.0, static_cast<double>(n.mem_capacity_mb()));
+            return 1.0 - std::fabs(cpu_frac - mem_frac);
+          }};
+}
+
+ScorePlugin EnergyEfficient(double weight) {
+  return {"energy", weight, [](const PodSpec&, const NodeState& n) {
+            double power = 0.0;
+            for (const continuum::Device& d : n.node->devices()) {
+              power += d.active_point().power_active_mw;
+            }
+            const double cap = n.cpu_capacity();
+            if (cap <= 0) return 0.0;
+            const double mw_per_unit = power / cap;
+            // Map [50, 2000] mW/unit onto (1, 0).
+            return std::clamp(1.0 - (mw_per_unit - 50.0) / 1950.0, 0.0, 1.0);
+          }};
+}
+
+ScorePlugin PreferLayer(const std::string& preferred, double weight) {
+  return {"prefer-layer", weight,
+          [preferred](const PodSpec&, const NodeState& n) {
+            return continuum::LayerName(n.node->layer()) == preferred ? 1.0 : 0.0;
+          }};
+}
+
+}  // namespace plugins
+
+Scheduler Scheduler::Default() {
+  Scheduler s;
+  s.AddFilter(plugins::NodeReady());
+  s.AddFilter(plugins::NotCordoned());
+  s.AddFilter(plugins::FitsResources());
+  s.AddFilter(plugins::SecurityLevel());
+  s.AddFilter(plugins::Accelerator());
+  s.AddFilter(plugins::LayerAffinity());
+  s.AddFilter(plugins::NodeSelector());
+  s.AddScorer(plugins::LeastAllocated(1.0));
+  s.AddScorer(plugins::Balanced(0.5));
+  return s;
+}
+
+util::StatusOr<ScheduleResult> Scheduler::Schedule(
+    const PodSpec& pod, const std::vector<NodeState*>& nodes) const {
+  ScheduleResult result;
+  double best_score = -1.0;
+  const NodeState* best = nullptr;
+
+  for (const NodeState* n : nodes) {
+    bool feasible = true;
+    for (const FilterFn& filter : filters_) {
+      if (auto reason = filter(pod, *n)) {
+        result.rejections.emplace_back(n->node->id(), *reason);
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+
+    double score = 0.0;
+    double total_weight = 0.0;
+    for (const ScorePlugin& plugin : scorers_) {
+      score += plugin.weight * plugin.fn(pod, *n);
+      total_weight += plugin.weight;
+    }
+    if (total_weight > 0) score /= total_weight;
+    if (score > best_score) {
+      best_score = score;
+      best = n;
+    }
+  }
+
+  if (best == nullptr) {
+    std::string detail = "no feasible node for pod " + pod.name;
+    for (const auto& [node, reason] : result.rejections) {
+      detail += "; " + node + ": " + reason;
+    }
+    return util::Status::ResourceExhausted(detail);
+  }
+  result.node_id = best->node->id();
+  result.score = best_score;
+  return result;
+}
+
+}  // namespace myrtus::sched

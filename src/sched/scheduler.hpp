@@ -1,0 +1,94 @@
+// Filter → score → bind scheduling pipeline, mirroring kube-scheduler's
+// framework. Filters eliminate infeasible nodes (resources, security level,
+// accelerator, layer affinity, labels); scorers rank the survivors
+// (least-allocated, balanced, energy, latency-to-consumer).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "continuum/node.hpp"
+#include "sched/pod.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::sched {
+
+/// Scheduler-side bookkeeping of one node's allocatable state. The scheduler
+/// tracks requests (like kube's `requested`), independent of instantaneous
+/// device utilization.
+struct NodeState {
+  continuum::ComputeNode* node = nullptr;
+  double cpu_allocated = 0.0;
+  std::uint64_t mem_allocated_mb = 0;
+  std::map<std::string, std::string> labels;
+  bool cordoned = false;  // unschedulable (drain / MIRTO directive)
+
+  [[nodiscard]] double cpu_capacity() const { return node->CpuCapacity(); }
+  [[nodiscard]] std::uint64_t mem_capacity_mb() const {
+    return node->mem_capacity_mb();
+  }
+  [[nodiscard]] double CpuFree() const {
+    return cpu_capacity() - cpu_allocated;
+  }
+  [[nodiscard]] bool HasAccelerator() const;
+};
+
+/// A filter rejects a node outright (returns a human-readable reason) or
+/// passes it (empty optional).
+using FilterFn = std::function<std::optional<std::string>(
+    const PodSpec& pod, const NodeState& node)>;
+/// A scorer returns [0,1]; higher is better.
+using ScoreFn = std::function<double(const PodSpec& pod, const NodeState& node)>;
+
+struct ScorePlugin {
+  std::string name;
+  double weight = 1.0;
+  ScoreFn fn;
+};
+
+/// Built-in plugins.
+namespace plugins {
+FilterFn FitsResources();
+FilterFn SecurityLevel();
+FilterFn Accelerator();
+FilterFn LayerAffinity();
+FilterFn NodeSelector();
+FilterFn NotCordoned();
+FilterFn NodeReady();
+
+ScorePlugin LeastAllocated(double weight = 1.0);
+ScorePlugin Balanced(double weight = 1.0);
+/// Prefers nodes whose active operating points draw less power per capacity.
+ScorePlugin EnergyEfficient(double weight = 1.0);
+/// Prefers the layer named in `preferred` (soft affinity).
+ScorePlugin PreferLayer(const std::string& preferred, double weight = 1.0);
+}  // namespace plugins
+
+struct ScheduleResult {
+  std::string node_id;
+  double score = 0.0;
+  std::vector<std::pair<std::string, std::string>> rejections;  // node, reason
+};
+
+class Scheduler {
+ public:
+  /// Default pipeline: all built-in filters, least-allocated + balanced.
+  static Scheduler Default();
+
+  void AddFilter(FilterFn f) { filters_.push_back(std::move(f)); }
+  void AddScorer(ScorePlugin s) { scorers_.push_back(std::move(s)); }
+  void ClearScorers() { scorers_.clear(); }
+
+  /// Picks the best feasible node. RESOURCE_EXHAUSTED when none fits (the
+  /// result's rejection list explains why, per node).
+  [[nodiscard]] util::StatusOr<ScheduleResult> Schedule(
+      const PodSpec& pod, const std::vector<NodeState*>& nodes) const;
+
+ private:
+  std::vector<FilterFn> filters_;
+  std::vector<ScorePlugin> scorers_;
+};
+
+}  // namespace myrtus::sched

@@ -1,0 +1,57 @@
+// AES-128/192/256 block cipher (FIPS 197), software table-free implementation
+// (S-box lookups only), plus CTR-mode stream encryption. AES-256 and AES-128
+// are the "High" and "Medium" security-level ciphers of Table II. FIPS-197
+// Appendix C known-answer vectors are checked in tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::security {
+
+/// AES block cipher with a fixed key. Encrypts/decrypts single 16-byte
+/// blocks; modes of operation are layered on top (Ctr, Gcm).
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// Key must be 16, 24 or 32 bytes (AES-128/192/256).
+  static util::StatusOr<Aes> Create(const util::Bytes& key);
+
+  void EncryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const;
+  void DecryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+  [[nodiscard]] int rounds() const { return rounds_; }
+
+ private:
+  Aes() = default;
+  void ExpandKey(const std::uint8_t* key, std::size_t key_len);
+  // Maximum schedule: AES-256 has 15 round keys of 16 bytes.
+  std::array<std::uint32_t, 60> round_keys_{};
+  int rounds_ = 0;
+};
+
+/// AES-CTR keystream encryption. CTR is its own inverse; `Crypt` both
+/// encrypts and decrypts. The 16-byte counter block is iv(12B) || ctr(4B).
+class AesCtr {
+ public:
+  static util::StatusOr<AesCtr> Create(const util::Bytes& key,
+                                       const util::Bytes& iv12);
+  /// XORs the keystream into `data` in place.
+  void Crypt(std::uint8_t* data, std::size_t len);
+  util::Bytes Crypt(const util::Bytes& data);
+
+ private:
+  AesCtr(Aes aes, std::array<std::uint8_t, 16> counter)
+      : aes_(std::move(aes)), counter_(counter) {}
+  void NextKeystreamBlock();
+  Aes aes_;
+  std::array<std::uint8_t, 16> counter_{};
+  std::array<std::uint8_t, 16> keystream_{};
+  std::size_t keystream_used_ = 16;  // forces generation on first byte
+};
+
+}  // namespace myrtus::security

@@ -1,0 +1,199 @@
+#include "security/ascon.hpp"
+
+#include <cstring>
+
+namespace myrtus::security {
+namespace {
+
+using util::Bytes;
+
+inline std::uint64_t Ror(std::uint64_t x, int n) {
+  return (x >> n) | (x << (64 - n));
+}
+
+constexpr std::uint64_t kAsconAeadIv = 0x80400c0600000000ULL;  // Ascon-128
+constexpr std::uint64_t kAsconHashIv = 0x00400c0000000100ULL;  // Ascon-Hash
+
+/// Loads up to 8 bytes into the high-order positions of a big-endian word.
+std::uint64_t LoadPartialBe(const std::uint8_t* p, std::size_t len) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    v |= std::uint64_t{p[i]} << (56 - 8 * i);
+  }
+  return v;
+}
+
+void StorePartialBe(std::uint64_t v, std::uint8_t* p, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    p[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+  }
+}
+
+}  // namespace
+
+void AsconState::Permute(int rounds) {
+  // Round constants for the 12-round permutation; p^b uses the last b.
+  static constexpr std::uint64_t kRc[12] = {0xf0, 0xe1, 0xd2, 0xc3, 0xb4, 0xa5,
+                                            0x96, 0x87, 0x78, 0x69, 0x5a, 0x4b};
+  auto& [x0, x1, x2, x3, x4] = x;
+  for (int r = 12 - rounds; r < 12; ++r) {
+    // Addition of round constant.
+    x2 ^= kRc[r];
+    // Substitution layer (bit-sliced 5-bit S-box).
+    x0 ^= x4;
+    x4 ^= x3;
+    x2 ^= x1;
+    std::uint64_t t0 = ~x0 & x1;
+    std::uint64_t t1 = ~x1 & x2;
+    std::uint64_t t2 = ~x2 & x3;
+    std::uint64_t t3 = ~x3 & x4;
+    std::uint64_t t4 = ~x4 & x0;
+    x0 ^= t1;
+    x1 ^= t2;
+    x2 ^= t3;
+    x3 ^= t4;
+    x4 ^= t0;
+    x1 ^= x0;
+    x0 ^= x4;
+    x3 ^= x2;
+    x2 = ~x2;
+    // Linear diffusion layer.
+    x0 ^= Ror(x0, 19) ^ Ror(x0, 28);
+    x1 ^= Ror(x1, 61) ^ Ror(x1, 39);
+    x2 ^= Ror(x2, 1) ^ Ror(x2, 6);
+    x3 ^= Ror(x3, 10) ^ Ror(x3, 17);
+    x4 ^= Ror(x4, 7) ^ Ror(x4, 41);
+  }
+}
+
+namespace {
+
+struct AeadCore {
+  AsconState s;
+  std::uint64_t k0, k1;
+
+  AeadCore(const Bytes& key, const Bytes& nonce) {
+    k0 = util::LoadBe64(key.data());
+    k1 = util::LoadBe64(key.data() + 8);
+    const std::uint64_t n0 = util::LoadBe64(nonce.data());
+    const std::uint64_t n1 = util::LoadBe64(nonce.data() + 8);
+    s.x = {kAsconAeadIv, k0, k1, n0, n1};
+    s.Permute(12);
+    s.x[3] ^= k0;
+    s.x[4] ^= k1;
+  }
+
+  void AbsorbAad(const Bytes& aad) {
+    if (!aad.empty()) {
+      std::size_t i = 0;
+      for (; i + 8 <= aad.size(); i += 8) {
+        s.x[0] ^= util::LoadBe64(aad.data() + i);
+        s.Permute(6);
+      }
+      // Final (possibly empty) partial block with 10* padding.
+      std::uint64_t last = LoadPartialBe(aad.data() + i, aad.size() - i);
+      last |= 0x80ULL << (56 - 8 * (aad.size() - i));
+      s.x[0] ^= last;
+      s.Permute(6);
+    }
+    s.x[4] ^= 1;  // domain separation
+  }
+
+  Bytes FinalizeTag() {
+    s.x[1] ^= k0;
+    s.x[2] ^= k1;
+    s.Permute(12);
+    Bytes tag(16);
+    util::StoreBe64(s.x[3] ^ k0, tag.data());
+    util::StoreBe64(s.x[4] ^ k1, tag.data() + 8);
+    return tag;
+  }
+};
+
+}  // namespace
+
+util::StatusOr<Bytes> Ascon128Seal(const Bytes& key16, const Bytes& nonce16,
+                                   const Bytes& aad, const Bytes& plaintext) {
+  if (key16.size() != 16 || nonce16.size() != 16) {
+    return util::Status::InvalidArgument("ASCON-128 needs 16-byte key and nonce");
+  }
+  AeadCore core(key16, nonce16);
+  core.AbsorbAad(aad);
+
+  Bytes ct(plaintext.size() + 16);
+  std::size_t i = 0;
+  for (; i + 8 <= plaintext.size(); i += 8) {
+    core.s.x[0] ^= util::LoadBe64(plaintext.data() + i);
+    util::StoreBe64(core.s.x[0], ct.data() + i);
+    core.s.Permute(6);
+  }
+  const std::size_t rem = plaintext.size() - i;
+  core.s.x[0] ^= LoadPartialBe(plaintext.data() + i, rem);
+  core.s.x[0] ^= 0x80ULL << (56 - 8 * rem);
+  StorePartialBe(core.s.x[0], ct.data() + i, rem);
+
+  const Bytes tag = core.FinalizeTag();
+  std::memcpy(ct.data() + plaintext.size(), tag.data(), 16);
+  return ct;
+}
+
+util::StatusOr<Bytes> Ascon128Open(const Bytes& key16, const Bytes& nonce16,
+                                   const Bytes& aad, const Bytes& sealed) {
+  if (key16.size() != 16 || nonce16.size() != 16) {
+    return util::Status::InvalidArgument("ASCON-128 needs 16-byte key and nonce");
+  }
+  if (sealed.size() < 16) {
+    return util::Status::InvalidArgument("sealed buffer shorter than tag");
+  }
+  AeadCore core(key16, nonce16);
+  core.AbsorbAad(aad);
+
+  const std::size_t ct_len = sealed.size() - 16;
+  Bytes pt(ct_len);
+  std::size_t i = 0;
+  for (; i + 8 <= ct_len; i += 8) {
+    const std::uint64_t c = util::LoadBe64(sealed.data() + i);
+    util::StoreBe64(core.s.x[0] ^ c, pt.data() + i);
+    core.s.x[0] = c;
+    core.s.Permute(6);
+  }
+  const std::size_t rem = ct_len - i;
+  const std::uint64_t c = LoadPartialBe(sealed.data() + i, rem);
+  StorePartialBe(core.s.x[0] ^ c, pt.data() + i, rem);
+  // Replace the processed bytes of the rate with the ciphertext and apply
+  // the 10* padding at position `rem`.
+  const std::uint64_t keep_mask = rem == 0 ? ~0ULL : (~0ULL >> (8 * rem));
+  core.s.x[0] = c | (core.s.x[0] & keep_mask);
+  core.s.x[0] ^= 0x80ULL << (56 - 8 * rem);
+
+  const Bytes expected_tag = core.FinalizeTag();
+  const Bytes provided_tag(sealed.end() - 16, sealed.end());
+  if (!util::ConstantTimeEqual(expected_tag, provided_tag)) {
+    return util::Status::Unauthenticated("ASCON tag mismatch");
+  }
+  return pt;
+}
+
+Bytes AsconHash(const Bytes& data) {
+  AsconState s;
+  s.x = {kAsconHashIv, 0, 0, 0, 0};
+  s.Permute(12);
+
+  std::size_t i = 0;
+  for (; i + 8 <= data.size(); i += 8) {
+    s.x[0] ^= util::LoadBe64(data.data() + i);
+    s.Permute(12);
+  }
+  const std::size_t rem = data.size() - i;
+  s.x[0] ^= LoadPartialBe(data.data() + i, rem);
+  s.x[0] ^= 0x80ULL << (56 - 8 * rem);
+
+  Bytes out(32);
+  for (int block = 0; block < 4; ++block) {
+    s.Permute(12);
+    util::StoreBe64(s.x[0], out.data() + 8 * block);
+  }
+  return out;
+}
+
+}  // namespace myrtus::security

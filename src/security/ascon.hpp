@@ -1,0 +1,38 @@
+// ASCON-128 AEAD and ASCON-Hash (the NIST Lightweight Cryptography winner),
+// the "Low" security-level primitives of Table II for constrained edge
+// components. Implemented from the v1.2 specification: 320-bit state, 12- and
+// 6-round permutations, 64-bit rate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::security {
+
+/// The 320-bit ASCON permutation state with p^rounds application.
+struct AsconState {
+  std::array<std::uint64_t, 5> x{};
+
+  /// Applies `rounds` rounds (<=12) of the permutation, using the final
+  /// `rounds` round constants as the spec requires for p^b.
+  void Permute(int rounds);
+};
+
+/// ASCON-128: 128-bit key, 128-bit nonce, 64-bit rate, 128-bit tag.
+/// Seal returns ciphertext || 16-byte tag; Open verifies then decrypts.
+util::StatusOr<util::Bytes> Ascon128Seal(const util::Bytes& key16,
+                                         const util::Bytes& nonce16,
+                                         const util::Bytes& aad,
+                                         const util::Bytes& plaintext);
+util::StatusOr<util::Bytes> Ascon128Open(const util::Bytes& key16,
+                                         const util::Bytes& nonce16,
+                                         const util::Bytes& aad,
+                                         const util::Bytes& sealed);
+
+/// ASCON-Hash: 256-bit digest, 64-bit rate, 12-round permutation.
+util::Bytes AsconHash(const util::Bytes& data);
+
+}  // namespace myrtus::security

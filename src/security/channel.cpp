@@ -1,0 +1,121 @@
+#include "security/channel.hpp"
+
+#include "security/ascon.hpp"
+#include "security/gcm.hpp"
+#include "security/hmac.hpp"
+
+namespace myrtus::security {
+namespace {
+
+constexpr std::uint64_t kP = (1ULL << 61) - 1;  // Mersenne prime 2^61-1
+constexpr std::uint64_t kG = 3;
+
+std::uint64_t MulMod(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(a) * b) % kP);
+}
+
+}  // namespace
+
+std::uint64_t SimDh::ModPow(std::uint64_t base, std::uint64_t exp) {
+  std::uint64_t result = 1;
+  base %= kP;
+  while (exp > 0) {
+    if (exp & 1) result = MulMod(result, base);
+    base = MulMod(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+SimDh::KeyPair SimDh::Generate(util::Rng& rng) {
+  // Private exponent in [2, p-2].
+  const std::uint64_t priv = 2 + rng.NextBounded(kP - 3);
+  return KeyPair{priv, ModPow(kG, priv)};
+}
+
+std::uint64_t SimDh::Derive(std::uint64_t peer_public, std::uint64_t private_key) {
+  return ModPow(peer_public, private_key);
+}
+
+SecureChannel::SecureChannel(SecurityLevel level, util::Bytes send_key,
+                             util::Bytes recv_key, util::Bytes nonce_salt)
+    : level_(level),
+      send_key_(std::move(send_key)),
+      recv_key_(std::move(recv_key)),
+      nonce_salt_(std::move(nonce_salt)) {}
+
+util::StatusOr<ChannelPair> SecureChannel::Establish(SecurityLevel level,
+                                                     util::Rng& rng) {
+  const SimDh::KeyPair a = SimDh::Generate(rng);
+  const SimDh::KeyPair b = SimDh::Generate(rng);
+  const std::uint64_t shared = SimDh::Derive(b.public_key, a.private_key);
+  // Both sides arrive at the same secret; assert the algebra holds.
+  if (shared != SimDh::Derive(a.public_key, b.private_key)) {
+    return util::Status::Internal("DH key agreement mismatch");
+  }
+
+  util::Bytes ikm(8);
+  util::StoreBe64(shared, ikm.data());
+  util::Bytes salt = util::BytesOf("myrtus-channel-v1");
+  const std::size_t key_len =
+      SuiteFor(level).encryption == SymAlg::kAes256Gcm ? 32 : 16;
+  // key_i2r || key_r2i || nonce_salt(12)
+  const util::Bytes okm =
+      HkdfSha256(ikm, salt, SecurityLevelName(level), 2 * key_len + 12);
+  util::Bytes k_i2r(okm.begin(), okm.begin() + static_cast<long>(key_len));
+  util::Bytes k_r2i(okm.begin() + static_cast<long>(key_len),
+                    okm.begin() + static_cast<long>(2 * key_len));
+  util::Bytes nonce_salt(okm.end() - 12, okm.end());
+
+  return ChannelPair{SecureChannel(level, k_i2r, k_r2i, nonce_salt),
+                     SecureChannel(level, k_r2i, k_i2r, nonce_salt)};
+}
+
+util::Bytes SecureChannel::NonceFor(std::uint64_t seq) const {
+  util::Bytes nonce = nonce_salt_;
+  // XOR the sequence number into the last 8 bytes (TLS 1.3 style).
+  for (int i = 0; i < 8; ++i) {
+    nonce[4 + static_cast<std::size_t>(i)] ^=
+        static_cast<std::uint8_t>(seq >> (56 - 8 * i));
+  }
+  return nonce;
+}
+
+util::StatusOr<util::Bytes> SecureChannel::Seal(const util::Bytes& plaintext) {
+  const std::uint64_t seq = send_seq_++;
+  util::Bytes aad(8);
+  util::StoreBe64(seq, aad.data());
+  const util::Bytes nonce = NonceFor(seq);
+  switch (SuiteFor(level_).encryption) {
+    case SymAlg::kAscon128: {
+      util::Bytes nonce16 = nonce;
+      nonce16.resize(16, 0);
+      return Ascon128Seal(send_key_, nonce16, aad, plaintext);
+    }
+    default:
+      return AesGcmSeal(send_key_, nonce, aad, plaintext);
+  }
+}
+
+util::StatusOr<util::Bytes> SecureChannel::Open(const util::Bytes& record) {
+  const std::uint64_t seq = recv_seq_;
+  util::Bytes aad(8);
+  util::StoreBe64(seq, aad.data());
+  const util::Bytes nonce = NonceFor(seq);
+  util::StatusOr<util::Bytes> pt = util::Status::Internal("unreached");
+  switch (SuiteFor(level_).encryption) {
+    case SymAlg::kAscon128: {
+      util::Bytes nonce16 = nonce;
+      nonce16.resize(16, 0);
+      pt = Ascon128Open(recv_key_, nonce16, aad, record);
+      break;
+    }
+    default:
+      pt = AesGcmOpen(recv_key_, nonce, aad, record);
+  }
+  if (pt.ok()) ++recv_seq_;  // only advance on success so retries can work
+  return pt;
+}
+
+}  // namespace myrtus::security

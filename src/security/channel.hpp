@@ -1,0 +1,77 @@
+// Secure channel: a TLS-like handshake + record layer binding Table II's
+// suites to the real symmetric implementations. The asymmetric half of the
+// handshake is a functional Diffie-Hellman over a 61-bit Mersenne prime group
+// (a stand-in documented in DESIGN.md — the *timing* of production-grade
+// primitives is supplied by cost_model.hpp), expanded through HKDF into
+// directional AEAD keys. Records carry sequence numbers authenticated as AAD,
+// so replayed or reordered records fail to open.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "security/policy.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::security {
+
+/// Functional DH over Z_p*, p = 2^61 - 1, generator 3. NOT secure — a
+/// simulator stand-in with correct algebraic behaviour (commutativity,
+/// key-agreement semantics).
+class SimDh {
+ public:
+  struct KeyPair {
+    std::uint64_t private_key;
+    std::uint64_t public_key;
+  };
+  static KeyPair Generate(util::Rng& rng);
+  /// shared = peer_public ^ private mod p.
+  static std::uint64_t Derive(std::uint64_t peer_public, std::uint64_t private_key);
+  static std::uint64_t ModPow(std::uint64_t base, std::uint64_t exp);
+};
+
+/// One endpoint of an established channel. Both endpoints of a pair derive
+/// identical keys from the DH secret; the `is_initiator` flag swaps the
+/// directional keys so initiator->responder and responder->initiator records
+/// use distinct keys.
+class SecureChannel {
+ public:
+  /// Performs the handshake math directly (both sides in one call — the
+  /// network substrate simulates the message exchanges) and returns the two
+  /// connected endpoints (see ChannelPair below).
+  static util::StatusOr<struct ChannelPair> Establish(SecurityLevel level,
+                                                      util::Rng& rng);
+
+  /// Seals a message with the channel's send key; the record sequence number
+  /// is authenticated and auto-incremented.
+  util::StatusOr<util::Bytes> Seal(const util::Bytes& plaintext);
+  /// Opens the next record; fails on tamper, replay, or reorder.
+  util::StatusOr<util::Bytes> Open(const util::Bytes& record);
+
+  [[nodiscard]] SecurityLevel level() const { return level_; }
+  [[nodiscard]] std::uint64_t sent_records() const { return send_seq_; }
+  [[nodiscard]] std::uint64_t received_records() const { return recv_seq_; }
+
+ private:
+  SecureChannel(SecurityLevel level, util::Bytes send_key, util::Bytes recv_key,
+                util::Bytes nonce_salt);
+
+  util::Bytes NonceFor(std::uint64_t seq) const;
+
+  SecurityLevel level_;
+  util::Bytes send_key_;
+  util::Bytes recv_key_;
+  util::Bytes nonce_salt_;  // 12-byte base; XORed with the sequence number
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t recv_seq_ = 0;
+};
+
+/// The two connected endpoints produced by SecureChannel::Establish.
+struct ChannelPair {
+  SecureChannel initiator;
+  SecureChannel responder;
+};
+
+}  // namespace myrtus::security

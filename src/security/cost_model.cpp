@@ -1,0 +1,82 @@
+#include "security/cost_model.hpp"
+
+namespace myrtus::security {
+
+std::string_view AsymAlgName(AsymAlg alg) {
+  switch (alg) {
+    case AsymAlg::kRsa2048: return "RSA-2048";
+    case AsymAlg::kEcdsaP256: return "ECDSA-P256";
+    case AsymAlg::kDilithium2: return "CRYSTALS-Dilithium2";
+    case AsymAlg::kDilithium3: return "CRYSTALS-Dilithium3";
+    case AsymAlg::kFalcon512: return "FALCON-512";
+    case AsymAlg::kKyber512: return "CRYSTALS-Kyber512";
+    case AsymAlg::kKyber768: return "CRYSTALS-Kyber768";
+  }
+  return "?";
+}
+
+const AsymCost& CostOf(AsymAlg alg) {
+  // keygen / sign / verify / encap / decap (us @ 1 GHz), pk bytes, artifact.
+  static const AsymCost kRsa{105'000, 1'600, 48, 42, 1'550, 270, 256};
+  static const AsymCost kEcdsa{38, 42, 110, 0, 0, 64, 64};
+  static const AsymCost kDil2{36, 95, 34, 0, 0, 1'312, 2'420};
+  static const AsymCost kDil3{58, 150, 55, 0, 0, 1'952, 3'293};
+  static const AsymCost kFalcon{8'200, 270, 38, 0, 0, 897, 666};
+  static const AsymCost kKyber512{22, 0, 0, 28, 23, 800, 768};
+  static const AsymCost kKyber768{33, 0, 0, 40, 32, 1'184, 1'088};
+  switch (alg) {
+    case AsymAlg::kRsa2048: return kRsa;
+    case AsymAlg::kEcdsaP256: return kEcdsa;
+    case AsymAlg::kDilithium2: return kDil2;
+    case AsymAlg::kDilithium3: return kDil3;
+    case AsymAlg::kFalcon512: return kFalcon;
+    case AsymAlg::kKyber512: return kKyber512;
+    case AsymAlg::kKyber768: return kKyber768;
+  }
+  return kEcdsa;
+}
+
+std::string_view SymAlgName(SymAlg alg) {
+  switch (alg) {
+    case SymAlg::kAes256Gcm: return "AES-256-GCM";
+    case SymAlg::kAes128Gcm: return "AES-128-GCM";
+    case SymAlg::kAscon128: return "ASCON-128";
+    case SymAlg::kSha512: return "SHA-512";
+    case SymAlg::kSha256: return "SHA-256";
+    case SymAlg::kAsconHash: return "ASCON-Hash";
+  }
+  return "?";
+}
+
+const SymCost& CostOf(SymAlg alg) {
+  // Software (no AES-NI) cycles/byte on a small in-order 64-bit core, plus a
+  // fixed per-message setup cost (key schedule / init permutation).
+  static const SymCost kAes256{22.0, 1'400};
+  static const SymCost kAes128{16.0, 1'100};
+  static const SymCost kAscon{9.0, 350};
+  static const SymCost kSha512{8.0, 700};
+  static const SymCost kSha256{12.0, 500};
+  static const SymCost kAsconH{11.0, 350};
+  switch (alg) {
+    case SymAlg::kAes256Gcm: return kAes256;
+    case SymAlg::kAes128Gcm: return kAes128;
+    case SymAlg::kAscon128: return kAscon;
+    case SymAlg::kSha512: return kSha512;
+    case SymAlg::kSha256: return kSha256;
+    case SymAlg::kAsconHash: return kAsconH;
+  }
+  return kAes128;
+}
+
+double SymLatencyUs(SymAlg alg, std::size_t bytes, double core_ghz) {
+  const SymCost& c = CostOf(alg);
+  const double cycles =
+      c.per_message_overhead_cycles + c.cycles_per_byte * static_cast<double>(bytes);
+  return cycles / (core_ghz * 1e3);
+}
+
+double AsymLatencyUs(double reference_us, double core_ghz) {
+  return reference_us / core_ghz;
+}
+
+}  // namespace myrtus::security

@@ -1,0 +1,75 @@
+// Calibrated cost & size models for the asymmetric primitives of Table II.
+//
+// Substitution note (see DESIGN.md): implementing lattice-based PQC and
+// big-integer RSA/ECDSA from scratch is out of scope, but the *orchestration*
+// experiments only need their latency/bandwidth footprint. The tables below
+// use published software-benchmark figures (order-of-magnitude, mid-range
+// 1 GHz-class reference core) so that the relative ordering the paper's
+// security levels imply — PQC > classical > lightweight — is preserved. The
+// symmetric/hash primitives are real implementations and are *measured*, not
+// modeled.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace myrtus::security {
+
+/// Asymmetric algorithm identifiers used across Table II's three levels.
+enum class AsymAlg : std::uint8_t {
+  kRsa2048,
+  kEcdsaP256,
+  kDilithium2,
+  kDilithium3,
+  kFalcon512,
+  kKyber512,
+  kKyber768,
+};
+
+std::string_view AsymAlgName(AsymAlg alg);
+
+/// Latency (microseconds on the 1 GHz reference core) and wire sizes (bytes).
+/// Operations that do not apply to an algorithm (e.g. encapsulation for a
+/// signature scheme) are zero.
+struct AsymCost {
+  double keygen_us = 0;
+  double sign_us = 0;
+  double verify_us = 0;
+  double encap_us = 0;
+  double decap_us = 0;
+  std::uint32_t public_key_bytes = 0;
+  std::uint32_t artifact_bytes = 0;  // signature or KEM ciphertext
+};
+
+/// Reference-core cost of an asymmetric algorithm.
+const AsymCost& CostOf(AsymAlg alg);
+
+/// Symmetric/hash software throughput model in cycles/byte on a small in-order
+/// core. Used only to *scale* the real primitives onto simulated devices with
+/// different clock rates; host-measured throughput drives the benches.
+struct SymCost {
+  double cycles_per_byte = 0;
+  double per_message_overhead_cycles = 0;
+};
+
+enum class SymAlg : std::uint8_t {
+  kAes256Gcm,
+  kAes128Gcm,
+  kAscon128,
+  kSha512,
+  kSha256,
+  kAsconHash,
+};
+
+std::string_view SymAlgName(SymAlg alg);
+const SymCost& CostOf(SymAlg alg);
+
+/// Time in microseconds for `bytes` of symmetric processing on a core running
+/// at `core_ghz`.
+double SymLatencyUs(SymAlg alg, std::size_t bytes, double core_ghz);
+
+/// Time in microseconds for one asymmetric operation scaled to `core_ghz`
+/// (reference table is calibrated at 1 GHz).
+double AsymLatencyUs(double reference_us, double core_ghz);
+
+}  // namespace myrtus::security

@@ -1,0 +1,149 @@
+#include "security/gcm.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "security/aes.hpp"
+
+namespace myrtus::security {
+namespace {
+
+using util::Bytes;
+
+struct Block {
+  std::uint64_t hi = 0;  // bits 127..64 (big-endian bit order per SP 800-38D)
+  std::uint64_t lo = 0;
+
+  static Block FromBytes(const std::uint8_t* p) {
+    return {util::LoadBe64(p), util::LoadBe64(p + 8)};
+  }
+  void ToBytes(std::uint8_t* p) const {
+    util::StoreBe64(hi, p);
+    util::StoreBe64(lo, p + 8);
+  }
+  Block operator^(const Block& o) const { return {hi ^ o.hi, lo ^ o.lo}; }
+};
+
+/// GF(2^128) multiplication, right-shift algorithm from SP 800-38D §6.3.
+Block GfMul(Block x, Block y) {
+  Block z{0, 0};
+  Block v = y;
+  for (int i = 0; i < 128; ++i) {
+    const std::uint64_t bit =
+        (i < 64) ? (x.hi >> (63 - i)) & 1 : (x.lo >> (127 - i)) & 1;
+    if (bit) {
+      z.hi ^= v.hi;
+      z.lo ^= v.lo;
+    }
+    const bool lsb = (v.lo & 1) != 0;
+    v.lo = (v.lo >> 1) | (v.hi << 63);
+    v.hi >>= 1;
+    if (lsb) v.hi ^= 0xe100000000000000ULL;  // R = 11100001 || 0^120
+  }
+  return z;
+}
+
+class Ghash {
+ public:
+  explicit Ghash(Block h) : h_(h) {}
+
+  void Update(const std::uint8_t* data, std::size_t len) {
+    // Processes whole stream zero-padded to 16-byte blocks per section.
+    std::size_t i = 0;
+    for (; i + 16 <= len; i += 16) {
+      Absorb(Block::FromBytes(data + i));
+    }
+    if (i < len) {
+      std::uint8_t padded[16] = {};
+      std::memcpy(padded, data + i, len - i);
+      Absorb(Block::FromBytes(padded));
+    }
+  }
+
+  void AbsorbLengths(std::uint64_t aad_bits, std::uint64_t ct_bits) {
+    Absorb(Block{aad_bits, ct_bits});
+  }
+
+  [[nodiscard]] Block digest() const { return y_; }
+
+ private:
+  void Absorb(Block x) { y_ = GfMul(y_ ^ x, h_); }
+  Block h_;
+  Block y_{0, 0};
+};
+
+struct GcmContext {
+  Aes aes;
+  Block h;
+  std::array<std::uint8_t, 16> j0;
+};
+
+util::StatusOr<GcmContext> Setup(const Bytes& key, const Bytes& nonce12) {
+  if (nonce12.size() != 12) {
+    return util::Status::InvalidArgument("GCM nonce must be 12 bytes");
+  }
+  auto aes = Aes::Create(key);
+  if (!aes.ok()) return aes.status();
+  std::uint8_t zero[16] = {};
+  std::uint8_t hbytes[16];
+  aes->EncryptBlock(zero, hbytes);
+  std::array<std::uint8_t, 16> j0{};
+  std::memcpy(j0.data(), nonce12.data(), 12);
+  j0[15] = 1;
+  return GcmContext{std::move(aes).value(), Block::FromBytes(hbytes), j0};
+}
+
+Bytes ComputeTag(const GcmContext& ctx, const Bytes& aad, const Bytes& ct) {
+  Ghash ghash(ctx.h);
+  ghash.Update(aad.data(), aad.size());
+  ghash.Update(ct.data(), ct.size());
+  ghash.AbsorbLengths(static_cast<std::uint64_t>(aad.size()) * 8,
+                      static_cast<std::uint64_t>(ct.size()) * 8);
+  std::uint8_t s[16];
+  ghash.digest().ToBytes(s);
+  std::uint8_t ekj0[16];
+  ctx.aes.EncryptBlock(ctx.j0.data(), ekj0);
+  Bytes tag(16);
+  for (int i = 0; i < 16; ++i) tag[static_cast<std::size_t>(i)] = s[i] ^ ekj0[i];
+  return tag;
+}
+
+}  // namespace
+
+util::StatusOr<Bytes> AesGcmSeal(const Bytes& key, const Bytes& nonce12,
+                                 const Bytes& aad, const Bytes& plaintext) {
+  auto ctx = Setup(key, nonce12);
+  if (!ctx.ok()) return ctx.status();
+  auto ctr = AesCtr::Create(key, nonce12);
+  if (!ctr.ok()) return ctr.status();
+  // AesCtr starts its counter at 1 (== J0); GCM encrypts payload from
+  // inc32(J0), so discard the first keystream block.
+  Bytes skip(16, 0);
+  ctr->Crypt(skip.data(), skip.size());
+  Bytes ct = ctr->Crypt(plaintext);
+  Bytes tag = ComputeTag(*ctx, aad, ct);
+  ct.insert(ct.end(), tag.begin(), tag.end());
+  return ct;
+}
+
+util::StatusOr<Bytes> AesGcmOpen(const Bytes& key, const Bytes& nonce12,
+                                 const Bytes& aad, const Bytes& sealed) {
+  if (sealed.size() < 16) {
+    return util::Status::InvalidArgument("sealed buffer shorter than GCM tag");
+  }
+  auto ctx = Setup(key, nonce12);
+  if (!ctx.ok()) return ctx.status();
+  Bytes ct(sealed.begin(), sealed.end() - 16);
+  const Bytes provided_tag(sealed.end() - 16, sealed.end());
+  const Bytes expected_tag = ComputeTag(*ctx, aad, ct);
+  if (!util::ConstantTimeEqual(provided_tag, expected_tag)) {
+    return util::Status::Unauthenticated("GCM tag mismatch");
+  }
+  auto ctr = AesCtr::Create(key, nonce12);
+  if (!ctr.ok()) return ctr.status();
+  Bytes skip(16, 0);
+  ctr->Crypt(skip.data(), skip.size());
+  return ctr->Crypt(ct);
+}
+
+}  // namespace myrtus::security

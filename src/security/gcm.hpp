@@ -1,0 +1,25 @@
+// AES-GCM authenticated encryption (NIST SP 800-38D) with 96-bit nonces and
+// 128-bit tags. Used as the record protection for the High (AES-256-GCM) and
+// Medium (AES-128-GCM) security levels of Table II.
+#pragma once
+
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::security {
+
+/// Encrypts `plaintext` and authenticates it together with `aad`.
+/// Returns ciphertext || 16-byte tag.
+util::StatusOr<util::Bytes> AesGcmSeal(const util::Bytes& key,
+                                       const util::Bytes& nonce12,
+                                       const util::Bytes& aad,
+                                       const util::Bytes& plaintext);
+
+/// Verifies and decrypts a sealed buffer. Fails with UNAUTHENTICATED when the
+/// tag does not match (ciphertext or aad tampered, wrong key/nonce).
+util::StatusOr<util::Bytes> AesGcmOpen(const util::Bytes& key,
+                                       const util::Bytes& nonce12,
+                                       const util::Bytes& aad,
+                                       const util::Bytes& sealed);
+
+}  // namespace myrtus::security

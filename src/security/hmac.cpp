@@ -1,0 +1,64 @@
+#include "security/hmac.hpp"
+
+#include "security/sha2.hpp"
+
+namespace myrtus::security {
+namespace {
+
+using util::Bytes;
+
+template <typename Hash>
+Bytes HmacImpl(const Bytes& key, const Bytes& data, std::size_t block_size) {
+  Bytes k = key;
+  if (k.size() > block_size) {
+    k = Hash::Digest(k);
+  }
+  k.resize(block_size, 0);
+  Bytes ipad(block_size);
+  Bytes opad(block_size);
+  for (std::size_t i = 0; i < block_size; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  Hash inner;
+  inner.Update(ipad);
+  inner.Update(data);
+  const Bytes inner_digest = inner.Final();
+  Hash outer;
+  outer.Update(opad);
+  outer.Update(inner_digest);
+  return outer.Final();
+}
+
+}  // namespace
+
+Bytes HmacSha256(const Bytes& key, const Bytes& data) {
+  return HmacImpl<Sha256>(key, data, 64);
+}
+
+Bytes HmacSha512(const Bytes& key, const Bytes& data) {
+  return HmacImpl<Sha512>(key, data, 128);
+}
+
+Bytes HkdfSha256(const Bytes& ikm, const Bytes& salt, std::string_view info,
+                 std::size_t out_len) {
+  // Extract.
+  Bytes actual_salt = salt.empty() ? Bytes(Sha256::kDigestSize, 0) : salt;
+  const Bytes prk = HmacSha256(actual_salt, ikm);
+  // Expand.
+  Bytes out;
+  out.reserve(out_len);
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < out_len) {
+    Bytes block = t;
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    t = HmacSha256(prk, block);
+    out.insert(out.end(), t.begin(), t.end());
+  }
+  out.resize(out_len);
+  return out;
+}
+
+}  // namespace myrtus::security

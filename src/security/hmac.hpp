@@ -1,0 +1,21 @@
+// HMAC (RFC 2104) over SHA-256/SHA-512, plus HKDF-style key derivation used
+// by the secure-channel handshake to expand a DH shared secret into record
+// keys. RFC 4231 test vectors are checked in tests.
+#pragma once
+
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace myrtus::security {
+
+/// HMAC-SHA-256 of `data` under `key` (any key length).
+util::Bytes HmacSha256(const util::Bytes& key, const util::Bytes& data);
+/// HMAC-SHA-512 of `data` under `key`.
+util::Bytes HmacSha512(const util::Bytes& key, const util::Bytes& data);
+
+/// HKDF (RFC 5869) with SHA-256: extract-then-expand to `out_len` bytes.
+util::Bytes HkdfSha256(const util::Bytes& ikm, const util::Bytes& salt,
+                       std::string_view info, std::size_t out_len);
+
+}  // namespace myrtus::security

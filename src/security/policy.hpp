@@ -1,0 +1,57 @@
+// Table II of the paper as executable policy: three security levels, each
+// binding an encryption primitive, an authentication (signature) scheme, a
+// key-exchange mechanism, and a hash. The policy engine decides whether a
+// node can host a workload with a given requirement and what a handshake at
+// each level costs.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "security/cost_model.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::security {
+
+/// MYRTUS security levels (Table II). Ordered: Low < Medium < High.
+enum class SecurityLevel : std::uint8_t {
+  kLow = 0,     // lightweight non-PQC for constrained components
+  kMedium = 1,  // non-PQC, adequate for current threats
+  kHigh = 2,    // post-quantum resistant
+};
+
+std::string_view SecurityLevelName(SecurityLevel level);
+util::StatusOr<SecurityLevel> ParseSecurityLevel(std::string_view name);
+
+/// The concrete primitive suite a level implies (one row of Table II).
+struct SecuritySuite {
+  SecurityLevel level;
+  SymAlg encryption;       // record protection
+  AsymAlg authentication;  // digital signature
+  AsymAlg key_exchange;    // KEM / key agreement
+  SymAlg hashing;
+};
+
+/// Returns the Table II suite for a level.
+const SecuritySuite& SuiteFor(SecurityLevel level);
+
+/// True when a node certified for `offered` may run a workload demanding
+/// `required` (levels are upward-compatible: High hardware satisfies Low
+/// demands, never the reverse).
+constexpr bool Satisfies(SecurityLevel offered, SecurityLevel required) {
+  return static_cast<std::uint8_t>(offered) >= static_cast<std::uint8_t>(required);
+}
+
+/// Modeled one-way handshake latency at `level` on a core of `core_ghz`:
+/// signature sign+verify plus KEM keygen+encap+decap (or DH equivalent).
+double HandshakeLatencyUs(SecurityLevel level, double core_ghz);
+
+/// Total handshake bytes on the wire (public keys + signatures + KEM
+/// ciphertext), which the network substrate charges as traffic.
+std::uint64_t HandshakeWireBytes(SecurityLevel level);
+
+/// Modeled record-protection latency for a payload at `level`.
+double RecordLatencyUs(SecurityLevel level, std::size_t payload_bytes,
+                       double core_ghz);
+
+}  // namespace myrtus::security

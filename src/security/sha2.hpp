@@ -1,0 +1,60 @@
+// SHA-256 and SHA-512 (FIPS 180-4). These are the "Medium" and "High"
+// security-level hash primitives of Table II. Incremental (init/update/final)
+// and one-shot interfaces are provided; test vectors from FIPS 180-2 appendix
+// are checked in tests/security/sha2_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace myrtus::security {
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const std::uint8_t* data, std::size_t len);
+  void Update(const util::Bytes& data) { Update(data.data(), data.size()); }
+  /// Finalizes and returns the 32-byte digest. The object must be Reset()
+  /// before reuse.
+  util::Bytes Final();
+
+  static util::Bytes Digest(const util::Bytes& data);
+  static util::Bytes Digest(const std::uint8_t* data, std::size_t len);
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+  std::array<std::uint32_t, 8> h_{};
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Incremental SHA-512.
+class Sha512 {
+ public:
+  static constexpr std::size_t kDigestSize = 64;
+  Sha512() { Reset(); }
+
+  void Reset();
+  void Update(const std::uint8_t* data, std::size_t len);
+  void Update(const util::Bytes& data) { Update(data.data(), data.size()); }
+  util::Bytes Final();
+
+  static util::Bytes Digest(const util::Bytes& data);
+  static util::Bytes Digest(const std::uint8_t* data, std::size_t len);
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+  std::array<std::uint64_t, 8> h_{};
+  std::array<std::uint8_t, 128> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;  // bytes; < 2^61 is ample for simulation use
+};
+
+}  // namespace myrtus::security

@@ -1,0 +1,104 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace myrtus::sim {
+
+EventHandle Engine::ScheduleAt(SimTime when, Callback cb) {
+  if (when < now_) when = now_;
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(cb)});
+  ++live_events_;
+  return EventHandle{id};
+}
+
+EventHandle Engine::ScheduleAfter(SimTime delay, Callback cb) {
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+EventHandle Engine::SchedulePeriodic(SimTime period, Callback cb) {
+  const std::uint64_t id = next_id_++;
+  periodic_.emplace(id, PeriodicTask{period, std::move(cb)});
+  queue_.push(Event{now_ + period, next_seq_++, id, [this, id] { FirePeriodic(id); }});
+  ++live_events_;
+  return EventHandle{id};
+}
+
+void Engine::FirePeriodic(std::uint64_t id) {
+  const auto it = periodic_.find(id);
+  if (it == periodic_.end()) return;
+  it->second.cb();
+  // The callback itself may have cancelled the series.
+  const auto again = periodic_.find(id);
+  if (again == periodic_.end()) return;
+  queue_.push(Event{now_ + again->second.period, next_seq_++, id,
+                    [this, id] { FirePeriodic(id); }});
+  ++live_events_;
+}
+
+void Engine::Cancel(EventHandle h) {
+  if (!h.valid()) return;
+  if (periodic_.erase(h.id_) > 0) {
+    // The in-flight marker event becomes a no-op via FirePeriodic's lookup.
+    return;
+  }
+  cancelled_.insert(h.id_);
+}
+
+bool Engine::PopNext(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; we must copy-then-pop. Events are
+    // small (a std::function), acceptable for a control-plane simulator.
+    out = queue_.top();
+    queue_.pop();
+    --live_events_;
+    const auto it = cancelled_.find(out.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool Engine::Step() {
+  Event ev;
+  if (!PopNext(ev)) return false;
+  now_ = ev.when;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+std::size_t Engine::Run(std::size_t limit) {
+  stop_requested_ = false;
+  std::size_t n = 0;
+  while (n < limit && !stop_requested_ && Step()) ++n;
+  return n;
+}
+
+std::size_t Engine::RunUntil(SimTime deadline) {
+  stop_requested_ = false;
+  std::size_t n = 0;
+  while (!stop_requested_) {
+    if (queue_.empty()) break;
+    // Peek across tombstones without executing.
+    Event ev;
+    if (!PopNext(ev)) break;
+    if (ev.when > deadline) {
+      // Put it back; it belongs to the future beyond this run.
+      queue_.push(ev);
+      ++live_events_;
+      break;
+    }
+    now_ = ev.when;
+    ++executed_;
+    ev.cb();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace myrtus::sim

@@ -1,0 +1,100 @@
+// Deterministic discrete-event simulation engine. Single-threaded by design:
+// determinism matters more than parallel speed for orchestration experiments,
+// and ties are broken by a monotonically increasing sequence number so two
+// runs with the same seed produce identical traces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace myrtus::sim {
+
+/// Handle used to cancel a scheduled event. Cancellation is O(1): the event
+/// stays in the queue but is skipped when popped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  [[nodiscard]] bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Engine;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime Now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `when` (clamped to Now() if in the
+  /// past). Returns a handle usable with Cancel().
+  EventHandle ScheduleAt(SimTime when, Callback cb);
+  /// Schedules `cb` after the given delay.
+  EventHandle ScheduleAfter(SimTime delay, Callback cb);
+  /// Schedules `cb` every `period`, starting after `period`. The callback
+  /// keeps firing until its handle is cancelled or the engine stops.
+  EventHandle SchedulePeriodic(SimTime period, Callback cb);
+
+  /// Marks an event as cancelled; safe to call on fired/invalid handles.
+  void Cancel(EventHandle h);
+
+  /// Runs events until the queue drains or `limit` events have fired.
+  /// Returns the number of events executed.
+  std::size_t Run(std::size_t limit = SIZE_MAX);
+  /// Runs events with timestamp <= deadline; the clock ends at exactly
+  /// `deadline` even if the queue drained earlier.
+  std::size_t RunUntil(SimTime deadline);
+  /// Executes exactly one event if available. Returns false on empty queue.
+  bool Step();
+
+  /// Requests that Run()/RunUntil() return after the current event.
+  void Stop() { stop_requested_ = true; }
+
+  [[nodiscard]] bool empty() const { return live_events_ == 0; }
+  [[nodiscard]] std::size_t pending_events() const { return live_events_; }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // FIFO tie-break at equal timestamps
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopNext(Event& out);
+  void FirePeriodic(std::uint64_t id);
+
+  struct PeriodicTask {
+    SimTime period;
+    Callback cb;
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;  // tombstones, erased on pop
+  std::unordered_map<std::uint64_t, PeriodicTask> periodic_;
+  SimTime now_ = SimTime::Zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t live_events_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace myrtus::sim

@@ -1,0 +1,27 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace myrtus::sim {
+
+SimTime SimTime::FromSeconds(double s) {
+  return {static_cast<std::int64_t>(std::llround(s * 1e9))};
+}
+
+std::string SimTime::ToString() const {
+  char buf[48];
+  const double abs_ns = std::abs(static_cast<double>(ns));
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(ns) * 1e-3);
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(ns) * 1e-6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns) * 1e-9);
+  }
+  return buf;
+}
+
+}  // namespace myrtus::sim

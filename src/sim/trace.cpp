@@ -1,0 +1,51 @@
+#include "sim/trace.hpp"
+
+#include <utility>
+
+namespace myrtus::sim {
+namespace {
+const myrtus::util::RunningStat kEmptyStat{};
+}
+
+void Trace::Emit(SimTime at, std::string component, std::string event,
+                 double value) {
+  stats_[{component, event}].Add(value);
+  if (!records_dropped_) {
+    records_.push_back(TraceRecord{at, std::move(component), std::move(event), value});
+  }
+}
+
+const util::RunningStat& Trace::StatFor(const std::string& component,
+                                        const std::string& event) const {
+  const auto it = stats_.find({component, event});
+  return it == stats_.end() ? kEmptyStat : it->second;
+}
+
+std::vector<TraceRecord> Trace::Select(const std::string& event) const {
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& r : records_) {
+    if (r.event == event) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t Trace::CountOf(const std::string& event) const {
+  std::size_t n = 0;
+  for (const auto& [key, stat] : stats_) {
+    if (key.second == event) n += stat.count();
+  }
+  return n;
+}
+
+void Trace::Clear() {
+  records_.clear();
+  stats_.clear();
+  records_dropped_ = false;
+}
+
+double Metrics::Get(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+}  // namespace myrtus::sim

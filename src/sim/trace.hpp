@@ -1,0 +1,61 @@
+// Trace & metric collection — the simulator-side half of the paper's
+// "Monitoring and Observability" building block. Components emit typed
+// records; experiments read them back as time series or aggregates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+
+namespace myrtus::sim {
+
+/// One trace record: (time, component, event, numeric value).
+struct TraceRecord {
+  SimTime at;
+  std::string component;
+  std::string event;
+  double value = 0.0;
+};
+
+/// Append-only trace with per-(component,event) aggregate stats.
+class Trace {
+ public:
+  void Emit(SimTime at, std::string component, std::string event, double value = 0.0);
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  /// Aggregate over all records with the given component/event pair.
+  [[nodiscard]] const util::RunningStat& StatFor(const std::string& component,
+                                                 const std::string& event) const;
+  /// All records matching an event name across components.
+  [[nodiscard]] std::vector<TraceRecord> Select(const std::string& event) const;
+  /// Number of records for an event.
+  [[nodiscard]] std::size_t CountOf(const std::string& event) const;
+
+  void Clear();
+  /// Keep aggregates but drop the per-record log (memory control in long runs).
+  void DropRecords() { records_.clear(); records_dropped_ = true; }
+  [[nodiscard]] bool records_dropped() const { return records_dropped_; }
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::map<std::pair<std::string, std::string>, util::RunningStat> stats_;
+  bool records_dropped_ = false;
+};
+
+/// Counter/gauge registry for cheap always-on metrics.
+class Metrics {
+ public:
+  void Inc(const std::string& name, double delta = 1.0) { values_[name] += delta; }
+  void Set(const std::string& name, double v) { values_[name] = v; }
+  [[nodiscard]] double Get(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, double>& all() const { return values_; }
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+}  // namespace myrtus::sim

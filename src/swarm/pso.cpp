@@ -1,0 +1,73 @@
+#include "swarm/pso.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace myrtus::swarm {
+
+PsoResult MinimizePso(
+    const std::function<double(const std::vector<double>&)>& objective,
+    const std::vector<double>& lower, const std::vector<double>& upper,
+    util::Rng& rng, const PsoConfig& config, const std::vector<double>& seed) {
+  const std::size_t dim = lower.size();
+  PsoResult result;
+  result.best_value = std::numeric_limits<double>::infinity();
+  if (dim == 0 || dim != upper.size()) return result;
+
+  struct Particle {
+    std::vector<double> x;
+    std::vector<double> v;
+    std::vector<double> best_x;
+    double best_f;
+  };
+  std::vector<Particle> particles(static_cast<std::size_t>(config.particles));
+  bool seeded = false;
+  for (Particle& p : particles) {
+    p.x.resize(dim);
+    p.v.resize(dim);
+    for (std::size_t d = 0; d < dim; ++d) {
+      p.x[d] = rng.Uniform(lower[d], upper[d]);
+      const double span = upper[d] - lower[d];
+      p.v[d] = rng.Uniform(-span, span) * 0.1;
+    }
+    if (!seeded && seed.size() == dim) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        p.x[d] = std::clamp(seed[d], lower[d], upper[d]);
+      }
+      seeded = true;
+    }
+    p.best_x = p.x;
+    p.best_f = objective(p.x);
+    ++result.evaluations;
+    if (p.best_f < result.best_value) {
+      result.best_value = p.best_f;
+      result.best_position = p.x;
+    }
+  }
+
+  for (int it = 0; it < config.iterations; ++it) {
+    for (Particle& p : particles) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double r1 = rng.NextDouble();
+        const double r2 = rng.NextDouble();
+        p.v[d] = config.inertia * p.v[d] +
+                 config.cognitive * r1 * (p.best_x[d] - p.x[d]) +
+                 config.social * r2 * (result.best_position[d] - p.x[d]);
+        p.x[d] = std::clamp(p.x[d] + p.v[d], lower[d], upper[d]);
+      }
+      const double f = objective(p.x);
+      ++result.evaluations;
+      if (f < p.best_f) {
+        p.best_f = f;
+        p.best_x = p.x;
+      }
+      if (f < result.best_value) {
+        result.best_value = f;
+        result.best_position = p.x;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace myrtus::swarm

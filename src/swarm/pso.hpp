@@ -1,0 +1,36 @@
+// Particle Swarm Optimization — one of the swarm-intelligence strategies the
+// MIRTO Cognitive Engine uses for orchestration decisions (§IV, LAKE's
+// contribution). Generic continuous minimizer with box bounds.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace myrtus::swarm {
+
+struct PsoConfig {
+  int particles = 24;
+  int iterations = 60;
+  double inertia = 0.72;
+  double cognitive = 1.49;  // pull toward personal best
+  double social = 1.49;     // pull toward global best
+};
+
+struct PsoResult {
+  std::vector<double> best_position;
+  double best_value = 0.0;
+  int evaluations = 0;
+};
+
+/// Minimizes `objective` over the box [lower[i], upper[i]]^d. When `seed`
+/// is non-empty, one particle starts from it (memetic seeding — lets a cheap
+/// heuristic anchor the swarm in the feasible region).
+PsoResult MinimizePso(
+    const std::function<double(const std::vector<double>&)>& objective,
+    const std::vector<double>& lower, const std::vector<double>& upper,
+    util::Rng& rng, const PsoConfig& config = {},
+    const std::vector<double>& seed = {});
+
+}  // namespace myrtus::swarm

@@ -1,0 +1,119 @@
+#include "swarm/rules.hpp"
+
+#include <algorithm>
+
+namespace myrtus::swarm {
+
+std::size_t RuleSpec::TableSize() const {
+  std::size_t size = 1;
+  for (const int levels : feature_levels) {
+    size *= static_cast<std::size_t>(std::max(1, levels));
+  }
+  return size;
+}
+
+std::size_t RuleSpec::StateIndex(const std::vector<int>& features) const {
+  std::size_t index = 0;
+  for (std::size_t i = 0; i < feature_levels.size(); ++i) {
+    const int levels = std::max(1, feature_levels[i]);
+    const int f = i < features.size()
+                      ? std::clamp(features[i], 0, levels - 1)
+                      : 0;
+    index = index * static_cast<std::size_t>(levels) + static_cast<std::size_t>(f);
+  }
+  return index;
+}
+
+RulePolicy::RulePolicy(RuleSpec spec, std::vector<int> table)
+    : spec_(std::move(spec)), table_(std::move(table)) {
+  table_.resize(spec_.TableSize(), 0);
+}
+
+RulePolicy RulePolicy::Random(const RuleSpec& spec, util::Rng& rng) {
+  std::vector<int> table(spec.TableSize());
+  for (int& a : table) {
+    a = static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(spec.actions)));
+  }
+  return RulePolicy(spec, std::move(table));
+}
+
+int RulePolicy::Act(const std::vector<int>& features) const {
+  return table_[spec_.StateIndex(features)];
+}
+
+EvolutionResult EvolveRules(
+    const RuleSpec& spec,
+    const std::function<double(const RulePolicy&)>& fitness, util::Rng& rng,
+    const GaConfig& config) {
+  struct Individual {
+    RulePolicy policy;
+    double fitness;
+  };
+  std::vector<Individual> population;
+  population.reserve(static_cast<std::size_t>(config.population));
+
+  EvolutionResult result{RulePolicy(spec, {}), -1e300, {}, 0};
+  for (int i = 0; i < config.population; ++i) {
+    RulePolicy p = RulePolicy::Random(spec, rng);
+    const double f = fitness(p);
+    ++result.evaluations;
+    population.push_back(Individual{std::move(p), f});
+  }
+
+  const auto tournament_pick = [&]() -> const Individual& {
+    const Individual* best = nullptr;
+    for (int i = 0; i < config.tournament; ++i) {
+      const Individual& cand =
+          population[rng.NextBounded(population.size())];
+      if (best == nullptr || cand.fitness > best->fitness) best = &cand;
+    }
+    return *best;
+  };
+
+  for (int gen = 0; gen < config.generations; ++gen) {
+    std::sort(population.begin(), population.end(),
+              [](const Individual& a, const Individual& b) {
+                return a.fitness > b.fitness;
+              });
+    if (population.front().fitness > result.best_fitness) {
+      result.best_fitness = population.front().fitness;
+      result.best = population.front().policy;
+    }
+    result.fitness_history.push_back(population.front().fitness);
+
+    std::vector<Individual> next;
+    next.reserve(population.size());
+    for (int e = 0; e < config.elites && e < static_cast<int>(population.size());
+         ++e) {
+      next.push_back(population[static_cast<std::size_t>(e)]);
+    }
+    while (next.size() < population.size()) {
+      const Individual& a = tournament_pick();
+      const Individual& b = tournament_pick();
+      // Uniform crossover + mutation.
+      std::vector<int> child_table(a.policy.table().size());
+      for (std::size_t i = 0; i < child_table.size(); ++i) {
+        child_table[i] = rng.NextBool() ? a.policy.table()[i] : b.policy.table()[i];
+        if (rng.NextBool(config.mutation_rate)) {
+          child_table[i] = static_cast<int>(
+              rng.NextBounded(static_cast<std::uint64_t>(spec.actions)));
+        }
+      }
+      RulePolicy child(spec, std::move(child_table));
+      const double f = fitness(child);
+      ++result.evaluations;
+      next.push_back(Individual{std::move(child), f});
+    }
+    population = std::move(next);
+  }
+  // Final sweep.
+  for (const Individual& ind : population) {
+    if (ind.fitness > result.best_fitness) {
+      result.best_fitness = ind.fitness;
+      result.best = ind.policy;
+    }
+  }
+  return result;
+}
+
+}  // namespace myrtus::swarm

@@ -1,0 +1,64 @@
+// FREVO-style evolutionary synthesis of local rules for swarm agents (§V:
+// "FREVO generates the local rules for the swarm agents to be used within the
+// MIRTO Cognitive Engine"). A rule policy is a lookup table from discretized
+// observations to actions; a genetic algorithm evolves tables against a
+// user-supplied fitness (typically a DynAA-style what-if simulation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::swarm {
+
+/// Shape of the observation/action space.
+struct RuleSpec {
+  std::vector<int> feature_levels;  // cardinality of each discretized feature
+  int actions = 2;
+
+  [[nodiscard]] std::size_t TableSize() const;
+  /// Row index for a feature vector (each features[i] in [0, levels[i])).
+  [[nodiscard]] std::size_t StateIndex(const std::vector<int>& features) const;
+};
+
+/// A concrete rule table: one action per discretized state.
+class RulePolicy {
+ public:
+  RulePolicy(RuleSpec spec, std::vector<int> table);
+  /// Uniformly random policy.
+  static RulePolicy Random(const RuleSpec& spec, util::Rng& rng);
+
+  [[nodiscard]] int Act(const std::vector<int>& features) const;
+  [[nodiscard]] const RuleSpec& spec() const { return spec_; }
+  [[nodiscard]] const std::vector<int>& table() const { return table_; }
+  std::vector<int>& mutable_table() { return table_; }
+
+ private:
+  RuleSpec spec_;
+  std::vector<int> table_;
+};
+
+struct GaConfig {
+  int population = 32;
+  int generations = 40;
+  double mutation_rate = 0.05;
+  int tournament = 3;
+  int elites = 2;
+};
+
+struct EvolutionResult {
+  RulePolicy best;
+  double best_fitness = 0.0;
+  std::vector<double> fitness_history;  // best per generation
+  int evaluations = 0;
+};
+
+/// Maximizes `fitness` over rule tables.
+EvolutionResult EvolveRules(const RuleSpec& spec,
+                            const std::function<double(const RulePolicy&)>& fitness,
+                            util::Rng& rng, const GaConfig& config = {});
+
+}  // namespace myrtus::swarm

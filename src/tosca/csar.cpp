@@ -1,0 +1,110 @@
+#include "tosca/csar.hpp"
+
+#include <charconv>
+
+namespace myrtus::tosca {
+
+CsarPackage CsarPackage::Create(const ServiceTemplate& tpl,
+                                const std::string& entry_path) {
+  CsarPackage pkg;
+  pkg.AddFile(entry_path, tpl.ToYaml());
+  pkg.AddFile(std::string(kMetaPath),
+              "TOSCA-Meta-File-Version: 1.1\n"
+              "CSAR-Version: 2.0\n"
+              "Created-By: MYRTUS DPE\n"
+              "Entry-Definitions: " + entry_path + "\n");
+  return pkg;
+}
+
+void CsarPackage::AddFile(const std::string& path, std::string contents) {
+  files_[path] = std::move(contents);
+}
+
+bool CsarPackage::HasFile(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+util::StatusOr<std::string> CsarPackage::ReadFile(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return util::Status::NotFound("csar: " + path);
+  return it->second;
+}
+
+util::StatusOr<std::string> CsarPackage::EntryPath() const {
+  auto meta = ReadFile(std::string(kMetaPath));
+  if (!meta.ok()) return util::Status::InvalidArgument("csar: missing TOSCA.meta");
+  const std::string needle = "Entry-Definitions: ";
+  const std::size_t pos = meta->find(needle);
+  if (pos == std::string::npos) {
+    return util::Status::InvalidArgument("csar: TOSCA.meta lacks Entry-Definitions");
+  }
+  const std::size_t start = pos + needle.size();
+  const std::size_t end = meta->find('\n', start);
+  return meta->substr(start, end == std::string::npos ? end : end - start);
+}
+
+util::StatusOr<ServiceTemplate> CsarPackage::EntryTemplate() const {
+  auto entry = EntryPath();
+  if (!entry.ok()) return entry.status();
+  auto yaml = ReadFile(*entry);
+  if (!yaml.ok()) {
+    return util::Status::InvalidArgument("csar: entry template missing: " + *entry);
+  }
+  return ServiceTemplate::FromYaml(*yaml);
+}
+
+std::string CsarPackage::Pack() const {
+  std::string out = "CSAR1\n";
+  for (const auto& [path, contents] : files_) {
+    out += path;
+    out += '\n';
+    out += std::to_string(contents.size());
+    out += '\n';
+    out += contents;
+  }
+  return out;
+}
+
+util::StatusOr<CsarPackage> CsarPackage::Unpack(std::string_view data) {
+  if (data.substr(0, 6) != "CSAR1\n") {
+    return util::Status::InvalidArgument("csar: bad magic");
+  }
+  CsarPackage pkg;
+  std::size_t pos = 6;
+  while (pos < data.size()) {
+    const std::size_t path_end = data.find('\n', pos);
+    if (path_end == std::string_view::npos) {
+      return util::Status::DataLoss("csar: truncated path");
+    }
+    const std::string path(data.substr(pos, path_end - pos));
+    pos = path_end + 1;
+    const std::size_t len_end = data.find('\n', pos);
+    if (len_end == std::string_view::npos) {
+      return util::Status::DataLoss("csar: truncated length");
+    }
+    std::size_t len = 0;
+    const std::string_view len_str = data.substr(pos, len_end - pos);
+    const auto [p, ec] =
+        std::from_chars(len_str.data(), len_str.data() + len_str.size(), len);
+    if (ec != std::errc() || p != len_str.data() + len_str.size()) {
+      return util::Status::DataLoss("csar: bad length field");
+    }
+    pos = len_end + 1;
+    if (pos + len > data.size()) {
+      return util::Status::DataLoss("csar: truncated file body");
+    }
+    pkg.AddFile(path, std::string(data.substr(pos, len)));
+    pos += len;
+  }
+  return pkg;
+}
+
+std::size_t CsarPackage::TotalBytes() const {
+  std::size_t total = 0;
+  for (const auto& [path, contents] : files_) {
+    total += path.size() + contents.size();
+  }
+  return total;
+}
+
+}  // namespace myrtus::tosca

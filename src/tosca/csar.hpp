@@ -1,0 +1,49 @@
+// CSAR (Cloud Service ARchive) package model: the artifact Modelio's TOSCA
+// Designer exports and MIRTO consumes (§V/§VI "Deployment Specification").
+// An in-memory archive with TOSCA-Metadata/TOSCA.meta, an entry service
+// template, and auxiliary files (scripts, operating-point tables). The
+// on-wire form is a length-prefixed flat serialization (stand-in for ZIP).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "tosca/model.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::tosca {
+
+class CsarPackage {
+ public:
+  static constexpr std::string_view kMetaPath = "TOSCA-Metadata/TOSCA.meta";
+
+  /// Builds a package around a service template (serialized as YAML at
+  /// `entry_path`), generating the TOSCA.meta block.
+  static CsarPackage Create(const ServiceTemplate& tpl,
+                            const std::string& entry_path = "service.yaml");
+
+  /// Adds or replaces an auxiliary file.
+  void AddFile(const std::string& path, std::string contents);
+  [[nodiscard]] bool HasFile(const std::string& path) const;
+  [[nodiscard]] util::StatusOr<std::string> ReadFile(const std::string& path) const;
+  [[nodiscard]] const std::map<std::string, std::string>& files() const {
+    return files_;
+  }
+
+  /// Path of the entry service template, from TOSCA.meta.
+  [[nodiscard]] util::StatusOr<std::string> EntryPath() const;
+  /// Parses the entry template back out of the archive.
+  [[nodiscard]] util::StatusOr<ServiceTemplate> EntryTemplate() const;
+
+  /// Flat serialization: "CSAR1\n" then, per file,
+  /// "<path>\n<length>\n<bytes>". Deterministic (path-sorted).
+  [[nodiscard]] std::string Pack() const;
+  static util::StatusOr<CsarPackage> Unpack(std::string_view data);
+
+  [[nodiscard]] std::size_t TotalBytes() const;
+
+ private:
+  std::map<std::string, std::string> files_;
+};
+
+}  // namespace myrtus::tosca

@@ -1,0 +1,246 @@
+#include "tosca/model.hpp"
+
+#include <set>
+
+#include "tosca/yaml.hpp"
+
+namespace myrtus::tosca {
+
+using util::Json;
+using util::Status;
+using util::StatusOr;
+
+StatusOr<ServiceTemplate> ServiceTemplate::FromJson(const Json& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("service template must be a mapping");
+  }
+  ServiceTemplate tpl;
+  tpl.tosca_version = doc.at("tosca_definitions_version").as_string();
+  tpl.description = doc.at("description").as_string();
+  tpl.metadata = doc.at("metadata");
+
+  const Json& topo = doc.has("service_template") ? doc.at("service_template")
+                                                 : doc.at("topology_template");
+  const Json& templates = topo.is_null() ? doc.at("node_templates")
+                                         : topo.at("node_templates");
+  for (const auto& [name, body] : templates.fields()) {
+    NodeTemplate nt;
+    nt.name = name;
+    nt.type = body.at("type").as_string();
+    nt.properties = body.at("properties");
+    for (const Json& req : body.at("requirements").items()) {
+      // Requirements are a list of single-key maps: - host: some_node
+      for (const auto& [rname, target] : req.fields()) {
+        Requirement r;
+        r.name = rname;
+        r.target = target.is_string() ? target.as_string()
+                                      : target.at("node").as_string();
+        nt.requirements.push_back(std::move(r));
+      }
+    }
+    tpl.node_templates[name] = std::move(nt);
+  }
+
+  const Json& policies = topo.is_null() ? doc.at("policies") : topo.at("policies");
+  for (const Json& pol : policies.items()) {
+    for (const auto& [pname, body] : pol.fields()) {
+      Policy p;
+      p.name = pname;
+      p.type = body.at("type").as_string();
+      p.properties = body.at("properties");
+      for (const Json& t : body.at("targets").items()) {
+        p.targets.push_back(t.as_string());
+      }
+      tpl.policies.push_back(std::move(p));
+    }
+  }
+  return tpl;
+}
+
+StatusOr<ServiceTemplate> ServiceTemplate::FromYaml(std::string_view yaml_text) {
+  auto doc = ParseYaml(yaml_text);
+  if (!doc.ok()) return doc.status();
+  return FromJson(*doc);
+}
+
+Json ServiceTemplate::ToJson() const {
+  Json templates = Json::MakeObject();
+  for (const auto& [name, nt] : node_templates) {
+    Json reqs = Json::MakeArray();
+    for (const Requirement& r : nt.requirements) {
+      reqs.Append(Json::MakeObject().Set(r.name, r.target));
+    }
+    templates.Set(name, Json::MakeObject()
+                            .Set("type", nt.type)
+                            .Set("properties", nt.properties)
+                            .Set("requirements", std::move(reqs)));
+  }
+  Json pols = Json::MakeArray();
+  for (const Policy& p : policies) {
+    Json targets = Json::MakeArray();
+    for (const std::string& t : p.targets) targets.Append(t);
+    pols.Append(Json::MakeObject().Set(
+        p.name, Json::MakeObject()
+                    .Set("type", p.type)
+                    .Set("targets", std::move(targets))
+                    .Set("properties", p.properties)));
+  }
+  return Json::MakeObject()
+      .Set("tosca_definitions_version",
+           tosca_version.empty() ? "tosca_2_0" : tosca_version)
+      .Set("description", description)
+      .Set("metadata", metadata)
+      .Set("service_template", Json::MakeObject()
+                                   .Set("node_templates", std::move(templates))
+                                   .Set("policies", std::move(pols)));
+}
+
+std::string ServiceTemplate::ToYaml() const { return EmitYaml(ToJson()); }
+
+std::vector<const Policy*> ServiceTemplate::PoliciesFor(
+    const std::string& node) const {
+  std::vector<const Policy*> out;
+  for (const Policy& p : policies) {
+    if (p.targets.empty()) {
+      out.push_back(&p);
+      continue;
+    }
+    for (const std::string& t : p.targets) {
+      if (t == node) {
+        out.push_back(&p);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ValidationProcessor::Issue> ValidationProcessor::Validate(
+    const ServiceTemplate& tpl) const {
+  std::vector<Issue> issues;
+  static const std::set<std::string> kKnownTypes = {
+      std::string(kTypeWorkload), std::string(kTypeCompute),
+      std::string(kTypeAccelerator), std::string(kTypeStorage)};
+  static const std::set<std::string> kKnownPolicies = {
+      std::string(kPolicySecurity), std::string(kPolicyPlacement),
+      std::string(kPolicyLatency), std::string(kPolicyEnergy)};
+
+  if (tpl.tosca_version != "tosca_2_0" && tpl.tosca_version != "tosca_simple_yaml_1_3") {
+    issues.push_back({"tosca_definitions_version",
+                      "unsupported version '" + tpl.tosca_version + "'"});
+  }
+  if (tpl.node_templates.empty()) {
+    issues.push_back({"node_templates", "service template has no node templates"});
+  }
+  for (const auto& [name, nt] : tpl.node_templates) {
+    if (kKnownTypes.count(nt.type) == 0) {
+      issues.push_back({name, "unknown node type '" + nt.type + "'"});
+    }
+    if (!nt.properties.is_object() && !nt.properties.is_null()) {
+      issues.push_back({name, "properties must be a mapping"});
+    }
+    for (const Requirement& r : nt.requirements) {
+      if (tpl.node_templates.count(r.target) == 0) {
+        issues.push_back(
+            {name, "requirement '" + r.name + "' targets unknown template '" +
+                       r.target + "'"});
+      }
+    }
+    if (nt.type == kTypeWorkload) {
+      const double cpu = nt.properties.at("cpu").as_double(-1);
+      if (nt.properties.has("cpu") && cpu <= 0) {
+        issues.push_back({name, "cpu must be positive"});
+      }
+      if (nt.properties.has("memory_mb") &&
+          nt.properties.at("memory_mb").as_int() <= 0) {
+        issues.push_back({name, "memory_mb must be positive"});
+      }
+    }
+  }
+
+  // Requirement cycles (host chains must be a DAG).
+  for (const auto& [name, nt] : tpl.node_templates) {
+    std::set<std::string> seen{name};
+    const NodeTemplate* cur = &nt;
+    while (!cur->requirements.empty()) {
+      const std::string& next = cur->requirements.front().target;
+      if (seen.count(next) > 0) {
+        issues.push_back({name, "requirement cycle through '" + next + "'"});
+        break;
+      }
+      seen.insert(next);
+      const auto it = tpl.node_templates.find(next);
+      if (it == tpl.node_templates.end()) break;
+      cur = &it->second;
+    }
+  }
+
+  for (const Policy& p : tpl.policies) {
+    if (kKnownPolicies.count(p.type) == 0) {
+      issues.push_back({p.name, "unknown policy type '" + p.type + "'"});
+    }
+    for (const std::string& t : p.targets) {
+      if (tpl.node_templates.count(t) == 0) {
+        issues.push_back({p.name, "policy targets unknown template '" + t + "'"});
+      }
+    }
+    if (p.type == kPolicySecurity) {
+      const std::string level = p.properties.at("level").as_string();
+      if (!security::ParseSecurityLevel(level).ok()) {
+        issues.push_back({p.name, "invalid security level '" + level + "'"});
+      }
+    }
+    if (p.type == kPolicyLatency &&
+        p.properties.at("max_ms").as_double(-1) <= 0) {
+      issues.push_back({p.name, "max_ms must be positive"});
+    }
+  }
+  return issues;
+}
+
+Status ValidationProcessor::Check(const ServiceTemplate& tpl) const {
+  const std::vector<Issue> issues = Validate(tpl);
+  if (issues.empty()) return Status::Ok();
+  std::string msg = "TOSCA validation failed:";
+  for (const Issue& i : issues) msg += " [" + i.where + "] " + i.problem + ";";
+  return Status::InvalidArgument(msg);
+}
+
+StatusOr<std::vector<sched::PodSpec>> LowerToPods(const ServiceTemplate& tpl) {
+  ValidationProcessor validator;
+  MYRTUS_RETURN_IF_ERROR(validator.Check(tpl));
+
+  std::vector<sched::PodSpec> pods;
+  for (const auto& [name, nt] : tpl.node_templates) {
+    if (nt.type != kTypeWorkload && nt.type != kTypeAccelerator) continue;
+    sched::PodSpec pod;
+    pod.name = name;
+    pod.cpu_request = nt.properties.at("cpu").as_double(0.5);
+    pod.mem_request_mb =
+        static_cast<std::uint64_t>(nt.properties.at("memory_mb").as_int(128));
+    pod.needs_accelerator = nt.type == kTypeAccelerator ||
+                            nt.properties.at("accelerable").as_bool(false);
+    pod.priority = static_cast<int>(nt.properties.at("priority").as_int(0));
+    pod.expected_load = nt.properties.at("expected_load").as_double(0.0);
+
+    for (const Policy* p : tpl.PoliciesFor(name)) {
+      if (p->type == kPolicySecurity) {
+        auto level =
+            security::ParseSecurityLevel(p->properties.at("level").as_string());
+        if (level.ok()) pod.min_security = *level;
+      } else if (p->type == kPolicyPlacement) {
+        pod.layer_affinity = p->properties.at("layer").as_string();
+        for (const auto& [k, v] : p->properties.at("node_selector").fields()) {
+          pod.node_selector[k] = v.as_string();
+        }
+      }
+    }
+    pods.push_back(std::move(pod));
+  }
+  if (pods.empty()) {
+    return Status::InvalidArgument("service template defines no workloads");
+  }
+  return pods;
+}
+
+}  // namespace myrtus::tosca

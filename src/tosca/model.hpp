@@ -1,0 +1,86 @@
+// TOSCA object model (OASIS TOSCA v2.0 subset): service templates with node
+// templates, requirements, and policies — the contract between the DPE
+// (which emits deployment specifications) and the MIRTO agent (whose API
+// daemon validates incoming TOSCA requests, §IV).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sched/pod.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::tosca {
+
+/// Node-template types the MYRTUS profile defines.
+inline constexpr std::string_view kTypeWorkload = "myrtus.nodes.Workload";
+inline constexpr std::string_view kTypeCompute = "myrtus.nodes.Compute";
+inline constexpr std::string_view kTypeAccelerator = "myrtus.nodes.AcceleratedKernel";
+inline constexpr std::string_view kTypeStorage = "myrtus.nodes.Storage";
+
+/// Policy types.
+inline constexpr std::string_view kPolicySecurity = "myrtus.policies.SecurityLevel";
+inline constexpr std::string_view kPolicyPlacement = "myrtus.policies.Placement";
+inline constexpr std::string_view kPolicyLatency = "myrtus.policies.EndToEndLatency";
+inline constexpr std::string_view kPolicyEnergy = "myrtus.policies.EnergyBudget";
+
+struct Requirement {
+  std::string name;    // e.g. "host", "connects_to"
+  std::string target;  // another node-template name
+};
+
+struct NodeTemplate {
+  std::string name;
+  std::string type;
+  util::Json properties;  // object
+  std::vector<Requirement> requirements;
+};
+
+struct Policy {
+  std::string name;
+  std::string type;
+  std::vector<std::string> targets;  // node-template names ("" = all)
+  util::Json properties;
+};
+
+struct ServiceTemplate {
+  std::string tosca_version;  // "tosca_2_0" expected
+  std::string description;
+  std::map<std::string, NodeTemplate> node_templates;
+  std::vector<Policy> policies;
+  util::Json metadata;  // free-form (operating points, KPI estimates, ...)
+
+  /// Parses from a YAML/JSON document tree.
+  static util::StatusOr<ServiceTemplate> FromJson(const util::Json& doc);
+  static util::StatusOr<ServiceTemplate> FromYaml(std::string_view yaml_text);
+  [[nodiscard]] util::Json ToJson() const;
+  [[nodiscard]] std::string ToYaml() const;
+
+  /// Policies applying to a given node template (by target list).
+  [[nodiscard]] std::vector<const Policy*> PoliciesFor(const std::string& node) const;
+};
+
+/// The MIRTO TOSCA Validation Processor (Fig. 3): structural and semantic
+/// validation of an incoming service template.
+class ValidationProcessor {
+ public:
+  struct Issue {
+    std::string where;
+    std::string problem;
+  };
+
+  /// Returns the list of problems; empty means valid.
+  [[nodiscard]] std::vector<Issue> Validate(const ServiceTemplate& tpl) const;
+  /// Convenience: OK or INVALID_ARGUMENT with a combined message.
+  [[nodiscard]] util::Status Check(const ServiceTemplate& tpl) const;
+};
+
+/// Lowers the workload node templates of a validated service template into
+/// pod specs for the kube-like substrate, applying security/placement
+/// policies. This is the design-time → runtime hand-off (Pillar 3 → 2).
+util::StatusOr<std::vector<sched::PodSpec>> LowerToPods(
+    const ServiceTemplate& tpl);
+
+}  // namespace myrtus::tosca

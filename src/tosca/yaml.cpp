@@ -1,0 +1,397 @@
+#include "tosca/yaml.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <vector>
+
+namespace myrtus::tosca {
+namespace {
+
+using util::Json;
+using util::Status;
+using util::StatusOr;
+
+struct Line {
+  int indent = 0;
+  std::string content;  // trimmed, comment-stripped
+  std::size_t number = 0;
+};
+
+/// Strips a trailing comment that is not inside quotes.
+std::string StripComment(std::string_view s) {
+  bool in_single = false;
+  bool in_double = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\'' && !in_double) in_single = !in_single;
+    else if (c == '"' && !in_single) in_double = !in_double;
+    else if (c == '#' && !in_single && !in_double &&
+             (i == 0 || s[i - 1] == ' ' || s[i - 1] == '\t')) {
+      return std::string(s.substr(0, i));
+    }
+  }
+  return std::string(s);
+}
+
+std::string Trim(std::string s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<Line> SplitLines(std::string_view text) {
+  std::vector<Line> lines;
+  std::size_t start = 0;
+  std::size_t lineno = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view raw = text.substr(start, end - start);
+    ++lineno;
+    int indent = 0;
+    while (static_cast<std::size_t>(indent) < raw.size() && raw[static_cast<std::size_t>(indent)] == ' ') ++indent;
+    std::string content = Trim(StripComment(raw.substr(static_cast<std::size_t>(indent))));
+    if (!content.empty() && content != "---") {
+      lines.push_back(Line{indent, std::move(content), lineno});
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return lines;
+}
+
+/// Typed scalar conversion.
+Json ParseScalar(std::string_view s) {
+  if (s.empty() || s == "~" || s == "null") return Json(nullptr);
+  if (s == "true" || s == "True") return Json(true);
+  if (s == "false" || s == "False") return Json(false);
+  if ((s.front() == '"' && s.back() == '"' && s.size() >= 2) ||
+      (s.front() == '\'' && s.back() == '\'' && s.size() >= 2)) {
+    return Json(std::string(s.substr(1, s.size() - 2)));
+  }
+  // Try integer.
+  {
+    std::int64_t v = 0;
+    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec == std::errc() && p == s.data() + s.size()) return Json(v);
+  }
+  // Try float.
+  {
+    double v = 0;
+    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec == std::errc() && p == s.data() + s.size()) return Json(v);
+  }
+  return Json(std::string(s));
+}
+
+/// Flow-style [..] / {..} values are JSON-compatible enough after quoting
+/// bare words; we parse them with a tiny recursive routine.
+StatusOr<Json> ParseFlow(std::string_view s, std::size_t& pos);
+
+StatusOr<Json> ParseFlowValue(std::string_view s, std::size_t& pos) {
+  while (pos < s.size() && s[pos] == ' ') ++pos;
+  if (pos >= s.size()) return Status::InvalidArgument("flow: unexpected end");
+  if (s[pos] == '[' || s[pos] == '{') return ParseFlow(s, pos);
+  // Scalar up to , ] } at this nesting level.
+  if (s[pos] == '"' || s[pos] == '\'') {
+    const char q = s[pos];
+    const std::size_t start = ++pos;
+    while (pos < s.size() && s[pos] != q) ++pos;
+    if (pos >= s.size()) return Status::InvalidArgument("flow: unterminated quote");
+    const std::string_view inner = s.substr(start, pos - start);
+    ++pos;
+    return Json(std::string(inner));
+  }
+  const std::size_t start = pos;
+  while (pos < s.size() && s[pos] != ',' && s[pos] != ']' && s[pos] != '}' &&
+         s[pos] != ':') {
+    ++pos;
+  }
+  return ParseScalar(Trim(std::string(s.substr(start, pos - start))));
+}
+
+StatusOr<Json> ParseFlow(std::string_view s, std::size_t& pos) {
+  const char open = s[pos];
+  const char close = open == '[' ? ']' : '}';
+  ++pos;
+  Json result = open == '[' ? Json::MakeArray() : Json::MakeObject();
+  while (true) {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == ',')) ++pos;
+    if (pos >= s.size()) return Status::InvalidArgument("flow: unterminated");
+    if (s[pos] == close) {
+      ++pos;
+      return result;
+    }
+    if (open == '[') {
+      auto v = ParseFlowValue(s, pos);
+      if (!v.ok()) return v;
+      result.Append(std::move(v).value());
+    } else {
+      auto k = ParseFlowValue(s, pos);
+      if (!k.ok()) return k;
+      while (pos < s.size() && s[pos] == ' ') ++pos;
+      if (pos >= s.size() || s[pos] != ':') {
+        return Status::InvalidArgument("flow map: expected ':'");
+      }
+      ++pos;
+      auto v = ParseFlowValue(s, pos);
+      if (!v.ok()) return v;
+      std::string key = k->is_string() ? k->as_string() : k->Dump();
+      result.Set(std::move(key), std::move(v).value());
+    }
+  }
+}
+
+StatusOr<Json> ParseValueText(const std::string& text) {
+  const std::string t = Trim(text);
+  if (!t.empty() && (t[0] == '[' || t[0] == '{')) {
+    std::size_t pos = 0;
+    auto v = ParseFlow(t, pos);
+    if (!v.ok()) return v;
+    while (pos < t.size() && t[pos] == ' ') ++pos;
+    if (pos != t.size()) return Status::InvalidArgument("flow: trailing data");
+    return v;
+  }
+  return ParseScalar(t);
+}
+
+/// Finds the first ':' that terminates a mapping key (not inside quotes or
+/// flow brackets, and followed by space/EOL).
+std::size_t FindKeySeparator(const std::string& s) {
+  int depth = 0;
+  bool in_single = false;
+  bool in_double = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\'' && !in_double) in_single = !in_single;
+    else if (c == '"' && !in_single) in_double = !in_double;
+    else if (!in_single && !in_double) {
+      if (c == '[' || c == '{') ++depth;
+      else if (c == ']' || c == '}') --depth;
+      else if (c == ':' && depth == 0 &&
+               (i + 1 == s.size() || s[i + 1] == ' ')) {
+        return i;
+      }
+    }
+  }
+  return std::string::npos;
+}
+
+class BlockParser {
+ public:
+  explicit BlockParser(std::vector<Line> lines) : lines_(std::move(lines)) {}
+
+  StatusOr<Json> Run() {
+    if (lines_.empty()) return Json(nullptr);
+    auto v = ParseBlock(lines_[0].indent);
+    if (!v.ok()) return v;
+    if (pos_ != lines_.size()) {
+      return Err("inconsistent indentation");
+    }
+    return v;
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    const std::size_t line =
+        pos_ < lines_.size() ? lines_[pos_].number : lines_.back().number;
+    return Status::InvalidArgument("yaml line " + std::to_string(line) + ": " +
+                                   msg);
+  }
+
+  StatusOr<Json> ParseBlock(int indent) {
+    if (pos_ >= lines_.size()) return Json(nullptr);
+    if (lines_[pos_].content[0] == '-' &&
+        (lines_[pos_].content.size() == 1 || lines_[pos_].content[1] == ' ')) {
+      return ParseSequence(indent);
+    }
+    return ParseMapping(indent);
+  }
+
+  StatusOr<Json> ParseSequence(int indent) {
+    Json arr = Json::MakeArray();
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+           lines_[pos_].content[0] == '-') {
+      Line& line = lines_[pos_];
+      std::string rest = Trim(line.content.substr(1));
+      if (rest.empty()) {
+        ++pos_;
+        // Nested block belongs to this item.
+        if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+          auto v = ParseBlock(lines_[pos_].indent);
+          if (!v.ok()) return v;
+          arr.Append(std::move(v).value());
+        } else {
+          arr.Append(Json(nullptr));
+        }
+      } else if (FindKeySeparator(rest) != std::string::npos) {
+        // "- key: value" starts an inline mapping item. Rewrite the line as
+        // a mapping at a deeper indent and parse the whole item as a map.
+        line.indent = indent + 2;
+        line.content = rest;
+        auto v = ParseMapping(indent + 2);
+        if (!v.ok()) return v;
+        arr.Append(std::move(v).value());
+      } else {
+        auto v = ParseValueText(rest);
+        if (!v.ok()) return v;
+        arr.Append(std::move(v).value());
+        ++pos_;
+      }
+    }
+    return arr;
+  }
+
+  StatusOr<Json> ParseMapping(int indent) {
+    Json obj = Json::MakeObject();
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+           !(lines_[pos_].content[0] == '-' &&
+             (lines_[pos_].content.size() == 1 ||
+              lines_[pos_].content[1] == ' '))) {
+      const Line& line = lines_[pos_];
+      const std::size_t sep = FindKeySeparator(line.content);
+      if (sep == std::string::npos) {
+        return Err("expected 'key: value'");
+      }
+      std::string key = Trim(line.content.substr(0, sep));
+      if (key.size() >= 2 &&
+          ((key.front() == '"' && key.back() == '"') ||
+           (key.front() == '\'' && key.back() == '\''))) {
+        key = key.substr(1, key.size() - 2);
+      }
+      std::string rest = Trim(line.content.substr(sep + 1));
+      ++pos_;
+      if (rest.empty()) {
+        // Value is a nested block (or null).
+        if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+          auto v = ParseBlock(lines_[pos_].indent);
+          if (!v.ok()) return v;
+          obj.Set(std::move(key), std::move(v).value());
+        } else if (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+                   lines_[pos_].content[0] == '-' &&
+                   (lines_[pos_].content.size() == 1 ||
+                    lines_[pos_].content[1] == ' ')) {
+          // Sequence at the same indent as the key (common YAML style).
+          auto v = ParseSequence(indent);
+          if (!v.ok()) return v;
+          obj.Set(std::move(key), std::move(v).value());
+        } else {
+          obj.Set(std::move(key), Json(nullptr));
+        }
+      } else {
+        auto v = ParseValueText(rest);
+        if (!v.ok()) return v;
+        obj.Set(std::move(key), std::move(v).value());
+      }
+    }
+    if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+      return Err("unexpected deeper indentation");
+    }
+    return obj;
+  }
+
+  std::vector<Line> lines_;
+  std::size_t pos_ = 0;
+};
+
+bool NeedsQuoting(const std::string& s) {
+  if (s.empty() || s == "null" || s == "true" || s == "false" || s == "~") return true;
+  // Numbers-looking strings must be quoted to round-trip as strings.
+  {
+    double d;
+    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), d);
+    if (ec == std::errc() && p == s.data() + s.size()) return true;
+  }
+  for (const char c : s) {
+    if (c == ':' || c == '#' || c == '\n' || c == '\'' || c == '"' ||
+        c == '[' || c == ']' || c == '{' || c == '}' || c == ',') {
+      return true;
+    }
+  }
+  return s.front() == ' ' || s.back() == ' ' || s.front() == '-';
+}
+
+void EmitScalar(const Json& v, std::string& out) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_string()) {
+    const std::string& s = v.as_string();
+    if (NeedsQuoting(s)) {
+      out += '"';
+      for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += '"';
+    } else {
+      out += s;
+    }
+  } else {
+    out += v.Dump();
+  }
+}
+
+void EmitBlock(const Json& v, std::string& out, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  if (v.is_object() && !v.fields().empty()) {
+    for (const auto& [k, item] : v.fields()) {
+      out += pad;
+      Json keyj(k);
+      EmitScalar(keyj, out);
+      out += ":";
+      if ((item.is_object() && !item.fields().empty()) ||
+          (item.is_array() && !item.items().empty())) {
+        out += "\n";
+        EmitBlock(item, out, indent + 2);
+      } else if (item.is_object()) {
+        out += " {}\n";
+      } else if (item.is_array()) {
+        out += " []\n";
+      } else {
+        out += " ";
+        EmitScalar(item, out);
+        out += "\n";
+      }
+    }
+  } else if (v.is_array() && !v.items().empty()) {
+    for (const Json& item : v.items()) {
+      out += pad;
+      out += "-";
+      if ((item.is_object() && !item.fields().empty()) ||
+          (item.is_array() && !item.items().empty())) {
+        out += "\n";
+        EmitBlock(item, out, indent + 2);
+      } else if (item.is_object()) {
+        out += " {}\n";
+      } else if (item.is_array()) {
+        out += " []\n";
+      } else {
+        out += " ";
+        EmitScalar(item, out);
+        out += "\n";
+      }
+    }
+  } else {
+    out += pad;
+    EmitScalar(v, out);
+    out += "\n";
+  }
+}
+
+}  // namespace
+
+StatusOr<Json> ParseYaml(std::string_view text) {
+  return BlockParser(SplitLines(text)).Run();
+}
+
+std::string EmitYaml(const Json& value) {
+  std::string out;
+  EmitBlock(value, out, 0);
+  return out;
+}
+
+}  // namespace myrtus::tosca

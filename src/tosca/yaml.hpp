@@ -1,0 +1,23 @@
+// A YAML-subset parser producing util::Json documents. TOSCA service
+// templates are YAML (§V: "the deployment specification will be passed from
+// Modelio to dfg-mlir in TOSCA format (i.e., YAML)"), so the DPE/TOSCA stack
+// needs block mappings, block sequences, nested indentation, comments,
+// quoted scalars, and JSON-style flow collections. Anchors, aliases, tags,
+// multi-document streams, and block scalars are intentionally out of scope.
+#pragma once
+
+#include <string_view>
+
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::tosca {
+
+/// Parses a YAML document into a Json tree. Scalars are typed: integers,
+/// floats, booleans (true/false), null (~ / null / empty), strings otherwise.
+util::StatusOr<util::Json> ParseYaml(std::string_view text);
+
+/// Emits a Json tree as block-style YAML (round-trips through ParseYaml).
+std::string EmitYaml(const util::Json& value);
+
+}  // namespace myrtus::tosca

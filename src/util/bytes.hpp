@@ -1,0 +1,65 @@
+// Byte-buffer helpers shared by the security and network substrates:
+// hex/base-like encodings, endian load/store, and constant-time comparison.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace myrtus::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Lowercase hex encoding of a byte span.
+std::string ToHex(const std::uint8_t* data, std::size_t len);
+inline std::string ToHex(const Bytes& b) { return ToHex(b.data(), b.size()); }
+
+/// Parses a hex string (case-insensitive, even length). Fails on any
+/// non-hex character.
+StatusOr<Bytes> FromHex(std::string_view hex);
+
+/// Bytes from a string literal / string payload (no copy avoidance intended;
+/// used for tests and small control messages).
+Bytes BytesOf(std::string_view s);
+std::string StringOf(const Bytes& b);
+
+/// Big-endian 32/64-bit loads and stores (FIPS hash/cipher conventions).
+inline std::uint32_t LoadBe32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+inline std::uint64_t LoadBe64(const std::uint8_t* p) {
+  return (std::uint64_t{LoadBe32(p)} << 32) | LoadBe32(p + 4);
+}
+inline void StoreBe32(std::uint32_t v, std::uint8_t* p) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+inline void StoreBe64(std::uint64_t v, std::uint8_t* p) {
+  StoreBe32(static_cast<std::uint32_t>(v >> 32), p);
+  StoreBe32(static_cast<std::uint32_t>(v), p + 4);
+}
+
+/// Little-endian 64-bit load/store (used by ASCON's spec test vectors and
+/// internal counters).
+inline std::uint64_t LoadLe64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, 8);  // host is little-endian on all supported targets
+  return v;
+}
+inline void StoreLe64(std::uint64_t v, std::uint8_t* p) { std::memcpy(p, &v, 8); }
+
+/// Constant-time equality over equal-length buffers; returns false when
+/// lengths differ (length is not secret in our protocols).
+bool ConstantTimeEqual(const Bytes& a, const Bytes& b);
+
+/// 64-bit FNV-1a — non-cryptographic hash for sharding and interning.
+std::uint64_t Fnv1a64(std::string_view s);
+
+}  // namespace myrtus::util

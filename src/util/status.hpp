@@ -1,0 +1,120 @@
+// Status / StatusOr: exception-free error propagation used across all MYRTUS
+// libraries. Modeled after the absl::Status design: a small value type with a
+// canonical error code and a human-readable message.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace myrtus::util {
+
+/// Canonical error space shared by every subsystem.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnavailable,
+  kPermissionDenied,
+  kUnauthenticated,
+  kDeadlineExceeded,
+  kAborted,
+  kUnimplemented,
+  kInternal,
+  kDataLoss,
+};
+
+/// Human-readable name of a status code ("OK", "NOT_FOUND", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value type describing the outcome of an operation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  static Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status PermissionDenied(std::string m) { return {StatusCode::kPermissionDenied, std::move(m)}; }
+  static Status Unauthenticated(std::string m) { return {StatusCode::kUnauthenticated, std::move(m)}; }
+  static Status DeadlineExceeded(std::string m) { return {StatusCode::kDeadlineExceeded, std::move(m)}; }
+  static Status Aborted(std::string m) { return {StatusCode::kAborted, std::move(m)}; }
+  static Status Unimplemented(std::string m) { return {StatusCode::kUnimplemented, std::move(m)}; }
+  static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+  static Status DataLoss(std::string m) { return {StatusCode::kDataLoss, std::move(m)}; }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "CODE: message" rendering for logs and test failure output.
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of T or a non-OK Status. T must be movable.
+template <typename T>
+class StatusOr {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like absl.
+  StatusOr(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {}
+
+  [[nodiscard]] bool ok() const { return status_.ok() && value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Accessing the value of a failed StatusOr is UB by
+  /// contract (checked via assert in debug builds of callers).
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// RETURN_IF_ERROR-style helpers (macro-free variants are preferred in
+/// expression contexts; these macros keep call sites terse in .cpp files).
+#define MYRTUS_RETURN_IF_ERROR(expr)                      \
+  do {                                                    \
+    ::myrtus::util::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                            \
+  } while (0)
+
+#define MYRTUS_ASSIGN_OR_RETURN(lhs, expr)                \
+  auto _sor_##__LINE__ = (expr);                          \
+  if (!_sor_##__LINE__.ok()) return _sor_##__LINE__.status(); \
+  lhs = std::move(_sor_##__LINE__).value()
+
+}  // namespace myrtus::util

@@ -1,0 +1,289 @@
+// SDF dataflow IR (balance equations, fusion, partitioning), KPI estimation,
+// DSE Pareto fronts, ADT countermeasure synthesis, and the full DPE pipeline.
+#include <gtest/gtest.h>
+
+#include "dpe/adt.hpp"
+#include "dpe/dataflow.hpp"
+#include "dpe/dse.hpp"
+#include "dpe/pipeline.hpp"
+
+namespace myrtus::dpe {
+namespace {
+
+DataflowGraph Chain3() {
+  DataflowGraph g;
+  (void)g.AddActor({"src", 2'000'000, 1024, false, 0.0});
+  (void)g.AddActor({"filter", 20'000'000, 4096, true, 0.8});
+  (void)g.AddActor({"sink", 1'000'000, 512, false, 0.0});
+  (void)g.AddChannel({"src", "filter", 1, 1, 4096});
+  (void)g.AddChannel({"filter", "sink", 1, 1, 1024});
+  return g;
+}
+
+TEST(Dataflow, RejectsDuplicateActorsAndBadChannels) {
+  DataflowGraph g;
+  ASSERT_TRUE(g.AddActor({"a", 1, 0, false, 0}).ok());
+  EXPECT_FALSE(g.AddActor({"a", 1, 0, false, 0}).ok());
+  EXPECT_FALSE(g.AddChannel({"a", "ghost", 1, 1, 1}).ok());
+  EXPECT_FALSE(g.AddChannel({"a", "a", 0, 1, 1}).ok());
+}
+
+TEST(Dataflow, UniformRatesGiveUnitRepetitions) {
+  auto q = Chain3().RepetitionVector();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q, (std::vector<std::uint64_t>{1, 1, 1}));
+}
+
+TEST(Dataflow, MultirateRepetitionVector) {
+  // src produces 2 per firing; sink consumes 3: q = [3, 2].
+  DataflowGraph g;
+  (void)g.AddActor({"src", 1, 0, false, 0});
+  (void)g.AddActor({"sink", 1, 0, false, 0});
+  (void)g.AddChannel({"src", "sink", 2, 3, 64});
+  auto q = g.RepetitionVector();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q, (std::vector<std::uint64_t>{3, 2}));
+}
+
+TEST(Dataflow, InconsistentRatesDetected) {
+  // Triangle with incompatible rates has no valid repetition vector.
+  DataflowGraph g;
+  (void)g.AddActor({"a", 1, 0, false, 0});
+  (void)g.AddActor({"b", 1, 0, false, 0});
+  (void)g.AddActor({"c", 1, 0, false, 0});
+  (void)g.AddChannel({"a", "b", 1, 1, 1});
+  (void)g.AddChannel({"b", "c", 1, 1, 1});
+  (void)g.AddChannel({"a", "c", 2, 1, 1});
+  EXPECT_FALSE(g.RepetitionVector().ok());
+}
+
+TEST(Dataflow, TopologicalOrderAndCycles) {
+  DataflowGraph g = Chain3();
+  auto topo = g.TopologicalOrder();
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ((*topo)[0], g.ActorIndex("src"));
+  EXPECT_TRUE(g.IsAcyclic());
+
+  DataflowGraph cyclic;
+  (void)cyclic.AddActor({"a", 1, 0, false, 0});
+  (void)cyclic.AddActor({"b", 1, 0, false, 0});
+  (void)cyclic.AddChannel({"a", "b", 1, 1, 1});
+  (void)cyclic.AddChannel({"b", "a", 1, 1, 1});
+  EXPECT_FALSE(cyclic.IsAcyclic());
+}
+
+TEST(Dataflow, IterationAggregates) {
+  DataflowGraph g = Chain3();
+  auto cycles = g.IterationCycles();
+  ASSERT_TRUE(cycles.ok());
+  EXPECT_EQ(*cycles, 23'000'000u);
+  auto bytes = g.IterationTrafficBytes();
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, 5120u);
+}
+
+TEST(Dataflow, FusionCollapsesLinearChain) {
+  auto [fused, fusions] = Chain3().FuseLinearChains();
+  EXPECT_EQ(fusions, 2);
+  EXPECT_EQ(fused.actors().size(), 1u);
+  EXPECT_EQ(fused.channels().size(), 0u);
+  EXPECT_EQ(fused.actors()[0].cycles_per_firing, 23'000'000u);
+}
+
+TEST(Dataflow, FusionRespectsFanout) {
+  DataflowGraph g;
+  (void)g.AddActor({"src", 1, 0, false, 0});
+  (void)g.AddActor({"a", 1, 0, false, 0});
+  (void)g.AddActor({"b", 1, 0, false, 0});
+  (void)g.AddChannel({"src", "a", 1, 1, 1});
+  (void)g.AddChannel({"src", "b", 1, 1, 1});
+  auto [fused, fusions] = g.FuseLinearChains();
+  EXPECT_EQ(fusions, 0) << "fan-out must block fusion";
+  EXPECT_EQ(fused.actors().size(), 3u);
+}
+
+TEST(Dataflow, PartitionCoversAllActorsAndBalances) {
+  util::Rng rng(3);
+  DataflowGraph g = RandomPipeline(12, rng);
+  const std::vector<int> part = g.Partition(3);
+  ASSERT_EQ(part.size(), 12u);
+  std::vector<std::uint64_t> load(3, 0);
+  for (std::size_t i = 0; i < part.size(); ++i) {
+    ASSERT_GE(part[i], 0);
+    ASSERT_LT(part[i], 3);
+    load[static_cast<std::size_t>(part[i])] += g.actors()[i].cycles_per_firing;
+  }
+  for (const std::uint64_t l : load) EXPECT_GT(l, 0u);
+  EXPECT_GT(g.CutBytes(part), 0u);
+  // Single partition has zero cut.
+  EXPECT_EQ(g.CutBytes(g.Partition(1)), 0u);
+}
+
+TEST(Kpi, FpgaMappingWinsForAccelerableKernel) {
+  DataflowGraph g = Chain3();
+  KpiEstimator est(g, HmpsocTargets());
+  // All on big core.
+  Configuration cpu_only{{0, 0, 0}, {0, 0, 0}};
+  // Kernel on FPGA (device 2), rest on big.
+  Configuration with_fpga{{0, 2, 0}, {0, 0, 0}};
+  auto a = est.Estimate(cpu_only);
+  auto b = est.Estimate(with_fpga);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(b->latency_s, a->latency_s);
+  EXPECT_TRUE(b->feasible);
+}
+
+TEST(Kpi, NonAccelerableOnFpgaIsInfeasible) {
+  DataflowGraph g = Chain3();
+  KpiEstimator est(g, HmpsocTargets());
+  Configuration bad{{2, 2, 2}, {0, 0, 0}};
+  auto kpi = est.Estimate(bad);
+  ASSERT_TRUE(kpi.ok());
+  EXPECT_FALSE(kpi->feasible);
+}
+
+TEST(Kpi, ValidatesShapes) {
+  DataflowGraph g = Chain3();
+  KpiEstimator est(g, HmpsocTargets());
+  EXPECT_FALSE(est.Estimate(Configuration{{0}, {0, 0, 0}}).ok());
+  EXPECT_FALSE(est.Estimate(Configuration{{0, 0, 0}, {0}}).ok());
+  EXPECT_FALSE(est.Estimate(Configuration{{0, 0, 9}, {0, 0, 0}}).ok());
+  EXPECT_FALSE(est.Estimate(Configuration{{0, 0, 0}, {0, 0, 9}}).ok());
+}
+
+TEST(Dse, ParetoFrontIsNonDominatedAndSorted) {
+  DataflowGraph g = Chain3();
+  KpiEstimator est(g, HmpsocTargets());
+  auto result = ExploreExhaustive(est);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->front.size(), 2u) << "expect a latency/energy trade-off";
+  for (std::size_t i = 1; i < result->front.size(); ++i) {
+    EXPECT_GT(result->front[i].kpi.latency_s, result->front[i - 1].kpi.latency_s);
+    EXPECT_LT(result->front[i].kpi.energy_mj, result->front[i - 1].kpi.energy_mj);
+  }
+}
+
+TEST(Dse, GeneticApproachesExhaustiveFront) {
+  DataflowGraph g = Chain3();
+  KpiEstimator est(g, HmpsocTargets());
+  auto exact = ExploreExhaustive(est);
+  ASSERT_TRUE(exact.ok());
+  util::Rng rng(9);
+  const DseResult ga = ExploreGenetic(est, rng, 40, 30);
+  ASSERT_FALSE(ga.front.empty());
+  // GA's best latency within 10% of the exhaustive best.
+  EXPECT_LE(ga.front.front().kpi.latency_s,
+            exact->front.front().kpi.latency_s * 1.1);
+}
+
+TEST(Dse, ExhaustiveRefusesHugeSpaces) {
+  util::Rng rng(10);
+  DataflowGraph g = RandomPipeline(30, rng);
+  KpiEstimator est(g, HmpsocTargets());
+  EXPECT_FALSE(ExploreExhaustive(est, 1000).ok());
+}
+
+std::unique_ptr<AdtNode> SampleThreatModel() {
+  // Root OR: steal data via network sniffing AND weak crypto, or via
+  // physical access.
+  std::vector<std::unique_ptr<AdtNode>> and_children;
+  and_children.push_back(AdtNode::Leaf("sniff_traffic", 0.8));
+  and_children.push_back(AdtNode::Leaf("break_crypto", 0.5));
+  auto network_path = AdtNode::And("network_attack", std::move(and_children));
+  network_path->AddDefence(
+      {"upgrade_tls", 1.0, 0.2, "security-level:high"});
+
+  auto physical = AdtNode::Leaf("physical_access", 0.1);
+  physical->AddDefence({"tamper_seal", 0.5, 0.5, "enable:secure-boot"});
+
+  std::vector<std::unique_ptr<AdtNode>> or_children;
+  or_children.push_back(std::move(network_path));
+  or_children.push_back(std::move(physical));
+  return AdtNode::Or("steal_data", std::move(or_children));
+}
+
+TEST(Adt, ProbabilityAlgebra) {
+  auto root = SampleThreatModel();
+  // P(and) = 0.8*0.5 = 0.4; P(or) = 1 - (1-0.4)(1-0.1) = 0.46.
+  EXPECT_NEAR(root->AttackProbability({}), 0.46, 1e-9);
+  // With the TLS defence: and-branch 0.4*0.2=0.08 -> 1-(0.92)(0.9)=0.172.
+  EXPECT_NEAR(root->AttackProbability({"upgrade_tls"}), 0.172, 1e-9);
+}
+
+TEST(Adt, SynthesisPicksBestDefencesUnderBudget) {
+  auto root = SampleThreatModel();
+  const CountermeasurePlan plan = SynthesizeCountermeasures(*root, 2.0);
+  EXPECT_EQ(plan.selected.size(), 2u);
+  EXPECT_LE(plan.total_cost, 2.0);
+  EXPECT_LT(plan.residual_probability, 0.46);
+  // The high-leverage TLS upgrade must be selected.
+  EXPECT_NE(std::find(plan.selected.begin(), plan.selected.end(), "upgrade_tls"),
+            plan.selected.end());
+}
+
+TEST(Adt, ZeroBudgetSelectsNothing) {
+  auto root = SampleThreatModel();
+  const CountermeasurePlan plan = SynthesizeCountermeasures(*root, 0.0);
+  EXPECT_TRUE(plan.selected.empty());
+  EXPECT_NEAR(plan.residual_probability, 0.46, 1e-9);
+}
+
+TEST(Pipeline, EndToEndProducesDeployableCsar) {
+  DpeInput input;
+  input.app_name = "telerehab";
+  input.graph = Chain3();
+  input.deadline_ms = 500.0;
+  input.security_level = "low";
+  auto threat = SampleThreatModel();
+  input.threat_model = threat.get();
+
+  DpePipeline pipeline(77);
+  auto out = pipeline.Run(input);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_GT(out->fusions_applied, 0);
+  EXPECT_FALSE(out->pareto_front.empty());
+  EXPECT_GE(out->chosen_point, 0);
+  EXPECT_TRUE(out->deadline_met);
+  // Threat analysis raised the floor from low to high.
+  EXPECT_EQ(out->effective_security_level, "high");
+
+  // The emitted package round-trips into a valid template with metadata.
+  auto tpl = out->package.EntryTemplate();
+  ASSERT_TRUE(tpl.ok()) << tpl.status();
+  tosca::ValidationProcessor validator;
+  EXPECT_TRUE(validator.Check(*tpl).ok()) << validator.Check(*tpl);
+  EXPECT_TRUE(tpl->metadata.has("operating_point_table"));
+  EXPECT_TRUE(out->package.HasFile("security/countermeasures.json"));
+
+  auto pods = tosca::LowerToPods(*tpl);
+  ASSERT_TRUE(pods.ok()) << pods.status();
+  for (const auto& pod : *pods) {
+    EXPECT_EQ(pod.min_security, security::SecurityLevel::kHigh);
+  }
+}
+
+TEST(Pipeline, TightDeadlineFallsBackToFastestPoint) {
+  DpeInput input;
+  input.app_name = "impossible";
+  input.graph = Chain3();
+  input.deadline_ms = 1e-6;  // unmeetable
+  DpePipeline pipeline(78);
+  auto out = pipeline.Run(input);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->deadline_met);
+  EXPECT_EQ(out->chosen_point, 0) << "fastest Pareto point is the fallback";
+}
+
+TEST(Pipeline, RejectsCyclicGraphs) {
+  DpeInput input;
+  input.app_name = "cyclic";
+  (void)input.graph.AddActor({"a", 1, 0, false, 0});
+  (void)input.graph.AddActor({"b", 1, 0, false, 0});
+  (void)input.graph.AddChannel({"a", "b", 1, 1, 1});
+  (void)input.graph.AddChannel({"b", "a", 1, 1, 1});
+  DpePipeline pipeline(79);
+  EXPECT_FALSE(pipeline.Run(input).ok());
+}
+
+}  // namespace
+}  // namespace myrtus::dpe

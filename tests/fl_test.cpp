@@ -1,0 +1,169 @@
+// Linear/logistic SGD models, FedAvg/FedProx aggregation, non-IID splits,
+// and the federated-vs-local comparison the paper's §IV motivates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fl/fedavg.hpp"
+#include "fl/model.hpp"
+
+namespace myrtus::fl {
+namespace {
+
+Dataset LinearData(std::size_t n, util::Rng& rng) {
+  // y = 2x0 - 3x1 + 1 + noise
+  Dataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.Uniform(-1, 1);
+    const double x1 = rng.Uniform(-1, 1);
+    data.push_back({{x0, x1}, 2 * x0 - 3 * x1 + 1 + rng.NextGaussian() * 0.01});
+  }
+  return data;
+}
+
+Dataset LogisticData(std::size_t n, util::Rng& rng) {
+  // Class 1 iff x0 + x1 > 0.
+  Dataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.Uniform(-1, 1);
+    const double x1 = rng.Uniform(-1, 1);
+    data.push_back({{x0, x1}, x0 + x1 > 0 ? 1.0 : 0.0});
+  }
+  return data;
+}
+
+TEST(LinearModel, LearnsRegression) {
+  util::Rng rng(1);
+  const Dataset data = LinearData(500, rng);
+  LinearModel m(2, LinearModel::Link::kIdentity);
+  for (int e = 0; e < 50; ++e) m.TrainEpoch(data, 0.05, rng);
+  EXPECT_LT(m.Evaluate(data), 0.01);
+  EXPECT_NEAR(m.Predict({1, 0}), 3.0, 0.1);
+  EXPECT_NEAR(m.Predict({0, 1}), -2.0, 0.1);
+}
+
+TEST(LinearModel, LearnsClassification) {
+  util::Rng rng(2);
+  const Dataset data = LogisticData(500, rng);
+  LinearModel m(2, LinearModel::Link::kLogistic);
+  for (int e = 0; e < 50; ++e) m.TrainEpoch(data, 0.2, rng);
+  EXPECT_GT(m.Accuracy(data), 0.95);
+}
+
+TEST(LinearModel, ParameterRoundtrip) {
+  LinearModel a(3, LinearModel::Link::kIdentity);
+  a.SetParameters({1, 2, 3, 4});
+  LinearModel b(3, LinearModel::Link::kIdentity);
+  b.SetParameters(a.Parameters());
+  EXPECT_EQ(a.Parameters(), b.Parameters());
+  EXPECT_DOUBLE_EQ(b.Predict({1, 1, 1}), 1 + 2 + 3 + 4);
+}
+
+TEST(LinearModel, L2ShrinksWeights) {
+  util::Rng rng(3);
+  const Dataset data = LinearData(200, rng);
+  LinearModel free(2, LinearModel::Link::kIdentity);
+  LinearModel reg(2, LinearModel::Link::kIdentity);
+  for (int e = 0; e < 30; ++e) {
+    free.TrainEpoch(data, 0.05, rng);
+    reg.TrainEpoch(data, 0.05, rng, /*l2=*/0.5);
+  }
+  const auto wf = free.Parameters();
+  const auto wr = reg.Parameters();
+  EXPECT_LT(std::fabs(wr[0]), std::fabs(wf[0]));
+  EXPECT_LT(std::fabs(wr[1]), std::fabs(wf[1]));
+}
+
+TEST(NonIid, SplitPreservesAllExamplesAndSkews) {
+  util::Rng rng(4);
+  Dataset data = LogisticData(400, rng);
+  // One contiguous shard per client guarantees label skew on sorted data.
+  auto shards = NonIidSplit(data, 4, rng, /*shards_per_client=*/1);
+  std::size_t total = 0;
+  for (const Dataset& d : shards) total += d.size();
+  EXPECT_EQ(total, 400u);
+  // At least one client should be visibly label-skewed (non-IID).
+  bool skew_found = false;
+  for (const Dataset& d : shards) {
+    if (d.empty()) continue;
+    double ones = 0;
+    for (const Example& e : d) ones += e.label;
+    const double frac = ones / static_cast<double>(d.size());
+    if (frac < 0.25 || frac > 0.75) skew_found = true;
+  }
+  EXPECT_TRUE(skew_found);
+}
+
+TEST(FedAvg, ConvergesOnPartitionedData) {
+  util::Rng rng(5);
+  Dataset all = LinearData(600, rng);
+  auto clients = NonIidSplit(all, 6, rng);
+  FederatedTrainer trainer(clients, 2, LinearModel::Link::kIdentity, 42);
+  FederatedConfig config;
+  config.rounds = 30;
+  config.local_epochs = 3;
+  FederatedMetrics metrics;
+  LinearModel global = trainer.Train(config, &metrics);
+  EXPECT_LT(global.Evaluate(trainer.PooledData()), 0.05);
+  ASSERT_EQ(metrics.global_loss_per_round.size(), 30u);
+  EXPECT_LT(metrics.global_loss_per_round.back(),
+            metrics.global_loss_per_round.front());
+  EXPECT_GT(metrics.bytes_uploaded, 0u);
+}
+
+TEST(FedAvg, GlobalModelBeatsLocalOnCrossClientData) {
+  util::Rng rng(6);
+  Dataset all = LogisticData(800, rng);
+  auto clients = NonIidSplit(all, 8, rng);
+  FederatedTrainer trainer(clients, 2, LinearModel::Link::kLogistic, 43);
+  FederatedConfig config;
+  config.rounds = 25;
+  config.local_epochs = 2;
+  config.learning_rate = 0.2;
+  LinearModel global = trainer.Train(config);
+
+  const auto locals = trainer.TrainLocalOnly(4, 0.2);
+  const Dataset pooled = trainer.PooledData();
+  double local_acc = 0;
+  for (const LinearModel& m : locals) local_acc += m.Accuracy(pooled);
+  local_acc /= static_cast<double>(locals.size());
+  // FL's whole point on non-IID data: the averaged model generalizes across
+  // clients better than the average local model.
+  EXPECT_GT(global.Accuracy(pooled), local_acc);
+  EXPECT_GT(global.Accuracy(pooled), 0.9);
+}
+
+TEST(FedProx, ProximalTermKeepsClientsCloser) {
+  util::Rng rng(7);
+  Dataset all = LinearData(400, rng);
+  auto clients = NonIidSplit(all, 4, rng);
+  FederatedTrainer trainer(clients, 2, LinearModel::Link::kIdentity, 44);
+  FederatedConfig fedprox;
+  fedprox.rounds = 20;
+  fedprox.prox_mu = 0.1;
+  FederatedMetrics m;
+  LinearModel global = trainer.Train(fedprox, &m);
+  EXPECT_LT(global.Evaluate(trainer.PooledData()), 0.2);
+}
+
+TEST(FedAvg, ClientSamplingStillConverges) {
+  util::Rng rng(8);
+  Dataset all = LinearData(500, rng);
+  auto clients = NonIidSplit(all, 10, rng);
+  FederatedTrainer trainer(clients, 2, LinearModel::Link::kIdentity, 45);
+  FederatedConfig config;
+  config.rounds = 40;
+  config.client_fraction = 0.4;
+  FederatedMetrics metrics;
+  LinearModel global = trainer.Train(config, &metrics);
+  EXPECT_LT(global.Evaluate(trainer.PooledData()), 0.1);
+  // Sampling must reduce traffic vs full participation.
+  FederatedMetrics full_metrics;
+  FederatedConfig full = config;
+  full.client_fraction = 1.0;
+  trainer.Train(full, &full_metrics);
+  EXPECT_LT(metrics.bytes_uploaded, full_metrics.bytes_uploaded);
+}
+
+}  // namespace
+}  // namespace myrtus::fl

@@ -1,0 +1,384 @@
+// MIRTO agent: authentication, API daemon, MAPE-K loop reactions, LIQO
+// peering, and multi-agent contract-net negotiation.
+#include <gtest/gtest.h>
+
+#include "dpe/pipeline.hpp"
+#include "mirto/agent.hpp"
+#include "mirto/engine.hpp"
+#include "mirto/peering.hpp"
+
+namespace myrtus::mirto {
+namespace {
+
+using continuum::BuildInfrastructure;
+using continuum::Infrastructure;
+using continuum::Layer;
+using sim::SimTime;
+
+TEST(AuthModule, TokenRoundtrip) {
+  AuthModule auth(util::BytesOf("secret"));
+  const std::string token = auth.IssueToken("dpe-tool");
+  auto principal = auth.Authenticate(token);
+  ASSERT_TRUE(principal.ok());
+  EXPECT_EQ(*principal, "dpe-tool");
+}
+
+TEST(AuthModule, RejectsForgedAndMalformedTokens) {
+  AuthModule auth(util::BytesOf("secret"));
+  AuthModule other(util::BytesOf("other-secret"));
+  EXPECT_FALSE(auth.Authenticate("no-dot-token").ok());
+  EXPECT_FALSE(auth.Authenticate("user.deadbeef").ok());
+  EXPECT_FALSE(auth.Authenticate(other.IssueToken("user")).ok());
+  // Principal swap invalidates the MAC.
+  std::string token = auth.IssueToken("alice");
+  token.replace(0, 5, "mallo");
+  EXPECT_FALSE(auth.Authenticate(token).ok());
+}
+
+tosca::CsarPackage TelerehabPackage() {
+  dpe::DpeInput input;
+  input.app_name = "telerehab";
+  (void)input.graph.AddActor({"pose", 30'000'000, 4096, true, 0.8});
+  (void)input.graph.AddActor({"score", 5'000'000, 1024, false, 0.2});
+  (void)input.graph.AddActor({"feedback", 1'000'000, 512, false, 0.0});
+  (void)input.graph.AddActor({"archive", 2'000'000, 65536, false, 0.0});
+  (void)input.graph.AddChannel({"pose", "score", 1, 1, 8192});
+  (void)input.graph.AddChannel({"score", "feedback", 1, 1, 256});
+  (void)input.graph.AddChannel({"score", "archive", 1, 1, 4096});
+  input.deadline_ms = 500;
+  input.security_level = "medium";
+  dpe::DpePipeline pipeline(5);
+  auto out = pipeline.Run(input);
+  EXPECT_TRUE(out.ok());
+  return out->package;
+}
+
+struct AgentFixture {
+  sim::Engine engine;
+  Infrastructure infra;
+  std::unique_ptr<net::Network> net;
+  sched::Cluster cluster;
+  kb::Store store;
+  std::unique_ptr<MirtoAgent> agent;
+
+  AgentFixture() : infra(BuildInfrastructure(engine, {})),
+                   cluster(engine, sched::Scheduler::Default()) {
+    net::Topology topo = infra.topology;
+    topo.AddBidirectional("mirto-agent", "gw-0", SimTime::Micros(100), 1e9);
+    topo.AddBidirectional("client", "gw-0", SimTime::Millis(1), 1e9);
+    net = std::make_unique<net::Network>(engine, std::move(topo), 3);
+    for (auto& n : infra.nodes) cluster.AddNode(n.get());
+    AgentConfig config;
+    config.host = "mirto-agent";
+    config.strategy = PlacementStrategy::kGreedy;
+    agent = std::make_unique<MirtoAgent>(*net, cluster, infra, store,
+                                         AuthModule(util::BytesOf("s3cret")),
+                                         config);
+    agent->Start();
+  }
+};
+
+TEST(MirtoAgent, DeployViaApiWithValidToken) {
+  AgentFixture f;
+  AuthModule client_auth(util::BytesOf("s3cret"));
+  util::Json request = util::Json::MakeObject()
+                           .Set("token", client_auth.IssueToken("dpe"))
+                           .Set("csar", TelerehabPackage().Pack());
+  bool replied = false;
+  f.net->Call("client", "mirto-agent", "mirto.deploy", std::move(request),
+              [&](util::StatusOr<util::Json> reply) {
+                ASSERT_TRUE(reply.ok()) << reply.status();
+                EXPECT_EQ(reply->at("status").as_string(), "deployed");
+                EXPECT_EQ(reply->at("principal").as_string(), "dpe");
+                replied = true;
+              });
+  f.engine.RunUntil(SimTime::Seconds(1));
+  ASSERT_TRUE(replied);
+  EXPECT_EQ(f.cluster.RunningPods(), 2u);  // telerehab partitions
+  EXPECT_EQ(f.agent->stats().deployments_accepted, 1u);
+
+  // Placement recorded in the KB.
+  EXPECT_FALSE(f.agent->registry().ListWorkloads().empty());
+}
+
+TEST(MirtoAgent, RejectsBadTokenWithoutDeploying) {
+  AgentFixture f;
+  util::Json request = util::Json::MakeObject()
+                           .Set("token", "intruder.deadbeef")
+                           .Set("csar", TelerehabPackage().Pack());
+  bool rejected = false;
+  f.net->Call("client", "mirto-agent", "mirto.deploy", std::move(request),
+              [&](util::StatusOr<util::Json> reply) {
+                EXPECT_EQ(reply.status().code(),
+                          util::StatusCode::kUnauthenticated);
+                rejected = true;
+              });
+  f.engine.RunUntil(SimTime::Seconds(1));
+  EXPECT_TRUE(rejected);
+  EXPECT_EQ(f.cluster.RunningPods(), 0u);
+  EXPECT_EQ(f.agent->stats().auth_failures, 1u);
+}
+
+TEST(MirtoAgent, RejectsCorruptCsar) {
+  AgentFixture f;
+  AuthModule client_auth(util::BytesOf("s3cret"));
+  util::Json request = util::Json::MakeObject()
+                           .Set("token", client_auth.IssueToken("dpe"))
+                           .Set("csar", "garbage-bytes");
+  bool rejected = false;
+  f.net->Call("client", "mirto-agent", "mirto.deploy", std::move(request),
+              [&](util::StatusOr<util::Json> reply) {
+                EXPECT_FALSE(reply.ok());
+                rejected = true;
+              });
+  f.engine.RunUntil(SimTime::Seconds(1));
+  EXPECT_TRUE(rejected);
+  EXPECT_EQ(f.agent->stats().deployments_rejected, 1u);
+}
+
+TEST(MirtoAgent, MapeLoopPopulatesRegistry) {
+  AgentFixture f;
+  f.engine.RunUntil(SimTime::Seconds(2));
+  EXPECT_GT(f.agent->stats().mape_iterations, 4u);
+  const auto nodes = f.agent->registry().ListNodes();
+  EXPECT_EQ(nodes.size(), f.infra.nodes.size());
+  EXPECT_FALSE(
+      f.agent->registry().GetTelemetry("edge-0", "utilization").empty());
+}
+
+TEST(MirtoAgent, MapeLoopRecoversFromNodeFailure) {
+  AgentFixture f;
+  ASSERT_TRUE(f.agent->Deploy(TelerehabPackage()).ok());
+  ASSERT_EQ(f.cluster.RunningPods(), 2u);
+
+  // Kill whichever node hosts the first pod.
+  std::string victim;
+  for (auto& n : f.infra.nodes) {
+    if (!f.cluster.PodsOnNode(n->id()).empty()) {
+      victim = n->id();
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  f.infra.FindNode(victim)->SetUp(false);
+  f.engine.RunUntil(f.engine.Now() + SimTime::Seconds(3));
+
+  EXPECT_EQ(f.cluster.RunningPods(), 2u) << "MAPE loop must re-place pods";
+  EXPECT_TRUE(f.cluster.PodsOnNode(victim).empty());
+  EXPECT_GT(f.agent->stats().reallocations, 0u);
+  // Trust in the failed node decayed.
+  EXPECT_LT(f.agent->security_manager().TrustOf(victim), 0.5);
+}
+
+TEST(MirtoAgent, OperatingPointsAdaptToIdleness) {
+  AgentFixture f;
+  // Run with zero load: every device should be demoted to eco points.
+  f.engine.RunUntil(SimTime::Seconds(2));
+  EXPECT_GT(f.agent->stats().operating_point_changes, 0u);
+  continuum::ComputeNode* edge = f.infra.FindNode("edge-0");
+  ASSERT_NE(edge, nullptr);
+  for (const continuum::Device& d : edge->devices()) {
+    EXPECT_EQ(d.active_point_index(), d.operating_points().size() - 1)
+        << d.name();
+  }
+}
+
+TEST(LiqoPeering, OffloadAndReclaim) {
+  sim::Engine engine;
+  Infrastructure edge_infra = BuildInfrastructure(engine, {});
+  sched::Cluster local(engine, sched::Scheduler::Default());
+  sched::Cluster remote(engine, sched::Scheduler::Default());
+  // Local: only edge nodes. Remote: fog+cloud.
+  for (auto& n : edge_infra.nodes) {
+    if (n->layer() == Layer::kEdge) {
+      local.AddNode(n.get());
+    } else {
+      remote.AddNode(n.get());
+    }
+  }
+  LiqoPeering peering(engine, local, remote, "fog-cluster");
+  EXPECT_NE(local.FindNodeState(peering.virtual_node_id()), nullptr);
+
+  sched::PodSpec pod;
+  pod.name = "analytics";
+  pod.cpu_request = 2.0;
+  auto node = peering.Offload(pod);
+  ASSERT_TRUE(node.ok()) << node.status();
+  EXPECT_EQ(remote.RunningPods(), 1u);
+  auto where = peering.RemoteNodeOf("analytics");
+  ASSERT_TRUE(where.ok());
+  EXPECT_EQ(*where, *node);
+
+  ASSERT_TRUE(peering.Reclaim("analytics").ok());
+  EXPECT_EQ(remote.RunningPods(), 0u);
+  EXPECT_FALSE(peering.RemoteNodeOf("analytics").ok());
+  EXPECT_FALSE(peering.Reclaim("analytics").ok());
+}
+
+TEST(LiqoPeering, SyncCapacityReflectsRemoteUsage) {
+  sim::Engine engine;
+  Infrastructure infra = BuildInfrastructure(engine, {});
+  sched::Cluster local(engine, sched::Scheduler::Default());
+  sched::Cluster remote(engine, sched::Scheduler::Default());
+  for (auto& n : infra.nodes) {
+    if (n->layer() == Layer::kCloud) remote.AddNode(n.get());
+  }
+  LiqoPeering peering(engine, local, remote, "cloud");
+  sched::NodeState* vnode = local.FindNodeState(peering.virtual_node_id());
+  ASSERT_NE(vnode, nullptr);
+  const double free_before = vnode->CpuFree();
+
+  // Consume remote capacity directly, then sync.
+  sched::PodSpec hog;
+  hog.name = "hog";
+  hog.cpu_request = 50.0;
+  hog.mem_request_mb = 64;
+  ASSERT_TRUE(remote.BindPod(hog).ok());
+  peering.SyncCapacity();
+  EXPECT_NEAR(vnode->CpuFree(), free_before - 50.0, 1.0);
+}
+
+TEST(MirtoEngine, NegotiatedDeploymentDistributesAcrossLayers) {
+  sim::Engine engine;
+  Infrastructure infra = BuildInfrastructure(engine, {});
+  net::Topology topo = infra.topology;
+  net::Network network(engine, std::move(topo), 5);
+  MirtoEngine mirto(network, infra);
+  mirto.Start();
+  engine.RunUntil(SimTime::Millis(500));
+
+  bool done = false;
+  mirto.DeployNegotiated(TelerehabPackage(), [&](util::Status s) {
+    EXPECT_TRUE(s.ok()) << s;
+    done = true;
+  });
+  engine.RunUntil(engine.Now() + SimTime::Seconds(5));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(mirto.TotalRunningPods(), 2u);
+  EXPECT_EQ(mirto.negotiation_stats().announcements, 2u);
+  EXPECT_GT(mirto.negotiation_stats().bids_received, 2u);
+  EXPECT_EQ(mirto.negotiation_stats().awards, 2u);
+  EXPECT_EQ(mirto.negotiation_stats().failed_pods, 0u);
+  mirto.Stop();
+}
+
+TEST(MirtoEngine, AcceleratorPodLandsAtEdge) {
+  sim::Engine engine;
+  Infrastructure infra = BuildInfrastructure(engine, {});
+  net::Network network(engine, infra.topology, 6);
+  MirtoEngine mirto(network, infra);
+  mirto.Start();
+  engine.RunUntil(SimTime::Millis(500));
+
+  // Single accelerable pod: only edge HMPSoCs can bid.
+  tosca::ServiceTemplate tpl;
+  tpl.tosca_version = "tosca_2_0";
+  tosca::NodeTemplate nt;
+  nt.name = "kernel";
+  nt.type = std::string(tosca::kTypeAccelerator);
+  nt.properties = util::Json::MakeObject().Set("cpu", 0.5).Set("memory_mb", 64);
+  tpl.node_templates["kernel"] = nt;
+  const tosca::CsarPackage pkg = tosca::CsarPackage::Create(tpl);
+
+  bool done = false;
+  mirto.DeployNegotiated(pkg, [&](util::Status s) {
+    EXPECT_TRUE(s.ok()) << s;
+    done = true;
+  });
+  engine.RunUntil(engine.Now() + SimTime::Seconds(5));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(mirto.cluster(Layer::kEdge).RunningPods(), 1u);
+  EXPECT_EQ(mirto.cluster(Layer::kCloud).RunningPods(), 0u);
+  mirto.Stop();
+}
+
+TEST(MirtoEngine, ImpossiblePodReportsFailure) {
+  sim::Engine engine;
+  Infrastructure infra = BuildInfrastructure(engine, {});
+  net::Network network(engine, infra.topology, 7);
+  MirtoEngine mirto(network, infra);
+  mirto.Start();
+  engine.RunUntil(SimTime::Millis(500));
+
+  tosca::ServiceTemplate tpl;
+  tpl.tosca_version = "tosca_2_0";
+  tosca::NodeTemplate nt;
+  nt.name = "goliath";
+  nt.type = std::string(tosca::kTypeWorkload);
+  nt.properties = util::Json::MakeObject()
+                      .Set("cpu", 1e6)  // no node can host this
+                      .Set("memory_mb", 64);
+  tpl.node_templates["goliath"] = nt;
+  const tosca::CsarPackage pkg = tosca::CsarPackage::Create(tpl);
+
+  bool done = false;
+  mirto.DeployNegotiated(pkg, [&](util::Status s) {
+    EXPECT_EQ(s.code(), util::StatusCode::kResourceExhausted);
+    done = true;
+  });
+  engine.RunUntil(engine.Now() + SimTime::Seconds(5));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(mirto.negotiation_stats().failed_pods, 1u);
+  mirto.Stop();
+}
+
+TEST(MirtoEngine, StatusEndpointAnswers) {
+  sim::Engine engine;
+  Infrastructure infra = BuildInfrastructure(engine, {});
+  net::Topology topo = infra.topology;
+  topo.AddBidirectional("client", "gw-0", SimTime::Millis(1), 1e9);
+  net::Network network(engine, std::move(topo), 8);
+  MirtoEngine mirto(network, infra);
+  mirto.Start();
+  bool replied = false;
+  network.Call("client", MirtoEngine::AgentHost(Layer::kFog), "mirto.status", {},
+               [&](util::StatusOr<util::Json> reply) {
+                 ASSERT_TRUE(reply.ok());
+                 EXPECT_EQ(reply->at("strategy").as_string(), "greedy");
+                 replied = true;
+               });
+  engine.RunUntil(SimTime::Seconds(1));
+  EXPECT_TRUE(replied);
+  mirto.Stop();
+}
+
+
+TEST(MirtoAgent, RegistryDeleteEventTriggersReallocationSignal) {
+  // A component record vanishing from the KB (e.g. heartbeat-lease expiry)
+  // must mark the fleet dirty even before the poll-based Analyze notices.
+  AgentFixture f;
+  ASSERT_TRUE(f.agent->Deploy(TelerehabPackage()).ok());
+  f.engine.RunUntil(SimTime::Millis(600));  // a few MAPE iterations
+
+  // Simulate the heartbeat service expiring a node record.
+  f.store.Delete(kb::ResourceRegistry::NodeKey("edge-0"));
+  const std::uint64_t before = f.agent->stats().mape_iterations;
+  f.engine.RunUntil(f.engine.Now() + SimTime::Millis(600));
+  EXPECT_GT(f.agent->stats().mape_iterations, before);
+  // The record reappears on the next Monitor pass (the node is still up) --
+  // the signal exists to force a reconcile, which must not lose any pod.
+  EXPECT_TRUE(f.agent->registry().GetNode("edge-0").ok());
+  EXPECT_EQ(f.cluster.RunningPods(), 2u);
+}
+
+TEST(MirtoAgent, UndeployRemovesTrackedPods) {
+  AgentFixture f;
+  ASSERT_TRUE(f.agent->Deploy(TelerehabPackage()).ok());
+  ASSERT_EQ(f.cluster.RunningPods(), 2u);
+  ASSERT_EQ(f.agent->DeployedApps(), std::vector<std::string>{"telerehab"});
+  ASSERT_TRUE(f.agent->Undeploy("telerehab").ok());
+  EXPECT_EQ(f.cluster.RunningPods(), 0u);
+  EXPECT_FALSE(f.agent->Undeploy("telerehab").ok());
+}
+
+TEST(MirtoAgent, RedeploySameAppUpdatesInPlace) {
+  AgentFixture f;
+  ASSERT_TRUE(f.agent->Deploy(TelerehabPackage()).ok());
+  const std::size_t first = f.cluster.RunningPods();
+  ASSERT_TRUE(f.agent->Deploy(TelerehabPackage()).ok());
+  EXPECT_EQ(f.cluster.RunningPods(), first) << "no duplicate pods on update";
+  EXPECT_EQ(f.agent->stats().deployments_accepted, 2u);
+}
+
+}  // namespace
+}  // namespace myrtus::mirto

@@ -1,0 +1,303 @@
+// Scheduling pipeline (filters/scorers), preemption, deployments,
+// reconciliation on node failure, and the horizontal autoscaler.
+#include <gtest/gtest.h>
+
+#include "continuum/infrastructure.hpp"
+#include "sched/controller.hpp"
+#include "sched/scheduler.hpp"
+
+namespace myrtus::sched {
+namespace {
+
+using continuum::BuildInfrastructure;
+using continuum::Infrastructure;
+using sim::SimTime;
+
+struct Fixture {
+  sim::Engine engine;
+  Infrastructure infra;
+  Cluster cluster;
+
+  Fixture() : infra(BuildInfrastructure(engine, {})),
+              cluster(engine, Scheduler::Default()) {
+    for (auto& n : infra.nodes) cluster.AddNode(n.get());
+  }
+};
+
+TEST(PodSpec, JsonRoundtrip) {
+  PodSpec s;
+  s.name = "detector";
+  s.cpu_request = 1.5;
+  s.mem_request_mb = 512;
+  s.min_security = security::SecurityLevel::kHigh;
+  s.needs_accelerator = true;
+  s.priority = 7;
+  s.layer_affinity = "edge";
+  s.node_selector["zone"] = "a";
+  PodSpec back = PodSpec::FromJson(s.ToJson());
+  EXPECT_EQ(back.name, "detector");
+  EXPECT_DOUBLE_EQ(back.cpu_request, 1.5);
+  EXPECT_EQ(back.min_security, security::SecurityLevel::kHigh);
+  EXPECT_TRUE(back.needs_accelerator);
+  EXPECT_EQ(back.priority, 7);
+  EXPECT_EQ(back.layer_affinity, "edge");
+  EXPECT_EQ(back.node_selector.at("zone"), "a");
+}
+
+TEST(Scheduler, PlacesPodOnFeasibleNode) {
+  Fixture f;
+  PodSpec pod;
+  pod.name = "web";
+  pod.cpu_request = 1.0;
+  auto node = f.cluster.BindPod(pod);
+  ASSERT_TRUE(node.ok()) << node.status();
+  EXPECT_NE(f.cluster.FindNodeState(*node), nullptr);
+  EXPECT_EQ(f.cluster.RunningPods(), 1u);
+}
+
+TEST(Scheduler, SecurityLevelFiltersEdgeNodes) {
+  Fixture f;
+  PodSpec pod;
+  pod.name = "secure-wl";
+  pod.min_security = security::SecurityLevel::kHigh;
+  auto node = f.cluster.BindPod(pod);
+  ASSERT_TRUE(node.ok());
+  continuum::ComputeNode* n = f.infra.FindNode(*node);
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->security_level(), security::SecurityLevel::kHigh);
+  EXPECT_NE(n->layer(), continuum::Layer::kEdge);  // edge is certified Low
+}
+
+TEST(Scheduler, AcceleratorRequirementBindsToFabricNode) {
+  Fixture f;
+  PodSpec pod;
+  pod.name = "dsp-kernel";
+  pod.needs_accelerator = true;
+  pod.layer_affinity = "edge";
+  auto node = f.cluster.BindPod(pod);
+  ASSERT_TRUE(node.ok()) << node.status();
+  NodeState* state = f.cluster.FindNodeState(*node);
+  EXPECT_TRUE(state->HasAccelerator());
+}
+
+TEST(Scheduler, LayerAffinityHardConstraint) {
+  Fixture f;
+  PodSpec pod;
+  pod.name = "analytics";
+  pod.layer_affinity = "fog";
+  auto node = f.cluster.BindPod(pod);
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(f.infra.FindNode(*node)->layer(), continuum::Layer::kFog);
+}
+
+TEST(Scheduler, NodeSelectorMatchesLabels) {
+  Fixture f;
+  f.cluster.FindNodeState("edge-0")->labels["camera"] = "true";
+  PodSpec pod;
+  pod.name = "vision";
+  pod.node_selector["camera"] = "true";
+  auto node = f.cluster.BindPod(pod);
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(*node, "edge-0");
+}
+
+TEST(Scheduler, InfeasiblePodReportsReasons) {
+  Fixture f;
+  PodSpec pod;
+  pod.name = "impossible";
+  pod.needs_accelerator = true;
+  pod.layer_affinity = "cloud";  // cloud has no fabric accelerators
+  auto node = f.cluster.BindPod(pod);
+  ASSERT_FALSE(node.ok());
+  EXPECT_EQ(node.status().code(), util::StatusCode::kResourceExhausted);
+  EXPECT_NE(node.status().message().find("impossible"), std::string::npos);
+  EXPECT_EQ(f.cluster.PendingPods(), 1u);
+}
+
+TEST(Scheduler, CordonExcludesNode) {
+  Fixture f;
+  PodSpec pod;
+  pod.name = "vision";
+  pod.node_selector["camera"] = "true";
+  f.cluster.FindNodeState("edge-0")->labels["camera"] = "true";
+  f.cluster.Cordon("edge-0", true);
+  EXPECT_FALSE(f.cluster.BindPod(pod).ok());
+  f.cluster.Cordon("edge-0", false);
+  f.cluster.Reconcile();  // pending pod retried
+  const Pod* p = f.cluster.FindPod("vision");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->phase, PodPhase::kRunning);
+}
+
+TEST(Scheduler, LeastAllocatedSpreadsLoad) {
+  Fixture f;
+  // Bind several identical edge pods; they should not all land on one node.
+  std::map<std::string, int> per_node;
+  for (int i = 0; i < 4; ++i) {
+    PodSpec pod;
+    pod.name = "spread-" + std::to_string(i);
+    pod.layer_affinity = "edge";
+    pod.cpu_request = 0.5;
+    auto node = f.cluster.BindPod(pod);
+    ASSERT_TRUE(node.ok());
+    per_node[*node]++;
+  }
+  EXPECT_GE(per_node.size(), 2u);
+}
+
+TEST(Scheduler, ResourceExhaustionAfterManyBinds) {
+  Fixture f;
+  int bound = 0;
+  for (int i = 0; i < 10000; ++i) {
+    PodSpec pod;
+    pod.name = "filler-" + std::to_string(i);
+    pod.cpu_request = 4.0;
+    pod.mem_request_mb = 256;
+    if (f.cluster.BindPod(pod).ok()) {
+      ++bound;
+    } else {
+      break;
+    }
+  }
+  EXPECT_GT(bound, 10);
+  EXPECT_LT(bound, 10000);
+}
+
+TEST(Preemption, HighPriorityEvictsLow) {
+  Fixture f;
+  // Saturate edge-0 (label-pinned) with low-priority pods.
+  f.cluster.FindNodeState("edge-0")->labels["pin"] = "1";
+  const double cap = f.cluster.FindNodeState("edge-0")->cpu_capacity();
+  PodSpec filler;
+  filler.cpu_request = cap / 2;
+  filler.mem_request_mb = 64;
+  filler.priority = 1;
+  filler.node_selector["pin"] = "1";
+  filler.name = "low-a";
+  ASSERT_TRUE(f.cluster.BindPod(filler).ok());
+  filler.name = "low-b";
+  ASSERT_TRUE(f.cluster.BindPod(filler).ok());
+
+  PodSpec vip;
+  vip.name = "vip";
+  vip.cpu_request = cap / 2;
+  vip.mem_request_mb = 64;
+  vip.priority = 10;
+  vip.node_selector["pin"] = "1";
+  EXPECT_FALSE(f.cluster.BindPod(vip).ok());
+  (void)f.cluster.DeletePod("vip");
+  auto node = f.cluster.BindPodWithPreemption(vip);
+  ASSERT_TRUE(node.ok()) << node.status();
+  EXPECT_EQ(*node, "edge-0");
+  EXPECT_EQ(f.cluster.evictions(), 1u);
+  // Exactly one low pod was sacrificed.
+  int low_running = 0;
+  for (const char* n : {"low-a", "low-b"}) {
+    if (f.cluster.FindPod(n)->phase == PodPhase::kRunning) ++low_running;
+  }
+  EXPECT_EQ(low_running, 1);
+}
+
+TEST(Preemption, EqualPriorityNeverPreempts) {
+  Fixture f;
+  f.cluster.FindNodeState("edge-0")->labels["pin"] = "1";
+  const double cap = f.cluster.FindNodeState("edge-0")->cpu_capacity();
+  PodSpec a;
+  a.name = "a";
+  a.cpu_request = cap;
+  a.mem_request_mb = 64;
+  a.priority = 5;
+  a.node_selector["pin"] = "1";
+  ASSERT_TRUE(f.cluster.BindPod(a).ok());
+  PodSpec b = a;
+  b.name = "b";
+  EXPECT_FALSE(f.cluster.BindPodWithPreemption(b).ok());
+}
+
+TEST(Deployment, CreatesReplicas) {
+  Fixture f;
+  Deployment dep;
+  dep.name = "detector";
+  dep.pod_template.cpu_request = 0.5;
+  dep.pod_template.mem_request_mb = 64;
+  dep.replicas = 3;
+  f.cluster.ApplyDeployment(dep);
+  EXPECT_EQ(f.cluster.DeploymentReadyReplicas("detector"), 3);
+  ASSERT_TRUE(f.cluster.ScaleDeployment("detector", 1).ok());
+  EXPECT_EQ(f.cluster.DeploymentReadyReplicas("detector"), 1);
+  ASSERT_TRUE(f.cluster.ScaleDeployment("detector", 5).ok());
+  EXPECT_EQ(f.cluster.DeploymentReadyReplicas("detector"), 5);
+  EXPECT_FALSE(f.cluster.ScaleDeployment("ghost", 1).ok());
+}
+
+TEST(Deployment, NodeFailureTriggersRescheduling) {
+  Fixture f;
+  Deployment dep;
+  dep.name = "svc";
+  dep.pod_template.cpu_request = 0.25;
+  dep.pod_template.mem_request_mb = 32;
+  dep.replicas = 4;
+  f.cluster.ApplyDeployment(dep);
+  ASSERT_EQ(f.cluster.DeploymentReadyReplicas("svc"), 4);
+
+  // Fail a node hosting at least one replica.
+  std::string victim;
+  for (auto& n : f.infra.nodes) {
+    if (!f.cluster.PodsOnNode(n->id()).empty()) {
+      victim = n->id();
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  f.infra.FindNode(victim)->SetUp(false);
+  f.cluster.Reconcile();
+  EXPECT_EQ(f.cluster.DeploymentReadyReplicas("svc"), 4)
+      << "replicas must be rebuilt on surviving nodes";
+  for (const Pod* p : f.cluster.PodsOnNode(victim)) {
+    FAIL() << "pod still on failed node: " << p->spec.name;
+  }
+  EXPECT_GT(f.cluster.evictions(), 0u);
+}
+
+TEST(Deployment, ReconcileLoopRunsPeriodically) {
+  Fixture f;
+  Deployment dep;
+  dep.name = "svc";
+  dep.pod_template.cpu_request = 0.25;
+  dep.replicas = 2;
+  f.cluster.ApplyDeployment(dep);
+  f.cluster.StartReconcileLoop(SimTime::Millis(100));
+  f.infra.FindNode("edge-0")->SetUp(false);  // may or may not host pods
+  f.engine.RunUntil(SimTime::Seconds(1));
+  EXPECT_EQ(f.cluster.DeploymentReadyReplicas("svc"), 2);
+  f.cluster.StopReconcileLoop();
+}
+
+TEST(Autoscaler, TracksLoadSignal) {
+  Fixture f;
+  double demand = 0.5;
+  Deployment dep;
+  dep.name = "elastic";
+  dep.pod_template.cpu_request = 1.0;
+  dep.replicas = 1;
+  dep.min_replicas = 1;
+  dep.max_replicas = 6;
+  dep.load_signal = [&demand] { return demand; };
+  f.cluster.ApplyDeployment(dep);
+  EXPECT_EQ(f.cluster.DeploymentReadyReplicas("elastic"), 1);
+
+  demand = 4.2;  // needs ceil(4.2/1.0) = 5 replicas
+  f.cluster.Reconcile();
+  EXPECT_EQ(f.cluster.DeploymentReadyReplicas("elastic"), 5);
+
+  demand = 40.0;  // clamped at max
+  f.cluster.Reconcile();
+  EXPECT_EQ(f.cluster.DeploymentReadyReplicas("elastic"), 6);
+
+  demand = 0.0;  // clamped at min
+  f.cluster.Reconcile();
+  EXPECT_EQ(f.cluster.DeploymentReadyReplicas("elastic"), 1);
+}
+
+}  // namespace
+}  // namespace myrtus::sched

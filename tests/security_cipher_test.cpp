@@ -1,0 +1,239 @@
+// AES block cipher (FIPS-197 Appendix C KATs), CTR mode, AES-GCM (NIST
+// SP 800-38D semantics), and ASCON-128 AEAD behaviour.
+#include <gtest/gtest.h>
+
+#include "security/aes.hpp"
+#include "security/ascon.hpp"
+#include "security/gcm.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace myrtus::security {
+namespace {
+
+using util::Bytes;
+using util::BytesOf;
+using util::FromHex;
+using util::ToHex;
+
+Bytes Hex(const char* h) {
+  auto b = FromHex(h);
+  EXPECT_TRUE(b.ok());
+  return *b;
+}
+
+TEST(Aes, Fips197Aes128Kat) {
+  const Bytes key = Hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = Hex("00112233445566778899aabbccddeeff");
+  auto aes = Aes::Create(key);
+  ASSERT_TRUE(aes.ok());
+  std::uint8_t ct[16];
+  aes->EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(ToHex(ct, 16), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  std::uint8_t back[16];
+  aes->DecryptBlock(ct, back);
+  EXPECT_EQ(ToHex(back, 16), ToHex(pt));
+}
+
+TEST(Aes, Fips197Aes192Kat) {
+  const Bytes key = Hex("000102030405060708090a0b0c0d0e0f1011121314151617");
+  const Bytes pt = Hex("00112233445566778899aabbccddeeff");
+  auto aes = Aes::Create(key);
+  ASSERT_TRUE(aes.ok());
+  EXPECT_EQ(aes->rounds(), 12);
+  std::uint8_t ct[16];
+  aes->EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(ToHex(ct, 16), "dda97ca4864cdfe06eaf70a0ec0d7191");
+}
+
+TEST(Aes, Fips197Aes256Kat) {
+  const Bytes key =
+      Hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes pt = Hex("00112233445566778899aabbccddeeff");
+  auto aes = Aes::Create(key);
+  ASSERT_TRUE(aes.ok());
+  EXPECT_EQ(aes->rounds(), 14);
+  std::uint8_t ct[16];
+  aes->EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(ToHex(ct, 16), "8ea2b7ca516745bfeafc49904b496089");
+  std::uint8_t back[16];
+  aes->DecryptBlock(ct, back);
+  EXPECT_EQ(ToHex(back, 16), ToHex(pt));
+}
+
+TEST(Aes, RejectsBadKeySizes) {
+  EXPECT_FALSE(Aes::Create(Bytes(15, 0)).ok());
+  EXPECT_FALSE(Aes::Create(Bytes(17, 0)).ok());
+  EXPECT_FALSE(Aes::Create(Bytes(0, 0)).ok());
+  EXPECT_TRUE(Aes::Create(Bytes(24, 0)).ok());
+}
+
+TEST(AesCtr, RoundtripAllSizes) {
+  const Bytes key(16, 0x42);
+  const Bytes iv(12, 0x01);
+  util::Rng rng(99);
+  for (std::size_t n : {0u, 1u, 15u, 16u, 17u, 64u, 1000u}) {
+    Bytes pt(n);
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.NextU64());
+    auto enc = AesCtr::Create(key, iv);
+    auto dec = AesCtr::Create(key, iv);
+    ASSERT_TRUE(enc.ok() && dec.ok());
+    const Bytes ct = enc->Crypt(pt);
+    EXPECT_EQ(dec->Crypt(ct), pt) << "n=" << n;
+    if (n > 0) {
+      EXPECT_NE(ct, pt);
+    }
+  }
+}
+
+TEST(AesCtr, StreamingMatchesOneShot) {
+  const Bytes key(32, 0x07);
+  const Bytes iv(12, 0x09);
+  Bytes msg = BytesOf("counter mode keystream must be byte-addressable");
+  auto one = AesCtr::Create(key, iv);
+  auto split = AesCtr::Create(key, iv);
+  ASSERT_TRUE(one.ok() && split.ok());
+  const Bytes expected = one->Crypt(msg);
+  Bytes actual = msg;
+  split->Crypt(actual.data(), 3);
+  split->Crypt(actual.data() + 3, actual.size() - 3);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(AesCtr, RejectsBadIvLength) {
+  EXPECT_FALSE(AesCtr::Create(Bytes(16, 0), Bytes(16, 0)).ok());
+}
+
+TEST(AesGcm, SealOpenRoundtrip) {
+  const Bytes key(32, 0x11);
+  const Bytes nonce(12, 0x22);
+  const Bytes aad = BytesOf("header");
+  const Bytes pt = BytesOf("attack at dawn");
+  auto sealed = AesGcmSeal(key, nonce, aad, pt);
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_EQ(sealed->size(), pt.size() + 16);
+  auto opened = AesGcmOpen(key, nonce, aad, *sealed);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_EQ(*opened, pt);
+}
+
+TEST(AesGcm, EmptyPlaintextProducesTagOnly) {
+  const Bytes key(16, 0);
+  const Bytes nonce(12, 0);
+  auto sealed = AesGcmSeal(key, nonce, {}, {});
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_EQ(sealed->size(), 16u);
+  auto opened = AesGcmOpen(key, nonce, {}, *sealed);
+  EXPECT_TRUE(opened.ok());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(AesGcm, TamperedCiphertextRejected) {
+  const Bytes key(16, 0x33);
+  const Bytes nonce(12, 0x44);
+  auto sealed = AesGcmSeal(key, nonce, {}, BytesOf("payload"));
+  ASSERT_TRUE(sealed.ok());
+  Bytes tampered = *sealed;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(AesGcmOpen(key, nonce, {}, tampered).ok());
+}
+
+TEST(AesGcm, TamperedTagRejected) {
+  const Bytes key(16, 0x33);
+  const Bytes nonce(12, 0x44);
+  auto sealed = AesGcmSeal(key, nonce, {}, BytesOf("payload"));
+  ASSERT_TRUE(sealed.ok());
+  Bytes tampered = *sealed;
+  tampered.back() ^= 0x80;
+  EXPECT_FALSE(AesGcmOpen(key, nonce, {}, tampered).ok());
+}
+
+TEST(AesGcm, WrongAadRejected) {
+  const Bytes key(16, 0x55);
+  const Bytes nonce(12, 0x66);
+  auto sealed = AesGcmSeal(key, nonce, BytesOf("aad-1"), BytesOf("data"));
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_FALSE(AesGcmOpen(key, nonce, BytesOf("aad-2"), *sealed).ok());
+}
+
+TEST(AesGcm, WrongKeyOrNonceRejected) {
+  const Bytes key(16, 0x01);
+  const Bytes nonce(12, 0x02);
+  auto sealed = AesGcmSeal(key, nonce, {}, BytesOf("data"));
+  ASSERT_TRUE(sealed.ok());
+  Bytes other_key = key;
+  other_key[0] ^= 1;
+  Bytes other_nonce = nonce;
+  other_nonce[0] ^= 1;
+  EXPECT_FALSE(AesGcmOpen(other_key, nonce, {}, *sealed).ok());
+  EXPECT_FALSE(AesGcmOpen(key, other_nonce, {}, *sealed).ok());
+}
+
+TEST(AesGcm, TooShortSealedBufferRejected) {
+  EXPECT_FALSE(AesGcmOpen(Bytes(16, 0), Bytes(12, 0), {}, Bytes(15, 0)).ok());
+}
+
+TEST(Ascon128, SealOpenRoundtripVariousSizes) {
+  const Bytes key(16, 0xaa);
+  const Bytes nonce(16, 0xbb);
+  util::Rng rng(5);
+  for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 16u, 63u, 64u, 257u}) {
+    Bytes pt(n);
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.NextU64());
+    auto sealed = Ascon128Seal(key, nonce, BytesOf("ad"), pt);
+    ASSERT_TRUE(sealed.ok());
+    EXPECT_EQ(sealed->size(), n + 16);
+    auto opened = Ascon128Open(key, nonce, BytesOf("ad"), *sealed);
+    ASSERT_TRUE(opened.ok()) << "n=" << n << " " << opened.status();
+    EXPECT_EQ(*opened, pt) << "n=" << n;
+  }
+}
+
+TEST(Ascon128, AadBlockBoundaries) {
+  const Bytes key(16, 0x01);
+  const Bytes nonce(16, 0x02);
+  for (std::size_t alen : {0u, 1u, 7u, 8u, 9u, 16u}) {
+    const Bytes aad(alen, 0x5a);
+    auto sealed = Ascon128Seal(key, nonce, aad, BytesOf("msg"));
+    ASSERT_TRUE(sealed.ok());
+    EXPECT_TRUE(Ascon128Open(key, nonce, aad, *sealed).ok()) << "alen=" << alen;
+    // Any AAD perturbation must break authentication.
+    Bytes aad2 = aad;
+    if (!aad2.empty()) {
+      aad2[0] ^= 1;
+      EXPECT_FALSE(Ascon128Open(key, nonce, aad2, *sealed).ok());
+    }
+  }
+}
+
+TEST(Ascon128, TamperDetection) {
+  const Bytes key(16, 0xcc);
+  const Bytes nonce(16, 0xdd);
+  auto sealed = Ascon128Seal(key, nonce, {}, BytesOf("sensor reading 42"));
+  ASSERT_TRUE(sealed.ok());
+  for (std::size_t i = 0; i < sealed->size(); i += 5) {
+    Bytes tampered = *sealed;
+    tampered[i] ^= 0x40;
+    EXPECT_FALSE(Ascon128Open(key, nonce, {}, tampered).ok()) << "byte " << i;
+  }
+}
+
+TEST(Ascon128, DistinctNoncesDistinctCiphertexts) {
+  const Bytes key(16, 0xee);
+  Bytes n1(16, 0x00);
+  Bytes n2(16, 0x00);
+  n2[15] = 1;
+  auto c1 = Ascon128Seal(key, n1, {}, BytesOf("same message"));
+  auto c2 = Ascon128Seal(key, n2, {}, BytesOf("same message"));
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_NE(*c1, *c2);
+}
+
+TEST(Ascon128, RejectsBadParameterSizes) {
+  EXPECT_FALSE(Ascon128Seal(Bytes(15, 0), Bytes(16, 0), {}, {}).ok());
+  EXPECT_FALSE(Ascon128Seal(Bytes(16, 0), Bytes(12, 0), {}, {}).ok());
+  EXPECT_FALSE(Ascon128Open(Bytes(16, 0), Bytes(16, 0), {}, Bytes(8, 0)).ok());
+}
+
+}  // namespace
+}  // namespace myrtus::security

@@ -1,0 +1,128 @@
+// Additional security-suite edge cases: AES-192 CTR, GCM nonce uniqueness
+// consequences, channel cross-wiring, HKDF salt sensitivity, and Store watch
+// re-entrancy (watch callbacks mutating the store).
+#include <gtest/gtest.h>
+
+#include "kb/store.hpp"
+#include "security/aes.hpp"
+#include "security/channel.hpp"
+#include "security/gcm.hpp"
+#include "security/hmac.hpp"
+#include "util/rng.hpp"
+
+namespace myrtus::security {
+namespace {
+
+using util::Bytes;
+using util::BytesOf;
+
+TEST(AesCtrExtra, Aes192Roundtrip) {
+  const Bytes key(24, 0x5c);
+  const Bytes iv(12, 0x01);
+  const Bytes pt = BytesOf("AES-192 is valid per FIPS-197 even if rare");
+  auto enc = AesCtr::Create(key, iv);
+  auto dec = AesCtr::Create(key, iv);
+  ASSERT_TRUE(enc.ok() && dec.ok());
+  EXPECT_EQ(dec->Crypt(enc->Crypt(pt)), pt);
+}
+
+TEST(GcmExtra, SameKeyNonceGivesSameCiphertext) {
+  // Determinism under (key, nonce) reuse is exactly why nonces must be
+  // unique; the channel layer derives them from sequence numbers.
+  const Bytes key(16, 0x11);
+  const Bytes nonce(12, 0x22);
+  auto a = AesGcmSeal(key, nonce, {}, BytesOf("m"));
+  auto b = AesGcmSeal(key, nonce, {}, BytesOf("m"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+  auto c = AesGcmSeal(key, Bytes(12, 0x23), {}, BytesOf("m"));
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(*a, *c);
+}
+
+TEST(GcmExtra, CiphertextLongerAadStillAuthenticates) {
+  const Bytes key(32, 0x31);
+  const Bytes nonce(12, 0x32);
+  const Bytes aad(1000, 0x41);  // AAD larger than payload
+  auto sealed = AesGcmSeal(key, nonce, aad, BytesOf("x"));
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_TRUE(AesGcmOpen(key, nonce, aad, *sealed).ok());
+}
+
+TEST(HkdfExtra, SaltChangesOutput) {
+  const Bytes a = HkdfSha256(BytesOf("ikm"), BytesOf("salt-1"), "ctx", 32);
+  const Bytes b = HkdfSha256(BytesOf("ikm"), BytesOf("salt-2"), "ctx", 32);
+  EXPECT_NE(a, b);
+  // Empty salt is well-defined (zero block).
+  EXPECT_EQ(HkdfSha256(BytesOf("ikm"), {}, "ctx", 16).size(), 16u);
+}
+
+TEST(ChannelExtra, CrossWiredEndpointsCannotTalk) {
+  // Records from pair A must not open on pair B even at the same level.
+  util::Rng rng(64);
+  auto pair_a = SecureChannel::Establish(SecurityLevel::kMedium, rng);
+  auto pair_b = SecureChannel::Establish(SecurityLevel::kMedium, rng);
+  ASSERT_TRUE(pair_a.ok() && pair_b.ok());
+  auto sealed = pair_a->initiator.Seal(BytesOf("secret"));
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_FALSE(pair_b->responder.Open(*sealed).ok());
+}
+
+TEST(ChannelExtra, DirectionalKeysAreIndependent) {
+  util::Rng rng(65);
+  auto pair = SecureChannel::Establish(SecurityLevel::kHigh, rng);
+  ASSERT_TRUE(pair.ok());
+  // A record sealed by the initiator must not open as if it came from the
+  // responder (the initiator's own Open uses the reverse-direction key).
+  auto sealed = pair->initiator.Seal(BytesOf("to responder"));
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_FALSE(pair->initiator.Open(*sealed).ok());
+  EXPECT_TRUE(pair->responder.Open(*sealed).ok());
+}
+
+}  // namespace
+}  // namespace myrtus::security
+
+namespace myrtus::kb {
+namespace {
+
+TEST(StoreReentrancy, WatchCallbackMayWriteToStore) {
+  Store store;
+  // A controller-style watch: every pod write mirrors a status key.
+  store.Watch("/pods/", [&](const WatchEvent& e) {
+    if (e.type == WatchEvent::Type::kPut &&
+        e.kv.key.rfind("/status/", 0) == std::string::npos) {
+      store.Put("/status/" + e.kv.key.substr(6), util::Json("observed"));
+    }
+  });
+  store.Put("/pods/a", util::Json(1));
+  EXPECT_TRUE(store.Get("/status/a").ok());
+  EXPECT_EQ(store.revision(), 2);
+}
+
+TEST(StoreReentrancy, WatchCallbackMayCancelItself) {
+  Store store;
+  std::int64_t id = 0;
+  int events = 0;
+  id = store.Watch("/k", [&](const WatchEvent&) {
+    ++events;
+    store.CancelWatch(id);  // one-shot watch
+  });
+  store.Put("/k", util::Json(1));
+  store.Put("/k", util::Json(2));
+  EXPECT_EQ(events, 1);
+}
+
+TEST(StoreReentrancy, WatchCallbackMayAddWatches) {
+  Store store;
+  int inner_events = 0;
+  store.Watch("/trigger", [&](const WatchEvent&) {
+    store.Watch("/late", [&](const WatchEvent&) { ++inner_events; });
+  });
+  store.Put("/trigger", util::Json(1));
+  store.Put("/late", util::Json(1));
+  EXPECT_EQ(inner_events, 1);
+}
+
+}  // namespace
+}  // namespace myrtus::kb

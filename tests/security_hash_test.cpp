@@ -1,0 +1,163 @@
+// Known-answer tests for SHA-256/512 (FIPS 180-2 appendices), HMAC (RFC
+// 4231), HKDF (RFC 5869), and ASCON-Hash (NIST LWC KAT).
+#include <gtest/gtest.h>
+
+#include "security/ascon.hpp"
+#include "security/hmac.hpp"
+#include "security/sha2.hpp"
+#include "util/bytes.hpp"
+
+namespace myrtus::security {
+namespace {
+
+using util::Bytes;
+using util::BytesOf;
+using util::FromHex;
+using util::ToHex;
+
+TEST(Sha256, Fips180EmptyString) {
+  EXPECT_EQ(ToHex(Sha256::Digest(BytesOf(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Fips180Abc) {
+  EXPECT_EQ(ToHex(Sha256::Digest(BytesOf("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, Fips180TwoBlockMessage) {
+  EXPECT_EQ(ToHex(Sha256::Digest(BytesOf(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(ToHex(h.Final()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes msg = BytesOf("The MYRTUS computing continuum");
+  Sha256 h;
+  for (std::uint8_t b : msg) h.Update(&b, 1);
+  EXPECT_EQ(h.Final(), Sha256::Digest(msg));
+}
+
+TEST(Sha256, BoundarySizedInputs) {
+  // Exercise padding around the 55/56/63/64-byte boundaries.
+  for (std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const Bytes msg(n, 0x61);
+    Sha256 split;
+    split.Update(msg.data(), n / 2);
+    split.Update(msg.data() + n / 2, n - n / 2);
+    EXPECT_EQ(split.Final(), Sha256::Digest(msg)) << "n=" << n;
+  }
+}
+
+TEST(Sha512, Fips180EmptyString) {
+  EXPECT_EQ(ToHex(Sha512::Digest(BytesOf(""))),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, Fips180Abc) {
+  EXPECT_EQ(ToHex(Sha512::Digest(BytesOf("abc"))),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, Fips180TwoBlockMessage) {
+  EXPECT_EQ(ToHex(Sha512::Digest(BytesOf(
+                "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"))),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+            "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512, BoundarySizedInputs) {
+  for (std::size_t n : {111u, 112u, 113u, 127u, 128u, 129u, 255u, 256u}) {
+    const Bytes msg(n, 0x62);
+    Sha512 split;
+    split.Update(msg.data(), n / 3);
+    split.Update(msg.data() + n / 3, n - n / 3);
+    EXPECT_EQ(split.Final(), Sha512::Digest(msg)) << "n=" << n;
+  }
+}
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Bytes data = BytesOf("Hi There");
+  EXPECT_EQ(ToHex(HmacSha256(key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  EXPECT_EQ(ToHex(HmacSha512(key, data)),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde"
+            "daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854");
+}
+
+TEST(Hmac, Rfc4231Case2JeffeKey) {
+  const Bytes key = BytesOf("Jefe");
+  const Bytes data = BytesOf("what do ya want for nothing?");
+  EXPECT_EQ(ToHex(HmacSha256(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // RFC 4231 test case 6: 131-byte key.
+  const Bytes key(131, 0xaa);
+  const Bytes data = BytesOf("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(ToHex(HmacSha256(key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hkdf, Rfc5869Case1) {
+  auto ikm = FromHex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+  auto salt = FromHex("000102030405060708090a0b0c");
+  ASSERT_TRUE(ikm.ok() && salt.ok());
+  const std::string info = "\xf0\xf1\xf2\xf3\xf4\xf5\xf6\xf7\xf8\xf9";
+  const Bytes okm = HkdfSha256(*ikm, *salt, info, 42);
+  EXPECT_EQ(ToHex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, ProducesRequestedLength) {
+  for (std::size_t len : {1u, 16u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ(HkdfSha256(BytesOf("secret"), BytesOf("salt"), "ctx", len).size(), len);
+  }
+}
+
+TEST(Hkdf, DistinctInfoGivesDistinctKeys) {
+  const Bytes a = HkdfSha256(BytesOf("secret"), {}, "client", 32);
+  const Bytes b = HkdfSha256(BytesOf("secret"), {}, "server", 32);
+  EXPECT_NE(a, b);
+}
+
+TEST(AsconHash, NistLwcEmptyKat) {
+  EXPECT_EQ(ToHex(AsconHash(BytesOf(""))),
+            "7346bc14f036e87ae03d0997913088f5f68411434b3cf8b54fa796a80d251f91");
+}
+
+TEST(AsconHash, DigestIs32Bytes) {
+  EXPECT_EQ(AsconHash(BytesOf("myrtus")).size(), 32u);
+}
+
+TEST(AsconHash, DistinctInputsDistinctDigests) {
+  EXPECT_NE(AsconHash(BytesOf("a")), AsconHash(BytesOf("b")));
+  EXPECT_NE(AsconHash(Bytes{}), AsconHash(Bytes{0x00}));
+}
+
+TEST(AsconHash, BlockBoundaryStability) {
+  // Inputs spanning 7/8/9 bytes exercise the 64-bit rate padding.
+  for (std::size_t n : {7u, 8u, 9u, 15u, 16u, 17u}) {
+    const Bytes m1(n, 0x41);
+    Bytes m2 = m1;
+    m2.back() ^= 1;
+    EXPECT_NE(AsconHash(m1), AsconHash(m2)) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace myrtus::security

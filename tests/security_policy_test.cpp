@@ -1,0 +1,183 @@
+// Table II policy engine, cost models, DH, and the secure channel.
+#include <gtest/gtest.h>
+
+#include "security/channel.hpp"
+#include "security/cost_model.hpp"
+#include "security/policy.hpp"
+#include "util/rng.hpp"
+
+namespace myrtus::security {
+namespace {
+
+using util::BytesOf;
+
+TEST(Policy, LevelNamesRoundtrip) {
+  for (SecurityLevel level :
+       {SecurityLevel::kLow, SecurityLevel::kMedium, SecurityLevel::kHigh}) {
+    auto parsed = ParseSecurityLevel(SecurityLevelName(level));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_FALSE(ParseSecurityLevel("ultra").ok());
+}
+
+TEST(Policy, TableIiSuites) {
+  const SecuritySuite& high = SuiteFor(SecurityLevel::kHigh);
+  EXPECT_EQ(high.encryption, SymAlg::kAes256Gcm);
+  EXPECT_EQ(high.authentication, AsymAlg::kDilithium3);
+  EXPECT_EQ(high.key_exchange, AsymAlg::kKyber768);
+  EXPECT_EQ(high.hashing, SymAlg::kSha512);
+
+  const SecuritySuite& medium = SuiteFor(SecurityLevel::kMedium);
+  EXPECT_EQ(medium.encryption, SymAlg::kAes128Gcm);
+  EXPECT_EQ(medium.hashing, SymAlg::kSha256);
+
+  const SecuritySuite& low = SuiteFor(SecurityLevel::kLow);
+  EXPECT_EQ(low.encryption, SymAlg::kAscon128);
+  EXPECT_EQ(low.hashing, SymAlg::kAsconHash);
+}
+
+TEST(Policy, SatisfiesIsUpwardCompatible) {
+  EXPECT_TRUE(Satisfies(SecurityLevel::kHigh, SecurityLevel::kLow));
+  EXPECT_TRUE(Satisfies(SecurityLevel::kHigh, SecurityLevel::kHigh));
+  EXPECT_TRUE(Satisfies(SecurityLevel::kMedium, SecurityLevel::kLow));
+  EXPECT_FALSE(Satisfies(SecurityLevel::kLow, SecurityLevel::kMedium));
+  EXPECT_FALSE(Satisfies(SecurityLevel::kMedium, SecurityLevel::kHigh));
+}
+
+TEST(CostModel, PqcSignaturesAreLargerThanClassical) {
+  EXPECT_GT(CostOf(AsymAlg::kDilithium3).artifact_bytes,
+            CostOf(AsymAlg::kEcdsaP256).artifact_bytes);
+  EXPECT_GT(CostOf(AsymAlg::kDilithium2).public_key_bytes,
+            CostOf(AsymAlg::kEcdsaP256).public_key_bytes);
+}
+
+TEST(CostModel, HandshakeWireBytesOrderedByLevel) {
+  // The paper's premise: higher levels carry heavier handshakes.
+  EXPECT_LT(HandshakeWireBytes(SecurityLevel::kLow),
+            HandshakeWireBytes(SecurityLevel::kHigh));
+}
+
+TEST(CostModel, LatencyScalesInverselyWithClock) {
+  const double slow = HandshakeLatencyUs(SecurityLevel::kMedium, 0.5);
+  const double fast = HandshakeLatencyUs(SecurityLevel::kMedium, 2.0);
+  EXPECT_NEAR(slow / fast, 4.0, 1e-9);
+}
+
+TEST(CostModel, RecordLatencyMonotoneInPayload) {
+  for (SecurityLevel level :
+       {SecurityLevel::kLow, SecurityLevel::kMedium, SecurityLevel::kHigh}) {
+    EXPECT_LT(RecordLatencyUs(level, 64, 1.0), RecordLatencyUs(level, 4096, 1.0));
+  }
+}
+
+TEST(CostModel, LightweightCipherWinsOnConstrainedCore) {
+  // ASCON beats AES-256 in software on small cores — the reason Table II
+  // assigns it to the Low level.
+  EXPECT_LT(RecordLatencyUs(SecurityLevel::kLow, 1024, 1.0),
+            RecordLatencyUs(SecurityLevel::kHigh, 1024, 1.0));
+}
+
+TEST(CostModel, AllAlgsHaveNamesAndCosts) {
+  for (auto alg : {AsymAlg::kRsa2048, AsymAlg::kEcdsaP256, AsymAlg::kDilithium2,
+                   AsymAlg::kDilithium3, AsymAlg::kFalcon512, AsymAlg::kKyber512,
+                   AsymAlg::kKyber768}) {
+    EXPECT_NE(AsymAlgName(alg), "?");
+    EXPECT_GT(CostOf(alg).public_key_bytes, 0u);
+  }
+}
+
+TEST(SimDh, KeyAgreementCommutes) {
+  util::Rng rng(2024);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = SimDh::Generate(rng);
+    const auto b = SimDh::Generate(rng);
+    EXPECT_EQ(SimDh::Derive(b.public_key, a.private_key),
+              SimDh::Derive(a.public_key, b.private_key));
+  }
+}
+
+TEST(SimDh, ModPowBasics) {
+  EXPECT_EQ(SimDh::ModPow(3, 0), 1u);
+  EXPECT_EQ(SimDh::ModPow(3, 1), 3u);
+  EXPECT_EQ(SimDh::ModPow(2, 10), 1024u);
+}
+
+class ChannelLevelTest : public ::testing::TestWithParam<SecurityLevel> {};
+
+TEST_P(ChannelLevelTest, SealOpenAcrossEndpoints) {
+  util::Rng rng(7);
+  auto pair = SecureChannel::Establish(GetParam(), rng);
+  ASSERT_TRUE(pair.ok());
+  auto sealed = pair->initiator.Seal(BytesOf("offload request"));
+  ASSERT_TRUE(sealed.ok());
+  auto opened = pair->responder.Open(*sealed);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_EQ(util::StringOf(*opened), "offload request");
+
+  // And the reverse direction with independent keys.
+  auto reply = pair->responder.Seal(BytesOf("accepted"));
+  ASSERT_TRUE(reply.ok());
+  auto opened_reply = pair->initiator.Open(*reply);
+  ASSERT_TRUE(opened_reply.ok());
+  EXPECT_EQ(util::StringOf(*opened_reply), "accepted");
+}
+
+TEST_P(ChannelLevelTest, ReplayIsRejected) {
+  util::Rng rng(8);
+  auto pair = SecureChannel::Establish(GetParam(), rng);
+  ASSERT_TRUE(pair.ok());
+  auto first = pair->initiator.Seal(BytesOf("m1"));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(pair->responder.Open(*first).ok());
+  // Replaying the same record must fail: the receiver's sequence advanced.
+  EXPECT_FALSE(pair->responder.Open(*first).ok());
+}
+
+TEST_P(ChannelLevelTest, ReorderIsRejected) {
+  util::Rng rng(9);
+  auto pair = SecureChannel::Establish(GetParam(), rng);
+  ASSERT_TRUE(pair.ok());
+  auto m1 = pair->initiator.Seal(BytesOf("m1"));
+  auto m2 = pair->initiator.Seal(BytesOf("m2"));
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  EXPECT_FALSE(pair->responder.Open(*m2).ok());  // skipped m1
+  EXPECT_TRUE(pair->responder.Open(*m1).ok());   // in-order still works
+  EXPECT_TRUE(pair->responder.Open(*m2).ok());
+}
+
+TEST_P(ChannelLevelTest, TamperIsRejected) {
+  util::Rng rng(10);
+  auto pair = SecureChannel::Establish(GetParam(), rng);
+  ASSERT_TRUE(pair.ok());
+  auto sealed = pair->initiator.Seal(BytesOf("integrity matters"));
+  ASSERT_TRUE(sealed.ok());
+  auto tampered = *sealed;
+  tampered[tampered.size() / 2] ^= 0x10;
+  EXPECT_FALSE(pair->responder.Open(tampered).ok());
+}
+
+TEST_P(ChannelLevelTest, ManyRecordsSustained) {
+  util::Rng rng(11);
+  auto pair = SecureChannel::Establish(GetParam(), rng);
+  ASSERT_TRUE(pair.ok());
+  for (int i = 0; i < 200; ++i) {
+    auto sealed = pair->initiator.Seal(BytesOf("record #" + std::to_string(i)));
+    ASSERT_TRUE(sealed.ok());
+    auto opened = pair->responder.Open(*sealed);
+    ASSERT_TRUE(opened.ok()) << "record " << i;
+  }
+  EXPECT_EQ(pair->initiator.sent_records(), 200u);
+  EXPECT_EQ(pair->responder.received_records(), 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, ChannelLevelTest,
+                         ::testing::Values(SecurityLevel::kLow,
+                                           SecurityLevel::kMedium,
+                                           SecurityLevel::kHigh),
+                         [](const auto& info) {
+                           return std::string(SecurityLevelName(info.param));
+                         });
+
+}  // namespace
+}  // namespace myrtus::security

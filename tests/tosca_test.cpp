@@ -1,0 +1,297 @@
+// YAML parser, TOSCA object model + validation processor, pod lowering,
+// and CSAR packaging.
+#include <gtest/gtest.h>
+
+#include "tosca/csar.hpp"
+#include "tosca/model.hpp"
+#include "tosca/yaml.hpp"
+
+namespace myrtus::tosca {
+namespace {
+
+TEST(Yaml, ScalarsAreTyped) {
+  auto doc = ParseYaml("a: 3\nb: 2.5\nc: true\nd: hello\ne: null\nf: \"42\"\n");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_TRUE(doc->at("a").is_int());
+  EXPECT_EQ(doc->at("a").as_int(), 3);
+  EXPECT_TRUE(doc->at("b").is_double());
+  EXPECT_TRUE(doc->at("c").as_bool());
+  EXPECT_EQ(doc->at("d").as_string(), "hello");
+  EXPECT_TRUE(doc->at("e").is_null());
+  EXPECT_TRUE(doc->at("f").is_string());
+  EXPECT_EQ(doc->at("f").as_string(), "42");
+}
+
+TEST(Yaml, NestedMappings) {
+  auto doc = ParseYaml(
+      "top:\n"
+      "  mid:\n"
+      "    leaf: 1\n"
+      "  other: 2\n"
+      "after: 3\n");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->at("top").at("mid").at("leaf").as_int(), 1);
+  EXPECT_EQ(doc->at("top").at("other").as_int(), 2);
+  EXPECT_EQ(doc->at("after").as_int(), 3);
+}
+
+TEST(Yaml, Sequences) {
+  auto doc = ParseYaml(
+      "items:\n"
+      "  - 1\n"
+      "  - two\n"
+      "  - true\n");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const auto& items = doc->at("items").items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].as_int(), 1);
+  EXPECT_EQ(items[1].as_string(), "two");
+  EXPECT_TRUE(items[2].as_bool());
+}
+
+TEST(Yaml, SequenceOfMappings) {
+  auto doc = ParseYaml(
+      "policies:\n"
+      "  - name: p1\n"
+      "    type: security\n"
+      "  - name: p2\n"
+      "    type: placement\n");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const auto& pols = doc->at("policies").items();
+  ASSERT_EQ(pols.size(), 2u);
+  EXPECT_EQ(pols[0].at("name").as_string(), "p1");
+  EXPECT_EQ(pols[1].at("type").as_string(), "placement");
+}
+
+TEST(Yaml, SequenceAtKeyIndent) {
+  // Common style: sequence dash at the same indent as its key.
+  auto doc = ParseYaml(
+      "targets:\n"
+      "- a\n"
+      "- b\n");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->at("targets").items().size(), 2u);
+}
+
+TEST(Yaml, FlowCollections) {
+  auto doc = ParseYaml("a: [1, 2, 3]\nb: {x: 1, y: two}\n");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->at("a").items().size(), 3u);
+  EXPECT_EQ(doc->at("b").at("x").as_int(), 1);
+  EXPECT_EQ(doc->at("b").at("y").as_string(), "two");
+}
+
+TEST(Yaml, CommentsAndBlanksIgnored) {
+  auto doc = ParseYaml(
+      "# header comment\n"
+      "\n"
+      "key: value  # trailing comment\n"
+      "url: http://example.com/path  # colon inside value\n");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->at("key").as_string(), "value");
+  EXPECT_EQ(doc->at("url").as_string(), "http://example.com/path");
+}
+
+TEST(Yaml, QuotedStringsPreserveSpecials) {
+  auto doc = ParseYaml("a: \"x: y # not a comment\"\n");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->at("a").as_string(), "x: y # not a comment");
+}
+
+TEST(Yaml, EmitRoundtrip) {
+  util::Json original = util::Json::MakeObject()
+          .Set("name", "app")
+          .Set("count", 3)
+          .Set("ratio", 2.5)
+          .Set("flag", true)
+          .Set("list", util::Json::MakeArray().Append(1).Append("two"))
+          .Set("nested", util::Json::MakeObject().Set("k", "v"))
+          .Set("numeric_string", "123")
+          .Set("empty_list", util::Json::MakeArray())
+          .Set("empty_map", util::Json::MakeObject());
+  auto reparsed = ParseYaml(EmitYaml(original));
+  ASSERT_TRUE(reparsed.ok()) << EmitYaml(original) << reparsed.status();
+  EXPECT_EQ(*reparsed, original) << EmitYaml(original);
+}
+
+TEST(Yaml, ErrorsCarryLineNumbers) {
+  auto doc = ParseYaml("ok: 1\nnot a mapping line\n");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("line 2"), std::string::npos);
+}
+
+const char* kTelerehabYaml = R"(
+tosca_definitions_version: tosca_2_0
+description: Virtual telerehabilitation pipeline
+service_template:
+  node_templates:
+    pose_estimation:
+      type: myrtus.nodes.AcceleratedKernel
+      properties:
+        cpu: 1.5
+        memory_mb: 512
+        accelerable: true
+      requirements:
+        - connects_to: exercise_scoring
+    exercise_scoring:
+      type: myrtus.nodes.Workload
+      properties:
+        cpu: 0.5
+        memory_mb: 256
+    session_archive:
+      type: myrtus.nodes.Workload
+      properties:
+        cpu: 0.25
+        memory_mb: 1024
+  policies:
+    - patient_privacy:
+        type: myrtus.policies.SecurityLevel
+        targets: [pose_estimation, exercise_scoring]
+        properties:
+          level: medium
+    - near_patient:
+        type: myrtus.policies.Placement
+        targets: [pose_estimation]
+        properties:
+          layer: edge
+    - responsiveness:
+        type: myrtus.policies.EndToEndLatency
+        targets: []
+        properties:
+          max_ms: 50
+)";
+
+TEST(Tosca, ParsesServiceTemplate) {
+  auto tpl = ServiceTemplate::FromYaml(kTelerehabYaml);
+  ASSERT_TRUE(tpl.ok()) << tpl.status();
+  EXPECT_EQ(tpl->tosca_version, "tosca_2_0");
+  EXPECT_EQ(tpl->node_templates.size(), 3u);
+  EXPECT_EQ(tpl->policies.size(), 3u);
+  const NodeTemplate& pose = tpl->node_templates.at("pose_estimation");
+  EXPECT_EQ(pose.type, kTypeAccelerator);
+  ASSERT_EQ(pose.requirements.size(), 1u);
+  EXPECT_EQ(pose.requirements[0].target, "exercise_scoring");
+}
+
+TEST(Tosca, ValidTemplatePassesValidation) {
+  auto tpl = ServiceTemplate::FromYaml(kTelerehabYaml);
+  ASSERT_TRUE(tpl.ok());
+  ValidationProcessor v;
+  EXPECT_TRUE(v.Check(*tpl).ok()) << v.Check(*tpl);
+}
+
+TEST(Tosca, ValidationCatchesUnknownTypeAndTarget) {
+  auto tpl = ServiceTemplate::FromYaml(kTelerehabYaml);
+  ASSERT_TRUE(tpl.ok());
+  tpl->node_templates["rogue"] = NodeTemplate{
+      "rogue", "acme.nodes.Mystery", util::Json::MakeObject(), {{"host", "ghost"}}};
+  ValidationProcessor v;
+  const auto issues = v.Validate(*tpl);
+  ASSERT_GE(issues.size(), 2u);
+  EXPECT_FALSE(v.Check(*tpl).ok());
+}
+
+TEST(Tosca, ValidationCatchesBadSecurityLevelAndVersion) {
+  auto tpl = ServiceTemplate::FromYaml(kTelerehabYaml);
+  ASSERT_TRUE(tpl.ok());
+  tpl->tosca_version = "tosca_9_9";
+  tpl->policies[0].properties.Set("level", "quantum");
+  ValidationProcessor v;
+  const auto issues = v.Validate(*tpl);
+  EXPECT_EQ(issues.size(), 2u);
+}
+
+TEST(Tosca, ValidationCatchesRequirementCycle) {
+  ServiceTemplate tpl;
+  tpl.tosca_version = "tosca_2_0";
+  tpl.node_templates["a"] = NodeTemplate{
+      "a", std::string(kTypeWorkload), util::Json::MakeObject(), {{"host", "b"}}};
+  tpl.node_templates["b"] = NodeTemplate{
+      "b", std::string(kTypeWorkload), util::Json::MakeObject(), {{"host", "a"}}};
+  ValidationProcessor v;
+  bool found_cycle = false;
+  for (const auto& issue : v.Validate(tpl)) {
+    if (issue.problem.find("cycle") != std::string::npos) found_cycle = true;
+  }
+  EXPECT_TRUE(found_cycle);
+}
+
+TEST(Tosca, LowerToPodsAppliesPolicies) {
+  auto tpl = ServiceTemplate::FromYaml(kTelerehabYaml);
+  ASSERT_TRUE(tpl.ok());
+  auto pods = LowerToPods(*tpl);
+  ASSERT_TRUE(pods.ok()) << pods.status();
+  ASSERT_EQ(pods->size(), 3u);
+  const sched::PodSpec* pose = nullptr;
+  const sched::PodSpec* archive = nullptr;
+  for (const auto& p : *pods) {
+    if (p.name == "pose_estimation") pose = &p;
+    if (p.name == "session_archive") archive = &p;
+  }
+  ASSERT_NE(pose, nullptr);
+  ASSERT_NE(archive, nullptr);
+  EXPECT_TRUE(pose->needs_accelerator);
+  EXPECT_EQ(pose->min_security, security::SecurityLevel::kMedium);
+  EXPECT_EQ(pose->layer_affinity, "edge");
+  EXPECT_DOUBLE_EQ(pose->cpu_request, 1.5);
+  EXPECT_EQ(archive->min_security, security::SecurityLevel::kLow);
+  EXPECT_TRUE(archive->layer_affinity.empty());
+}
+
+TEST(Tosca, LowerToPodsRejectsInvalidTemplate) {
+  ServiceTemplate empty;
+  empty.tosca_version = "tosca_2_0";
+  EXPECT_FALSE(LowerToPods(empty).ok());
+}
+
+TEST(Tosca, TemplateJsonYamlRoundtrip) {
+  auto tpl = ServiceTemplate::FromYaml(kTelerehabYaml);
+  ASSERT_TRUE(tpl.ok());
+  auto back = ServiceTemplate::FromYaml(tpl->ToYaml());
+  ASSERT_TRUE(back.ok()) << tpl->ToYaml() << "\n" << back.status();
+  EXPECT_EQ(back->node_templates.size(), 3u);
+  EXPECT_EQ(back->policies.size(), 3u);
+  EXPECT_EQ(back->node_templates.at("pose_estimation").requirements[0].target,
+            "exercise_scoring");
+}
+
+TEST(Csar, PackUnpackRoundtrip) {
+  auto tpl = ServiceTemplate::FromYaml(kTelerehabYaml);
+  ASSERT_TRUE(tpl.ok());
+  CsarPackage pkg = CsarPackage::Create(*tpl);
+  pkg.AddFile("scripts/deploy.sh", "#!/bin/sh\necho deploy\n");
+  pkg.AddFile("meta/operating_points.json", "[{\"point\":0}]");
+
+  const std::string wire = pkg.Pack();
+  auto back = CsarPackage::Unpack(wire);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->files().size(), 4u);
+  auto script = back->ReadFile("scripts/deploy.sh");
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(*script, "#!/bin/sh\necho deploy\n");
+
+  auto entry = back->EntryTemplate();
+  ASSERT_TRUE(entry.ok()) << entry.status();
+  EXPECT_EQ(entry->node_templates.size(), 3u);
+}
+
+TEST(Csar, UnpackRejectsCorruptData) {
+  EXPECT_FALSE(CsarPackage::Unpack("NOTCSAR").ok());
+  auto tpl = ServiceTemplate::FromYaml(kTelerehabYaml);
+  CsarPackage pkg = CsarPackage::Create(*tpl);
+  std::string wire = pkg.Pack();
+  wire.resize(wire.size() / 2);  // truncate
+  EXPECT_FALSE(CsarPackage::Unpack(wire).ok());
+}
+
+TEST(Csar, EntryPathFromMeta) {
+  auto tpl = ServiceTemplate::FromYaml(kTelerehabYaml);
+  CsarPackage pkg = CsarPackage::Create(*tpl, "defs/app.yaml");
+  auto entry = pkg.EntryPath();
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(*entry, "defs/app.yaml");
+  EXPECT_TRUE(pkg.HasFile("defs/app.yaml"));
+}
+
+}  // namespace
+}  // namespace myrtus::tosca

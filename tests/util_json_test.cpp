@@ -1,0 +1,114 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace myrtus::util {
+namespace {
+
+TEST(Json, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.Dump(), "null");
+}
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(42).Dump(), "42");
+  EXPECT_EQ(Json(-7).Dump(), "-7");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+  EXPECT_EQ(Json(1.5).Dump(), "1.5");
+}
+
+TEST(Json, ObjectBuilderAndLookup) {
+  Json j = Json::MakeObject();
+  j.Set("name", "edge-0").Set("cores", 4).Set("ghz", 1.2);
+  EXPECT_TRUE(j.has("name"));
+  EXPECT_EQ(j.at("name").as_string(), "edge-0");
+  EXPECT_EQ(j.at("cores").as_int(), 4);
+  EXPECT_DOUBLE_EQ(j.at("ghz").as_double(), 1.2);
+  EXPECT_TRUE(j.at("missing").is_null());
+}
+
+TEST(Json, CanonicalObjectOrderingIsSorted) {
+  Json j = Json::MakeObject();
+  j.Set("zeta", 1).Set("alpha", 2);
+  EXPECT_EQ(j.Dump(), "{\"alpha\":2,\"zeta\":1}");
+}
+
+TEST(Json, ArrayAppend) {
+  Json j = Json::MakeArray();
+  j.Append(1).Append("two").Append(Json::MakeObject().Set("k", 3));
+  EXPECT_EQ(j.Dump(), "[1,\"two\",{\"k\":3}]");
+  EXPECT_EQ(j.items().size(), 3u);
+}
+
+TEST(Json, StringEscaping) {
+  Json j = Json(std::string("a\"b\\c\nd\te\x01"));
+  EXPECT_EQ(j.Dump(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(Json, ParseRoundtrip) {
+  // Keys are already in canonical (sorted) order so Dump() reproduces the
+  // input byte-for-byte.
+  const std::string text =
+      R"({"app":"telerehab","pinned":true,"replicas":2,"stages":[{"ms":3.5,"name":"pose"},{"ms":1,"name":"score"}]})";
+  auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Dump(), text);
+}
+
+TEST(Json, ParseNestedAndWhitespace) {
+  auto parsed = Json::Parse("  { \"a\" : [ 1 , 2.0e1 , null , false ] }  ");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->at("a").items().size(), 4u);
+  EXPECT_DOUBLE_EQ(parsed->at("a").items()[1].as_double(), 20.0);
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  auto parsed = Json::Parse(R"("Aé")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+  EXPECT_FALSE(Json::Parse("{'single':1}").ok());
+}
+
+TEST(Json, DeepNestingRejected) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(Json, IntegerOverflowFallsBackToDouble) {
+  auto parsed = Json::Parse("123456789012345678901234567890");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->is_double());
+}
+
+TEST(Json, PrettyIsReparseable) {
+  Json j = Json::MakeObject();
+  j.Set("list", Json::MakeArray().Append(1).Append(2))
+      .Set("obj", Json::MakeObject().Set("x", true));
+  auto reparsed = Json::Parse(j.Pretty());
+  ASSERT_TRUE(reparsed.ok()) << j.Pretty();
+  EXPECT_EQ(*reparsed, j);
+}
+
+TEST(Json, EqualityIsDeep) {
+  auto a = Json::Parse(R"({"x":[1,{"y":2}]})");
+  auto b = Json::Parse(R"({ "x" : [ 1, { "y": 2 } ] })");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+}  // namespace
+}  // namespace myrtus::util

@@ -1,0 +1,165 @@
+// Bytes helpers, RNG determinism/distribution, and statistics utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace myrtus::util {
+namespace {
+
+TEST(Bytes, HexRoundtrip) {
+  const Bytes b = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(ToHex(b), "0001abff");
+  auto back = FromHex("0001abff");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, b);
+}
+
+TEST(Bytes, FromHexAcceptsUppercase) {
+  auto b = FromHex("DEADBEEF");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ToHex(*b), "deadbeef");
+}
+
+TEST(Bytes, FromHexRejectsBadInput) {
+  EXPECT_FALSE(FromHex("abc").ok());   // odd length
+  EXPECT_FALSE(FromHex("zz").ok());    // non-hex
+}
+
+TEST(Bytes, BigEndianLoadStore) {
+  std::uint8_t buf[8];
+  StoreBe64(0x0102030405060708ULL, buf);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0x08);
+  EXPECT_EQ(LoadBe64(buf), 0x0102030405060708ULL);
+  EXPECT_EQ(LoadBe32(buf), 0x01020304u);
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  EXPECT_TRUE(ConstantTimeEqual({1, 2, 3}, {1, 2, 3}));
+  EXPECT_FALSE(ConstantTimeEqual({1, 2, 3}, {1, 2, 4}));
+  EXPECT_FALSE(ConstantTimeEqual({1, 2}, {1, 2, 3}));
+  EXPECT_TRUE(ConstantTimeEqual({}, {}));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, StreamNamesDecorrelate) {
+  Rng a(123, "net");
+  Rng b(123, "sched");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.NextBounded(13), 13u);
+  }
+  EXPECT_EQ(r.NextBounded(0), 0u);
+  EXPECT_EQ(r.NextBounded(1), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(42);
+  RunningStat s;
+  for (int i = 0; i < 200000; ++i) s.Add(r.NextGaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(43);
+  RunningStat s;
+  for (int i = 0; i < 100000; ++i) s.Add(r.NextExponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng r(44);
+  RunningStat small, large;
+  for (int i = 0; i < 50000; ++i) small.Add(static_cast<double>(r.NextPoisson(3.0)));
+  for (int i = 0; i < 50000; ++i) large.Add(static_cast<double>(r.NextPoisson(120.0)));
+  EXPECT_NEAR(small.mean(), 3.0, 0.1);
+  EXPECT_NEAR(large.mean(), 120.0, 1.0);
+}
+
+TEST(RunningStat, MomentsMatchKnownValues) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, MergeEqualsSingleStream) {
+  Rng r(5);
+  RunningStat all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.NextGaussian();
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Samples, Quantiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_NEAR(s.p50(), 50.5, 1e-9);
+  EXPECT_NEAR(s.Quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(s.max(), 100.0, 1e-9);
+  EXPECT_NEAR(s.p95(), 95.05, 0.01);
+}
+
+TEST(Samples, EmptyIsZero) {
+  Samples s;
+  EXPECT_EQ(s.p50(), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Log2Histogram, BucketsByPowerOfTwo) {
+  Log2Histogram h;
+  h.Add(0.5);   // bucket 0: [0,1)
+  h.Add(1.0);   // bucket 1: [1,2)
+  h.Add(3.0);   // bucket 2: [2,4)
+  h.Add(1000);  // [512,1024)
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.buckets()[10], 1u);
+}
+
+TEST(Fnv1a64, StableAndDistinct) {
+  EXPECT_EQ(Fnv1a64("abc"), Fnv1a64("abc"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_NE(Fnv1a64(""), Fnv1a64("a"));
+}
+
+}  // namespace
+}  // namespace myrtus::util
