@@ -5,9 +5,15 @@
 // iteration as the fleet grows.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "mirto/agent.hpp"
+#include "mirto/engine.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 #include "usecases/scenario.hpp"
 
 using namespace myrtus;
@@ -104,6 +110,97 @@ void PrintRecoveryTable() {
   std::printf("\n");
 }
 
+/// Wall-clock latency of MAPE iterations, bucketed into a telemetry
+/// histogram so the table below can quote p50/p95/p99.
+telemetry::Histogram MeasureMapeLatency(bool telemetry_on, int iterations) {
+  telemetry::ResetGlobal();
+  World world;
+  usecases::Scenario scenario = usecases::SmartMobilityScenario();
+  (void)usecases::DeployScenario(scenario, world.cluster, 1);
+  world.engine.RunUntil(world.engine.Now() + sim::SimTime::Millis(500));
+
+  telemetry::SetEnabled(telemetry_on);
+  telemetry::Histogram hist(
+      telemetry::Histogram::ExponentialBounds(1e-4, 2.0, 30));  // 0.1 µs..
+  for (int i = 0; i < iterations; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    world.agent->RunMapeIteration();
+    const auto t1 = std::chrono::steady_clock::now();
+    hist.Observe(std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  telemetry::SetEnabled(false);
+  telemetry::ResetGlobal();
+  return hist;
+}
+
+void PrintMapeLatencyTable() {
+  constexpr int kIterations = 2000;
+  // Warm both paths once so allocator/cache effects don't bias either row.
+  (void)MeasureMapeLatency(false, 100);
+  (void)MeasureMapeLatency(true, 100);
+  const telemetry::Histogram off = MeasureMapeLatency(false, kIterations);
+  const telemetry::Histogram on = MeasureMapeLatency(true, kIterations);
+
+  std::printf("=== MAPE-K iteration latency (wall-clock, %d iterations) ===\n",
+              kIterations);
+  std::printf("%-18s | %9s | %9s | %9s | %9s\n", "telemetry", "p50 ms",
+              "p95 ms", "p99 ms", "mean ms");
+  const auto row = [](const char* label, const telemetry::Histogram& h) {
+    std::printf("%-18s | %9.4f | %9.4f | %9.4f | %9.4f\n", label, h.p50(),
+                h.p95(), h.p99(),
+                h.count() > 0 ? h.sum() / static_cast<double>(h.count()) : 0.0);
+  };
+  row("disabled", off);
+  row("enabled", on);
+  if (off.count() > 0 && off.sum() > 0.0) {
+    const double overhead =
+        (on.sum() / static_cast<double>(on.count())) /
+            (off.sum() / static_cast<double>(off.count())) -
+        1.0;
+    std::printf("enabled-vs-disabled mean overhead: %+.1f%%\n",
+                overhead * 100.0);
+  }
+  std::printf("\n");
+}
+
+/// Runs one negotiated deployment (full MAPE-K world + contract-net
+/// announce→bid→award→schedule→start) with tracing on and dumps the span
+/// tree as a Chrome trace_event file for about:tracing / Perfetto.
+void DumpNegotiationTrace(const std::string& path) {
+  telemetry::ResetGlobal();
+  sim::Engine engine;
+  continuum::Infrastructure infra = continuum::BuildInfrastructure(engine, {});
+  net::Network network(engine, infra.topology, 5);
+  mirto::MirtoEngine mirto(network, infra);
+  telemetry::SetEnabled(true);
+  mirto.Start();
+  engine.RunUntil(sim::SimTime::Millis(500));
+
+  usecases::Scenario scenario = usecases::TelerehabScenario();
+  dpe::DpePipeline pipeline(3);
+  auto design = pipeline.Run(scenario.dpe_input);
+  if (design.ok()) {
+    mirto.DeployNegotiated(design->package, [](util::Status) {});
+    engine.RunUntil(engine.Now() + sim::SimTime::Seconds(5));
+  }
+  mirto.Stop();
+
+  const auto& tracer = telemetry::Global().tracer;
+  const util::Status written = telemetry::WriteChromeTrace(tracer, path);
+  if (written.ok()) {
+    std::printf("wrote %zu spans (%zu MAPE cycles + negotiation) to %s\n",
+                tracer.finished().size(),
+                static_cast<std::size_t>(telemetry::Global().metrics.Value(
+                    "myrtus_mirto_mape_iterations_total",
+                    {{"agent", "mirto-edge"}})),
+                path.c_str());
+  } else {
+    std::printf("trace dump failed: %s\n", written.ToString().c_str());
+  }
+  telemetry::SetEnabled(false);
+  telemetry::ResetGlobal();
+}
+
 void BM_MapeIteration(benchmark::State& state) {
   World world(static_cast<int>(state.range(0)));
   usecases::Scenario scenario = usecases::SmartMobilityScenario();
@@ -114,6 +211,30 @@ void BM_MapeIteration(benchmark::State& state) {
   state.counters["nodes"] = static_cast<double>(world.infra.nodes.size());
 }
 BENCHMARK(BM_MapeIteration)->Arg(1)->Arg(4)->Arg(16)->ArgNames({"edge_scale"});
+
+/// Same loop with tracing + metrics enabled: the delta vs BM_MapeIteration is
+/// the telemetry-enabled cost per iteration.
+void BM_MapeIterationTelemetry(benchmark::State& state) {
+  telemetry::ResetGlobal();
+  World world(static_cast<int>(state.range(0)));
+  usecases::Scenario scenario = usecases::SmartMobilityScenario();
+  (void)usecases::DeployScenario(scenario, world.cluster, 1);
+  telemetry::SetEnabled(true);
+  for (auto _ : state) {
+    world.agent->RunMapeIteration();
+  }
+  telemetry::SetEnabled(false);
+  state.counters["nodes"] = static_cast<double>(world.infra.nodes.size());
+  state.counters["spans"] =
+      static_cast<double>(telemetry::Global().tracer.finished().size() +
+                          telemetry::Global().tracer.dropped_spans());
+  telemetry::ResetGlobal();
+}
+BENCHMARK(BM_MapeIterationTelemetry)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->ArgNames({"edge_scale"});
 
 void BM_DeployThroughApi(benchmark::State& state) {
   for (auto _ : state) {
@@ -154,7 +275,23 @@ BENCHMARK(BM_TrustUpdateSweep)->Arg(16)->Arg(256)->ArgNames({"nodes"});
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --trace-out=<file>: dump one traced MAPE-K + negotiation cycle as a
+  // Chrome trace_event file, then continue with the regular experiment.
+  std::string trace_out;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--trace-out=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      trace_out = argv[i] + std::strlen(kFlag);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
   PrintRecoveryTable();
+  PrintMapeLatencyTable();
+  if (!trace_out.empty()) DumpNegotiationTrace(trace_out);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

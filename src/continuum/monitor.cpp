@@ -1,6 +1,19 @@
 #include "continuum/monitor.hpp"
 
+#include <algorithm>
+#include <array>
+
+#include "telemetry/telemetry.hpp"
+
 namespace myrtus::continuum {
+namespace {
+
+// The exact set of series SampleOnce() writes; AddAlertRule validates
+// against it so rules can only reference metrics that can actually fire.
+constexpr std::array<std::string_view, 3> kSampledMetrics = {
+    "utilization", "queue_depth", "energy_mj"};
+
+}  // namespace
 
 MonitoringService::MonitoringService(sim::Engine& engine, Infrastructure& infra,
                                      kb::ResourceRegistry& registry)
@@ -16,13 +29,26 @@ void MonitoringService::Stop() {
   loop_ = {};
 }
 
-void MonitoringService::AddAlertRule(std::string metric, double threshold,
-                                     AlertHandler handler) {
+util::Status MonitoringService::AddAlertRule(std::string metric,
+                                             double threshold,
+                                             AlertHandler handler) {
+  if (std::find(kSampledMetrics.begin(), kSampledMetrics.end(), metric) ==
+      kSampledMetrics.end()) {
+    std::string known;
+    for (const std::string_view m : kSampledMetrics) {
+      if (!known.empty()) known += ", ";
+      known += m;
+    }
+    return util::Status::InvalidArgument("unknown alert metric \"" + metric +
+                                         "\"; sampled metrics are: " + known);
+  }
   rules_.push_back(Rule{std::move(metric), threshold, std::move(handler)});
+  return util::Status::Ok();
 }
 
 void MonitoringService::SampleOnce() {
   ++samples_;
+  telemetry::ScopedSpan span("monitor.sample", "continuum");
   const std::int64_t now_ns = engine_.Now().ns;
   for (const auto& node : infra_.nodes) {
     double max_util = 0.0;
@@ -36,6 +62,16 @@ void MonitoringService::SampleOnce() {
     registry_.AppendTelemetry(node->id(), "queue_depth", {now_ns, depth});
     registry_.AppendTelemetry(node->id(), "energy_mj", {now_ns, energy});
 
+    if (telemetry::Enabled()) {
+      auto& metrics = telemetry::Global().metrics;
+      metrics.Set("myrtus_continuum_node_utilization", max_util,
+                  {{"node", node->id()}});
+      metrics.Set("myrtus_continuum_node_queue_depth", depth,
+                  {{"node", node->id()}});
+      metrics.Set("myrtus_continuum_node_energy_mj", energy,
+                  {{"node", node->id()}});
+    }
+
     for (const Rule& rule : rules_) {
       double value = 0.0;
       if (rule.metric == "utilization") value = max_util;
@@ -44,6 +80,10 @@ void MonitoringService::SampleOnce() {
       else continue;
       if (value > rule.threshold) {
         ++alerts_;
+        if (telemetry::Enabled()) {
+          telemetry::Global().metrics.Add("myrtus_continuum_alerts_total", 1.0,
+                                          {{"metric", rule.metric}});
+        }
         rule.handler(Alert{node->id(), rule.metric, value, rule.threshold, now_ns});
       }
     }

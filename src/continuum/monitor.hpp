@@ -12,6 +12,7 @@
 #include "continuum/infrastructure.hpp"
 #include "kb/registry.hpp"
 #include "sim/engine.hpp"
+#include "util/status.hpp"
 
 namespace myrtus::continuum {
 
@@ -40,8 +41,11 @@ class MonitoringService {
   /// "utilization", "queue_depth", "energy_mj". The handler runs inside the
   /// sampling pass; alerts re-fire on every violating sample (edge-triggered
   /// dedup is the consumer's job — MIRTO's Analyze step).
+  /// Returns INVALID_ARGUMENT for a metric the sampler never produces — a
+  /// rule on a misspelled metric would otherwise silently never fire.
   using AlertHandler = std::function<void(const Alert&)>;
-  void AddAlertRule(std::string metric, double threshold, AlertHandler handler);
+  [[nodiscard]] util::Status AddAlertRule(std::string metric, double threshold,
+                                          AlertHandler handler);
 
   [[nodiscard]] std::uint64_t samples_taken() const { return samples_; }
   [[nodiscard]] std::uint64_t alerts_fired() const { return alerts_; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
+
 namespace myrtus::kb {
 namespace {
 
@@ -162,6 +164,10 @@ void RaftNode::StartElection() {
 void RaftNode::BecomeLeader() {
   role_ = RaftRole::kLeader;
   known_leader_ = self_;
+  if (telemetry::Enabled()) {
+    telemetry::Global().metrics.Add("myrtus_kb_raft_elections_total", 1.0,
+                                    {{"leader", self_}});
+  }
   network_.engine().Cancel(election_timer_);
   election_timer_ = {};
   for (const net::HostId& peer : peers_) {
@@ -313,6 +319,12 @@ util::StatusOr<util::Json> RaftNode::OnAppendEntries(const util::Json& req) {
     }
   }
 
+  if (telemetry::Enabled() && index > prev_index) {
+    telemetry::Global().metrics.Add(
+        "myrtus_kb_raft_appends_total", static_cast<double>(index - prev_index),
+        {{"node", self_}});
+  }
+
   const std::int64_t leader_commit = req.at("leader_commit").as_int();
   if (leader_commit > commit_index_) {
     commit_index_ = std::min(leader_commit, LastLogIndex());
@@ -342,6 +354,10 @@ void RaftNode::ApplyCommitted() {
   while (last_applied_ < commit_index_) {
     ++last_applied_;
     const LogEntry& entry = log_[static_cast<std::size_t>(last_applied_)];
+    if (telemetry::Enabled()) {
+      telemetry::Global().metrics.Add("myrtus_kb_raft_commits_total", 1.0,
+                                      {{"node", self_}});
+    }
     if (apply_ && !entry.command.is_null()) apply_(entry.command);
     const auto it = pending_.find(last_applied_);
     if (it != pending_.end()) {
@@ -359,6 +375,26 @@ void RaftNode::FailPendingProposals(const util::Status& status) {
 }
 
 void RaftNode::Propose(util::Json command, ProposeCallback done) {
+  if (telemetry::Enabled()) {
+    // One span per proposal, covering replication until commit (or failure);
+    // latency lands in the commit-latency histogram either way.
+    auto& tel = telemetry::Global();
+    const telemetry::SpanContext span = tel.tracer.StartSpan("raft.propose", "kb");
+    tel.tracer.SetAttribute(span, "node", self_);
+    const std::int64_t started_ns = tel.tracer.NowNs();
+    done = [done = std::move(done), span,
+            started_ns](util::StatusOr<std::int64_t> result) {
+      auto& tel = telemetry::Global();
+      tel.tracer.SetAttribute(
+          span, "status",
+          std::string(util::StatusCodeName(result.status().code())));
+      tel.tracer.EndSpan(span);
+      tel.metrics.Observe(
+          "myrtus_kb_raft_commit_latency_ms",
+          static_cast<double>(tel.tracer.NowNs() - started_ns) * 1e-6);
+      done(std::move(result));
+    };
+  }
   if (crashed_) {
     done(util::Status::Unavailable("node crashed"));
     return;

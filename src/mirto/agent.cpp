@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
+
 namespace myrtus::mirto {
 
 AuthModule::AuthModule(util::Bytes shared_secret)
@@ -189,6 +191,12 @@ std::vector<std::string> MirtoAgent::DeployedApps() const {
 
 void MirtoAgent::RunMapeIteration() {
   ++stats_.mape_iterations;
+  telemetry::ScopedSpan span("mape.iteration", "mirto");
+  span.SetAttribute("agent", config_.host);
+  if (telemetry::Enabled()) {
+    telemetry::Global().metrics.Add("myrtus_mirto_mape_iterations_total", 1.0,
+                                    {{"agent", config_.host}});
+  }
   Monitor();
   Analyze();
   Plan();
@@ -196,6 +204,7 @@ void MirtoAgent::RunMapeIteration() {
 }
 
 void MirtoAgent::Monitor() {
+  telemetry::ScopedSpan span("mape.monitor", "mirto");
   const std::int64_t now_ns = network_.engine().Now().ns;
   for (const auto& node : infra_.nodes) {
     kb::NodeRecord record;
@@ -225,6 +234,7 @@ void MirtoAgent::Monitor() {
 }
 
 void MirtoAgent::Analyze() {
+  telemetry::ScopedSpan span("mape.analyze", "mirto");
   reallocation_needed_ = failure_signal_;
   failure_signal_ = false;
   for (const auto& node : infra_.nodes) {
@@ -238,6 +248,7 @@ void MirtoAgent::Analyze() {
 }
 
 void MirtoAgent::Plan() {
+  telemetry::ScopedSpan span("mape.plan", "mirto");
   planned_points_.clear();
   for (const auto& node : infra_.nodes) {
     if (!node->up()) continue;
@@ -248,6 +259,7 @@ void MirtoAgent::Plan() {
 }
 
 void MirtoAgent::Execute() {
+  telemetry::ScopedSpan span("mape.execute", "mirto");
   for (const NodeManager::Decision& d : planned_points_) {
     if (continuum::ComputeNode* node = infra_.FindNode(d.node_id)) {
       if (node_.Execute(*node, d).ok()) ++stats_.operating_point_changes;

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "telemetry/telemetry.hpp"
+
 namespace myrtus::mirto {
 namespace {
 
@@ -66,10 +68,16 @@ void MirtoEngine::Start() {
         AgentHost(layer), "mirto.bid",
         [this, layer](const net::HostId&, const util::Json& req)
             -> util::StatusOr<util::Json> {
+          telemetry::ScopedSpan span("mirto.compute_bid", "mirto");
+          span.SetAttribute("layer", std::string(continuum::LayerName(layer)));
           const sched::PodSpec pod = sched::PodSpec::FromJson(req);
           auto bid = ComputeBid(layer, pod);
           if (!bid.ok()) return bid.status();
           ++negotiation_.bids_received;
+          if (telemetry::Enabled()) {
+            span.SetAttribute("cost", std::to_string(*bid));
+            telemetry::Global().metrics.Add("myrtus_mirto_bids_total");
+          }
           return util::Json::MakeObject().Set("cost", *bid);
         });
     network_.RegisterRpc(
@@ -83,6 +91,9 @@ void MirtoEngine::Start() {
             return node.status();
           }
           ++negotiation_.awards;
+          if (telemetry::Enabled()) {
+            telemetry::Global().metrics.Add("myrtus_mirto_awards_total");
+          }
           layers_[Index(layer)].agent->registry().PutWorkload(
               pod.name, util::Json::MakeObject()
                             .Set("node", *node)
@@ -174,16 +185,45 @@ void MirtoEngine::NegotiatePod(
     int outstanding = 3;
     double best_cost = std::numeric_limits<double>::infinity();
     int best_layer = -1;
+    // Root span of this pod's negotiation; every bid/award RPC hangs off it.
+    telemetry::SpanContext span;
+    std::int64_t started_ns = 0;
   };
   auto state = std::make_shared<BidState>();
   const util::Json request = pod.ToJson();
 
+  if (telemetry::Enabled()) {
+    auto& tel = telemetry::Global();
+    state->started_ns = network_.engine().Now().ns;
+    state->span = tel.tracer.StartSpan("negotiate.pod", "mirto",
+                                       tel.tracer.current(), state->started_ns);
+    tel.tracer.SetAttribute(state->span, "pod", pod.name);
+    tel.metrics.Add("myrtus_mirto_announcements_total");
+  }
+
+  // Ends the negotiation root span and records the per-pod placement latency.
+  const auto finish_negotiation = [this, state](const std::string& result,
+                                                const std::string& winner) {
+    if (!state->span.valid()) return;
+    auto& tel = telemetry::Global();
+    tel.tracer.SetAttribute(state->span, "result", result);
+    if (!winner.empty()) tel.tracer.SetAttribute(state->span, "winner", winner);
+    tel.tracer.EndSpan(state->span, network_.engine().Now().ns);
+    tel.metrics.Observe(
+        "myrtus_mirto_negotiation_latency_ms",
+        static_cast<double>(network_.engine().Now().ns - state->started_ns) * 1e-6);
+    tel.metrics.Add("myrtus_mirto_negotiations_total", 1.0, {{"result", result}});
+  };
+
   const std::string origin = AgentHost(continuum::Layer::kEdge);
+  // Announce: the three bid calls are issued under the negotiation span so
+  // their client spans become its children.
+  telemetry::ContextGuard announce_guard(telemetry::Global().tracer, state->span);
   for (const continuum::Layer layer : kLayers) {
     network_.Call(
         origin, AgentHost(layer), "mirto.bid", request,
-        [this, state, pods, index, failures, done,
-         layer](util::StatusOr<util::Json> reply) mutable {
+        [this, state, pods, index, failures, done, layer,
+         finish_negotiation](util::StatusOr<util::Json> reply) mutable {
           if (reply.ok()) {
             const double cost = reply->at("cost").as_double();
             if (cost < state->best_cost) {
@@ -196,18 +236,27 @@ void MirtoEngine::NegotiatePod(
           if (state->best_layer < 0) {
             ++*failures;
             ++negotiation_.failed_pods;
+            finish_negotiation("no-bidder", "");
             NegotiatePod(pods, index + 1, failures, done);
             return;
           }
           const auto winner = static_cast<continuum::Layer>(state->best_layer);
+          // Completion callbacks run without an implicit context; restore the
+          // negotiation span so the award call links into the same tree.
+          telemetry::ContextGuard award_guard(telemetry::Global().tracer,
+                                              state->span);
           network_.Call(
               AgentHost(continuum::Layer::kEdge), AgentHost(winner),
               "mirto.award", (*pods)[index].ToJson(),
-              [this, pods, index, failures,
-               done](util::StatusOr<util::Json> award) mutable {
+              [this, pods, index, failures, done, winner,
+               finish_negotiation](util::StatusOr<util::Json> award) mutable {
                 if (!award.ok()) {
                   ++*failures;
                   ++negotiation_.failed_pods;
+                  finish_negotiation("award-failed", "");
+                } else {
+                  finish_negotiation(
+                      "placed", std::string(continuum::LayerName(winner)));
                 }
                 NegotiatePod(pods, index + 1, failures, done);
               });

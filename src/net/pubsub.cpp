@@ -39,6 +39,9 @@ Broker::Broker(Network& network, HostId host)
           -> util::StatusOr<util::Json> {
         (void)publisher;
         ++publishes_;
+        if (telemetry::Enabled()) {
+          telemetry::Global().metrics.Add("myrtus_pubsub_publishes_total");
+        }
         const std::string topic = req.at("topic").as_string();
         const auto body_bytes =
             static_cast<std::size_t>(req.at("bytes").as_int());
@@ -53,10 +56,22 @@ Broker::Broker(Network& network, HostId host)
           network_.Call(
               host_, sub.subscriber, "pubsub.deliver", std::move(event),
               [this](util::StatusOr<util::Json> reply) {
-                if (reply.ok()) ++deliveries_;
+                if (reply.ok()) {
+                  ++deliveries_;
+                  if (telemetry::Enabled()) {
+                    telemetry::Global().metrics.Add(
+                        "myrtus_pubsub_deliveries_total");
+                  }
+                }
               },
               sim::SimTime::Seconds(5), Protocol::kMqtt);
           (void)body_bytes;
+        }
+        if (telemetry::Enabled()) {
+          // Annotate the surrounding rpc.serve pubsub.publish span.
+          auto& tracer = telemetry::Global().tracer;
+          tracer.SetAttribute(tracer.current(), "topic", topic);
+          tracer.SetAttribute(tracer.current(), "fanout", std::to_string(fanout));
         }
         return util::Json::MakeObject().Set("fanout", fanout);
       });

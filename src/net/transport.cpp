@@ -24,7 +24,28 @@ std::size_t ProtocolOverheadBytes(Protocol p) {
 }
 
 Network::Network(sim::Engine& engine, Topology topology, std::uint64_t seed)
-    : engine_(engine), topology_(std::move(topology)), rng_(seed, "network") {}
+    : engine_(engine), topology_(std::move(topology)), rng_(seed, "network") {
+  // The network is the chokepoint every layer already passes through, so its
+  // engine becomes the tracer's sim-time source. Last-constructed wins;
+  // telemetry::ResetGlobal() uninstalls (tests / bench teardown).
+  telemetry::Global().tracer.set_clock(
+      [eng = &engine_] { return eng->Now().ns; });
+}
+
+void Network::FinishCallTelemetry(PendingCall& call, const util::Status& status) {
+  if (!call.span.valid()) return;
+  auto& tel = telemetry::Global();
+  tel.tracer.SetAttribute(call.span, "status",
+                          std::string(util::StatusCodeName(status.code())));
+  tel.tracer.EndSpan(call.span, engine_.Now().ns);
+  tel.metrics.Observe(
+      "myrtus_net_rpc_latency_ms",
+      static_cast<double>(engine_.Now().ns - call.started_ns) * 1e-6,
+      {{"method", call.method}});
+  tel.metrics.Add("myrtus_net_rpc_total", 1.0,
+                  {{"method", call.method},
+                   {"status", std::string(util::StatusCodeName(status.code()))}});
+}
 
 void Network::Attach(const HostId& host, MessageHandler handler) {
   topology_.AddHost(host);
@@ -66,6 +87,9 @@ void Network::DeliverHop(Message msg, Route route, std::size_t hop_index) {
     ++dropped_;
     trace_.Emit(engine_.Now(), link.from + "->" + link.to, "drop",
                 static_cast<double>(wire_bytes));
+    if (telemetry::Enabled()) {
+      telemetry::Global().metrics.Add("myrtus_net_drops_total");
+    }
     return;
   }
 
@@ -103,6 +127,11 @@ void Network::StartTransmission(std::size_t link_index, Message msg,
 
   link_state_[link_index].busy = true;
   bytes_sent_ += wire_bytes;
+  if (telemetry::Enabled()) {
+    telemetry::Global().metrics.Add(
+        "myrtus_net_bytes_total", static_cast<double>(wire_bytes),
+        {{"protocol", std::string(ProtocolName(msg.protocol))}});
+  }
 
   const sim::SimTime tx_done = engine_.Now() + serialization;
   const sim::SimTime arrival = tx_done + link.latency + jitter;
@@ -128,6 +157,9 @@ void Network::OnLinkFree(std::size_t link_index) {
 
 void Network::Dispatch(const Message& msg) {
   ++delivered_;
+  if (telemetry::Enabled()) {
+    telemetry::Global().metrics.Add("myrtus_net_delivered_total");
+  }
   if (msg.kind == "rpc.request") {
     HandleRpcRequest(msg);
     return;
@@ -169,10 +201,24 @@ void Network::Call(const HostId& from, const HostId& to,
   pending.timeout_event = engine_.ScheduleAfter(timeout, [this, call_id] {
     const auto it = pending_calls_.find(call_id);
     if (it == pending_calls_.end()) return;
-    RpcCallback cb = std::move(it->second.callback);
+    PendingCall call = std::move(it->second);
     pending_calls_.erase(it);
-    cb(util::Status::DeadlineExceeded("rpc timed out"));
+    const util::Status timed_out = util::Status::DeadlineExceeded("rpc timed out");
+    FinishCallTelemetry(call, timed_out);
+    call.callback(timed_out);
   });
+  if (telemetry::Enabled()) {
+    // Client span: child of whatever context is current at call time. Its
+    // context rides in the request header so the server span links to it.
+    auto& tel = telemetry::Global();
+    pending.span = tel.tracer.StartSpan("rpc.call " + method, "net",
+                                        tel.tracer.current(), engine_.Now().ns);
+    tel.tracer.SetAttribute(pending.span, "from", from);
+    tel.tracer.SetAttribute(pending.span, "to", to);
+    pending.method = method;
+    pending.started_ns = engine_.Now().ns;
+  }
+  const telemetry::SpanContext call_span = pending.span;
   pending_calls_[call_id] = std::move(pending);
 
   Message msg;
@@ -186,14 +232,18 @@ void Network::Call(const HostId& from, const HostId& to,
                     .Set("call_id", call_id)
                     .Set("method", method)
                     .Set("request", std::move(request));
+  if (call_span.valid()) {
+    msg.payload.Set("tctx", call_span.ToJson());
+  }
   auto sent = Send(std::move(msg));
   if (!sent.ok()) {
     const auto it = pending_calls_.find(call_id);
     if (it != pending_calls_.end()) {
       engine_.Cancel(it->second.timeout_event);
-      RpcCallback cb = std::move(it->second.callback);
+      PendingCall call = std::move(it->second);
       pending_calls_.erase(it);
-      cb(sent.status());
+      FinishCallTelemetry(call, sent.status());
+      call.callback(sent.status());
     }
   }
 }
@@ -201,6 +251,19 @@ void Network::Call(const HostId& from, const HostId& to,
 void Network::HandleRpcRequest(const Message& msg) {
   const std::string method = msg.payload.at("method").as_string();
   const std::int64_t call_id = msg.payload.at("call_id").as_int();
+
+  // Server span: parented on the remote client span via the propagated
+  // header, current while the handler runs, ended when the handler responds
+  // (which for async handlers may be much later than the dispatch).
+  telemetry::SpanContext server_span;
+  if (telemetry::Enabled()) {
+    auto& tel = telemetry::Global();
+    server_span = tel.tracer.StartSpan(
+        "rpc.serve " + method, "net",
+        telemetry::SpanContext::FromJson(msg.payload.at("tctx")),
+        engine_.Now().ns);
+    tel.tracer.SetAttribute(server_span, "host", msg.to);
+  }
 
   // The responder may run immediately (sync handlers) or later (replicated
   // writes). A shared fired-flag makes double responses harmless.
@@ -210,9 +273,17 @@ void Network::HandleRpcRequest(const Message& msg) {
   const Protocol protocol = msg.protocol;
   const int priority = msg.priority;
   RpcResponder respond = [this, fired, responder_host, caller_host, protocol,
-                          priority, call_id](util::StatusOr<util::Json> result) {
+                          priority, call_id,
+                          server_span](util::StatusOr<util::Json> result) {
     if (*fired) return;
     *fired = true;
+    if (server_span.valid()) {
+      auto& tel = telemetry::Global();
+      tel.tracer.SetAttribute(
+          server_span, "status",
+          std::string(util::StatusCodeName(result.status().code())));
+      tel.tracer.EndSpan(server_span, engine_.Now().ns);
+    }
     Message reply;
     reply.from = responder_host;
     reply.to = caller_host;
@@ -238,7 +309,11 @@ void Network::HandleRpcRequest(const Message& msg) {
                                         msg.to));
     return;
   }
+  // The server span is the current context while the handler runs, so spans
+  // it starts (scheduler passes, nested RPCs, pubsub fan-out) nest under it.
+  if (server_span.valid()) telemetry::Global().tracer.PushContext(server_span);
   it->second(msg.from, msg.payload.at("request"), std::move(respond));
+  if (server_span.valid()) telemetry::Global().tracer.PopContext();
 }
 
 void Network::HandleRpcReply(const Message& msg) {
@@ -246,13 +321,17 @@ void Network::HandleRpcReply(const Message& msg) {
   const auto it = pending_calls_.find(call_id);
   if (it == pending_calls_.end()) return;  // raced with timeout
   engine_.Cancel(it->second.timeout_event);
-  RpcCallback cb = std::move(it->second.callback);
+  PendingCall call = std::move(it->second);
   pending_calls_.erase(it);
   if (msg.payload.at("ok").as_bool()) {
-    cb(msg.payload.at("result"));
+    FinishCallTelemetry(call, util::Status::Ok());
+    call.callback(msg.payload.at("result"));
   } else {
-    cb(util::Status(static_cast<util::StatusCode>(msg.payload.at("code").as_int()),
-                    msg.payload.at("error").as_string()));
+    const util::Status error(
+        static_cast<util::StatusCode>(msg.payload.at("code").as_int()),
+        msg.payload.at("error").as_string());
+    FinishCallTelemetry(call, error);
+    call.callback(error);
   }
 }
 

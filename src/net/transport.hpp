@@ -14,6 +14,7 @@
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
@@ -115,8 +116,16 @@ class Network {
   struct PendingCall {
     RpcCallback callback;
     sim::EventHandle timeout_event;
+    // Telemetry state for the client span (empty/invalid when disabled at
+    // call time).
+    telemetry::SpanContext span;
+    std::string method;
+    std::int64_t started_ns = 0;
   };
   std::map<std::uint64_t, PendingCall> pending_calls_;
+
+  /// Ends the client span and records RPC latency/outcome metrics.
+  void FinishCallTelemetry(PendingCall& call, const util::Status& status);
 
   // Per-link transmission state: one frame in flight; waiting frames are
   // served highest-priority-first (FIFO within a class) — the "network

@@ -4,7 +4,23 @@
 #include <climits>
 #include <cmath>
 
+#include "telemetry/telemetry.hpp"
+
 namespace myrtus::sched {
+namespace {
+
+/// Instant child span marking the moment a pod transitions to Running —
+/// the leaf of the announce→bid→award→schedule→start causal chain.
+void EmitPodStartSpan(const Pod& pod) {
+  if (!telemetry::Enabled()) return;
+  auto& tracer = telemetry::Global().tracer;
+  const telemetry::SpanContext span = tracer.StartSpan("pod.start", "sched");
+  tracer.SetAttribute(span, "pod", pod.spec.name);
+  tracer.SetAttribute(span, "node", pod.node_id);
+  tracer.EndSpan(span);
+}
+
+}  // namespace
 
 Cluster::Cluster(sim::Engine& engine, Scheduler scheduler)
     : engine_(engine), scheduler_(std::move(scheduler)) {}
@@ -36,6 +52,8 @@ void Cluster::Cordon(const std::string& node_id, bool cordoned) {
 }
 
 util::StatusOr<std::string> Cluster::TryBind(Pod& pod) {
+  telemetry::ScopedSpan span("sched.bind", "sched");
+  span.SetAttribute("pod", pod.spec.name);
   auto result = scheduler_.Schedule(pod.spec, NodeStates());
   if (!result.ok()) return result.status();
   NodeState* target = FindNodeState(result->node_id);
@@ -47,6 +65,8 @@ util::StatusOr<std::string> Cluster::TryBind(Pod& pod) {
   pod.node_id = result->node_id;
   pod.bound_at_ns = engine_.Now().ns;
   metrics_.Inc("pods_bound");
+  span.SetAttribute("node", pod.node_id);
+  EmitPodStartSpan(pod);
   return result->node_id;
 }
 
@@ -90,6 +110,7 @@ util::StatusOr<std::string> Cluster::BindPodToNode(const PodSpec& spec,
   pod.node_id = node_id;
   pod.bound_at_ns = engine_.Now().ns;
   metrics_.Inc("pods_bound_directed");
+  EmitPodStartSpan(pod);
   pods_[spec.name] = std::move(pod);
   return node_id;
 }

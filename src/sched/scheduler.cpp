@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.hpp"
+
 namespace myrtus::sched {
 
 std::string_view PodPhaseName(PodPhase phase) {
@@ -186,6 +188,8 @@ Scheduler Scheduler::Default() {
 
 util::StatusOr<ScheduleResult> Scheduler::Schedule(
     const PodSpec& pod, const std::vector<NodeState*>& nodes) const {
+  telemetry::ScopedSpan span("sched.schedule", "sched");
+  span.SetAttribute("pod", pod.name);
   ScheduleResult result;
   double best_score = -1.0;
   const NodeState* best = nullptr;
@@ -214,6 +218,12 @@ util::StatusOr<ScheduleResult> Scheduler::Schedule(
     }
   }
 
+  if (telemetry::Enabled()) {
+    span.SetAttribute("rejections", std::to_string(result.rejections.size()));
+    telemetry::Global().metrics.Add(
+        "myrtus_sched_attempts_total", 1.0,
+        {{"result", best == nullptr ? "exhausted" : "placed"}});
+  }
   if (best == nullptr) {
     std::string detail = "no feasible node for pod " + pod.name;
     for (const auto& [node, reason] : result.rejections) {
@@ -223,6 +233,7 @@ util::StatusOr<ScheduleResult> Scheduler::Schedule(
   }
   result.node_id = best->node->id();
   result.score = best_score;
+  span.SetAttribute("node", result.node_id);
   return result;
 }
 

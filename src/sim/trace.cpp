@@ -21,7 +21,13 @@ const util::RunningStat& Trace::StatFor(const std::string& component,
   return it == stats_.end() ? kEmptyStat : it->second;
 }
 
-std::vector<TraceRecord> Trace::Select(const std::string& event) const {
+util::StatusOr<std::vector<TraceRecord>> Trace::Select(
+    const std::string& event) const {
+  if (records_dropped_) {
+    return util::Status::FailedPrecondition(
+        "per-record log was dropped (DropRecords); Select would silently "
+        "miss earlier records — use CountOf/StatFor aggregates instead");
+  }
   std::vector<TraceRecord> out;
   for (const TraceRecord& r : records_) {
     if (r.event == event) out.push_back(r);

@@ -1,6 +1,9 @@
 // Trace & metric collection — the simulator-side half of the paper's
 // "Monitoring and Observability" building block. Components emit typed
-// records; experiments read them back as time series or aggregates.
+// records; experiments read them back as time series or aggregates. Counter
+// and gauge writes are mirrored into the telemetry registry (prefixed
+// "myrtus_sim_") when telemetry is enabled, so legacy call sites show up in
+// Prometheus dumps without changes.
 #pragma once
 
 #include <cstdint>
@@ -9,7 +12,9 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/stats.hpp"
+#include "util/status.hpp"
 
 namespace myrtus::sim {
 
@@ -30,8 +35,13 @@ class Trace {
   /// Aggregate over all records with the given component/event pair.
   [[nodiscard]] const util::RunningStat& StatFor(const std::string& component,
                                                  const std::string& event) const;
-  /// All records matching an event name across components.
-  [[nodiscard]] std::vector<TraceRecord> Select(const std::string& event) const;
+  /// All records matching an event name across components. After
+  /// DropRecords() the per-record log no longer exists, so selection would
+  /// silently miss everything emitted before the drop — that is reported as
+  /// FAILED_PRECONDITION instead of an empty result. CountOf()/StatFor()
+  /// keep working: they read the aggregates, which survive the drop.
+  [[nodiscard]] util::StatusOr<std::vector<TraceRecord>> Select(
+      const std::string& event) const;
   /// Number of records for an event.
   [[nodiscard]] std::size_t CountOf(const std::string& event) const;
 
@@ -46,11 +56,22 @@ class Trace {
   bool records_dropped_ = false;
 };
 
-/// Counter/gauge registry for cheap always-on metrics.
+/// Counter/gauge registry for cheap always-on metrics. Writes are shimmed
+/// into telemetry::Global().metrics when telemetry is enabled.
 class Metrics {
  public:
-  void Inc(const std::string& name, double delta = 1.0) { values_[name] += delta; }
-  void Set(const std::string& name, double v) { values_[name] = v; }
+  void Inc(const std::string& name, double delta = 1.0) {
+    values_[name] += delta;
+    if (telemetry::Enabled()) {
+      telemetry::Global().metrics.Add("myrtus_sim_" + name, delta);
+    }
+  }
+  void Set(const std::string& name, double v) {
+    values_[name] = v;
+    if (telemetry::Enabled()) {
+      telemetry::Global().metrics.Set("myrtus_sim_" + name, v);
+    }
+  }
   [[nodiscard]] double Get(const std::string& name) const;
   [[nodiscard]] const std::map<std::string, double>& all() const { return values_; }
 

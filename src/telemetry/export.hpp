@@ -1,0 +1,26 @@
+// Exporters: Chrome trace_event JSON (loadable in about:tracing / Perfetto's
+// legacy importer) for spans, and Prometheus text exposition for metrics.
+// Both stamp simulated time, so a trace of a 30 s experiment loads as a 30 s
+// timeline regardless of how long the host took to simulate it.
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::telemetry {
+
+/// Finished spans as `{"traceEvents": [...]}` complete ("ph":"X") events.
+/// Timestamps/durations are sim-time microseconds; each trace renders as its
+/// own thread row (tid = trace id), so one negotiation reads as one lane.
+[[nodiscard]] std::string ChromeTraceJson(const Tracer& tracer);
+util::Status WriteChromeTrace(const Tracer& tracer, const std::string& path);
+
+/// Prometheus text exposition format (families sorted by name, then labels).
+[[nodiscard]] std::string PrometheusText(const MetricsRegistry& registry);
+util::Status WritePrometheusText(const MetricsRegistry& registry,
+                                 const std::string& path);
+
+}  // namespace myrtus::telemetry

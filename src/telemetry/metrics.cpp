@@ -1,0 +1,148 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace myrtus::telemetry {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double edge = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(edge);
+    edge *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::LinearBounds(double start, double width,
+                                            std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (std::size_t i = 1; i <= count; ++i) {
+    bounds.push_back(start + width * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+const std::vector<double>& Histogram::DefaultLatencyBoundsMs() {
+  static const std::vector<double> kBounds = ExponentialBounds(0.001, 2.0, 26);
+  return kBounds;
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (total_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++total_;
+  sum_ += value;
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    // Interpolate within bucket i: [lo, hi).
+    const double lo = i == 0 ? min_ : bounds_[i - 1];
+    const double hi = i < bounds_.size() ? bounds_[i] : max_;
+    const double frac =
+        (target - before) / static_cast<double>(counts_[i]);
+    return std::clamp(lo + frac * (hi - lo), min_, max_);
+  }
+  return max_;
+}
+
+std::string_view MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+std::string MetricsRegistry::EncodeLabels(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [k, v] : sorted) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += "=\"";
+    out += v;
+    out += '"';
+  }
+  return out;
+}
+
+MetricsRegistry::Series& MetricsRegistry::Upsert(const std::string& name,
+                                                 MetricKind kind,
+                                                 const Labels& labels) {
+  Family& family = families_[name];
+  if (family.series.empty()) family.kind = kind;  // first writer fixes kind
+  const std::string key = EncodeLabels(labels);
+  const auto it = family.series.find(key);
+  if (it != family.series.end()) return it->second;
+  Series series;
+  series.labels = labels;
+  std::sort(series.labels.begin(), series.labels.end());
+  return family.series.emplace(key, std::move(series)).first->second;
+}
+
+void MetricsRegistry::Add(const std::string& name, double delta,
+                          const Labels& labels) {
+  Upsert(name, MetricKind::kCounter, labels).value += delta;
+}
+
+void MetricsRegistry::Set(const std::string& name, double value,
+                          const Labels& labels) {
+  Upsert(name, MetricKind::kGauge, labels).value = value;
+}
+
+void MetricsRegistry::Observe(const std::string& name, double value,
+                              const Labels& labels,
+                              const std::vector<double>& bounds) {
+  Series& series = Upsert(name, MetricKind::kHistogram, labels);
+  if (series.histogram == nullptr) {
+    series.histogram = std::make_unique<Histogram>(
+        bounds.empty() ? Histogram::DefaultLatencyBoundsMs() : bounds);
+  }
+  series.histogram->Observe(value);
+}
+
+double MetricsRegistry::Value(const std::string& name,
+                              const Labels& labels) const {
+  const auto fit = families_.find(name);
+  if (fit == families_.end()) return 0.0;
+  const auto sit = fit->second.series.find(EncodeLabels(labels));
+  return sit == fit->second.series.end() ? 0.0 : sit->second.value;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name,
+                                                const Labels& labels) const {
+  const auto fit = families_.find(name);
+  if (fit == families_.end()) return nullptr;
+  const auto sit = fit->second.series.find(EncodeLabels(labels));
+  return sit == fit->second.series.end() ? nullptr
+                                         : sit->second.histogram.get();
+}
+
+}  // namespace myrtus::telemetry

@@ -1,0 +1,110 @@
+// Labeled counters/gauges and bucketed histograms with quantile estimation —
+// the numeric half of the observability layer. Histograms are fixed-boundary
+// (Prometheus-style cumulative export) with linear interpolation inside the
+// winning bucket for p50/p95/p99, so memory stays O(buckets) regardless of
+// sample count (unlike util::Samples, which keeps every value).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace myrtus::telemetry {
+
+/// Label set for one series. Keys are sorted on insertion into the registry
+/// so {a=1,b=2} and {b=2,a=1} address the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Fixed-boundary histogram. `bounds` are ascending inclusive upper edges;
+/// an implicit +Inf bucket catches the overflow.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  /// start, start*factor, start*factor^2, ... (log-bucketed latencies).
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               std::size_t count);
+  /// start+width, start+2*width, ... (fixed-boundary).
+  static std::vector<double> LinearBounds(double start, double width,
+                                          std::size_t count);
+  /// Default latency bounds in milliseconds: 1 µs .. ~34 s, factor 2.
+  static const std::vector<double>& DefaultLatencyBoundsMs();
+
+  void Observe(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double observed_min() const { return total_ ? min_ : 0.0; }
+  [[nodiscard]] double observed_max() const { return total_ ? max_ : 0.0; }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const {
+    return counts_;
+  }
+
+  /// Quantile estimate, q in [0,1]; linear interpolation within the bucket,
+  /// clamped to the observed [min, max]. 0 when empty.
+  [[nodiscard]] double Quantile(double q) const;
+  [[nodiscard]] double p50() const { return Quantile(0.50); }
+  [[nodiscard]] double p95() const { return Quantile(0.95); }
+  [[nodiscard]] double p99() const { return Quantile(0.99); }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+std::string_view MetricKindName(MetricKind kind);
+
+/// Registry of metric families. A family (one name) holds series keyed by
+/// label set; the first writer fixes the family's kind.
+class MetricsRegistry {
+ public:
+  struct Series {
+    Labels labels;
+    double value = 0.0;
+    std::unique_ptr<Histogram> histogram;  // kHistogram only
+  };
+  struct Family {
+    MetricKind kind = MetricKind::kCounter;
+    std::map<std::string, Series> series;  // by encoded labels
+  };
+
+  /// Counter increment (creates the series at 0 first).
+  void Add(const std::string& name, double delta = 1.0, const Labels& labels = {});
+  /// Gauge set.
+  void Set(const std::string& name, double value, const Labels& labels = {});
+  /// Histogram observation. `bounds` seeds a new series (default latency
+  /// bounds when empty) and is ignored for existing ones.
+  void Observe(const std::string& name, double value, const Labels& labels = {},
+               const std::vector<double>& bounds = {});
+
+  /// Counter/gauge value; 0 when absent.
+  [[nodiscard]] double Value(const std::string& name, const Labels& labels = {}) const;
+  [[nodiscard]] const Histogram* FindHistogram(const std::string& name,
+                                               const Labels& labels = {}) const;
+
+  [[nodiscard]] const std::map<std::string, Family>& families() const {
+    return families_;
+  }
+  void Clear() { families_.clear(); }
+
+  /// `k1="v1",k2="v2"` with keys sorted — the series key and the Prometheus
+  /// label rendering.
+  static std::string EncodeLabels(const Labels& labels);
+
+ private:
+  Series& Upsert(const std::string& name, MetricKind kind, const Labels& labels);
+
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace myrtus::telemetry

@@ -1,0 +1,67 @@
+#include "telemetry/span.hpp"
+
+namespace myrtus::telemetry {
+
+util::Json SpanContext::ToJson() const {
+  return util::Json::MakeObject()
+      .Set("t", static_cast<std::int64_t>(trace_id))
+      .Set("s", static_cast<std::int64_t>(span_id));
+}
+
+SpanContext SpanContext::FromJson(const util::Json& j) {
+  SpanContext ctx;
+  if (!j.is_object()) return ctx;
+  ctx.trace_id = static_cast<std::uint64_t>(j.at("t").as_int());
+  ctx.span_id = static_cast<std::uint64_t>(j.at("s").as_int());
+  return ctx;
+}
+
+SpanContext Tracer::StartSpan(std::string name, std::string category,
+                              SpanContext parent, std::int64_t start_ns) {
+  SpanRecord record;
+  record.span_id = next_span_id_++;
+  record.trace_id = parent.valid() ? parent.trace_id : next_trace_id_++;
+  record.parent_id = parent.valid() ? parent.span_id : 0;
+  record.name = std::move(name);
+  record.category = std::move(category);
+  record.start_ns = start_ns;
+  const SpanContext ctx{record.trace_id, record.span_id};
+  open_.emplace(record.span_id, std::move(record));
+  return ctx;
+}
+
+SpanContext Tracer::StartSpan(std::string name, std::string category) {
+  return StartSpan(std::move(name), std::move(category), current(), NowNs());
+}
+
+void Tracer::SetAttribute(const SpanContext& ctx, std::string key,
+                          std::string value) {
+  const auto it = open_.find(ctx.span_id);
+  if (it == open_.end()) return;
+  it->second.attrs.emplace_back(std::move(key), std::move(value));
+}
+
+void Tracer::EndSpan(const SpanContext& ctx, std::int64_t end_ns) {
+  const auto it = open_.find(ctx.span_id);
+  if (it == open_.end()) return;  // already ended or cleared
+  it->second.end_ns = end_ns;
+  if (finished_.size() < max_finished_) {
+    finished_.push_back(std::move(it->second));
+  } else {
+    ++dropped_;
+  }
+  open_.erase(it);
+}
+
+void Tracer::Clear() {
+  clock_ = nullptr;
+  open_.clear();
+  finished_.clear();
+  stack_.clear();
+  next_trace_id_ = 1;
+  next_span_id_ = 1;
+  max_finished_ = kDefaultMaxFinished;
+  dropped_ = 0;
+}
+
+}  // namespace myrtus::telemetry

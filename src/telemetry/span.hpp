@@ -1,0 +1,110 @@
+// Causal spans for the Monitoring & Observability building block (§III):
+// every cross-layer action (a contract-net negotiation, an RPC hop, a
+// scheduler pass) records a span with trace/span/parent ids so one workload
+// placement is visible as a single tree across the continuum. Timestamps are
+// simulation-clock nanoseconds supplied by the owning engine — wall-clock
+// never leaks into a trace, keeping exports bit-reproducible per seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace myrtus::telemetry {
+
+/// Propagatable identity of one span. Serialized into message headers
+/// (`tctx`) so causality survives network hops.
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] bool valid() const { return span_id != 0; }
+  [[nodiscard]] util::Json ToJson() const;
+  /// Invalid context when `j` is not a well-formed header.
+  static SpanContext FromJson(const util::Json& j);
+};
+
+/// One finished (or in-flight) span.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root
+  std::string name;
+  std::string category;  // "net", "mirto", "sched", "kb", "continuum"
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// Span factory + sink. Single-threaded by design, like the simulator it
+/// observes. Ids are dense counters, so two runs with the same seed produce
+/// identical traces.
+class Tracer {
+ public:
+  /// Installs the time source (typically `[&engine]{ return engine.Now().ns; }`).
+  /// The engine behind the most recently installed clock must outlive any
+  /// span started without an explicit timestamp; Clear() uninstalls it.
+  void set_clock(std::function<std::int64_t()> now_ns) { clock_ = std::move(now_ns); }
+  [[nodiscard]] std::int64_t NowNs() const { return clock_ ? clock_() : 0; }
+
+  /// Starts a span. An invalid `parent` starts a new trace.
+  SpanContext StartSpan(std::string name, std::string category,
+                        SpanContext parent, std::int64_t start_ns);
+  /// Convenience: parent = current(), start = NowNs().
+  SpanContext StartSpan(std::string name, std::string category = "");
+
+  void SetAttribute(const SpanContext& ctx, std::string key, std::string value);
+  void EndSpan(const SpanContext& ctx, std::int64_t end_ns);
+  void EndSpan(const SpanContext& ctx) { EndSpan(ctx, NowNs()); }
+
+  /// --- Implicit context (the "current span" stack) ----------------------
+  void PushContext(SpanContext ctx) { stack_.push_back(ctx); }
+  void PopContext() { if (!stack_.empty()) stack_.pop_back(); }
+  [[nodiscard]] SpanContext current() const {
+    return stack_.empty() ? SpanContext{} : stack_.back();
+  }
+
+  [[nodiscard]] const std::vector<SpanRecord>& finished() const { return finished_; }
+  [[nodiscard]] std::size_t open_spans() const { return open_.size(); }
+  /// Spans discarded after the `max_finished` cap was reached.
+  [[nodiscard]] std::uint64_t dropped_spans() const { return dropped_; }
+  void set_max_finished(std::size_t cap) { max_finished_ = cap; }
+
+  /// Drops all spans, the context stack, and the installed clock; resets ids
+  /// and restores the default `max_finished` cap.
+  void Clear();
+
+ private:
+  static constexpr std::size_t kDefaultMaxFinished = 1u << 18;
+
+  std::function<std::int64_t()> clock_;
+  std::unordered_map<std::uint64_t, SpanRecord> open_;  // by span_id
+  std::vector<SpanRecord> finished_;
+  std::vector<SpanContext> stack_;
+  std::uint64_t next_trace_id_ = 1;
+  std::uint64_t next_span_id_ = 1;
+  std::size_t max_finished_ = kDefaultMaxFinished;
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII: pushes an existing context for the current scope (used to restore
+/// causality inside async completion callbacks).
+class ContextGuard {
+ public:
+  ContextGuard(Tracer& tracer, SpanContext ctx) : tracer_(&tracer) {
+    tracer_->PushContext(ctx);
+  }
+  ~ContextGuard() { tracer_->PopContext(); }
+  ContextGuard(const ContextGuard&) = delete;
+  ContextGuard& operator=(const ContextGuard&) = delete;
+
+ private:
+  Tracer* tracer_;
+};
+
+}  // namespace myrtus::telemetry

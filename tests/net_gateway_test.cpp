@@ -199,8 +199,12 @@ TEST(Monitoring, SamplesTelemetryAndFiresAlerts) {
   continuum::MonitoringService monitor(engine, infra, registry);
 
   std::vector<continuum::Alert> alerts;
-  monitor.AddAlertRule("queue_depth", 4.0,
-                       [&](const continuum::Alert& a) { alerts.push_back(a); });
+  ASSERT_TRUE(monitor
+                  .AddAlertRule("queue_depth", 4.0,
+                                [&](const continuum::Alert& a) {
+                                  alerts.push_back(a);
+                                })
+                  .ok());
   monitor.Start(SimTime::Millis(100));
 
   // Overload edge-0: many long tasks stack up.
@@ -227,11 +231,29 @@ TEST(Monitoring, NoAlertsBelowThreshold) {
   kb::ResourceRegistry registry(store);
   continuum::MonitoringService monitor(engine, infra, registry);
   int fired = 0;
-  monitor.AddAlertRule("utilization", 0.99,
-                       [&](const continuum::Alert&) { ++fired; });
+  ASSERT_TRUE(monitor
+                  .AddAlertRule("utilization", 0.99,
+                                [&](const continuum::Alert&) { ++fired; })
+                  .ok());
   monitor.Start(SimTime::Millis(100));
   engine.RunUntil(SimTime::Seconds(1));  // idle fleet
   EXPECT_EQ(fired, 0);
+}
+
+TEST(Monitoring, RejectsUnknownAlertMetric) {
+  sim::Engine engine;
+  continuum::Infrastructure infra = continuum::BuildInfrastructure(engine, {});
+  kb::Store store;
+  kb::ResourceRegistry registry(store);
+  continuum::MonitoringService monitor(engine, infra, registry);
+  const util::Status bad =
+      monitor.AddAlertRule("utilisation", 1.0, [](const continuum::Alert&) {});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("utilisation"), std::string::npos);
+  // The rejected rule must not have been installed.
+  monitor.SampleOnce();
+  EXPECT_EQ(monitor.alerts_fired(), 0u);
 }
 
 }  // namespace

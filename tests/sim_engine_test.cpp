@@ -136,7 +136,9 @@ TEST(Trace, AggregatesAndSelects) {
   t.Emit(SimTime::Millis(3), "fog-0", "latency_ms", 2.0);
   EXPECT_EQ(t.StatFor("edge-0", "latency_ms").count(), 2u);
   EXPECT_DOUBLE_EQ(t.StatFor("edge-0", "latency_ms").mean(), 6.0);
-  EXPECT_EQ(t.Select("latency_ms").size(), 3u);
+  auto selected = t.Select("latency_ms");
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 3u);
   EXPECT_EQ(t.CountOf("latency_ms"), 3u);
   EXPECT_EQ(t.CountOf("nonexistent"), 0u);
 }
@@ -148,6 +150,20 @@ TEST(Trace, DropRecordsKeepsAggregates) {
   t.Emit(SimTime::Zero(), "a", "x", 3.0);
   EXPECT_TRUE(t.records().empty());
   EXPECT_EQ(t.StatFor("a", "x").count(), 2u);
+}
+
+TEST(Trace, SelectAfterDropRecordsFailsLoudly) {
+  Trace t;
+  t.Emit(SimTime::Zero(), "a", "x", 1.0);
+  ASSERT_TRUE(t.Select("x").ok());
+  t.DropRecords();
+  t.Emit(SimTime::Zero(), "a", "x", 3.0);
+  // Select would silently return only post-drop records; it must refuse.
+  const auto selected = t.Select("x");
+  ASSERT_FALSE(selected.ok());
+  EXPECT_EQ(selected.status().code(), util::StatusCode::kFailedPrecondition);
+  // Aggregates remain the sanctioned way to query after a drop.
+  EXPECT_EQ(t.CountOf("x"), 2u);
 }
 
 TEST(Metrics, CountersAndGauges) {
