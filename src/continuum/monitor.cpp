@@ -64,6 +64,10 @@ void MonitoringService::SampleOnce() {
 
     if (telemetry::Enabled()) {
       auto& metrics = telemetry::Global().metrics;
+      // Liveness gauge: chaos-driven device kills show up here the sample
+      // after injection, which is what dashboards alert on.
+      metrics.Set("myrtus_node_up", node->up() ? 1.0 : 0.0,
+                  {{"node", node->id()}});
       metrics.Set("myrtus_continuum_node_utilization", max_util,
                   {{"node", node->id()}});
       metrics.Set("myrtus_continuum_node_queue_depth", depth,

@@ -62,7 +62,8 @@ LinearModel FederatedTrainer::Train(const FederatedConfig& config,
     }
     if (metrics != nullptr) {
       metrics->global_loss_per_round.push_back(global.Evaluate(pooled));
-      metrics->participating_clients = static_cast<int>(participants.size());
+      metrics->participating_clients_per_round.push_back(
+          static_cast<int>(participants.size()));
     }
   }
   return global;

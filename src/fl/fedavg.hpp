@@ -26,7 +26,22 @@ struct FederatedMetrics {
   std::vector<double> global_loss_per_round;
   std::uint64_t bytes_uploaded = 0;    // client -> server traffic
   std::uint64_t bytes_downloaded = 0;  // server -> client traffic
-  int participating_clients = 0;
+  /// Sample count of each round, in round order (earlier revisions kept only
+  /// the final round's count, hiding participation dips under sampling).
+  std::vector<int> participating_clients_per_round;
+
+  /// Participations summed over every round.
+  [[nodiscard]] int total_participations() const {
+    int total = 0;
+    for (const int n : participating_clients_per_round) total += n;
+    return total;
+  }
+  /// Mean clients per round (0 when no rounds ran).
+  [[nodiscard]] double mean_participating_clients() const {
+    if (participating_clients_per_round.empty()) return 0.0;
+    return static_cast<double>(total_participations()) /
+           static_cast<double>(participating_clients_per_round.size());
+  }
 };
 
 class FederatedTrainer {

@@ -18,6 +18,20 @@ void ApplyCommand(Store& store, const util::Json& cmd) {
   }
 }
 
+/// Transport policy for client→replica RPCs. A lost packet costs one short
+/// attempt timeout instead of the 5 s plain-Call default; leader discovery
+/// and election waits stay in ProposeWithRetry's outer loop, which sees only
+/// application errors (wrong leader, no leader) untouched by this layer.
+net::RetryPolicy ClientRetryPolicy() {
+  net::RetryPolicy p;
+  p.max_attempts = 3;
+  p.initial_backoff = sim::SimTime::Millis(25);
+  p.attempt_timeout = sim::SimTime::Millis(300);
+  p.overall_deadline = sim::SimTime::Seconds(2);
+  p.use_circuit_breaker = false;  // replicas are essential destinations
+  return p;
+}
+
 }  // namespace
 
 KbCluster::KbCluster(net::Network& network,
@@ -94,7 +108,10 @@ Store* KbCluster::LeaderStore() {
 }
 
 KbClient::KbClient(net::Network& network, KbCluster& cluster, net::HostId origin)
-    : network_(network), cluster_(cluster), origin_(std::move(origin)) {
+    : network_(network),
+      cluster_(cluster),
+      origin_(std::move(origin)),
+      rpc_retry_(ClientRetryPolicy()) {
   network_.topology().AddHost(origin_);
 }
 
@@ -113,7 +130,7 @@ void KbClient::ProposeWithRetry(util::Json command, DoneCallback done,
   }
   const int target = GuessLeaderIndex(hint_index) %
                      static_cast<int>(cluster_.size());
-  network_.Call(
+  network_.CallWithRetry(
       origin_, cluster_.hosts()[static_cast<std::size_t>(target)], "kb.propose",
       command,
       [this, command, done = std::move(done), attempts_left,
@@ -147,7 +164,7 @@ void KbClient::ProposeWithRetry(util::Json command, DoneCallback done,
                                attempts_left - 1, next_hint);
             });
       },
-      sim::SimTime::Seconds(2));
+      rpc_retry_);
 }
 
 void KbClient::Put(const std::string& key, util::Json value, DoneCallback done) {
@@ -168,7 +185,7 @@ void KbClient::Get(const std::string& key, GetCallback done) {
   const int target = GuessLeaderIndex(-1) % static_cast<int>(cluster_.size());
   util::Json req =
       util::Json::MakeObject().Set("key", key).Set("linearizable", true);
-  network_.Call(
+  network_.CallWithRetry(
       origin_, cluster_.hosts()[static_cast<std::size_t>(target)], "kb.get",
       std::move(req),
       [done = std::move(done)](util::StatusOr<util::Json> reply) {
@@ -178,7 +195,7 @@ void KbClient::Get(const std::string& key, GetCallback done) {
         }
         done(reply->at("value"));
       },
-      sim::SimTime::Seconds(2));
+      rpc_retry_);
 }
 
 }  // namespace myrtus::kb

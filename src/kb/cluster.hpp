@@ -70,6 +70,12 @@ class KbClient {
 
   [[nodiscard]] std::uint64_t retries() const { return retries_; }
 
+  /// Transport-level retry policy for the client's RPC legs. Defaults to a
+  /// short-attempt retrying policy; set net::RetryPolicy::None() to get the
+  /// legacy single-attempt behavior (ablations, tests).
+  void set_rpc_retry(net::RetryPolicy policy) { rpc_retry_ = policy; }
+  [[nodiscard]] const net::RetryPolicy& rpc_retry() const { return rpc_retry_; }
+
  private:
   void ProposeWithRetry(util::Json command, DoneCallback done, int attempts_left,
                         int hint_index);
@@ -78,6 +84,7 @@ class KbClient {
   net::Network& network_;
   KbCluster& cluster_;
   net::HostId origin_;
+  net::RetryPolicy rpc_retry_;
   std::uint64_t retries_ = 0;
   int cached_leader_ = 0;
 };

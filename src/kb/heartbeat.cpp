@@ -18,6 +18,10 @@ void HeartbeatService::Register(const NodeRecord& record) {
   const auto existing = members_.find(id);
   if (existing != members_.end()) {
     engine_.Cancel(existing->second.keepalive);
+    // Revoke the superseded lease, or it lingers in the store until its TTL
+    // runs out and the sweeper deletes the *new* registration's key (the key
+    // is still attached to it until the Put below) — a phantom expiry.
+    store_.RevokeLease(existing->second.lease_id);
     members_.erase(existing);
   }
   Member member;

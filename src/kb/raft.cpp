@@ -138,8 +138,11 @@ void RaftNode::StartElection() {
                        .Set("candidate", self_)
                        .Set("last_log_index", LastLogIndex())
                        .Set("last_log_term", LastLogTerm());
+  net::RetryPolicy vote_policy = config_.rpc_retry;
+  vote_policy.attempt_timeout = config_.election_timeout_min;
+  vote_policy.overall_deadline = config_.election_timeout_min * 2;
   for (const net::HostId& peer : peers_) {
-    network_.Call(
+    network_.CallWithRetry(
         self_, peer, "raft.request_vote", req,
         [this, majority](util::StatusOr<util::Json> reply) {
           if (crashed_ || !reply.ok()) return;
@@ -157,7 +160,7 @@ void RaftNode::StartElection() {
             BecomeLeader();
           }
         },
-        config_.election_timeout_min);
+        vote_policy);
   }
 }
 
@@ -215,7 +218,13 @@ void RaftNode::SendAppendEntries(const net::HostId& peer) {
       prev_index + static_cast<std::int64_t>(count);
   const std::int64_t term_at_send = current_term_;
 
-  network_.Call(
+  // One heartbeat interval per attempt is ~10x the mesh RTT and keeps the
+  // whole chain shorter than the old single-attempt timeout (hb*4), so a
+  // lost append blocks this peer's pipeline only briefly.
+  net::RetryPolicy append_policy = config_.rpc_retry;
+  append_policy.attempt_timeout = config_.heartbeat_interval;
+  append_policy.overall_deadline = config_.heartbeat_interval * 4;
+  network_.CallWithRetry(
       self_, peer, "raft.append_entries", std::move(req),
       [this, peer, sent_up_to, term_at_send](util::StatusOr<util::Json> reply) {
         append_in_flight_[peer] = false;
@@ -223,7 +232,16 @@ void RaftNode::SendAppendEntries(const net::HostId& peer) {
             current_term_ != term_at_send) {
           return;
         }
-        if (!reply.ok()) return;  // peer down or partitioned; retried by HB
+        if (!reply.ok()) {
+          // Whole retry chain failed. If entries arrived while it was in
+          // flight, relaunch immediately with a fresh batch — a retried
+          // request replays its original (stale) payload, so a concurrent
+          // proposal would otherwise idle until the next heartbeat. With
+          // nothing new, let the heartbeat re-drive (avoids hot-looping on
+          // a dead peer).
+          if (LastLogIndex() > sent_up_to) SendAppendEntries(peer);
+          return;
+        }
         const std::int64_t term = reply->at("term").as_int();
         if (term > current_term_) {
           BecomeFollower(term);
@@ -241,13 +259,30 @@ void RaftNode::SendAppendEntries(const net::HostId& peer) {
           SendAppendEntries(peer);
         }
       },
-      config_.heartbeat_interval * 4);
+      append_policy);
 }
 
 util::StatusOr<util::Json> RaftNode::OnRequestVote(const util::Json& req) {
   const std::int64_t term = req.at("term").as_int();
   const std::string candidate = req.at("candidate").as_string();
-  if (term > current_term_) BecomeFollower(term);
+  if (term > current_term_) {
+    // Step down WITHOUT re-arming the election timer (BecomeFollower would):
+    // a candidacy we end up not voting for must not keep deferring our own
+    // election, or a partitioned node with a stale log can suppress the
+    // cluster's liveness indefinitely. The timer is reset below only when
+    // the vote is granted. Exception: a deposed leader has no election timer
+    // at all, so it must arm one here or it would never stand again.
+    const bool was_leader = role_ == RaftRole::kLeader;
+    current_term_ = term;
+    voted_for_.clear();
+    if (was_leader) {
+      network_.engine().Cancel(heartbeat_timer_);
+      heartbeat_timer_ = {};
+      FailPendingProposals(util::Status::Aborted("lost leadership"));
+    }
+    role_ = RaftRole::kFollower;
+    if (was_leader) ArmElectionTimer();
+  }
 
   bool granted = false;
   if (term == current_term_ &&

@@ -28,6 +28,23 @@ struct RaftConfig {
   sim::SimTime election_timeout_max = sim::SimTime::Millis(300);
   sim::SimTime heartbeat_interval = sim::SimTime::Millis(50);
   std::size_t max_entries_per_append = 64;
+  /// Retry profile for Raft's own RPCs (append-entries, vote requests) on
+  /// lossy links. Only attempt count / backoff / breaker settings are taken
+  /// from here; the timing fields are overridden per call so attempts stay
+  /// inside the protocol's heartbeat and election windows.
+  net::RetryPolicy rpc_retry = [] {
+    net::RetryPolicy p;
+    p.max_attempts = 2;
+    p.initial_backoff = sim::SimTime::Millis(10);
+    p.max_backoff = sim::SimTime::Millis(40);
+    // No circuit breaker between quorum peers: on a lossy-but-alive link a
+    // tripped breaker fast-fails append-entries for whole cooldown windows,
+    // stalling commits far longer than the loss itself. Raft already owns
+    // peer-failure handling (heartbeats, elections); breakers are for
+    // optional destinations, not essential ones.
+    p.use_circuit_breaker = false;
+    return p;
+  }();
 };
 
 struct LogEntry {

@@ -80,6 +80,14 @@ bool Store::RenewLease(std::int64_t lease_id, std::int64_t new_expiry_ns) {
   return true;
 }
 
+bool Store::RevokeLease(std::int64_t lease_id) {
+  if (leases_.erase(lease_id) == 0) return false;
+  for (auto& [key, kv] : data_) {
+    if (kv.lease_id == lease_id) kv.lease_id = 0;
+  }
+  return true;
+}
+
 std::size_t Store::ExpireLeases(std::int64_t now_ns) {
   std::vector<std::int64_t> expired;
   for (const auto& [id, expiry] : leases_) {

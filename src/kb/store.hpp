@@ -65,6 +65,13 @@ class Store {
   /// Deletes all keys attached to leases expiring at or before `now_ns`.
   /// Returns the number of keys removed.
   std::size_t ExpireLeases(std::int64_t now_ns);
+  /// Drops a lease without touching its keys: attached keys are detached
+  /// (lease_id → 0), NOT deleted, and no watch events fire — revoking a
+  /// superseded lease must not look like a member failure to watchers.
+  /// False if the lease is unknown.
+  bool RevokeLease(std::int64_t lease_id);
+  /// Number of live (granted, not yet expired/revoked) leases.
+  [[nodiscard]] std::size_t lease_count() const { return leases_.size(); }
 
  private:
   void Notify(const WatchEvent& event);

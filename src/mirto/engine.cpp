@@ -220,7 +220,7 @@ void MirtoEngine::NegotiatePod(
   // their client spans become its children.
   telemetry::ContextGuard announce_guard(telemetry::Global().tracer, state->span);
   for (const continuum::Layer layer : kLayers) {
-    network_.Call(
+    network_.CallWithRetry(
         origin, AgentHost(layer), "mirto.bid", request,
         [this, state, pods, index, failures, done, layer,
          finish_negotiation](util::StatusOr<util::Json> reply) mutable {
@@ -245,7 +245,7 @@ void MirtoEngine::NegotiatePod(
           // negotiation span so the award call links into the same tree.
           telemetry::ContextGuard award_guard(telemetry::Global().tracer,
                                               state->span);
-          network_.Call(
+          network_.CallWithRetry(
               AgentHost(continuum::Layer::kEdge), AgentHost(winner),
               "mirto.award", (*pods)[index].ToJson(),
               [this, pods, index, failures, done, winner,
@@ -259,9 +259,10 @@ void MirtoEngine::NegotiatePod(
                       "placed", std::string(continuum::LayerName(winner)));
                 }
                 NegotiatePod(pods, index + 1, failures, done);
-              });
+              },
+              config_.negotiation_retry);
         },
-        sim::SimTime::Seconds(2));
+        config_.negotiation_retry);
   }
 }
 

@@ -15,7 +15,11 @@ bool TopicMatches(const std::string& filter, const std::string& topic) {
     const std::size_t fe = next_level(filter, fi);
     const std::size_t te = next_level(topic, ti);
     const std::string_view flevel(filter.data() + fi, fe - fi);
-    if (flevel == "#") return true;  // trailing multi-level wildcard
+    if (flevel == "#") {
+      // Multi-level wildcard is only legal as the last filter level (MQTT
+      // 4.7.1-2); "a/#/b" must not match everything.
+      return fe == filter.size();
+    }
     if (fi >= filter.size() || ti >= topic.size()) return false;
     const std::string_view tlevel(topic.data() + ti, te - ti);
     if (flevel != "+" && flevel != tlevel) return false;
@@ -53,7 +57,7 @@ Broker::Broker(Network& network, HostId host)
                                  .Set("topic", topic)
                                  .Set("filter", sub.filter)
                                  .Set("payload", req.at("payload"));
-          network_.Call(
+          network_.CallWithRetry(
               host_, sub.subscriber, "pubsub.deliver", std::move(event),
               [this](util::StatusOr<util::Json> reply) {
                 if (reply.ok()) {
@@ -64,7 +68,7 @@ Broker::Broker(Network& network, HostId host)
                   }
                 }
               },
-              sim::SimTime::Seconds(5), Protocol::kMqtt);
+              retry_policy_, Protocol::kMqtt);
           (void)body_bytes;
         }
         if (telemetry::Enabled()) {
@@ -110,10 +114,9 @@ void Broker::Publish(const HostId& publisher, const std::string& topic,
                        .Set("topic", topic)
                        .Set("payload", std::move(payload))
                        .Set("bytes", body_bytes);
-  network_.Call(
+  network_.CallWithRetry(
       publisher, host_, "pubsub.publish", std::move(req),
-      [](util::StatusOr<util::Json>) {}, sim::SimTime::Seconds(5),
-      Protocol::kMqtt);
+      [](util::StatusOr<util::Json>) {}, retry_policy_, Protocol::kMqtt);
 }
 
 }  // namespace myrtus::net

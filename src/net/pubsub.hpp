@@ -42,6 +42,14 @@ class Broker {
   [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
   [[nodiscard]] const HostId& host() const { return host_; }
 
+  /// Policy both broker legs (publish, deliver) run under. Note retried
+  /// publishes are at-least-once: a retry after a lost *reply* re-runs the
+  /// fan-out.
+  void set_retry_policy(RetryPolicy policy) { retry_policy_ = policy; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const {
+    return retry_policy_;
+  }
+
  private:
   struct Subscription {
     HostId subscriber;
@@ -50,6 +58,15 @@ class Broker {
 
   Network& network_;
   HostId host_;
+  /// Defaults preserve the historical single-attempt 5 s Call timeout per
+  /// try while adding two retries for flaky edge links.
+  RetryPolicy retry_policy_ = [] {
+    RetryPolicy p;
+    p.max_attempts = 3;
+    p.attempt_timeout = sim::SimTime::Seconds(5);
+    p.overall_deadline = sim::SimTime::Seconds(20);
+    return p;
+  }();
   std::vector<Subscription> subscriptions_;
   // Handlers keyed by (subscriber, filter); invoked on subscriber delivery.
   std::map<std::pair<HostId, std::string>, Subscriber> handlers_;

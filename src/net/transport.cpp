@@ -24,7 +24,10 @@ std::size_t ProtocolOverheadBytes(Protocol p) {
 }
 
 Network::Network(sim::Engine& engine, Topology topology, std::uint64_t seed)
-    : engine_(engine), topology_(std::move(topology)), rng_(seed, "network") {
+    : engine_(engine),
+      topology_(std::move(topology)),
+      rng_(seed, "network"),
+      retry_rng_(seed, "retry") {
   // The network is the chokepoint every layer already passes through, so its
   // engine becomes the tracer's sim-time source. Last-constructed wins;
   // telemetry::ResetGlobal() uninstalls (tests / bench teardown).
@@ -240,10 +243,18 @@ void Network::Call(const HostId& from, const HostId& to,
     const auto it = pending_calls_.find(call_id);
     if (it != pending_calls_.end()) {
       engine_.Cancel(it->second.timeout_event);
-      PendingCall call = std::move(it->second);
+      auto call = std::make_shared<PendingCall>(std::move(it->second));
       pending_calls_.erase(it);
-      FinishCallTelemetry(call, sent.status());
-      call.callback(sent.status());
+      // No route is a transient condition (links flap), so surface it as
+      // UNAVAILABLE, and always complete asynchronously: a synchronous
+      // callback would re-enter the caller's stack mid-Call, which breaks
+      // retry loops and Raft's per-peer append serialization.
+      const util::Status unroutable =
+          util::Status::Unavailable("unroutable: " + sent.status().message());
+      FinishCallTelemetry(*call, unroutable);
+      engine_.ScheduleAfter(sim::SimTime::Zero(), [call, unroutable] {
+        call->callback(unroutable);
+      });
     }
   }
 }

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "net/retry.hpp"
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
@@ -91,12 +92,35 @@ class Network {
             Protocol protocol = Protocol::kHttp, std::size_t body_bytes = 0,
             int priority = 1);
 
+  /// Call() plus a retry loop: retryable failures (UNAVAILABLE,
+  /// DEADLINE_EXCEEDED) are re-driven with exponential backoff + seeded
+  /// jitter until the policy's attempt or deadline budget runs out, gated by
+  /// a per-destination circuit breaker. `on_reply` fires exactly once with
+  /// the first success or the final error.
+  void CallWithRetry(const HostId& from, const HostId& to,
+                     const std::string& method, util::Json request,
+                     RpcCallback on_reply, RetryPolicy policy = {},
+                     Protocol protocol = Protocol::kHttp,
+                     std::size_t body_bytes = 0, int priority = 1);
+
+  /// The breaker guarding calls to `to` (created closed on first use).
+  [[nodiscard]] CircuitBreaker& BreakerFor(const HostId& to);
+  void set_breaker_config(CircuitBreakerConfig config) {
+    breaker_config_ = config;
+  }
+
   /// Total simulated bytes that crossed any link.
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
   [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
   [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+  /// Retry attempts re-driven by CallWithRetry (excludes first attempts).
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
 
  private:
+  struct RetryOp;
+  void RunRetryAttempt(std::shared_ptr<RetryOp> op);
+  void HandleAttemptFailure(std::shared_ptr<RetryOp> op, util::Status status,
+                            bool record_outcome);
   void DeliverHop(Message msg, Route route, std::size_t hop_index);
   void StartTransmission(std::size_t link_index, Message msg, Route route,
                          std::size_t hop_index);
@@ -144,11 +168,19 @@ class Network {
   std::map<std::size_t, LinkState> link_state_;
   std::uint64_t next_tx_seq_ = 1;
 
+  // Retry layer state: breakers are per destination host; the backoff jitter
+  // draws from its own stream so plain Call() traffic stays byte-identical
+  // whether or not anyone retries.
+  CircuitBreakerConfig breaker_config_;
+  std::map<HostId, CircuitBreaker> breakers_;
+  util::Rng retry_rng_;
+
   std::uint64_t next_msg_id_ = 1;
   std::uint64_t next_call_id_ = 1;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t retries_ = 0;
 };
 
 }  // namespace myrtus::net

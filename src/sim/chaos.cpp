@@ -1,0 +1,114 @@
+#include "sim/chaos.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "telemetry/telemetry.hpp"
+
+namespace myrtus::sim {
+
+ChaosController::ChaosController(Engine& engine, std::uint64_t seed,
+                                 Trace* trace)
+    : engine_(engine), rng_(seed, "chaos"), trace_(trace) {}
+
+void ChaosController::RegisterTarget(const std::string& name,
+                                     std::function<void()> inject,
+                                     std::function<void()> restore) {
+  targets_[name] = Target{std::move(inject), std::move(restore), false};
+}
+
+void ChaosController::ScheduleFault(const std::string& target, SimTime start,
+                                    SimTime duration) {
+  engine_.ScheduleAt(start, [this, target] { Inject(target); });
+  if (duration > SimTime::Zero()) {
+    engine_.ScheduleAt(start + duration, [this, target] { Restore(target); });
+  }
+}
+
+void ChaosController::ScheduleRandomFaults(const std::string& target,
+                                           SimTime start, SimTime horizon,
+                                           SimTime mean_up,
+                                           SimTime mean_down) {
+  // Draw the whole alternating up/down phase sequence now; scheduling the
+  // callbacks later must not consume randomness, or two runs that interleave
+  // other chaos calls differently would diverge.
+  SimTime t = start;
+  bool faulty = false;
+  while (t < horizon) {
+    const double mean =
+        static_cast<double>(faulty ? mean_down.ns : mean_up.ns);
+    const double phase = rng_.NextExponential(mean > 0.0 ? 1.0 / mean : 1.0);
+    t += SimTime::Nanos(
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(phase)));
+    if (t >= horizon) break;
+    faulty = !faulty;
+    if (faulty) {
+      engine_.ScheduleAt(t, [this, target] { Inject(target); });
+    } else {
+      engine_.ScheduleAt(t, [this, target] { Restore(target); });
+    }
+  }
+  // Never leave a target faulty past the horizon: the experiment's cooldown
+  // phase measures recovery, not a dangling fault.
+  if (faulty) {
+    engine_.ScheduleAt(horizon, [this, target] { Restore(target); });
+  }
+}
+
+void ChaosController::RestoreAll() {
+  for (auto& [name, target] : targets_) {
+    if (target.faulty) Restore(name);
+  }
+}
+
+bool ChaosController::IsFaulty(const std::string& target) const {
+  const auto it = targets_.find(target);
+  return it != targets_.end() && it->second.faulty;
+}
+
+void ChaosController::Inject(const std::string& name) {
+  const auto it = targets_.find(name);
+  if (it == targets_.end() || it->second.faulty) return;
+  it->second.faulty = true;
+  ++active_faults_;
+  ++injections_;
+  if (it->second.inject) it->second.inject();
+  timeline_.push_back({engine_.Now(), name, true});
+  if (trace_) trace_->Emit(engine_.Now(), "chaos", "inject:" + name, 1.0);
+  if (telemetry::Enabled()) {
+    auto& tel = telemetry::Global();
+    tel.metrics.Add("myrtus_chaos_injections_total", 1.0, {{"target", name}});
+    tel.metrics.Set("myrtus_chaos_active_faults",
+                    static_cast<double>(active_faults_));
+  }
+}
+
+void ChaosController::Restore(const std::string& name) {
+  const auto it = targets_.find(name);
+  if (it == targets_.end() || !it->second.faulty) return;
+  it->second.faulty = false;
+  --active_faults_;
+  ++restores_;
+  if (it->second.restore) it->second.restore();
+  timeline_.push_back({engine_.Now(), name, false});
+  if (trace_) trace_->Emit(engine_.Now(), "chaos", "restore:" + name, 1.0);
+  if (telemetry::Enabled()) {
+    auto& tel = telemetry::Global();
+    tel.metrics.Add("myrtus_chaos_restores_total", 1.0, {{"target", name}});
+    tel.metrics.Set("myrtus_chaos_active_faults",
+                    static_cast<double>(active_faults_));
+  }
+}
+
+std::string ChaosController::TimelineString() const {
+  std::string out;
+  for (const ChaosEvent& ev : timeline_) {
+    out += std::to_string(ev.at.ns);
+    out += ' ';
+    out += ev.target;
+    out += ev.injected ? " inject\n" : " restore\n";
+  }
+  return out;
+}
+
+}  // namespace myrtus::sim

@@ -17,6 +17,9 @@ EventHandle Engine::ScheduleAfter(SimTime delay, Callback cb) {
 }
 
 EventHandle Engine::SchedulePeriodic(SimTime period, Callback cb) {
+  // A zero/negative period would re-fire forever at one timestamp and hang
+  // Run()/RunUntil(); clamp to the finest representable tick instead.
+  if (period.ns <= 0) period = SimTime::Nanos(1);
   const std::uint64_t id = next_id_++;
   periodic_.emplace(id, PeriodicTask{period, std::move(cb)});
   queue_.push(Event{now_ + period, next_seq_++, id, [this, id] { FirePeriodic(id); }});

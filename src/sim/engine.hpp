@@ -42,7 +42,9 @@ class Engine {
   /// Schedules `cb` after the given delay.
   EventHandle ScheduleAfter(SimTime delay, Callback cb);
   /// Schedules `cb` every `period`, starting after `period`. The callback
-  /// keeps firing until its handle is cancelled or the engine stops.
+  /// keeps firing until its handle is cancelled or the engine stops. A
+  /// zero/negative period is clamped to 1 ns (an unclamped value would loop
+  /// forever at a single timestamp).
   EventHandle SchedulePeriodic(SimTime period, Callback cb);
 
   /// Marks an event as cancelled; safe to call on fired/invalid handles.

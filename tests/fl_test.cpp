@@ -165,5 +165,41 @@ TEST(FedAvg, ClientSamplingStillConverges) {
   EXPECT_LT(metrics.bytes_uploaded, full_metrics.bytes_uploaded);
 }
 
+// Regression: participation used to be a single int overwritten every round,
+// so the metric only reflected the final round and hid sampling dips. It is
+// now recorded per round with summed/mean accessors.
+TEST(FedAvg, ParticipationIsRecordedPerRound) {
+  util::Rng rng(9);
+  Dataset all = LinearData(300, rng);
+  auto clients = NonIidSplit(all, 10, rng);
+  FederatedTrainer trainer(clients, 2, LinearModel::Link::kIdentity, 46);
+  FederatedConfig config;
+  config.rounds = 12;
+  config.client_fraction = 0.5;
+  FederatedMetrics metrics;
+  trainer.Train(config, &metrics);
+
+  ASSERT_EQ(metrics.participating_clients_per_round.size(), 12u);
+  int summed = 0;
+  for (const int n : metrics.participating_clients_per_round) {
+    EXPECT_GE(n, 1);   // at least one client is always sampled
+    EXPECT_LE(n, 10);  // never more than the population
+    summed += n;
+  }
+  EXPECT_EQ(metrics.total_participations(), summed);
+  EXPECT_DOUBLE_EQ(metrics.mean_participating_clients(), summed / 12.0);
+
+  // Full participation: every round records the whole population.
+  FederatedMetrics full_metrics;
+  FederatedConfig full = config;
+  full.client_fraction = 1.0;
+  trainer.Train(full, &full_metrics);
+  ASSERT_EQ(full_metrics.participating_clients_per_round.size(), 12u);
+  for (const int n : full_metrics.participating_clients_per_round) {
+    EXPECT_EQ(n, 10);
+  }
+  EXPECT_DOUBLE_EQ(full_metrics.mean_participating_clients(), 10.0);
+}
+
 }  // namespace
 }  // namespace myrtus::fl

@@ -75,6 +75,47 @@ TEST(Heartbeat, ReRegistrationRevivesComponent) {
   EXPECT_TRUE(f.heartbeats.IsBeating("edge-0"));
 }
 
+// Regression: Register() on an already-registered node erased the local
+// session but left the old lease alive in the Store. The orphaned lease kept
+// ticking and eventually expired, deleting the freshly re-registered record
+// out from under the live node. Re-registration must revoke the old lease.
+TEST(Heartbeat, ReRegistrationDoesNotLeakOldLease) {
+  Fixture f;
+  f.heartbeats.Register(Edge("edge-0"));
+  f.engine.RunUntil(SimTime::Millis(500));
+  ASSERT_EQ(f.store.lease_count(), 1u);
+
+  // Re-register while the first lease is still live (e.g. agent restart).
+  f.heartbeats.Register(Edge("edge-0"));
+  EXPECT_EQ(f.store.lease_count(), 1u) << "old lease must be revoked";
+
+  // Run well past several TTLs: the orphaned lease would have expired here
+  // and torn the record down, counting a spurious expiration.
+  f.engine.RunUntil(SimTime::Seconds(10));
+  EXPECT_TRUE(f.registry.GetNode("edge-0").ok());
+  EXPECT_TRUE(f.heartbeats.IsBeating("edge-0"));
+  EXPECT_EQ(f.heartbeats.expirations(), 0u);
+  EXPECT_EQ(f.store.lease_count(), 1u);
+}
+
+TEST(Store, RevokeLeaseDetachesKeysWithoutDeleteEvents) {
+  Fixture f;
+  int deletes = 0;
+  f.store.Watch("/x/", [&](const WatchEvent& e) {
+    if (e.type == WatchEvent::Type::kDelete) ++deletes;
+  });
+  const std::int64_t lease = f.store.GrantLease(SimTime::Seconds(1).ns);
+  f.store.Put("/x/a", "1", lease);
+  ASSERT_EQ(f.store.lease_count(), 1u);
+  EXPECT_TRUE(f.store.RevokeLease(lease));
+  EXPECT_FALSE(f.store.RevokeLease(lease)) << "double revoke is a no-op";
+  EXPECT_EQ(f.store.lease_count(), 0u);
+  // The key survives, now unleased, and no phantom delete was observed.
+  f.engine.RunUntil(SimTime::Seconds(5));
+  EXPECT_TRUE(f.store.Get("/x/a").ok());
+  EXPECT_EQ(deletes, 0);
+}
+
 TEST(Heartbeat, ManyComponentsIndependentLifecycles) {
   Fixture f;
   for (int i = 0; i < 20; ++i) {

@@ -270,6 +270,67 @@ TEST(Raft, LogsConvergeAcrossReplicasAfterChurn) {
   }
 }
 
+// Regression: OnRequestVote used to re-arm the election timer whenever the
+// candidate's term exceeded ours, even when the vote was NOT granted. A
+// partitioned node that churned its term sky-high could then rejoin and
+// perpetually suppress everyone else's elections — each denied RequestVote
+// pushed their timeouts back — leaving the cluster leaderless after the real
+// leader died. Denied votes must not touch the timer.
+TEST(Raft, PartitionedStaleCandidateCannotSuppressElection) {
+  Fixture f(5, 7);
+  f.Settle();
+  const int leader = f.cluster->LeaderIndex();
+  ASSERT_GE(leader, 0);
+  const std::size_t stale = (static_cast<std::size_t>(leader) + 1) % 5;
+  const net::HostId stale_host = "kb-" + std::to_string(stale);
+
+  // Partition the stale node by downing every link touching it.
+  auto set_links = [&](bool up) {
+    auto& topo = f.net->topology();
+    for (std::size_t i = 0; i < topo.link_count(); ++i) {
+      const net::Link& l = topo.link(i);
+      if (l.from == stale_host || l.to == stale_host) topo.SetLinkUp(i, up);
+    }
+  };
+  set_links(false);
+
+  // Commit an entry the stale node will never see.
+  bool committed = false;
+  f.cluster->replica(static_cast<std::size_t>(leader))
+      .raft->Propose(util::Json::MakeObject()
+                         .Set("op", "put")
+                         .Set("key", "/stable")
+                         .Set("value", 1)
+                         .Set("lease", 0),
+                     [&](util::StatusOr<std::int64_t> r) {
+                       ASSERT_TRUE(r.ok()) << r.status();
+                       committed = true;
+                     });
+  // Let the isolated node churn candidacies and inflate its term.
+  f.Settle(SimTime::Seconds(3));
+  ASSERT_TRUE(committed);
+  const std::int64_t stale_term = f.cluster->replica(stale).raft->current_term();
+  EXPECT_GT(stale_term, f.cluster->replica(static_cast<std::size_t>(leader))
+                            .raft->current_term());
+
+  // Kill the leader, then heal the partition: the high-term stale candidate
+  // rejoins exactly when the survivors need to elect among themselves.
+  f.cluster->Crash(static_cast<std::size_t>(leader));
+  set_links(true);
+  f.Settle(SimTime::Seconds(5));
+
+  const int new_leader = f.cluster->LeaderIndex();
+  ASSERT_GE(new_leader, 0) << "stale candidate suppressed the election";
+  EXPECT_NE(new_leader, leader);
+  EXPECT_NE(static_cast<std::size_t>(new_leader), stale)
+      << "a candidate missing committed entries must not win";
+  // The committed entry survived the churn and reached the new leader.
+  auto kv = f.cluster->replica(static_cast<std::size_t>(new_leader))
+                .store->Get("/stable");
+  ASSERT_TRUE(kv.ok());
+  EXPECT_EQ(kv->value.as_int(), 1);
+}
+
 TEST(Raft, TermsAreMonotonic) {
   Fixture f(3);
   f.Settle();

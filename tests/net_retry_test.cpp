@@ -1,0 +1,281 @@
+// Retry/backoff policy, per-destination circuit breaker, and the
+// Network::CallWithRetry loop — including the regression for the old
+// synchronous completion on routing failures.
+#include <gtest/gtest.h>
+
+#include "net/retry.hpp"
+#include "net/topology.hpp"
+#include "net/transport.hpp"
+
+namespace myrtus::net {
+namespace {
+
+using sim::SimTime;
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyAndClamps) {
+  RetryPolicy p;
+  p.initial_backoff = SimTime::Millis(50);
+  p.backoff_multiplier = 2.0;
+  p.max_backoff = SimTime::Millis(150);
+  p.jitter = 0.0;  // deterministic for exact values
+  util::Rng rng(1);
+  EXPECT_EQ(p.BackoffBefore(2, rng), SimTime::Millis(50));
+  EXPECT_EQ(p.BackoffBefore(3, rng), SimTime::Millis(100));
+  EXPECT_EQ(p.BackoffBefore(4, rng), SimTime::Millis(150));  // clamped
+  EXPECT_EQ(p.BackoffBefore(9, rng), SimTime::Millis(150));  // stays clamped
+}
+
+TEST(RetryPolicy, JitterStaysWithinBandAndIsSeedDeterministic) {
+  RetryPolicy p;
+  p.initial_backoff = SimTime::Millis(100);
+  p.jitter = 0.2;
+  util::Rng a(42, "retry");
+  util::Rng b(42, "retry");
+  for (int i = 0; i < 8; ++i) {
+    const SimTime wa = p.BackoffBefore(2, a);
+    const SimTime wb = p.BackoffBefore(2, b);
+    EXPECT_EQ(wa, wb) << "same seed must give the same jitter";
+    // attempt 2 base is 100 ms; x in [1-j, 1+j) keeps it in [80, 120) ms.
+    EXPECT_GE(wa, SimTime::Millis(80));
+    EXPECT_LT(wa, SimTime::Millis(120));
+  }
+}
+
+TEST(RetryPolicy, NoneIsSingleLegacyAttempt) {
+  const RetryPolicy p = RetryPolicy::None();
+  EXPECT_EQ(p.max_attempts, 1);
+  EXPECT_EQ(p.attempt_timeout, SimTime::Seconds(5));
+  EXPECT_FALSE(p.use_circuit_breaker);
+}
+
+TEST(RetryPolicy, RetryableStatuses) {
+  EXPECT_TRUE(IsRetryableRpcStatus(util::Status::Unavailable("down")));
+  EXPECT_TRUE(IsRetryableRpcStatus(util::Status::DeadlineExceeded("slow")));
+  // Application errors prove the destination answered; never retried.
+  EXPECT_FALSE(IsRetryableRpcStatus(util::Status::NotFound("no key")));
+  EXPECT_FALSE(IsRetryableRpcStatus(util::Status::Unimplemented("no method")));
+  EXPECT_FALSE(IsRetryableRpcStatus(util::Status::Ok()));
+}
+
+TEST(CircuitBreaker, OpensAtFailureThresholdAndNotBefore) {
+  CircuitBreakerConfig cfg;
+  cfg.window = 8;
+  cfg.min_samples = 4;
+  cfg.failure_threshold = 0.5;
+  CircuitBreaker cb(cfg);
+  const SimTime now = SimTime::Zero();
+
+  // Below min_samples nothing trips even at 100% failures.
+  cb.RecordFailure(now);
+  cb.RecordFailure(now);
+  cb.RecordFailure(now);
+  EXPECT_EQ(cb.state(now), CircuitBreaker::State::kClosed);
+  cb.RecordFailure(now);  // 4th sample, rate 1.0 >= 0.5 -> open
+  EXPECT_EQ(cb.state(now), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(cb.opens(), 1u);
+  EXPECT_FALSE(cb.AllowRequest(now));
+  EXPECT_EQ(cb.rejections(), 1u);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeHealsOrReopens) {
+  CircuitBreakerConfig cfg;
+  cfg.window = 4;
+  cfg.min_samples = 2;
+  cfg.failure_threshold = 0.5;
+  cfg.open_timeout = SimTime::Millis(100);
+  CircuitBreaker cb(cfg);
+  cb.RecordFailure(SimTime::Zero());
+  cb.RecordFailure(SimTime::Zero());
+  ASSERT_EQ(cb.state(SimTime::Zero()), CircuitBreaker::State::kOpen);
+
+  // Cooldown elapsed: exactly one probe allowed, concurrent ones rejected.
+  const SimTime later = SimTime::Millis(150);
+  EXPECT_EQ(cb.state(later), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(cb.AllowRequest(later));
+  EXPECT_FALSE(cb.AllowRequest(later));
+
+  // Failed probe: full cooldown again.
+  cb.RecordFailure(later);
+  EXPECT_EQ(cb.state(later), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(cb.opens(), 2u);
+  EXPECT_FALSE(cb.AllowRequest(later + SimTime::Millis(50)));
+
+  // Successful probe after the next cooldown closes with a clean window.
+  const SimTime healed = later + SimTime::Millis(200);
+  EXPECT_TRUE(cb.AllowRequest(healed));
+  cb.RecordSuccess(healed);
+  EXPECT_EQ(cb.state(healed), CircuitBreaker::State::kClosed);
+  EXPECT_DOUBLE_EQ(cb.FailureRate(), 0.0);
+}
+
+TEST(CircuitBreaker, SlidingWindowForgetsOldFailures) {
+  CircuitBreakerConfig cfg;
+  cfg.window = 4;
+  cfg.min_samples = 4;
+  cfg.failure_threshold = 0.75;
+  CircuitBreaker cb(cfg);
+  const SimTime now = SimTime::Zero();
+  cb.RecordFailure(now);
+  cb.RecordFailure(now);
+  // Successes push the failures out of the 4-sample window.
+  for (int i = 0; i < 4; ++i) cb.RecordSuccess(now);
+  EXPECT_DOUBLE_EQ(cb.FailureRate(), 0.0);
+  EXPECT_EQ(cb.state(now), CircuitBreaker::State::kClosed);
+}
+
+struct NetFixture {
+  sim::Engine engine;
+  std::unique_ptr<Network> net;
+
+  explicit NetFixture(double loss_rate = 0.0, std::uint64_t seed = 7) {
+    Topology t;
+    t.AddBidirectional("a", "b", SimTime::Millis(1), 1e9);
+    for (std::size_t i = 0; i < t.link_count(); ++i) {
+      t.mutable_link(i).loss_rate = loss_rate;
+    }
+    net = std::make_unique<Network>(engine, std::move(t), seed);
+    net->RegisterRpc("b", "echo",
+                     [](const HostId&, const util::Json& req)
+                         -> util::StatusOr<util::Json> { return req; });
+  }
+};
+
+TEST(CallWithRetry, SucceedsFirstTryOnCleanLink) {
+  NetFixture f;
+  bool ok = false;
+  f.net->CallWithRetry("a", "b", "echo", util::Json(42),
+                       [&](util::StatusOr<util::Json> reply) {
+                         ASSERT_TRUE(reply.ok());
+                         EXPECT_EQ(reply->as_int(), 42);
+                         ok = true;
+                       });
+  f.engine.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(f.net->retries(), 0u);
+}
+
+TEST(CallWithRetry, RecoversOnLossyLinkWherePlainCallTimesOut) {
+  // 25% per-hop loss: a single attempt fails ~44% of the time (request and
+  // reply each cross the hop); eight attempts virtually always land.
+  // Deterministic given the seed.
+  NetFixture f(/*loss_rate=*/0.25, /*seed=*/3);
+  RetryPolicy p;
+  p.max_attempts = 8;
+  p.initial_backoff = SimTime::Millis(20);
+  p.backoff_multiplier = 1.5;
+  p.attempt_timeout = SimTime::Millis(50);
+  p.overall_deadline = SimTime::Seconds(10);
+  // Isolate retry recovery: 20 concurrent calls over one lossy link would
+  // legitimately trip the shared per-destination breaker mid-test.
+  p.use_circuit_breaker = false;
+  int ok = 0;
+  int failed = 0;
+  for (int i = 0; i < 20; ++i) {
+    f.net->CallWithRetry("a", "b", "echo", util::Json(i),
+                         [&](util::StatusOr<util::Json> reply) {
+                           reply.ok() ? ++ok : ++failed;
+                         },
+                         p);
+  }
+  f.engine.Run();
+  EXPECT_EQ(ok + failed, 20);
+  EXPECT_GE(ok, 18) << "retries should recover nearly every call";
+  EXPECT_GT(f.net->retries(), 0u);
+}
+
+TEST(CallWithRetry, ExhaustsAttemptsAgainstUnroutableHost) {
+  NetFixture f;
+  f.net->topology().AddHost("island");  // attached to nothing
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.initial_backoff = SimTime::Millis(10);
+  p.use_circuit_breaker = false;
+  bool failed = false;
+  f.net->CallWithRetry("a", "island", "echo", util::Json(1),
+                       [&](util::StatusOr<util::Json> reply) {
+                         EXPECT_FALSE(reply.ok());
+                         EXPECT_EQ(reply.status().code(),
+                                   util::StatusCode::kUnavailable);
+                         EXPECT_NE(reply.status().message().find("attempt"),
+                                   std::string::npos);
+                         failed = true;
+                       },
+                       p);
+  f.engine.Run();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(f.net->retries(), 2u);  // 3 attempts = 2 retries
+}
+
+TEST(CallWithRetry, DoesNotRetryApplicationErrors) {
+  NetFixture f;
+  int handler_calls = 0;
+  f.net->RegisterRpc("b", "fails",
+                     [&](const HostId&, const util::Json&)
+                         -> util::StatusOr<util::Json> {
+                       ++handler_calls;
+                       return util::Status::NotFound("no such thing");
+                     });
+  bool done = false;
+  f.net->CallWithRetry("a", "b", "fails", {},
+                       [&](util::StatusOr<util::Json> reply) {
+                         EXPECT_EQ(reply.status().code(),
+                                   util::StatusCode::kNotFound);
+                         done = true;
+                       });
+  f.engine.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(handler_calls, 1);
+  EXPECT_EQ(f.net->retries(), 0u);
+}
+
+TEST(CallWithRetry, BreakerOpensAfterRepeatedFailuresAndFastFails) {
+  NetFixture f;
+  f.net->topology().AddHost("island");
+  CircuitBreakerConfig cfg;
+  cfg.window = 8;
+  cfg.min_samples = 4;
+  cfg.failure_threshold = 0.5;
+  cfg.open_timeout = SimTime::Seconds(60);  // stays open for the test
+  f.net->set_breaker_config(cfg);
+  RetryPolicy p;
+  p.max_attempts = 1;  // count failures one by one
+  int failures = 0;
+  for (int i = 0; i < 8; ++i) {
+    f.net->CallWithRetry("a", "island", "echo", {},
+                         [&](util::StatusOr<util::Json> reply) {
+                           EXPECT_FALSE(reply.ok());
+                           ++failures;
+                         },
+                         p);
+    f.engine.Run();
+  }
+  EXPECT_EQ(failures, 8);
+  EXPECT_EQ(f.net->BreakerFor("island").opens(), 1u);
+  EXPECT_GT(f.net->BreakerFor("island").rejections(), 0u);
+  // The healthy destination's breaker is unaffected (per-destination keying).
+  EXPECT_EQ(f.net->BreakerFor("b").opens(), 0u);
+}
+
+// Regression (transport.cpp): a Call whose Send fails routing used to invoke
+// the completion callback synchronously, re-entering the caller's stack.
+TEST(Call, RoutingFailureCompletesAsynchronously) {
+  NetFixture f;
+  f.net->topology().AddHost("island");
+  bool callback_ran = false;
+  bool call_returned = false;
+  f.net->Call("a", "island", "echo", {},
+              [&](util::StatusOr<util::Json> reply) {
+                EXPECT_TRUE(call_returned)
+                    << "completion must not run inside Call()";
+                EXPECT_EQ(reply.status().code(),
+                          util::StatusCode::kUnavailable);
+                callback_ran = true;
+              });
+  call_returned = true;
+  EXPECT_FALSE(callback_ran);
+  f.engine.Run();
+  EXPECT_TRUE(callback_ran);
+}
+
+}  // namespace
+}  // namespace myrtus::net

@@ -259,6 +259,44 @@ TEST(TopicMatch, ExactAndWildcards) {
   EXPECT_TRUE(TopicMatches("+/b/#", "x/b/y/z"));
 }
 
+// Regression: `#` used to be honoured anywhere in the filter, so malformed
+// filters like "a/#/b" silently matched everything under "a". Per MQTT, `#`
+// is only valid as the final level; elsewhere it must match nothing.
+TEST(TopicMatch, TableDrivenWildcardSemantics) {
+  struct Case {
+    const char* filter;
+    const char* topic;
+    bool match;
+  };
+  const Case kCases[] = {
+      // Multi-level wildcard also matches the parent level itself.
+      {"a/#", "a", true},
+      {"a/#", "a/b", true},
+      {"a/#", "a/b/c/d", true},
+      {"#", "a", true},
+      {"sport/tennis/#", "sport/tennis/player1/ranking", true},
+      // Non-trailing `#` is malformed and must never match.
+      {"a/#/b", "a/x/b", false},
+      {"a/#/b", "a/b", false},
+      {"a/#/b", "a/anything/at/all", false},
+      {"#/b", "a/b", false},
+      {"#/#", "a/b", false},
+      // `+` is exactly one level, combinable with a trailing `#`.
+      {"+", "a", true},
+      {"+", "a/b", false},
+      {"a/+/c", "a/b/c", true},
+      {"a/+/c", "a/c", false},
+      {"+/#", "a/b/c", true},
+      // Exact matches are unchanged.
+      {"a/b/c", "a/b/c", true},
+      {"a/b/c", "a/b", false},
+  };
+  for (const Case& c : kCases) {
+    EXPECT_EQ(TopicMatches(c.filter, c.topic), c.match)
+        << "filter='" << c.filter << "' topic='" << c.topic << "'";
+  }
+}
+
 TEST(Broker, PublishFansOutToMatchingSubscribers) {
   sim::Engine engine;
   Topology t;

@@ -166,6 +166,25 @@ TEST(Trace, SelectAfterDropRecordsFailsLoudly) {
   EXPECT_EQ(t.CountOf("x"), 2u);
 }
 
+// Regression: a zero (or negative) period used to re-enqueue the task at the
+// same timestamp forever, hanging Run()/RunUntil(). It is now clamped to the
+// 1 ns tick, so the loop advances and terminates.
+TEST(Engine, SchedulePeriodicClampsNonPositivePeriod) {
+  Engine e;
+  int zero_fires = 0;
+  const EventHandle h =
+      e.SchedulePeriodic(SimTime::Zero(), [&] { ++zero_fires; });
+  EXPECT_TRUE(h.valid());
+  e.RunUntil(SimTime::Nanos(10));
+  EXPECT_EQ(zero_fires, 10);  // one fire per clamped 1 ns tick
+  e.Cancel(h);
+
+  int negative_fires = 0;
+  e.SchedulePeriodic(SimTime::Nanos(-5), [&] { ++negative_fires; });
+  e.RunUntil(e.Now() + SimTime::Nanos(3));
+  EXPECT_EQ(negative_fires, 3);
+}
+
 TEST(Metrics, CountersAndGauges) {
   Metrics m;
   m.Inc("pods_scheduled");
