@@ -32,17 +32,17 @@ Outcome RunLoad(Policy policy, double load_fraction, std::uint64_t seed) {
   node.AddDevice(continuum::MakeBigCore("edge/big"));
   continuum::Device& device = node.mutable_device(0);
   switch (policy) {
-    case Policy::kFastest: (void)device.SetOperatingPoint(0); break;
+    case Policy::kFastest: util::MustOk(device.SetOperatingPoint(0)); break;
     case Policy::kEco:
-      (void)device.SetOperatingPoint(device.operating_points().size() - 1);
+      util::MustOk(device.SetOperatingPoint(device.operating_points().size() - 1));
       break;
-    case Policy::kAdaptive: (void)device.SetOperatingPoint(1); break;
+    case Policy::kAdaptive: util::MustOk(device.SetOperatingPoint(1)); break;
   }
   mirto::NodeManager manager(0.7, 0.3);
   if (policy == Policy::kAdaptive) {
     engine.SchedulePeriodic(sim::SimTime::Millis(100), [&] {
       for (const auto& decision : manager.PlanNode(node)) {
-        (void)manager.Execute(node, decision);
+        util::MustOk(manager.Execute(node, decision));
       }
     });
   }

@@ -46,7 +46,7 @@ void PrintIntegrationTable() {
     // Runtime traffic over the per-stage pods.
     sched::Cluster stages_cluster(engine, sched::Scheduler::Default());
     for (auto& n : infra.nodes) stages_cluster.AddNode(n.get());
-    (void)usecases::DeployScenario(scenario, stages_cluster, 1);
+    util::MustOk(usecases::DeployScenario(scenario, stages_cluster, 1));
     usecases::RequestPipeline pipeline(network, infra, stages_cluster, scenario);
     pipeline.StartStream(engine.Now() + sim::SimTime::Seconds(3), 5);
     engine.RunUntil(engine.Now() + sim::SimTime::Seconds(4));
@@ -97,7 +97,7 @@ void BM_SimulatedSecondOfTraffic(benchmark::State& state) {
   sched::Cluster cluster(engine, sched::Scheduler::Default());
   for (auto& n : infra.nodes) cluster.AddNode(n.get());
   usecases::Scenario scenario = usecases::TelerehabScenario();
-  (void)usecases::DeployScenario(scenario, cluster, 1);
+  util::MustOk(usecases::DeployScenario(scenario, cluster, 1));
   usecases::RequestPipeline pipeline(network, infra, cluster, scenario);
   for (auto _ : state) {
     pipeline.StartStream(engine.Now() + sim::SimTime::Seconds(1), 5);

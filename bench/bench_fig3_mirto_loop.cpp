@@ -116,7 +116,7 @@ telemetry::Histogram MeasureMapeLatency(bool telemetry_on, int iterations) {
   telemetry::ResetGlobal();
   World world;
   usecases::Scenario scenario = usecases::SmartMobilityScenario();
-  (void)usecases::DeployScenario(scenario, world.cluster, 1);
+  util::MustOk(usecases::DeployScenario(scenario, world.cluster, 1));
   world.engine.RunUntil(world.engine.Now() + sim::SimTime::Millis(500));
 
   telemetry::SetEnabled(telemetry_on);
@@ -204,7 +204,7 @@ void DumpNegotiationTrace(const std::string& path) {
 void BM_MapeIteration(benchmark::State& state) {
   World world(static_cast<int>(state.range(0)));
   usecases::Scenario scenario = usecases::SmartMobilityScenario();
-  (void)usecases::DeployScenario(scenario, world.cluster, 1);
+  util::MustOk(usecases::DeployScenario(scenario, world.cluster, 1));
   for (auto _ : state) {
     world.agent->RunMapeIteration();
   }
@@ -218,7 +218,7 @@ void BM_MapeIterationTelemetry(benchmark::State& state) {
   telemetry::ResetGlobal();
   World world(static_cast<int>(state.range(0)));
   usecases::Scenario scenario = usecases::SmartMobilityScenario();
-  (void)usecases::DeployScenario(scenario, world.cluster, 1);
+  util::MustOk(usecases::DeployScenario(scenario, world.cluster, 1));
   telemetry::SetEnabled(true);
   for (auto _ : state) {
     world.agent->RunMapeIteration();

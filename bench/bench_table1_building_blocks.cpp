@@ -208,7 +208,7 @@ void BM_BB_PrioritySlicing(benchmark::State& state) {
       bulk.to = "b";
       bulk.kind = "bulk";
       bulk.body_bytes = 1000;
-      (void)network.Send(std::move(bulk));
+      util::MustOk(network.Send(std::move(bulk)));
     }
     net::Message control;
     control.from = "a";
@@ -216,7 +216,7 @@ void BM_BB_PrioritySlicing(benchmark::State& state) {
     control.kind = "control";
     control.priority = 2;
     control.body_bytes = 64;
-    (void)network.Send(std::move(control));
+    util::MustOk(network.Send(std::move(control)));
     engine.Run();
     benchmark::DoNotOptimize(network.messages_delivered());
   }

@@ -36,7 +36,7 @@ AdtNode* AdtNode::AddDefence(Defence defence) {
 
 double AdtNode::AttackProbability(
     const std::vector<std::string>& active_defences) const {
-  double p;
+  double p = probability_;
   switch (gate_) {
     case AdtGate::kLeaf:
       p = probability_;

@@ -232,7 +232,7 @@ std::pair<DataflowGraph, int> DataflowGraph::FuseLinearChains() const {
     }
   }
   for (auto& [root, actor] : group_actor) {
-    (void)fused.AddActor(actor);
+    util::MustOk(fused.AddActor(actor));
     group_name[root] = actor.name;
   }
   for (const Channel& ch : channels_) {
@@ -242,7 +242,7 @@ std::pair<DataflowGraph, int> DataflowGraph::FuseLinearChains() const {
     Channel c = ch;
     c.from = group_name[ra];
     c.to = group_name[rb];
-    (void)fused.AddChannel(c);
+    util::MustOk(fused.AddChannel(c));
   }
   return {std::move(fused), fusions};
 }
@@ -320,7 +320,7 @@ DataflowGraph RandomPipeline(int actors, util::Rng& rng) {
     a.state_bytes = 1024 + rng.NextBounded(1 << 20);
     a.accelerable = rng.NextBool(0.3);
     a.parallel_fraction = rng.Uniform(0.0, 0.9);
-    (void)g.AddActor(a);
+    util::MustOk(g.AddActor(a));
   }
   // Chain backbone plus a few skip edges.
   for (int i = 0; i + 1 < actors; ++i) {
@@ -328,7 +328,7 @@ DataflowGraph RandomPipeline(int actors, util::Rng& rng) {
     c.from = "a" + std::to_string(i);
     c.to = "a" + std::to_string(i + 1);
     c.token_bytes = 256 + rng.NextBounded(64 * 1024);
-    (void)g.AddChannel(c);
+    util::MustOk(g.AddChannel(c));
   }
   for (int i = 0; i + 2 < actors; i += 3) {
     if (rng.NextBool(0.4)) {
@@ -336,7 +336,7 @@ DataflowGraph RandomPipeline(int actors, util::Rng& rng) {
       c.from = "a" + std::to_string(i);
       c.to = "a" + std::to_string(i + 2);
       c.token_bytes = 128 + rng.NextBounded(8 * 1024);
-      (void)g.AddChannel(c);
+      util::MustOk(g.AddChannel(c));
     }
   }
   return g;

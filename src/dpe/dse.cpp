@@ -66,7 +66,6 @@ util::StatusOr<KpiEstimate> KpiEstimator::Estimate(
   }
 
   // Inter-device transfers.
-  auto q_or = graph_.RepetitionVector();
   for (const Channel& ch : graph_.channels()) {
     const std::size_t a = graph_.ActorIndex(ch.from);
     const std::size_t b = graph_.ActorIndex(ch.to);
@@ -88,7 +87,6 @@ util::StatusOr<KpiEstimate> KpiEstimator::Estimate(
   for (const double busy : device_busy_s) makespan = std::max(makespan, busy);
   kpi.latency_s = makespan;
   if (makespan > 0) kpi.max_device_utilization = 1.0;  // bottleneck device
-  (void)q_or;
   return kpi;
 }
 

@@ -37,7 +37,7 @@ RaftNode::RaftNode(net::Network& network, net::HostId self,
   for (net::HostId& p : peers) {
     if (p != self_) peers_.push_back(std::move(p));
   }
-  log_.push_back(LogEntry{0, {}});  // sentinel at index 0
+  log_.emplace_back();  // sentinel at index 0 (term 0, empty command)
 }
 
 void RaftNode::Start() {
@@ -419,14 +419,14 @@ void RaftNode::Propose(util::Json command, ProposeCallback done) {
     const std::int64_t started_ns = tel.tracer.NowNs();
     done = [done = std::move(done), span,
             started_ns](util::StatusOr<std::int64_t> result) {
-      auto& tel = telemetry::Global();
-      tel.tracer.SetAttribute(
+      auto& done_tel = telemetry::Global();
+      done_tel.tracer.SetAttribute(
           span, "status",
           std::string(util::StatusCodeName(result.status().code())));
-      tel.tracer.EndSpan(span);
-      tel.metrics.Observe(
+      done_tel.tracer.EndSpan(span);
+      done_tel.metrics.Observe(
           "myrtus_kb_raft_commit_latency_ms",
-          static_cast<double>(tel.tracer.NowNs() - started_ns) * 1e-6);
+          static_cast<double>(done_tel.tracer.NowNs() - started_ns) * 1e-6);
       done(std::move(result));
     };
   }

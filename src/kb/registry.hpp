@@ -21,9 +21,9 @@ namespace myrtus::kb {
 
 /// Availability/status snapshot of one continuum component.
 struct NodeRecord {
-  std::string node_id;
-  std::string layer;          // "edge" | "fog" | "cloud"
-  std::string kind;           // "hmpsoc", "riscv", "gateway", "fmdc", "dc", ...
+  std::string node_id{};
+  std::string layer{};        // "edge" | "fog" | "cloud"
+  std::string kind{};         // "hmpsoc", "riscv", "gateway", "fmdc", "dc", ...
   bool ready = true;
   double cpu_capacity = 0.0;      // abstract CPU units
   double cpu_allocated = 0.0;

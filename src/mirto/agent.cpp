@@ -176,7 +176,9 @@ util::Status MirtoAgent::Undeploy(const std::string& app_name) {
     return util::Status::NotFound("application " + app_name + " not deployed");
   }
   for (const std::string& pod : it->second) {
-    (void)cluster_.DeletePod(pod);  // pod may already be gone after failures
+    // LINT: discard(pod may already be gone after failures; undeploy is
+    // idempotent by design)
+    (void)cluster_.DeletePod(pod);
     kb_.Delete(kb::ResourceRegistry::WorkloadKey(pod));
   }
   app_pods_.erase(it);

@@ -87,6 +87,7 @@ void MirtoEngine::Start() {
           const sched::PodSpec pod = sched::PodSpec::FromJson(req);
           auto node = layers_[Index(layer)].cluster->BindPodWithPreemption(pod);
           if (!node.ok()) {
+            // LINT: discard(best-effort cleanup of a pod that never bound)
             (void)layers_[Index(layer)].cluster->DeletePod(pod.name);
             return node.status();
           }

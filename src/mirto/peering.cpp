@@ -58,6 +58,7 @@ util::StatusOr<std::string> LiqoPeering::Offload(const sched::PodSpec& pod) {
   remote_pod.name = "offloaded/" + pod.name;
   auto node = remote_.BindPod(remote_pod);
   if (!node.ok()) {
+    // LINT: discard(best-effort cleanup of a pod that never bound)
     (void)remote_.DeletePod(remote_pod.name);
     return node.status();
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
+
 namespace myrtus::net {
 
 SmartGateway::SmartGateway(Network& network, HostId host)
@@ -78,9 +80,21 @@ void SmartGateway::OnMessage(const Message& msg) {
                          .Set("origin", working.from)
                          .Set("payload", working.payload);
     onward.body_bytes = std::max<std::size_t>(working.body_bytes, 1);
-    (void)network_.Send(std::move(onward));
-    ++bridged_;
+    if (SendUpstream(std::move(onward))) ++bridged_;
   }
+}
+
+bool SmartGateway::SendUpstream(Message msg) {
+  auto sent = network_.Send(std::move(msg));
+  if (sent.ok()) return true;
+  // An unroutable upstream is a persistent misconfiguration, not transient
+  // loss: surface it as a counter so monitors can alert instead of the
+  // gateway silently eating traffic.
+  ++upstream_send_failures_;
+  if (telemetry::Enabled()) {
+    telemetry::Global().metrics.Add("myrtus_gateway_upstream_send_failures_total");
+  }
+  return false;
 }
 
 void SmartGateway::Flush(const std::string& kind) {
@@ -106,8 +120,7 @@ void SmartGateway::Flush(const std::string& kind) {
   batch.body_bytes = rule.buffered_bytes;
   rule.buffer.clear();
   rule.buffered_bytes = 0;
-  (void)network_.Send(std::move(batch));
-  ++batches_out_;
+  if (SendUpstream(std::move(batch))) ++batches_out_;
 }
 
 }  // namespace myrtus::net

@@ -52,6 +52,11 @@ class SmartGateway {
   [[nodiscard]] std::uint64_t aggregated_in() const { return aggregated_in_; }
   [[nodiscard]] std::uint64_t batches_out() const { return batches_out_; }
   [[nodiscard]] std::uint64_t dropped_by_adapter() const { return dropped_; }
+  /// Upstream sends rejected by the network (e.g. no route): bridged messages
+  /// and flushed batches that never left the gateway.
+  [[nodiscard]] std::uint64_t upstream_send_failures() const {
+    return upstream_send_failures_;
+  }
 
  private:
   struct BridgeRule {
@@ -72,6 +77,8 @@ class SmartGateway {
 
   void OnMessage(const Message& msg);
   void Flush(const std::string& kind);
+  /// Sends to an upstream, counting (rather than discarding) failures.
+  bool SendUpstream(Message msg);
 
   Network& network_;
   HostId host_;
@@ -83,6 +90,7 @@ class SmartGateway {
   std::uint64_t aggregated_in_ = 0;
   std::uint64_t batches_out_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t upstream_send_failures_ = 0;
 };
 
 }  // namespace myrtus::net

@@ -311,7 +311,8 @@ void Network::HandleRpcRequest(const Message& msg) {
           .Set("error", result.status().message());
     }
     reply.payload = std::move(body);
-    (void)Send(std::move(reply));  // reply loss behaves like a timeout
+    // LINT: discard(reply send failure behaves like a timeout at the caller)
+    (void)Send(std::move(reply));
   };
 
   const auto it = rpc_handlers_.find({msg.to, method});

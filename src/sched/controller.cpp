@@ -302,6 +302,8 @@ void Cluster::Reconcile() {
     });
     // Scale down: remove newest pods first.
     while (static_cast<int>(pod_names.size()) > dep.replicas) {
+      // LINT: discard(name filtered to live pods above; a miss only means
+      // the pod already terminated)
       (void)DeletePod(pod_names.back());
       pod_names.pop_back();
     }

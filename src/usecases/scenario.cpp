@@ -60,13 +60,13 @@ Scenario SmartMobilityScenario() {
 
   // DPE application model.
   s.dpe_input.app_name = s.name;
-  (void)s.dpe_input.graph.AddActor({"fuse_sensors", 4'000'000, 32768, false, 0.4});
-  (void)s.dpe_input.graph.AddActor({"detect_objects", 60'000'000, 1 << 20, true, 0.9});
-  (void)s.dpe_input.graph.AddActor({"plan_trajectory", 12'000'000, 65536, false, 0.3});
-  (void)s.dpe_input.graph.AddActor({"v2x_uplink", 1'000'000, 8192, false, 0.0});
-  (void)s.dpe_input.graph.AddChannel({"fuse_sensors", "detect_objects", 1, 1, 262144});
-  (void)s.dpe_input.graph.AddChannel({"detect_objects", "plan_trajectory", 1, 1, 16384});
-  (void)s.dpe_input.graph.AddChannel({"detect_objects", "v2x_uplink", 1, 1, 4096});
+  util::MustOk(s.dpe_input.graph.AddActor({"fuse_sensors", 4'000'000, 32768, false, 0.4}));
+  util::MustOk(s.dpe_input.graph.AddActor({"detect_objects", 60'000'000, 1 << 20, true, 0.9}));
+  util::MustOk(s.dpe_input.graph.AddActor({"plan_trajectory", 12'000'000, 65536, false, 0.3}));
+  util::MustOk(s.dpe_input.graph.AddActor({"v2x_uplink", 1'000'000, 8192, false, 0.0}));
+  util::MustOk(s.dpe_input.graph.AddChannel({"fuse_sensors", "detect_objects", 1, 1, 262144}));
+  util::MustOk(s.dpe_input.graph.AddChannel({"detect_objects", "plan_trajectory", 1, 1, 16384}));
+  util::MustOk(s.dpe_input.graph.AddChannel({"detect_objects", "v2x_uplink", 1, 1, 4096}));
   s.dpe_input.deadline_ms = s.deadline_ms;
   s.dpe_input.security_level = "low";
   s.threat_model = MobilityThreats();
@@ -94,13 +94,13 @@ Scenario TelerehabScenario() {
   s.deadline_ms = 250.0;  // perceptible-but-tolerable feedback latency
 
   s.dpe_input.app_name = s.name;
-  (void)s.dpe_input.graph.AddActor({"pose_estimation", 45'000'000, 1 << 19, true, 0.85});
-  (void)s.dpe_input.graph.AddActor({"exercise_scoring", 8'000'000, 65536, false, 0.2});
-  (void)s.dpe_input.graph.AddActor({"feedback", 1'500'000, 4096, false, 0.0});
-  (void)s.dpe_input.graph.AddActor({"session_archive", 3'000'000, 1 << 22, false, 0.1});
-  (void)s.dpe_input.graph.AddChannel({"pose_estimation", "exercise_scoring", 1, 1, 32768});
-  (void)s.dpe_input.graph.AddChannel({"exercise_scoring", "feedback", 1, 1, 512});
-  (void)s.dpe_input.graph.AddChannel({"exercise_scoring", "session_archive", 1, 1, 16384});
+  util::MustOk(s.dpe_input.graph.AddActor({"pose_estimation", 45'000'000, 1 << 19, true, 0.85}));
+  util::MustOk(s.dpe_input.graph.AddActor({"exercise_scoring", 8'000'000, 65536, false, 0.2}));
+  util::MustOk(s.dpe_input.graph.AddActor({"feedback", 1'500'000, 4096, false, 0.0}));
+  util::MustOk(s.dpe_input.graph.AddActor({"session_archive", 3'000'000, 1 << 22, false, 0.1}));
+  util::MustOk(s.dpe_input.graph.AddChannel({"pose_estimation", "exercise_scoring", 1, 1, 32768}));
+  util::MustOk(s.dpe_input.graph.AddChannel({"exercise_scoring", "feedback", 1, 1, 512}));
+  util::MustOk(s.dpe_input.graph.AddChannel({"exercise_scoring", "session_archive", 1, 1, 16384}));
   s.dpe_input.deadline_ms = s.deadline_ms;
   s.dpe_input.security_level = "medium";  // health data floor
   s.threat_model = TelerehabThreats();

@@ -1,6 +1,15 @@
 #include "util/status.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace myrtus::util {
+
+void MustOk(const Status& s) {
+  if (s.ok()) return;
+  std::fprintf(stderr, "MustOk failed: %s\n", s.ToString().c_str());
+  std::abort();
+}
 
 std::string_view StatusCodeName(StatusCode code) {
   switch (code) {

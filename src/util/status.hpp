@@ -33,8 +33,10 @@ enum class StatusCode : std::uint8_t {
 /// Human-readable name of a status code ("OK", "NOT_FOUND", ...).
 std::string_view StatusCodeName(StatusCode code);
 
-/// Value type describing the outcome of an operation.
-class Status {
+/// Value type describing the outcome of an operation. [[nodiscard]] at class
+/// level: ignoring a Status is a bug unless explicitly justified with a
+/// `// LINT: discard(<reason>)` annotation next to a `(void)` cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -78,7 +80,7 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 
 /// Either a value of T or a non-OK Status. T must be movable.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like absl.
   StatusOr(T value) : value_(std::move(value)) {}
@@ -103,6 +105,16 @@ class StatusOr {
   Status status_;
   std::optional<T> value_;
 };
+
+/// Aborts with a diagnostic when `s` is not OK. For call sites where a
+/// failure would mean a broken internal invariant (e.g. rebuilding a graph
+/// from an already-validated one), not a recoverable runtime error.
+void MustOk(const Status& s);
+
+template <typename T>
+void MustOk(const StatusOr<T>& s) {
+  MustOk(s.status());
+}
 
 /// RETURN_IF_ERROR-style helpers (macro-free variants are preferred in
 /// expression contexts; these macros keep call sites terse in .cpp files).

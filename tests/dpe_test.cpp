@@ -12,11 +12,11 @@ namespace {
 
 DataflowGraph Chain3() {
   DataflowGraph g;
-  (void)g.AddActor({"src", 2'000'000, 1024, false, 0.0});
-  (void)g.AddActor({"filter", 20'000'000, 4096, true, 0.8});
-  (void)g.AddActor({"sink", 1'000'000, 512, false, 0.0});
-  (void)g.AddChannel({"src", "filter", 1, 1, 4096});
-  (void)g.AddChannel({"filter", "sink", 1, 1, 1024});
+  util::MustOk(g.AddActor({"src", 2'000'000, 1024, false, 0.0}));
+  util::MustOk(g.AddActor({"filter", 20'000'000, 4096, true, 0.8}));
+  util::MustOk(g.AddActor({"sink", 1'000'000, 512, false, 0.0}));
+  util::MustOk(g.AddChannel({"src", "filter", 1, 1, 4096}));
+  util::MustOk(g.AddChannel({"filter", "sink", 1, 1, 1024}));
   return g;
 }
 
@@ -37,9 +37,9 @@ TEST(Dataflow, UniformRatesGiveUnitRepetitions) {
 TEST(Dataflow, MultirateRepetitionVector) {
   // src produces 2 per firing; sink consumes 3: q = [3, 2].
   DataflowGraph g;
-  (void)g.AddActor({"src", 1, 0, false, 0});
-  (void)g.AddActor({"sink", 1, 0, false, 0});
-  (void)g.AddChannel({"src", "sink", 2, 3, 64});
+  util::MustOk(g.AddActor({"src", 1, 0, false, 0}));
+  util::MustOk(g.AddActor({"sink", 1, 0, false, 0}));
+  util::MustOk(g.AddChannel({"src", "sink", 2, 3, 64}));
   auto q = g.RepetitionVector();
   ASSERT_TRUE(q.ok());
   EXPECT_EQ(*q, (std::vector<std::uint64_t>{3, 2}));
@@ -48,12 +48,12 @@ TEST(Dataflow, MultirateRepetitionVector) {
 TEST(Dataflow, InconsistentRatesDetected) {
   // Triangle with incompatible rates has no valid repetition vector.
   DataflowGraph g;
-  (void)g.AddActor({"a", 1, 0, false, 0});
-  (void)g.AddActor({"b", 1, 0, false, 0});
-  (void)g.AddActor({"c", 1, 0, false, 0});
-  (void)g.AddChannel({"a", "b", 1, 1, 1});
-  (void)g.AddChannel({"b", "c", 1, 1, 1});
-  (void)g.AddChannel({"a", "c", 2, 1, 1});
+  util::MustOk(g.AddActor({"a", 1, 0, false, 0}));
+  util::MustOk(g.AddActor({"b", 1, 0, false, 0}));
+  util::MustOk(g.AddActor({"c", 1, 0, false, 0}));
+  util::MustOk(g.AddChannel({"a", "b", 1, 1, 1}));
+  util::MustOk(g.AddChannel({"b", "c", 1, 1, 1}));
+  util::MustOk(g.AddChannel({"a", "c", 2, 1, 1}));
   EXPECT_FALSE(g.RepetitionVector().ok());
 }
 
@@ -65,10 +65,10 @@ TEST(Dataflow, TopologicalOrderAndCycles) {
   EXPECT_TRUE(g.IsAcyclic());
 
   DataflowGraph cyclic;
-  (void)cyclic.AddActor({"a", 1, 0, false, 0});
-  (void)cyclic.AddActor({"b", 1, 0, false, 0});
-  (void)cyclic.AddChannel({"a", "b", 1, 1, 1});
-  (void)cyclic.AddChannel({"b", "a", 1, 1, 1});
+  util::MustOk(cyclic.AddActor({"a", 1, 0, false, 0}));
+  util::MustOk(cyclic.AddActor({"b", 1, 0, false, 0}));
+  util::MustOk(cyclic.AddChannel({"a", "b", 1, 1, 1}));
+  util::MustOk(cyclic.AddChannel({"b", "a", 1, 1, 1}));
   EXPECT_FALSE(cyclic.IsAcyclic());
 }
 
@@ -92,11 +92,11 @@ TEST(Dataflow, FusionCollapsesLinearChain) {
 
 TEST(Dataflow, FusionRespectsFanout) {
   DataflowGraph g;
-  (void)g.AddActor({"src", 1, 0, false, 0});
-  (void)g.AddActor({"a", 1, 0, false, 0});
-  (void)g.AddActor({"b", 1, 0, false, 0});
-  (void)g.AddChannel({"src", "a", 1, 1, 1});
-  (void)g.AddChannel({"src", "b", 1, 1, 1});
+  util::MustOk(g.AddActor({"src", 1, 0, false, 0}));
+  util::MustOk(g.AddActor({"a", 1, 0, false, 0}));
+  util::MustOk(g.AddActor({"b", 1, 0, false, 0}));
+  util::MustOk(g.AddChannel({"src", "a", 1, 1, 1}));
+  util::MustOk(g.AddChannel({"src", "b", 1, 1, 1}));
   auto [fused, fusions] = g.FuseLinearChains();
   EXPECT_EQ(fusions, 0) << "fan-out must block fusion";
   EXPECT_EQ(fused.actors().size(), 3u);
@@ -277,10 +277,10 @@ TEST(Pipeline, TightDeadlineFallsBackToFastestPoint) {
 TEST(Pipeline, RejectsCyclicGraphs) {
   DpeInput input;
   input.app_name = "cyclic";
-  (void)input.graph.AddActor({"a", 1, 0, false, 0});
-  (void)input.graph.AddActor({"b", 1, 0, false, 0});
-  (void)input.graph.AddChannel({"a", "b", 1, 1, 1});
-  (void)input.graph.AddChannel({"b", "a", 1, 1, 1});
+  util::MustOk(input.graph.AddActor({"a", 1, 0, false, 0}));
+  util::MustOk(input.graph.AddActor({"b", 1, 0, false, 0}));
+  util::MustOk(input.graph.AddChannel({"a", "b", 1, 1, 1}));
+  util::MustOk(input.graph.AddChannel({"b", "a", 1, 1, 1}));
   DpePipeline pipeline(79);
   EXPECT_FALSE(pipeline.Run(input).ok());
 }

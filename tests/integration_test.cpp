@@ -163,7 +163,7 @@ TEST(Integration, GatewayFeedsMonitoredContinuum) {
         m.protocol = net::Protocol::kCoap;
         m.payload = util::Json::MakeObject().Set("seq", round);
         m.body_bytes = 48;
-        (void)network.Send(std::move(m));
+        util::MustOk(network.Send(std::move(m)));
       }
     });
   }

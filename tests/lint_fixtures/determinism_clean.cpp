@@ -1,0 +1,29 @@
+// FIXTURE: must produce zero determinism findings. Uses the sanctioned
+// sources of time and randomness, and mentions every banned token only in
+// places the lexer must blank out (comments, strings, raw strings).
+//
+// Banned-in-comment: std::chrono::system_clock::now(), std::rand(), and
+// std::thread must NOT fire here.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+// The real thing: named-stream deterministic RNG and simulated time.
+struct Rng {
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  std::uint64_t Next() { return state *= 6364136223846793005ull; }
+};
+
+std::uint64_t SimNowMicros(std::uint64_t ticks) { return ticks * 10; }
+
+std::string BannedTokensInLiterals() {
+  std::string doc = "call std::random_device or time(nullptr) at your peril";
+  std::string raw = R"(steady_clock::now() and mt19937 inside a raw string)";
+  std::string esc = "escaped quote \" then clock() still inside the literal";
+  /* block comment mentioning srand(7) and high_resolution_clock::now() */
+  const std::uint64_t separated = 1'000'000;  // digit separator, not a char literal
+  return doc + raw + esc + std::to_string(separated);
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// FIXTURE: every line below must trip the determinism rule when scanned as a
+// src/ file outside the allowlisted host-time boundaries.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <thread>
+
+namespace fixture {
+
+void WallClockReads() {
+  auto a = std::chrono::system_clock::now();
+  auto b = std::chrono::steady_clock::now();
+  auto c = std::chrono::high_resolution_clock::now();
+  (void)a; (void)b; (void)c;
+  std::time_t t = time(nullptr);
+  (void)t;
+  std::clock_t k = clock();
+  (void)k;
+}
+
+void AmbientRandomness() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  std::mt19937_64 gen64(1234);
+  (void)gen; (void)gen64;
+  srand(42);
+  int r = std::rand();
+  (void)r;
+}
+
+void HostConcurrency() {
+  std::thread worker([] {});
+  worker.detach();
+  auto fut = std::async([] { return 1; });
+  (void)fut;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// FIXTURE: must produce zero hygiene-banned findings. Uses the bounded
+// replacements, and mentions banned names only where the lexer or the
+// word-boundary matcher must ignore them.
+#include <cstdio>
+#include <string>
+
+namespace fixture {
+
+// strcpy in a comment must not fire.
+void SafeStringHandling(char* dst, std::size_t cap, const char* src) {
+  snprintf(dst, cap, "%s", src);           // bounded, allowed
+  std::string note = "sprintf is banned";  // inside a literal, ignored
+  long v = std::stol("42");                // checked conversion, allowed
+  int my_atoi_result = 0;                  // substring of an identifier, ignored
+  (void)note; (void)v; (void)my_atoi_result;
+}
+
+}  // namespace fixture

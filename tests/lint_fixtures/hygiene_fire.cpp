@@ -1,0 +1,19 @@
+// FIXTURE: each call below is a banned C string/conversion function and must
+// trip hygiene-banned.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace fixture {
+
+void UnsafeStringHandling(char* dst, const char* src) {
+  strcpy(dst, src);
+  strcat(dst, src);
+  char buf[16];
+  sprintf(buf, "%s", src);
+  int n = atoi(src);
+  double d = atof(src);
+  (void)n; (void)d;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// FIXTURE: scanned as src/sched/layering_clean.cpp — every edge below is in
+// sched's transitive dependency closure, and the quoted include in the string
+// literal must be ignored by the lexer.
+#include "continuum/infrastructure.hpp"
+#include "security/policy.hpp"
+#include "util/status.hpp"
+
+#include <string>
+
+namespace fixture {
+
+std::string NotAnInclude() {
+  return "#include \"dpe/dse.hpp\" inside a string is not an edge";
+}
+
+}  // namespace fixture

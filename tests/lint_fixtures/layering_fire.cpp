@@ -1,0 +1,10 @@
+// FIXTURE: scanned as src/util/layering_fire.cpp — util is the bottom layer
+// and must not include from sched (or any other module above it).
+#include "sched/controller.hpp"
+#include "util/status.hpp"
+
+namespace fixture {
+
+int UsesUpperLayer() { return 1; }
+
+}  // namespace fixture

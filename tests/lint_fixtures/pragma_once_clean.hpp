@@ -1,0 +1,6 @@
+// FIXTURE: a compliant header — no pragma-once finding.
+#pragma once
+
+namespace fixture {
+inline int Guarded() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// FIXTURE: a header with no #pragma once (the mention in this comment must
+// not count) — trips the pragma-once rule.
+#ifndef FIXTURE_PRAGMA_ONCE_FIRE_HPP_
+#define FIXTURE_PRAGMA_ONCE_FIRE_HPP_
+
+namespace fixture {
+inline int GuardedTheOldWay() { return 1; }
+}  // namespace fixture
+
+#endif  // FIXTURE_PRAGMA_ONCE_FIRE_HPP_

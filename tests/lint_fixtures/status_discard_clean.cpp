@@ -1,0 +1,17 @@
+// FIXTURE: must produce zero status-discard findings — every discard is
+// either annotated, of a non-Status callee, or of a plain variable.
+#include "util/status.hpp"
+
+namespace fixture {
+
+myrtus::util::Status Configure() { return myrtus::util::Status::Ok(); }
+int PlainInt() { return 7; }
+
+void JustifiedAndIrrelevantDiscards(int unused_param) {
+  // LINT: discard(fixture: failure here is indistinguishable from a timeout)
+  (void)Configure();
+  (void)PlainInt();       // not a Status-returning callee
+  (void)unused_param;     // variable discard, not a call
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// FIXTURE: both discard forms below must trip status-discard — the callees
+// are declared here to return util::Status / util::StatusOr.
+#include "util/status.hpp"
+
+namespace fixture {
+
+myrtus::util::Status Configure() { return myrtus::util::Status::Ok(); }
+myrtus::util::StatusOr<int> Measure() { return 42; }
+
+void DiscardsWithoutJustification() {
+  (void)Configure();
+  static_cast<void>(Measure());
+}
+
+}  // namespace fixture

@@ -38,13 +38,13 @@ TEST(AuthModule, RejectsForgedAndMalformedTokens) {
 tosca::CsarPackage TelerehabPackage() {
   dpe::DpeInput input;
   input.app_name = "telerehab";
-  (void)input.graph.AddActor({"pose", 30'000'000, 4096, true, 0.8});
-  (void)input.graph.AddActor({"score", 5'000'000, 1024, false, 0.2});
-  (void)input.graph.AddActor({"feedback", 1'000'000, 512, false, 0.0});
-  (void)input.graph.AddActor({"archive", 2'000'000, 65536, false, 0.0});
-  (void)input.graph.AddChannel({"pose", "score", 1, 1, 8192});
-  (void)input.graph.AddChannel({"score", "feedback", 1, 1, 256});
-  (void)input.graph.AddChannel({"score", "archive", 1, 1, 4096});
+  util::MustOk(input.graph.AddActor({"pose", 30'000'000, 4096, true, 0.8}));
+  util::MustOk(input.graph.AddActor({"score", 5'000'000, 1024, false, 0.2}));
+  util::MustOk(input.graph.AddActor({"feedback", 1'000'000, 512, false, 0.0}));
+  util::MustOk(input.graph.AddActor({"archive", 2'000'000, 65536, false, 0.0}));
+  util::MustOk(input.graph.AddChannel({"pose", "score", 1, 1, 8192}));
+  util::MustOk(input.graph.AddChannel({"score", "feedback", 1, 1, 256}));
+  util::MustOk(input.graph.AddChannel({"score", "archive", 1, 1, 4096}));
   input.deadline_ms = 500;
   input.security_level = "medium";
   dpe::DpePipeline pipeline(5);

@@ -71,8 +71,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllStrategies, WlStrategyTest,
     ::testing::Values(PlacementStrategy::kStaticKube, PlacementStrategy::kGreedy,
                       PlacementStrategy::kPso, PlacementStrategy::kAco),
-    [](const auto& info) {
-      std::string name(PlacementStrategyName(info.param));
+    [](const auto& suite_info) {
+      std::string name(PlacementStrategyName(suite_info.param));
       std::replace(name.begin(), name.end(), '-', '_');
       return name;
     });

@@ -191,6 +191,30 @@ TEST(SmartGateway, AdapterFiltersAndTransforms) {
   EXPECT_EQ(f.gateway->dropped_by_adapter(), 1u);
 }
 
+// Regression: bridged/batched traffic aimed at an unroutable upstream used to
+// be dropped with a discarded Send status — no counter moved, so the loss was
+// invisible. Failures must now be counted (and must not inflate the success
+// counters).
+TEST(SmartGateway, UnroutableBridgeTargetIsCountedNotSilent) {
+  GatewayFixture f;
+  f.gateway->AddBridgeRule("telemetry", "no-such-node", Protocol::kHttp);
+  f.SendReading("sensor-1", "telemetry", 3.5);
+  f.engine.Run();
+  EXPECT_TRUE(f.cloud_inbox.empty());
+  EXPECT_EQ(f.gateway->upstream_send_failures(), 1u);
+  EXPECT_EQ(f.gateway->bridged(), 0u) << "a failed bridge is not a bridge";
+}
+
+TEST(SmartGateway, UnroutableAggregationTargetIsCountedNotSilent) {
+  GatewayFixture f;
+  f.gateway->EnableAggregation("telemetry", "no-such-node", SimTime::Millis(50), 64);
+  for (int i = 0; i < 4; ++i) f.SendReading("sensor-2", "telemetry", i);
+  f.engine.RunUntil(SimTime::Seconds(1));
+  EXPECT_EQ(f.gateway->aggregated_in(), 4u);
+  EXPECT_EQ(f.gateway->batches_out(), 0u) << "a dropped batch never went out";
+  EXPECT_EQ(f.gateway->upstream_send_failures(), 1u);
+}
+
 TEST(Monitoring, SamplesTelemetryAndFiresAlerts) {
   sim::Engine engine;
   continuum::Infrastructure infra = continuum::BuildInfrastructure(engine, {});

@@ -203,6 +203,7 @@ TEST(SchedulerProperty, NeverOvercommitsUnderRandomChurn) {
       if (bound.ok()) {
         live.push_back(pod.name);
       } else {
+        // LINT: discard(cleanup of a pod that may never have bound)
         (void)cluster.DeletePod(pod.name);
       }
     } else {
@@ -277,7 +278,9 @@ TEST_P(PlacementSolverProperty, SolversRespectHardConstraintsWhenFeasible) {
     for (std::size_t t = 0; t < p.tasks.size(); ++t) {
       const auto& node = p.nodes[static_cast<std::size_t>(solution.assignment[t])];
       EXPECT_GE(node.security_level, p.tasks[t].min_security);
-      if (p.tasks[t].needs_accelerator) EXPECT_TRUE(node.has_accelerator);
+      if (p.tasks[t].needs_accelerator) {
+        EXPECT_TRUE(node.has_accelerator);
+      }
     }
   }
 }
@@ -293,7 +296,7 @@ TEST(DeterminismProperty, IdenticalSeedsGiveIdenticalTraces) {
     sched::Cluster cluster(engine, sched::Scheduler::Default());
     for (auto& n : infra.nodes) cluster.AddNode(n.get());
     usecases::Scenario scenario = usecases::SmartMobilityScenario();
-    (void)usecases::DeployScenario(scenario, cluster, seed);
+    util::MustOk(usecases::DeployScenario(scenario, cluster, seed));
     usecases::RequestPipeline pipeline(network, infra, cluster, scenario);
     pipeline.StartStream(SimTime::Seconds(2), seed);
     engine.RunUntil(SimTime::Seconds(5));

@@ -185,6 +185,7 @@ TEST(Preemption, HighPriorityEvictsLow) {
   vip.priority = 10;
   vip.node_selector["pin"] = "1";
   EXPECT_FALSE(f.cluster.BindPod(vip).ok());
+  // LINT: discard(cleanup-if-present before the preemption attempt)
   (void)f.cluster.DeletePod("vip");
   auto node = f.cluster.BindPodWithPreemption(vip);
   ASSERT_TRUE(node.ok()) << node.status();

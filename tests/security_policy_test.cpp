@@ -175,8 +175,8 @@ INSTANTIATE_TEST_SUITE_P(AllLevels, ChannelLevelTest,
                          ::testing::Values(SecurityLevel::kLow,
                                            SecurityLevel::kMedium,
                                            SecurityLevel::kHigh),
-                         [](const auto& info) {
-                           return std::string(SecurityLevelName(info.param));
+                         [](const auto& suite_info) {
+                           return std::string(SecurityLevelName(suite_info.param));
                          });
 
 }  // namespace

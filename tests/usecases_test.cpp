@@ -90,8 +90,8 @@ TEST_P(ScenarioTest, PoissonStreamGeneratesLoad) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Both, ScenarioTest, ::testing::Bool(),
-                         [](const auto& info) {
-                           return info.param ? std::string("SmartMobility")
+                         [](const auto& suite_info) {
+                           return suite_info.param ? std::string("SmartMobility")
                                              : std::string("Telerehab");
                          });
 

@@ -1,0 +1,136 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace myrtus::lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when the '"' at `i` opens a raw string literal (R, u8R, uR, UR, LR
+/// prefix with a non-identifier character before the prefix).
+bool IsRawStringQuote(const std::string& s, std::size_t i) {
+  if (i == 0 || s[i - 1] != 'R') return false;
+  std::size_t p = i - 1;  // index of 'R'
+  if (p > 0 && (s[p - 1] == 'u' || s[p - 1] == 'U' || s[p - 1] == 'L')) {
+    --p;
+    if (p > 0 && s[p] == 'u' && s[p - 1] == '8') return false;  // "u8R" caught below
+  } else if (p > 1 && s[p - 1] == '8' && s[p - 2] == 'u') {
+    p -= 2;
+  }
+  return p == 0 || !IsIdentChar(s[p - 1]);
+}
+
+/// True when the '\'' at `i` is a digit separator (1'000'000), not a char
+/// literal: digit before, identifier char (or another separator group) after.
+bool IsDigitSeparator(const std::string& s, std::size_t i) {
+  if (i == 0 || std::isdigit(static_cast<unsigned char>(s[i - 1])) == 0) return false;
+  if (i + 1 >= s.size()) return false;
+  return IsIdentChar(s[i + 1]);
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& source) {
+  std::string out = source;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  const auto blank = [&](std::size_t idx) {
+    if (out[idx] != '\n') out[idx] = ' ';
+  };
+  std::size_t i = 0;
+  while (i < source.size()) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == '"' && IsRawStringQuote(source, i)) {
+          // R"delim( ... )delim" — no escapes inside; blank between the quotes.
+          std::size_t j = i + 1;
+          std::string delim;
+          while (j < source.size() && source[j] != '(') delim.push_back(source[j++]);
+          const std::string close = ")" + delim + "\"";
+          std::size_t end = source.find(close, j);
+          const std::size_t stop =
+              end == std::string::npos ? source.size() : end + close.size();
+          for (std::size_t k = i + 1; k + 1 < stop; ++k) blank(k);
+          i = stop;
+        } else if (c == '"') {
+          state = State::kString;
+          ++i;
+        } else if (c == '\'' && !IsDigitSeparator(source, i)) {
+          state = State::kChar;
+          ++i;
+        } else {
+          ++i;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          blank(i);
+        }
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          blank(i);
+          blank(i + 1);
+          state = State::kCode;
+          i += 2;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          blank(i);
+          if (i + 1 < source.size()) blank(i + 1);
+          i += 2;
+        } else if (c == quote) {
+          state = State::kCode;
+          ++i;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+}  // namespace myrtus::lint

@@ -1,0 +1,24 @@
+// Comment/string-stripping lexer for myrtus_lint. Rules must never fire on
+// tokens that only appear inside comments or string/char literals, so every
+// rule operates on the "code view" this lexer produces: a byte-for-byte copy
+// of the source in which comment bodies and literal contents are replaced by
+// spaces (newlines preserved, so line numbers survive). Handles // and /**/
+// comments, escaped string/char literals, raw strings R"delim(...)delim"
+// (including u8R/uR/UR/LR prefixes), and C++14 digit separators (1'000'000).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace myrtus::lint {
+
+/// Returns `source` with comments and literal contents blanked to spaces.
+/// Same length and same newline positions as the input. String/char quote
+/// characters are kept so tokens on either side never merge.
+std::string StripCommentsAndStrings(const std::string& source);
+
+/// Splits on '\n'; the trailing segment is kept even when empty so
+/// `lines[i]` always addresses source line i+1.
+std::vector<std::string> SplitLines(const std::string& text);
+
+}  // namespace myrtus::lint

@@ -1,0 +1,171 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace myrtus::lint {
+namespace fs = std::filesystem;
+
+namespace {
+
+util::StatusOr<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::NotFound("cannot open " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+bool IsLintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp";
+}
+
+/// Fixture trees contain deliberately-violating files driven by unit tests.
+bool InFixtureTree(const std::string& repo_relative) {
+  return repo_relative.find("lint_fixtures") != std::string::npos;
+}
+
+std::string RepoRelative(const fs::path& path, const fs::path& root) {
+  const fs::path rel = fs::relative(path, root);
+  return rel.generic_string();
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+bool Matches(const Suppression& sup, const Finding& f) {
+  if (sup.rule != f.rule) return false;
+  if (!sup.path_pattern.empty() && sup.path_pattern.back() == '*') {
+    const std::string prefix =
+        sup.path_pattern.substr(0, sup.path_pattern.size() - 1);
+    if (f.file.rfind(prefix, 0) != 0) return false;
+  } else if (f.file != sup.path_pattern) {
+    return false;
+  }
+  return sup.line == 0 || sup.line == f.line;
+}
+
+}  // namespace
+
+util::StatusOr<std::vector<Suppression>> ParseSuppressions(
+    const std::string& text, const std::string& origin) {
+  std::vector<Suppression> out;
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::string line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const auto where = origin + ":" + std::to_string(lineno);
+    const std::size_t sep = line.find(" -- ");
+    if (sep == std::string::npos) {
+      return util::Status::InvalidArgument(
+          where + ": suppression needs a ' -- <reason>' justification");
+    }
+    Suppression sup;
+    sup.reason = Trim(line.substr(sep + 4));
+    if (sup.reason.empty()) {
+      return util::Status::InvalidArgument(where + ": empty reason");
+    }
+    std::istringstream head(line.substr(0, sep));
+    std::string target;
+    if (!(head >> sup.rule >> target) || !(head >> std::ws).eof()) {
+      return util::Status::InvalidArgument(
+          where + ": expected '<rule-id> <path[:line]> -- <reason>'");
+    }
+    const std::size_t colon = target.rfind(':');
+    if (colon != std::string::npos &&
+        target.find_first_not_of("0123456789", colon + 1) == std::string::npos &&
+        colon + 1 < target.size()) {
+      sup.line = std::stoi(target.substr(colon + 1));
+      target.resize(colon);
+    }
+    sup.path_pattern = target;
+    out.push_back(std::move(sup));
+  }
+  return out;
+}
+
+util::StatusOr<LintResult> LintPaths(const std::vector<std::string>& paths,
+                                     const Options& options) {
+  const fs::path root = fs::absolute(options.repo_root);
+  if (!fs::is_directory(root)) {
+    return util::Status::InvalidArgument("repo root " + root.string() +
+                                         " is not a directory");
+  }
+
+  // Collect the file set (sorted for deterministic reports).
+  std::vector<fs::path> files;
+  for (const std::string& arg : paths) {
+    const fs::path p = fs::path(arg).is_absolute() ? fs::path(arg) : root / arg;
+    if (fs::is_regular_file(p)) {
+      if (IsLintable(p)) files.push_back(p);
+      continue;
+    }
+    if (!fs::is_directory(p)) {
+      return util::Status::NotFound("no such file or directory: " + arg);
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(p)) {
+      if (entry.is_regular_file() && IsLintable(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<FileContext> contexts;
+  contexts.reserve(files.size());
+  for (const fs::path& file : files) {
+    const std::string rel = RepoRelative(file, root);
+    if (InFixtureTree(rel)) continue;
+    auto source = ReadFile(file);
+    if (!source.ok()) return source.status();
+    contexts.push_back(MakeFileContext(rel, *source));
+  }
+
+  std::vector<Suppression> suppressions;
+  fs::path sup_path = options.suppressions_path.empty()
+                          ? root / "tools" / "lint" / "suppressions.txt"
+                          : fs::path(options.suppressions_path);
+  if (!options.suppressions_path.empty() || fs::exists(sup_path)) {
+    auto text = ReadFile(sup_path);
+    if (!text.ok()) return text.status();
+    auto parsed = ParseSuppressions(*text, RepoRelative(sup_path, root));
+    if (!parsed.ok()) return parsed.status();
+    suppressions = std::move(parsed).value();
+  }
+
+  LintResult result;
+  result.files_scanned = contexts.size();
+  for (Finding& f : RunRules(contexts, options.determinism_allowlist)) {
+    bool suppressed = false;
+    for (Suppression& sup : suppressions) {
+      if (Matches(sup, f)) {
+        sup.used = true;
+        suppressed = true;
+      }
+    }
+    if (suppressed) {
+      ++result.suppressed;
+    } else {
+      result.findings.push_back(std::move(f));
+    }
+  }
+  for (const Suppression& sup : suppressions) {
+    if (!sup.used) result.unused_suppressions.push_back(sup);
+  }
+  return result;
+}
+
+}  // namespace myrtus::lint

@@ -1,0 +1,58 @@
+// Driver for myrtus_lint: walks the tree, runs the rule engine, applies the
+// checked-in suppression list, and reports `file:line: rule: message` lines
+// with CI-friendly exit semantics (see main.cpp / docs/LINTING.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::lint {
+
+/// One entry of tools/lint/suppressions.txt:
+///   <rule-id> <path[:line]> -- <reason>
+/// A path ending in '*' matches any scanned path with that prefix. The
+/// reason is mandatory — a suppression without a written justification is a
+/// parse error, by design.
+struct Suppression {
+  std::string rule;
+  std::string path_pattern;
+  int line = 0;  // 0 = any line
+  std::string reason;
+  bool used = false;
+};
+
+struct Options {
+  /// All scanned paths are reported relative to this root, so suppressions
+  /// stay stable regardless of where the binary runs.
+  std::string repo_root = ".";
+  /// Empty = use <repo_root>/tools/lint/suppressions.txt when present.
+  std::string suppressions_path;
+  /// Path prefixes where host time is legitimate: bench drivers measure
+  /// wall-clock by design, and the telemetry exporters are the designated
+  /// boundary where host timestamps may enter exported artifacts.
+  std::vector<std::string> determinism_allowlist = {"bench/",
+                                                    "src/telemetry/export."};
+};
+
+struct LintResult {
+  std::vector<Finding> findings;  // unsuppressed only
+  std::size_t files_scanned = 0;
+  std::size_t suppressed = 0;
+  /// Suppressions that matched nothing this run (stale entries; reported as
+  /// warnings, not failures, so allowlist-style entries may stay).
+  std::vector<Suppression> unused_suppressions;
+};
+
+util::StatusOr<std::vector<Suppression>> ParseSuppressions(
+    const std::string& text, const std::string& origin);
+
+/// Walks `paths` (files or directories, relative to Options::repo_root),
+/// lexes every .cpp/.hpp (skipping lint fixture trees), runs all rules, and
+/// filters through the suppression list.
+util::StatusOr<LintResult> LintPaths(const std::vector<std::string>& paths,
+                                     const Options& options);
+
+}  // namespace myrtus::lint

@@ -1,0 +1,59 @@
+// myrtus_lint — project-invariant static analyzer for the MYRTUS tree.
+//
+//   myrtus_lint [--repo-root=DIR] [--suppressions=FILE] <path>...
+//
+// Prints one `file:line: rule-id: message` per unsuppressed finding.
+// Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  myrtus::lint::Options options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--repo-root=", 0) == 0) {
+      options.repo_root = arg.substr(12);
+    } else if (arg.rfind("--suppressions=", 0) == 0) {
+      options.suppressions_path = arg.substr(15);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: myrtus_lint [--repo-root=DIR] [--suppressions=FILE] "
+          "<path>...\n");
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "myrtus_lint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "myrtus_lint: no paths given (try: src tests bench)\n");
+    return 2;
+  }
+
+  auto result = myrtus::lint::LintPaths(paths, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "myrtus_lint: %s\n", result.status().ToString().c_str());
+    return 2;
+  }
+
+  for (const myrtus::lint::Finding& f : result->findings) {
+    std::printf("%s:%d: %s: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  for (const myrtus::lint::Suppression& sup : result->unused_suppressions) {
+    std::fprintf(stderr,
+                 "myrtus_lint: note: suppression matched nothing this run: "
+                 "%s %s (%s)\n",
+                 sup.rule.c_str(), sup.path_pattern.c_str(), sup.reason.c_str());
+  }
+  std::fprintf(stderr, "myrtus_lint: %zu files scanned, %zu finding(s), %zu suppressed\n",
+               result->files_scanned, result->findings.size(),
+               result->suppressed);
+  return result->findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// Rule engine for myrtus_lint. Each rule checks one project invariant the
+// compiler cannot see (see docs/LINTING.md for the rationale and examples):
+//
+//   determinism     — sim-driven code must not read wall clocks, ambient
+//                     randomness, or spawn threads; only util::Rng streams
+//                     and sim::Clock keep chaos timelines byte-reproducible.
+//   layering        — #include "<module>/..." edges must follow the DESIGN
+//                     layer DAG (mirrors src/CMakeLists.txt DEPS).
+//   status-discard  — `(void)` / static_cast<void> discards of calls that
+//                     return util::Status / util::StatusOr must carry a
+//                     `// LINT: discard(<reason>)` justification.
+//   pragma-once     — every header carries `#pragma once`.
+//   hygiene-banned  — strcpy/sprintf/atoi-class functions are banned.
+//
+// Any rule can additionally be waived at a single site with
+// `// LINT: allow(<rule-id>, <reason>)` on the finding line or the line above.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace myrtus::lint {
+
+struct Finding {
+  std::string file;  // repo-relative path
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// One analyzed file: raw text for annotation lookup, stripped "code view"
+/// for token matching. Paths are repo-relative with forward slashes.
+struct FileContext {
+  std::string path;
+  std::string module;  // "util", "net", ... for src/<module>/ files, else ""
+  bool is_header = false;
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;
+};
+
+/// Lexes `source` into a context. `path` must be repo-relative.
+FileContext MakeFileContext(std::string path, const std::string& source);
+
+/// Pass 1 of the Status-discipline rule: names of functions declared to
+/// return util::Status or util::StatusOr anywhere in the scanned set.
+std::set<std::string> CollectStatusReturningFunctions(
+    const std::vector<FileContext>& files);
+
+/// Runs every rule over `files` (two passes: Status registry, then checks).
+/// `determinism_allowlist` holds path prefixes exempt from the determinism
+/// rule — the designated host-time boundaries (bench drivers, exporters).
+/// Findings are ordered by (file, line, rule).
+std::vector<Finding> RunRules(const std::vector<FileContext>& files,
+                              const std::vector<std::string>& determinism_allowlist);
+
+/// True when the finding at `line` (1-based) carries a
+/// `LINT: allow(<rule>` or — for status-discard — `LINT: discard(`
+/// annotation on that raw line or up to three lines above (justification
+/// comments may wrap).
+bool HasSiteAnnotation(const FileContext& file, int line, const std::string& rule);
+
+}  // namespace myrtus::lint
