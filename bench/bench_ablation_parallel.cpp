@@ -1,0 +1,301 @@
+// Experiment A7: deterministic parallel runtime ablation. The fork-join pool
+// (util/parallel) promises two things at once: wall-clock speedup on the
+// DSE / placement / FL hot paths, and byte-identical results at every worker
+// count. This bench measures both — a serial-vs-N-worker speedup table over
+// the three adopted workloads, with an FNV checksum per cell that MUST match
+// the serial baseline. A checksum mismatch is a correctness bug in the
+// determinism contract and fails the run (exit 1), which is how CI guards
+// the contract on real multi-core hardware.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dpe/dse.hpp"
+#include "fl/fedavg.hpp"
+#include "swarm/placement.hpp"
+#include "util/bytes.hpp"
+#include "util/json.hpp"
+#include "util/parallel.hpp"
+#include "util/status.hpp"
+
+using namespace myrtus;
+
+namespace {
+
+bool g_quick = false;
+
+void AppendU64(std::string& buf, std::uint64_t v) {
+  char bytes[sizeof(v)];
+  std::memcpy(bytes, &v, sizeof(v));
+  buf.append(bytes, sizeof(bytes));
+}
+
+void AppendF64(std::string& buf, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(buf, bits);
+}
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// --- Workloads ---------------------------------------------------------------
+// Each returns an FNV-1a checksum over every result byte it produced; the
+// checksum is the determinism witness compared across worker counts.
+
+std::uint64_t RunDseSweep() {
+  dpe::DataflowGraph graph;
+  const std::size_t n_actors = g_quick ? 6 : 9;
+  for (std::size_t a = 0; a < n_actors; ++a) {
+    dpe::Actor actor;
+    actor.name = "a" + std::to_string(a);
+    actor.cycles_per_firing = 1'000'000 + 137'000 * a;
+    actor.state_bytes = 2048;
+    actor.accelerable = (a % 2) == 0;
+    actor.parallel_fraction = 0.1 * static_cast<double>(a % 8);
+    util::MustOk(graph.AddActor(actor));
+  }
+  for (std::size_t a = 0; a + 1 < n_actors; ++a) {
+    util::MustOk(graph.AddChannel(
+        {"a" + std::to_string(a), "a" + std::to_string(a + 1), 1, 1, 4096}));
+  }
+  dpe::KpiEstimator estimator(graph, dpe::HmpsocTargets());
+  auto exhaustive = dpe::ExploreExhaustive(estimator, 2'000'000);
+
+  util::Rng rng(17, "bench.dse");
+  const dpe::DseResult genetic =
+      dpe::ExploreGenetic(estimator, rng, g_quick ? 16 : 48, g_quick ? 6 : 30);
+
+  std::string buf;
+  if (exhaustive.ok()) {
+    AppendU64(buf, static_cast<std::uint64_t>(exhaustive->evaluated));
+    for (const dpe::ParetoPoint& p : exhaustive->front) {
+      for (const int d : p.config.actor_to_device) {
+        AppendU64(buf, static_cast<std::uint64_t>(d));
+      }
+      AppendF64(buf, p.kpi.latency_s);
+      AppendF64(buf, p.kpi.energy_mj);
+    }
+  }
+  AppendU64(buf, static_cast<std::uint64_t>(genetic.evaluated));
+  for (const dpe::ParetoPoint& p : genetic.front) {
+    AppendF64(buf, p.kpi.latency_s);
+    AppendF64(buf, p.kpi.energy_mj);
+  }
+  return util::Fnv1a64(buf);
+}
+
+std::uint64_t RunPlacementSolvers() {
+  swarm::PlacementProblem problem;
+  const std::size_t n_tasks = g_quick ? 24 : 64;
+  const std::size_t n_nodes = g_quick ? 12 : 24;
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    swarm::PlacementTask task;
+    task.cpu = 0.25 + 0.05 * static_cast<double>(t % 7);
+    task.mem_mb = 64 + 16 * static_cast<double>(t % 5);
+    task.traffic_kbps = 10.0 * static_cast<double>(1 + t % 9);
+    task.min_security = static_cast<int>(t % 3);
+    task.needs_accelerator = (t % 11) == 0;
+    problem.tasks.push_back(task);
+  }
+  for (std::size_t n = 0; n < n_nodes; ++n) {
+    swarm::PlacementNode node;
+    node.cpu_capacity = 4.0 + static_cast<double>(n % 3);
+    node.mem_capacity_mb = 2048;
+    node.power_mw_per_cpu = 300.0 + 100.0 * static_cast<double>(n % 4);
+    node.latency_to_consumer_ms = 1.0 + static_cast<double>(n % 6);
+    node.security_level = static_cast<int>(n % 4);
+    node.has_accelerator = (n % 5) == 0;
+    problem.nodes.push_back(node);
+  }
+
+  const swarm::PlacementSolution greedy = swarm::SolveGreedy(problem);
+  util::Rng rng(29, "bench.placement");
+  const swarm::PlacementSolution aco = swarm::SolveAco(
+      problem, rng, g_quick ? 8 : 24, g_quick ? 6 : 20, 0.35);
+
+  std::string buf;
+  for (const int a : greedy.assignment) {
+    AppendU64(buf, static_cast<std::uint64_t>(a));
+  }
+  AppendF64(buf, greedy.cost);
+  for (const int a : aco.assignment) {
+    AppendU64(buf, static_cast<std::uint64_t>(a));
+  }
+  AppendF64(buf, aco.cost);
+  return util::Fnv1a64(buf);
+}
+
+std::uint64_t RunFederatedRounds() {
+  const std::size_t features = 8;
+  const std::size_t clients = g_quick ? 6 : 12;
+  util::Rng data_rng(41, "bench.fl.data");
+  fl::Dataset data;
+  for (int i = 0; i < (g_quick ? 600 : 2400); ++i) {
+    fl::Example ex;
+    ex.features.resize(features);
+    double score = 0.0;
+    for (std::size_t f = 0; f < features; ++f) {
+      ex.features[f] = data_rng.Uniform(-1.0, 1.0);
+      score += (f % 2 == 0 ? 1.0 : -0.5) * ex.features[f];
+    }
+    ex.label = score > 0 ? 1.0 : 0.0;
+    data.push_back(std::move(ex));
+  }
+  std::vector<fl::Dataset> split =
+      fl::NonIidSplit(std::move(data), clients, data_rng);
+
+  fl::FederatedTrainer trainer(std::move(split), features,
+                               fl::LinearModel::Link::kLogistic, 57);
+  fl::FederatedConfig config;
+  config.rounds = g_quick ? 4 : 16;
+  config.local_epochs = 2;
+  const fl::LinearModel global = trainer.Train(config);
+
+  std::string buf;
+  for (const double p : global.Parameters()) AppendF64(buf, p);
+  return util::Fnv1a64(buf);
+}
+
+struct Workload {
+  const char* name;
+  std::uint64_t (*run)();
+};
+
+constexpr Workload kWorkloads[] = {
+    {"dse_sweep", RunDseSweep},
+    {"placement", RunPlacementSolvers},
+    {"fedavg", RunFederatedRounds},
+};
+
+/// Runs the ablation: every workload at workers {1, 2, 4, 8}, timing each
+/// cell and checking its checksum against the serial baseline. Returns false
+/// on any checksum mismatch.
+bool RunAblation(const std::string& out_path) {
+  std::printf(
+      "=== A7: deterministic parallel runtime — serial vs pooled "
+      "(%s mode) ===\n",
+      g_quick ? "quick" : "full");
+  std::printf("%-10s | %-8s | %-10s | %-8s | %-18s | %s\n", "workload",
+              "workers", "time (ms)", "speedup", "checksum", "match");
+
+  util::Json rows = util::Json::MakeArray();
+  bool all_match = true;
+  for (const Workload& w : kWorkloads) {
+    util::SetParallelWorkers(1);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t baseline = w.run();
+    const double serial_ms = MillisSince(t0);
+    std::printf("%-10s | %-8d | %-10.2f | %-8s | 0x%016llx | %s\n", w.name, 1,
+                serial_ms, "1.00",
+                static_cast<unsigned long long>(baseline), "ref");
+    rows.Append(util::Json::MakeObject()
+                    .Set("workload", w.name)
+                    .Set("workers", 1)
+                    .Set("time_ms", serial_ms)
+                    .Set("speedup", 1.0)
+                    .Set("checksum_matches", true));
+
+    for (const int workers : {2, 4, 8}) {
+      util::SetParallelWorkers(workers);
+      const auto t1 = std::chrono::steady_clock::now();
+      const std::uint64_t checksum = w.run();
+      const double ms = MillisSince(t1);
+      const bool match = checksum == baseline;
+      all_match = all_match && match;
+      const double speedup = ms > 0 ? serial_ms / ms : 0.0;
+      std::printf("%-10s | %-8d | %-10.2f | %-8.2f | 0x%016llx | %s\n", w.name,
+                  workers, ms, speedup,
+                  static_cast<unsigned long long>(checksum),
+                  match ? "yes" : "MISMATCH");
+      rows.Append(util::Json::MakeObject()
+                      .Set("workload", w.name)
+                      .Set("workers", workers)
+                      .Set("time_ms", ms)
+                      .Set("speedup", speedup)
+                      .Set("checksum_matches", match));
+    }
+  }
+  util::SetParallelWorkers(1);
+
+  const util::ParallelPoolStats stats = util::ParallelStats();
+  util::Json doc =
+      util::Json::MakeObject()
+          .Set("experiment", "A7_parallel_ablation")
+          .Set("mode", g_quick ? "quick" : "full")
+          .Set("rows", std::move(rows))
+          .Set("all_checksums_match", all_match)
+          .Set("pool",
+               util::Json::MakeObject()
+                   .Set("regions", stats.regions)
+                   .Set("pooled_regions", stats.pooled_regions)
+                   .Set("shards", stats.shards)
+                   .Set("items", stats.items));
+  std::ofstream out(out_path);
+  out << doc.Dump() << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!all_match) {
+    std::printf(
+        "FATAL: checksum mismatch — pooled execution diverged from the "
+        "serial baseline; the determinism contract is broken\n");
+  }
+  return all_match;
+}
+
+// --- Microbenchmarks ---------------------------------------------------------
+
+void BM_ParallelReduceSerial(benchmark::State& state) {
+  util::SetParallelWorkers(1);
+  for (auto _ : state) {
+    const double sum = util::ParallelReduce<double>(
+        100'000, 0.0,
+        [](std::size_t i) { return 1.0 / (1.0 + static_cast<double>(i)); },
+        [](double a, double b) { return a + b; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ParallelReduceSerial);
+
+void BM_ParallelReducePooled(benchmark::State& state) {
+  util::SetParallelWorkers(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const double sum = util::ParallelReduce<double>(
+        100'000, 0.0,
+        [](std::size_t i) { return 1.0 / (1.0 + static_cast<double>(i)); },
+        [](double a, double b) { return a + b; });
+    benchmark::DoNotOptimize(sum);
+  }
+  util::SetParallelWorkers(1);
+}
+BENCHMARK(BM_ParallelReducePooled)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_parallel.json";
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg == "--quick") {
+      g_quick = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  const bool ok = RunAblation(out_path);
+  if (!ok) return 1;  // CI gate: determinism contract violation
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

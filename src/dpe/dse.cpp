@@ -4,6 +4,9 @@
 #include <cmath>
 #include <functional>
 #include <limits>
+#include <utility>
+
+#include "util/parallel.hpp"
 
 namespace myrtus::dpe {
 
@@ -14,6 +17,67 @@ KpiEstimator::KpiEstimator(const DataflowGraph& graph,
     repetitions_ = std::move(q).value();
   } else {
     repetitions_.assign(graph_.actors().size(), 1);
+  }
+
+  // Precompute the per-(actor, device, operating point) execution estimates
+  // the sweep's inner loop used to recompute for every configuration. Rows
+  // are laid out per device-point (point_offset_[d] + p), columns per actor.
+  const auto& actors = graph_.actors();
+  const std::size_t n_actors = actors.size();
+  const std::size_t n_devices = targets_.size();
+  point_offset_.resize(n_devices);
+  std::size_t total_points = 0;
+  for (std::size_t d = 0; d < n_devices; ++d) {
+    point_offset_[d] = total_points;
+    total_points += targets_[d].device.operating_points().size();
+  }
+  point_latency_s_.resize(total_points * n_actors);
+  point_energy_mj_.resize(total_points * n_actors);
+  infeasible_.assign(n_devices * n_actors, 0);
+  for (std::size_t d = 0; d < n_devices; ++d) {
+    const TargetDevice& target = targets_[d];
+    const auto& points = target.device.operating_points();
+    for (std::size_t a = 0; a < n_actors; ++a) {
+      continuum::TaskDemand demand;
+      demand.cycles = actors[a].cycles_per_firing * repetitions_[a];
+      demand.parallel_fraction = actors[a].parallel_fraction;
+      demand.accelerable = actors[a].accelerable;
+      for (std::size_t p = 0; p < points.size(); ++p) {
+        const continuum::ExecutionEstimate est =
+            target.device.EstimateAt(demand, points[p]);
+        const std::size_t row = (point_offset_[d] + p) * n_actors + a;
+        point_latency_s_[row] = est.latency.ToSecondsF();
+        point_energy_mj_[row] = est.energy_mj;
+      }
+      // Non-accelerable actors mapped to a pure fabric device are infeasible
+      // in the MDC flow (the fabric runs only synthesized kernels).
+      if (!actors[a].accelerable &&
+          target.device.kind() == continuum::DeviceKind::kFpgaAccelerator) {
+        infeasible_[d * n_actors + a] = 1;
+      }
+    }
+  }
+
+  // Channel endpoints resolve actor names once (ActorIndex is a string
+  // lookup), and the producer-side transfer cost is precomputed per device.
+  channel_spans_.reserve(graph_.channels().size());
+  channel_xfer_s_.resize(graph_.channels().size() * n_devices);
+  for (std::size_t c = 0; c < graph_.channels().size(); ++c) {
+    const Channel& ch = graph_.channels()[c];
+    ChannelSpan span;
+    span.from = graph_.ActorIndex(ch.from);
+    span.to = graph_.ActorIndex(ch.to);
+    const std::uint64_t bytes = repetitions_[span.from] *
+                                static_cast<std::uint64_t>(ch.produce) *
+                                ch.token_bytes;
+    // Interconnect energy at a flat 100 pJ/byte, expressed in mJ.
+    span.energy_mj = static_cast<double>(bytes) * 100e-12 * 1e3;
+    channel_spans_.push_back(span);
+    for (std::size_t d = 0; d < n_devices; ++d) {
+      channel_xfer_s_[c * n_devices + d] =
+          targets_[d].interconnect_latency_s +
+          static_cast<double>(bytes) / targets_[d].interconnect_bw_bps;
+    }
   }
 }
 
@@ -35,52 +99,37 @@ util::StatusOr<KpiEstimate> KpiEstimator::Estimate(
   }
 
   KpiEstimate kpi;
-  std::vector<double> device_busy_s(targets_.size(), 0.0);
+  const std::size_t n_actors = actors.size();
+  const std::size_t n_devices = targets_.size();
+  std::vector<double> device_busy_s(n_devices, 0.0);
 
-  for (std::size_t a = 0; a < actors.size(); ++a) {
+  // Pure table walk: the estimates themselves were computed once in the
+  // constructor. Accumulation order matches the unhoisted code (actors in
+  // index order, then channels), so results are bit-identical.
+  for (std::size_t a = 0; a < n_actors; ++a) {
     const int di = config.actor_to_device[a];
-    if (di < 0 || static_cast<std::size_t>(di) >= targets_.size()) {
+    if (di < 0 || static_cast<std::size_t>(di) >= n_devices) {
       return util::Status::InvalidArgument("device index out of range");
     }
-    const TargetDevice& target = targets_[static_cast<std::size_t>(di)];
-    const int pi = config.operating_point[static_cast<std::size_t>(di)];
-    if (pi < 0 || static_cast<std::size_t>(pi) >=
-                      target.device.operating_points().size()) {
-      return util::Status::InvalidArgument("operating point out of range");
-    }
-    continuum::TaskDemand demand;
-    demand.cycles = actors[a].cycles_per_firing * repetitions_[a];
-    demand.parallel_fraction = actors[a].parallel_fraction;
-    demand.accelerable = actors[a].accelerable;
-    const continuum::ExecutionEstimate est = target.device.EstimateAt(
-        demand, target.device.operating_points()[static_cast<std::size_t>(pi)]);
-    device_busy_s[static_cast<std::size_t>(di)] += est.latency.ToSecondsF();
-    kpi.energy_mj += est.energy_mj;
-
-    // Non-accelerable actors mapped to a pure fabric device are infeasible
-    // in the MDC flow (the fabric runs only synthesized kernels).
-    if (!actors[a].accelerable &&
-        target.device.kind() == continuum::DeviceKind::kFpgaAccelerator) {
-      kpi.feasible = false;
-    }
+    const std::size_t d = static_cast<std::size_t>(di);
+    const std::size_t p =
+        static_cast<std::size_t>(config.operating_point[d]);  // validated above
+    const std::size_t row = (point_offset_[d] + p) * n_actors + a;
+    device_busy_s[d] += point_latency_s_[row];
+    kpi.energy_mj += point_energy_mj_[row];
+    if (infeasible_[d * n_actors + a] != 0) kpi.feasible = false;
   }
 
-  // Inter-device transfers.
-  for (const Channel& ch : graph_.channels()) {
-    const std::size_t a = graph_.ActorIndex(ch.from);
-    const std::size_t b = graph_.ActorIndex(ch.to);
-    const int da = config.actor_to_device[a];
-    const int db = config.actor_to_device[b];
+  // Inter-device transfers serialize on the producing device's timeline
+  // (DMA model) and cost flat interconnect energy.
+  for (std::size_t c = 0; c < channel_spans_.size(); ++c) {
+    const ChannelSpan& span = channel_spans_[c];
+    const int da = config.actor_to_device[span.from];
+    const int db = config.actor_to_device[span.to];
     if (da == db) continue;
-    const std::uint64_t bytes =
-        repetitions_[a] * static_cast<std::uint64_t>(ch.produce) * ch.token_bytes;
-    const TargetDevice& src = targets_[static_cast<std::size_t>(da)];
-    const double xfer = src.interconnect_latency_s +
-                        static_cast<double>(bytes) / src.interconnect_bw_bps;
-    // Transfers serialize on the producing device's timeline (DMA model) and
-    // cost interconnect energy at a flat 100 pJ/byte.
-    device_busy_s[static_cast<std::size_t>(da)] += xfer;
-    kpi.energy_mj += static_cast<double>(bytes) * 100e-12 * 1e3;
+    const std::size_t d = static_cast<std::size_t>(da);
+    device_busy_s[d] += channel_xfer_s_[c * n_devices + d];
+    kpi.energy_mj += span.energy_mj;
   }
 
   double makespan = 0.0;
@@ -123,37 +172,57 @@ util::StatusOr<DseResult> ExploreExhaustive(const KpiEstimator& estimator,
     return util::Status::InvalidArgument("DSE space too large for exhaustive");
   }
 
-  DseResult result;
-  std::vector<ParetoPoint> all;
-  Configuration config;
-  config.actor_to_device.assign(actors, 0);
-  config.operating_point.assign(devices, 0);
+  // Flattened mixed-radix enumeration replacing the old nested recursion:
+  // state index i decodes to digits (a0 .. a_{n-1}, p0 .. p_{m-1}) with actor
+  // 0 most significant and the last device's operating point fastest-varying
+  // — exactly the order the recursive enumerator visited. A flat index space
+  // shards trivially for ParallelFor, and commit in shard-index order keeps
+  // the point list byte-identical to the serial sweep.
+  std::vector<std::size_t> radix;
+  radix.reserve(actors + devices);
+  for (std::size_t a = 0; a < actors; ++a) radix.push_back(devices);
+  for (const TargetDevice& t : estimator.targets()) {
+    radix.push_back(t.device.operating_points().size());
+  }
+  std::size_t total = 1;
+  for (const std::size_t r : radix) total *= r;  // <= max_states, no overflow
 
-  const std::function<void(std::size_t)> enum_points = [&](std::size_t d) {
-    if (d == devices) {
+  const auto decode = [&](std::size_t idx, Configuration& config) {
+    for (std::size_t pos = radix.size(); pos-- > 0;) {
+      const std::size_t digit = idx % radix[pos];
+      idx /= radix[pos];
+      if (pos < actors) {
+        config.actor_to_device[pos] = static_cast<int>(digit);
+      } else {
+        config.operating_point[pos - actors] = static_cast<int>(digit);
+      }
+    }
+  };
+
+  DseResult result;
+  const std::size_t shards = util::ParallelShardCount(total);
+  std::vector<std::vector<ParetoPoint>> shard_points(shards);
+  std::vector<int> shard_evaluated(shards, 0);
+  util::ParallelFor(total, [&](const util::Shard& shard) {
+    Configuration config;
+    config.actor_to_device.assign(actors, 0);
+    config.operating_point.assign(devices, 0);
+    std::vector<ParetoPoint>& out = shard_points[shard.index];
+    out.reserve(shard.end - shard.begin);
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      decode(i, config);
       auto kpi = estimator.Estimate(config);
-      ++result.evaluated;
-      if (kpi.ok()) all.push_back(ParetoPoint{config, *kpi});
-      return;
+      ++shard_evaluated[shard.index];
+      if (kpi.ok()) out.push_back(ParetoPoint{config, *kpi});
     }
-    const std::size_t npoints =
-        estimator.targets()[d].device.operating_points().size();
-    for (std::size_t p = 0; p < npoints; ++p) {
-      config.operating_point[d] = static_cast<int>(p);
-      enum_points(d + 1);
-    }
-  };
-  const std::function<void(std::size_t)> enum_mapping = [&](std::size_t a) {
-    if (a == actors) {
-      enum_points(0);
-      return;
-    }
-    for (std::size_t d = 0; d < devices; ++d) {
-      config.actor_to_device[a] = static_cast<int>(d);
-      enum_mapping(a + 1);
-    }
-  };
-  enum_mapping(0);
+  });
+
+  std::vector<ParetoPoint> all;
+  all.reserve(total);
+  for (std::size_t s = 0; s < shards; ++s) {
+    result.evaluated += shard_evaluated[s];
+    for (ParetoPoint& p : shard_points[s]) all.push_back(std::move(p));
+  }
   result.front = ParetoFilter(std::move(all));
   return result;
 }
@@ -177,14 +246,34 @@ DseResult ExploreGenetic(const KpiEstimator& estimator, util::Rng& rng,
     return c;
   };
 
+  // Parallel decomposition that preserves the serial RNG stream: all random
+  // draws happen serially (config generation below consumes `rng` in exactly
+  // the order the sequential algorithm did); only the RNG-free KPI
+  // evaluations fan out, committed back in item order. Result: bit-identical
+  // fronts at any worker count.
+  struct Evaluated {
+    KpiEstimate kpi;
+    bool ok = false;
+  };
+  const auto evaluate_all = [&](const std::vector<Configuration>& configs) {
+    return util::ParallelMap<Evaluated>(configs.size(), [&](std::size_t i) {
+      auto kpi = estimator.Estimate(configs[i]);
+      return kpi.ok() ? Evaluated{*kpi, true} : Evaluated{};
+    });
+  };
+
   DseResult result;
   std::vector<ParetoPoint> archive;
   std::vector<ParetoPoint> current;
-  for (int i = 0; i < population; ++i) {
-    Configuration c = random_config();
-    auto kpi = estimator.Estimate(c);
+  std::vector<Configuration> seeds;
+  seeds.reserve(static_cast<std::size_t>(population));
+  for (int i = 0; i < population; ++i) seeds.push_back(random_config());
+  std::vector<Evaluated> evaluated = evaluate_all(seeds);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
     ++result.evaluated;
-    if (kpi.ok()) current.push_back(ParetoPoint{std::move(c), *kpi});
+    if (evaluated[i].ok) {
+      current.push_back(ParetoPoint{std::move(seeds[i]), evaluated[i].kpi});
+    }
   }
 
   // Scalarized tournament with rotating weights drives diversity along the
@@ -207,8 +296,14 @@ DseResult ExploreGenetic(const KpiEstimator& estimator, util::Rng& rng,
       return *best;
     };
 
-    std::vector<ParetoPoint> next;
-    while (next.size() < static_cast<std::size_t>(population)) {
+    // Children are bred serially (every rng draw in sequential order), then
+    // evaluated as one parallel batch. Breeding always yields structurally
+    // valid configs, so every child evaluates ok and one batch fills the
+    // generation — the rng never needs the "retry on invalid" draws the
+    // serial loop allowed for.
+    std::vector<Configuration> children;
+    children.reserve(static_cast<std::size_t>(population));
+    while (children.size() < static_cast<std::size_t>(population)) {
       const ParetoPoint& a = pick();
       const ParetoPoint& b = pick();
       Configuration child;
@@ -231,9 +326,16 @@ DseResult ExploreGenetic(const KpiEstimator& estimator, util::Rng& rng,
               estimator.targets()[d].device.operating_points().size()));
         }
       }
-      auto kpi = estimator.Estimate(child);
+      children.push_back(std::move(child));
+    }
+    evaluated = evaluate_all(children);
+    std::vector<ParetoPoint> next;
+    next.reserve(children.size());
+    for (std::size_t i = 0; i < children.size(); ++i) {
       ++result.evaluated;
-      if (kpi.ok()) next.push_back(ParetoPoint{std::move(child), *kpi});
+      if (evaluated[i].ok) {
+        next.push_back(ParetoPoint{std::move(children[i]), evaluated[i].kpi});
+      }
     }
     current = std::move(next);
   }

@@ -54,6 +54,25 @@ class KpiEstimator {
   const DataflowGraph& graph_;
   std::vector<TargetDevice> targets_;
   std::vector<std::uint64_t> repetitions_;
+
+  // Invariant lookups hoisted out of the per-configuration hot loop: every
+  // (actor, device, operating point) execution estimate, per-actor
+  // feasibility, and per-channel endpoint indices / transfer costs are pure
+  // functions of (graph, targets), so they are computed once here and the
+  // sweep's Estimate() calls reduce to table reads. Estimate() must add the
+  // same doubles in the same order as the unhoisted code did — the tables
+  // hold exactly the values the old inner calls produced.
+  struct ChannelSpan {
+    std::size_t from = 0;          // producer actor index (was a name lookup)
+    std::size_t to = 0;            // consumer actor index
+    double energy_mj = 0.0;        // interconnect energy if devices differ
+  };
+  std::vector<std::size_t> point_offset_;  // device d's first row in tables
+  std::vector<double> point_latency_s_;    // [(point_offset_[d]+p)*actors + a]
+  std::vector<double> point_energy_mj_;    // same layout
+  std::vector<char> infeasible_;           // [d*actors + a]
+  std::vector<ChannelSpan> channel_spans_;
+  std::vector<double> channel_xfer_s_;     // [c*devices + producing device]
 };
 
 /// A Pareto-optimal design point.

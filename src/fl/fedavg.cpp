@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/parallel.hpp"
+
 namespace myrtus::fl {
 
 FederatedTrainer::FederatedTrainer(std::vector<Dataset> client_data,
@@ -11,6 +13,7 @@ FederatedTrainer::FederatedTrainer(std::vector<Dataset> client_data,
     : client_data_(std::move(client_data)),
       features_(features),
       link_(link),
+      seed_(seed),
       rng_(seed, "fedavg") {}
 
 LinearModel FederatedTrainer::Train(const FederatedConfig& config,
@@ -34,21 +37,39 @@ LinearModel FederatedTrainer::Train(const FederatedConfig& config,
       participants.push_back(rng_.NextBounded(client_data_.size()));
     }
 
-    // Local training.
+    // Local training: the federated rounds' dominant cost, and exactly the
+    // part that is client-independent — each client starts from the same
+    // global parameters and sees only its private shard. Clients train in
+    // parallel on their own RNG substream (seed, round, client), so the
+    // update a client computes is independent of worker count and of which
+    // other clients participated; the weighted aggregation then folds
+    // serially in participant order.
+    const std::size_t n_clients = client_data_.size();
+    const std::vector<std::vector<double>> updates =
+        util::ParallelMap<std::vector<double>>(
+            participants.size(), [&](std::size_t p) {
+              const std::size_t c = participants[p];
+              util::Rng local_rng(
+                  seed_, "fedavg.client",
+                  static_cast<std::uint64_t>(round) * n_clients + c);
+              LinearModel local(features_, link_);
+              local.SetParameters(global_params);
+              for (int e = 0; e < config.local_epochs; ++e) {
+                local.TrainEpoch(client_data_[c], config.learning_rate,
+                                 local_rng, config.l2,
+                                 config.prox_mu > 0 ? &global_params : nullptr,
+                                 config.prox_mu);
+              }
+              return local.Parameters();
+            });
+
     std::vector<double> aggregate(features_ + 1, 0.0);
     double total_weight = 0.0;
-    for (const std::size_t c : participants) {
-      LinearModel local(features_, link_);
-      local.SetParameters(global_params);
-      for (int e = 0; e < config.local_epochs; ++e) {
-        local.TrainEpoch(client_data_[c], config.learning_rate, rng_, config.l2,
-                         config.prox_mu > 0 ? &global_params : nullptr,
-                         config.prox_mu);
-      }
+    for (std::size_t p = 0; p < participants.size(); ++p) {
+      const std::size_t c = participants[p];
       const double weight = static_cast<double>(client_data_[c].size());
-      const std::vector<double> params = local.Parameters();
       for (std::size_t i = 0; i < aggregate.size(); ++i) {
-        aggregate[i] += weight * params[i];
+        aggregate[i] += weight * updates[p][i];
       }
       total_weight += weight;
       if (metrics != nullptr) {
@@ -71,13 +92,23 @@ LinearModel FederatedTrainer::Train(const FederatedConfig& config,
 
 std::vector<LinearModel> FederatedTrainer::TrainLocalOnly(int epochs,
                                                           double learning_rate) {
+  // Isolated baselines by definition: one substream per client, trained in
+  // parallel. Slot c of the result is always client c's model.
+  const std::vector<std::vector<double>> params =
+      util::ParallelMap<std::vector<double>>(
+          client_data_.size(), [&](std::size_t c) {
+            util::Rng local_rng(seed_, "fedavg.local", c);
+            LinearModel local(features_, link_);
+            for (int e = 0; e < epochs; ++e) {
+              local.TrainEpoch(client_data_[c], learning_rate, local_rng);
+            }
+            return local.Parameters();
+          });
   std::vector<LinearModel> models;
-  models.reserve(client_data_.size());
-  for (const Dataset& data : client_data_) {
+  models.reserve(params.size());
+  for (const std::vector<double>& p : params) {
     LinearModel local(features_, link_);
-    for (int e = 0; e < epochs; ++e) {
-      local.TrainEpoch(data, learning_rate, rng_);
-    }
+    local.SetParameters(p);
     models.push_back(std::move(local));
   }
   return models;

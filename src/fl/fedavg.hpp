@@ -65,6 +65,12 @@ class FederatedTrainer {
   std::vector<Dataset> client_data_;
   std::size_t features_;
   LinearModel::Link link_;
+  /// Root seed for the trainer's RNG streams. Client sampling draws from
+  /// rng_; each client's local-training epochs draw from their own
+  /// (seed, stream, round * clients + client) substream so client updates
+  /// can run in parallel without any shared RNG state — the update a client
+  /// computes depends only on (seed, round, client), never on worker count.
+  std::uint64_t seed_;
   util::Rng rng_;
 };
 

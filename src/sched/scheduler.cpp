@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "telemetry/telemetry.hpp"
+#include "util/parallel.hpp"
 
 namespace myrtus::sched {
 
@@ -194,27 +195,45 @@ util::StatusOr<ScheduleResult> Scheduler::Schedule(
   double best_score = -1.0;
   const NodeState* best = nullptr;
 
-  for (const NodeState* n : nodes) {
-    bool feasible = true;
-    for (const FilterFn& filter : filters_) {
-      if (auto reason = filter(pod, *n)) {
-        result.rejections.emplace_back(n->node->id(), *reason);
-        feasible = false;
-        break;
-      }
-    }
-    if (!feasible) continue;
-
+  // Filter + score every node in parallel (plugins only read pod/node state),
+  // then fold the verdicts serially in node order. The fold reproduces the
+  // sequential semantics exactly: rejections list nodes in input order with
+  // the *first* failing filter's reason, and the winner is the first node
+  // whose score strictly beats all earlier ones.
+  struct NodeVerdict {
     double score = 0.0;
-    double total_weight = 0.0;
-    for (const ScorePlugin& plugin : scorers_) {
-      score += plugin.weight * plugin.fn(pod, *n);
-      total_weight += plugin.weight;
+    bool feasible = false;
+    std::string rejection;
+  };
+  const std::vector<NodeVerdict> verdicts =
+      util::ParallelMap<NodeVerdict>(nodes.size(), [&](std::size_t i) {
+        const NodeState& n = *nodes[i];
+        NodeVerdict v;
+        for (const FilterFn& filter : filters_) {
+          if (auto reason = filter(pod, n)) {
+            v.rejection = std::move(*reason);
+            return v;
+          }
+        }
+        v.feasible = true;
+        double score = 0.0;
+        double total_weight = 0.0;
+        for (const ScorePlugin& plugin : scorers_) {
+          score += plugin.weight * plugin.fn(pod, n);
+          total_weight += plugin.weight;
+        }
+        v.score = total_weight > 0 ? score / total_weight : score;
+        return v;
+      });
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const NodeVerdict& v = verdicts[i];
+    if (!v.feasible) {
+      result.rejections.emplace_back(nodes[i]->node->id(), v.rejection);
+      continue;
     }
-    if (total_weight > 0) score /= total_weight;
-    if (score > best_score) {
-      best_score = score;
-      best = n;
+    if (v.score > best_score) {
+      best_score = v.score;
+      best = nodes[i];
     }
   }
 

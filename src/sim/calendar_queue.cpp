@@ -1,0 +1,116 @@
+#include "sim/calendar_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace myrtus::sim {
+namespace {
+
+constexpr std::size_t kMinBuckets = 8;  // power of two, as all sizes are
+
+/// Floor division for possibly-negative timestamps (b > 0).
+std::int64_t FloorDiv(std::int64_t a, std::int64_t b) {
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+
+}  // namespace
+
+CalendarQueue::CalendarQueue() : buckets_(kMinBuckets) {}
+
+std::size_t CalendarQueue::BucketIndex(std::int64_t at_ns) const {
+  // Power-of-two bucket count: masking the (floored) day number is the ring
+  // modulo, correct for negative days in two's complement.
+  return static_cast<std::size_t>(FloorDiv(at_ns, width_ns_)) &
+         (buckets_.size() - 1);
+}
+
+void CalendarQueue::SeekTo(std::int64_t at_ns) {
+  const std::int64_t day = FloorDiv(at_ns, width_ns_);
+  cursor_ = static_cast<std::size_t>(day) & (buckets_.size() - 1);
+  cursor_top_ns_ = (day + 1) * width_ns_;
+}
+
+void CalendarQueue::Push(QueuedEvent event) {
+  if (size_ + 1 > buckets_.size() * 2) Resize(buckets_.size() * 2);
+  if (size_ == 0 || event.at_ns < cursor_top_ns_ - width_ns_) {
+    // Event lands before the current search window: reposition so the next
+    // PopMin starts its day scan at (or before) this event. Moving the
+    // window earlier preserves the invariant "no queued event precedes the
+    // window start", which is what makes the forward day scan globally
+    // minimal.
+    SeekTo(event.at_ns);
+  }
+  buckets_[BucketIndex(event.at_ns)].push_back(std::move(event));
+  ++size_;
+}
+
+bool CalendarQueue::PopMin(QueuedEvent& out) {
+  if (size_ == 0) return false;
+  const std::size_t nbuckets = buckets_.size();
+  for (std::size_t hops = 0; hops < nbuckets; ++hops) {
+    std::vector<QueuedEvent>& bucket = buckets_[cursor_];
+    std::size_t best = bucket.size();
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      // Only events inside the current day window [top - width, top) belong
+      // to this visit; later "years" hash to the same bucket but sort after
+      // every event the remaining day scan can still produce.
+      if (bucket[i].at_ns >= cursor_top_ns_) continue;
+      if (best == bucket.size() || Before(bucket[i], bucket[best])) best = i;
+    }
+    if (best != bucket.size()) {
+      out = std::move(bucket[best]);
+      bucket[best] = std::move(bucket.back());
+      bucket.pop_back();
+      --size_;
+      if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 2) {
+        Resize(buckets_.size() / 2);
+      }
+      return true;
+    }
+    cursor_ = (cursor_ + 1) & (nbuckets - 1);
+    cursor_top_ns_ += width_ns_;
+  }
+
+  // A full year produced nothing: the next event is more than
+  // nbuckets * width away. Find it directly and jump the calendar there.
+  const QueuedEvent* min_event = nullptr;
+  for (const std::vector<QueuedEvent>& bucket : buckets_) {
+    for (const QueuedEvent& e : bucket) {
+      if (min_event == nullptr || Before(e, *min_event)) min_event = &e;
+    }
+  }
+  SeekTo(min_event->at_ns);
+  return PopMin(out);  // recursion depth 1: the seeked window now hits
+}
+
+void CalendarQueue::Resize(std::size_t nbuckets) {
+  std::vector<QueuedEvent> events;
+  events.reserve(size_);
+  for (std::vector<QueuedEvent>& bucket : buckets_) {
+    for (QueuedEvent& e : bucket) events.push_back(std::move(e));
+    bucket.clear();
+  }
+  buckets_.assign(nbuckets, {});
+
+  // Width from the live population's span: aims at ~1 event per day bucket.
+  // Deterministic (a pure function of the queued set) and recomputed on
+  // every resize, so the calendar tracks the simulation's event density.
+  if (!events.empty()) {
+    std::int64_t lo = events.front().at_ns;
+    std::int64_t hi = lo;
+    for (const QueuedEvent& e : events) {
+      lo = std::min(lo, e.at_ns);
+      hi = std::max(hi, e.at_ns);
+    }
+    width_ns_ = (hi - lo) / static_cast<std::int64_t>(events.size()) + 1;
+    SeekTo(lo);
+    for (QueuedEvent& e : events) {
+      buckets_[BucketIndex(e.at_ns)].push_back(std::move(e));
+    }
+  } else {
+    cursor_ = 0;  // keep the cursor in range of the new, smaller ring
+    cursor_top_ns_ = width_ns_;
+  }
+}
+
+}  // namespace myrtus::sim

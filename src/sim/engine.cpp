@@ -7,8 +7,7 @@ namespace myrtus::sim {
 EventHandle Engine::ScheduleAt(SimTime when, Callback cb) {
   if (when < now_) when = now_;
   const std::uint64_t id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id, std::move(cb)});
-  ++live_events_;
+  queue_.Push(QueuedEvent{when.ns, next_seq_++, id, std::move(cb)});
   return EventHandle{id};
 }
 
@@ -22,8 +21,8 @@ EventHandle Engine::SchedulePeriodic(SimTime period, Callback cb) {
   if (period.ns <= 0) period = SimTime::Nanos(1);
   const std::uint64_t id = next_id_++;
   periodic_.emplace(id, PeriodicTask{period, std::move(cb)});
-  queue_.push(Event{now_ + period, next_seq_++, id, [this, id] { FirePeriodic(id); }});
-  ++live_events_;
+  queue_.Push(QueuedEvent{(now_ + period).ns, next_seq_++, id,
+                          [this, id] { FirePeriodic(id); }});
   return EventHandle{id};
 }
 
@@ -34,9 +33,8 @@ void Engine::FirePeriodic(std::uint64_t id) {
   // The callback itself may have cancelled the series.
   const auto again = periodic_.find(id);
   if (again == periodic_.end()) return;
-  queue_.push(Event{now_ + again->second.period, next_seq_++, id,
-                    [this, id] { FirePeriodic(id); }});
-  ++live_events_;
+  queue_.Push(QueuedEvent{(now_ + again->second.period).ns, next_seq_++, id,
+                          [this, id] { FirePeriodic(id); }});
 }
 
 void Engine::Cancel(EventHandle h) {
@@ -48,13 +46,8 @@ void Engine::Cancel(EventHandle h) {
   cancelled_.insert(h.id_);
 }
 
-bool Engine::PopNext(Event& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top returns const&; we must copy-then-pop. Events are
-    // small (a std::function), acceptable for a control-plane simulator.
-    out = queue_.top();
-    queue_.pop();
-    --live_events_;
+bool Engine::PopNext(QueuedEvent& out) {
+  while (queue_.PopMin(out)) {
     const auto it = cancelled_.find(out.id);
     if (it != cancelled_.end()) {
       cancelled_.erase(it);
@@ -66,9 +59,9 @@ bool Engine::PopNext(Event& out) {
 }
 
 bool Engine::Step() {
-  Event ev;
+  QueuedEvent ev;
   if (!PopNext(ev)) return false;
-  now_ = ev.when;
+  now_ = SimTime::Nanos(ev.at_ns);
   ++executed_;
   ev.cb();
   return true;
@@ -87,15 +80,15 @@ std::size_t Engine::RunUntil(SimTime deadline) {
   while (!stop_requested_) {
     if (queue_.empty()) break;
     // Peek across tombstones without executing.
-    Event ev;
+    QueuedEvent ev;
     if (!PopNext(ev)) break;
-    if (ev.when > deadline) {
-      // Put it back; it belongs to the future beyond this run.
-      queue_.push(ev);
-      ++live_events_;
+    if (ev.at_ns > deadline.ns) {
+      // Put it back; it belongs to the future beyond this run. The original
+      // seq rides along, so its FIFO position among equal timestamps holds.
+      queue_.Push(std::move(ev));
       break;
     }
-    now_ = ev.when;
+    now_ = SimTime::Nanos(ev.at_ns);
     ++executed_;
     ev.cb();
     ++n;

@@ -1,17 +1,19 @@
 // Deterministic discrete-event simulation engine. Single-threaded by design:
 // determinism matters more than parallel speed for orchestration experiments,
 // and ties are broken by a monotonically increasing sequence number so two
-// runs with the same seed produce identical traces.
+// runs with the same seed produce identical traces. The event store is a
+// calendar queue (sim/calendar_queue.hpp): O(1) amortized push/pop versus the
+// binary heap's O(log n), with the identical (time, seq) pop order.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "sim/calendar_queue.hpp"
 #include "sim/time.hpp"
 
 namespace myrtus::sim {
@@ -62,25 +64,12 @@ class Engine {
   /// Requests that Run()/RunUntil() return after the current event.
   void Stop() { stop_requested_ = true; }
 
-  [[nodiscard]] bool empty() const { return live_events_ == 0; }
-  [[nodiscard]] std::size_t pending_events() const { return live_events_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;  // FIFO tie-break at equal timestamps
-    std::uint64_t id;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
-
-  bool PopNext(Event& out);
+  bool PopNext(QueuedEvent& out);
   void FirePeriodic(std::uint64_t id);
 
   struct PeriodicTask {
@@ -88,14 +77,13 @@ class Engine {
     Callback cb;
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  CalendarQueue queue_;
   std::unordered_set<std::uint64_t> cancelled_;  // tombstones, erased on pop
   std::unordered_map<std::uint64_t, PeriodicTask> periodic_;
   SimTime now_ = SimTime::Zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::size_t live_events_ = 0;
   bool stop_requested_ = false;
 };
 

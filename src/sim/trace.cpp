@@ -9,15 +9,23 @@ const myrtus::util::RunningStat kEmptyStat{};
 
 void Trace::Emit(SimTime at, std::string component, std::string event,
                  double value) {
-  stats_[{component, event}].Add(value);
+  // Transparent probe with views: the steady state (key already present)
+  // allocates nothing. Only a first-seen (component, event) pair copies the
+  // strings into the map; the record then takes them by move.
+  const std::pair<std::string_view, std::string_view> key{component, event};
+  auto it = stats_.find(key);
+  if (it == stats_.end()) {
+    it = stats_.try_emplace({component, event}).first;
+  }
+  it->second.Add(value);
   if (!records_dropped_) {
     records_.push_back(TraceRecord{at, std::move(component), std::move(event), value});
   }
 }
 
-const util::RunningStat& Trace::StatFor(const std::string& component,
-                                        const std::string& event) const {
-  const auto it = stats_.find({component, event});
+const util::RunningStat& Trace::StatFor(std::string_view component,
+                                        std::string_view event) const {
+  const auto it = stats_.find(std::make_pair(component, event));
   return it == stats_.end() ? kEmptyStat : it->second;
 }
 
@@ -49,7 +57,7 @@ void Trace::Clear() {
   records_dropped_ = false;
 }
 
-double Metrics::Get(const std::string& name) const {
+double Metrics::Get(std::string_view name) const {
   const auto it = values_.find(name);
   return it == values_.end() ? 0.0 : it->second;
 }

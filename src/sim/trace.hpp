@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -26,15 +28,33 @@ struct TraceRecord {
   double value = 0.0;
 };
 
+/// Transparent ordering over (component, event) keys: lets the hot Emit()
+/// path probe the stats map with string_views — no pair-of-strings temporary
+/// per record. Strings are only copied the first time a key is seen.
+struct TraceKeyLess {
+  using is_transparent = void;
+  template <typename P1, typename P2>
+  bool operator()(const P1& a, const P2& b) const {
+    const std::string_view af(a.first), bf(b.first);
+    if (af != bf) return af < bf;
+    return std::string_view(a.second) < std::string_view(b.second);
+  }
+};
+
 /// Append-only trace with per-(component,event) aggregate stats.
 class Trace {
  public:
   void Emit(SimTime at, std::string component, std::string event, double value = 0.0);
 
+  /// Capacity hint for the per-record log: experiments that know their event
+  /// volume up front (benches, long MAPE runs) pre-size the vector once
+  /// instead of paying the doubling-reallocation churn while tracing.
+  void Reserve(std::size_t record_capacity) { records_.reserve(record_capacity); }
+
   [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
   /// Aggregate over all records with the given component/event pair.
-  [[nodiscard]] const util::RunningStat& StatFor(const std::string& component,
-                                                 const std::string& event) const;
+  [[nodiscard]] const util::RunningStat& StatFor(std::string_view component,
+                                                 std::string_view event) const;
   /// All records matching an event name across components. After
   /// DropRecords() the per-record log no longer exists, so selection would
   /// silently miss everything emitted before the drop — that is reported as
@@ -52,7 +72,8 @@ class Trace {
 
  private:
   std::vector<TraceRecord> records_;
-  std::map<std::pair<std::string, std::string>, util::RunningStat> stats_;
+  std::map<std::pair<std::string, std::string>, util::RunningStat, TraceKeyLess>
+      stats_;
   bool records_dropped_ = false;
 };
 
@@ -60,23 +81,39 @@ class Trace {
 /// into telemetry::Global().metrics when telemetry is enabled.
 class Metrics {
  public:
-  void Inc(const std::string& name, double delta = 1.0) {
-    values_[name] += delta;
+  void Inc(std::string_view name, double delta = 1.0) {
+    Slot(name) += delta;
     if (telemetry::Enabled()) {
-      telemetry::Global().metrics.Add("myrtus_sim_" + name, delta);
+      telemetry::Global().metrics.Add(Prefixed(name), delta);
     }
   }
-  void Set(const std::string& name, double v) {
-    values_[name] = v;
+  void Set(std::string_view name, double v) {
+    Slot(name) = v;
     if (telemetry::Enabled()) {
-      telemetry::Global().metrics.Set("myrtus_sim_" + name, v);
+      telemetry::Global().metrics.Set(Prefixed(name), v);
     }
   }
-  [[nodiscard]] double Get(const std::string& name) const;
-  [[nodiscard]] const std::map<std::string, double>& all() const { return values_; }
+  [[nodiscard]] double Get(std::string_view name) const;
+  [[nodiscard]] const std::map<std::string, double, std::less<>>& all() const {
+    return values_;
+  }
 
  private:
-  std::map<std::string, double> values_;
+  /// Transparent lookup first (no allocation on the steady-state hit); the
+  /// key string is materialized only when the gauge is first written.
+  double& Slot(std::string_view name) {
+    const auto it = values_.find(name);
+    if (it != values_.end()) return it->second;
+    return values_.emplace(std::string(name), 0.0).first->second;
+  }
+  static std::string Prefixed(std::string_view name) {
+    std::string full;
+    full.reserve(sizeof("myrtus_sim_") - 1 + name.size());
+    full.append("myrtus_sim_").append(name);
+    return full;
+  }
+
+  std::map<std::string, double, std::less<>> values_;
 };
 
 }  // namespace myrtus::sim

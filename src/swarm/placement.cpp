@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "swarm/pso.hpp"
+#include "util/parallel.hpp"
 
 namespace myrtus::swarm {
 namespace {
@@ -65,14 +66,24 @@ PlacementSolution SolveGreedy(const PlacementProblem& problem) {
   });
 
   for (const std::size_t t : order) {
+    // Candidate costs fan out across the pool (each shard probes on its own
+    // copy of the partial assignment); the argmin folds serially with strict
+    // <, so the first-lowest-node-index winner of the sequential loop is
+    // preserved exactly.
+    std::vector<double> costs(problem.nodes.size());
+    util::ParallelFor(problem.nodes.size(), [&](const util::Shard& shard) {
+      std::vector<int> probe = sol.assignment;
+      for (std::size_t n = shard.begin; n < shard.end; ++n) {
+        probe[t] = static_cast<int>(n);
+        costs[n] = problem.Cost(probe);
+      }
+    });
     double best_cost = std::numeric_limits<double>::infinity();
     int best_node = -1;
     for (std::size_t n = 0; n < problem.nodes.size(); ++n) {
-      sol.assignment[t] = static_cast<int>(n);
-      const double c = problem.Cost(sol.assignment);
       ++sol.evaluations;
-      if (c < best_cost) {
-        best_cost = c;
+      if (costs[n] < best_cost) {
+        best_cost = costs[n];
         best_node = static_cast<int>(n);
       }
     }
@@ -106,21 +117,46 @@ util::StatusOr<PlacementSolution> SolveExhaustive(const PlacementProblem& proble
   }
   PlacementSolution best;
   best.cost = std::numeric_limits<double>::infinity();
-  std::vector<int> assignment(t, 0);
-  while (true) {
-    const double c = problem.Cost(assignment);
-    ++best.evaluations;
-    if (c < best.cost) {
-      best.cost = c;
-      best.assignment = assignment;
+  if (n == 0) {
+    // Degenerate instance: the odometer loop still visited the all-zero
+    // assignment exactly once, so keep doing that (it scores pure penalty).
+    best.assignment.assign(t, 0);
+    best.cost = problem.Cost(best.assignment);
+    best.evaluations = 1;
+    return best;
+  }
+
+  // The odometer visited assignments in base-n order with task 0 as the
+  // least-significant digit; state index i decodes to assignment[k] =
+  // (i / n^k) % n, the same sequence. Each shard tracks its first strict
+  // minimum; folding shard minima in shard order with strict < reproduces
+  // the sequential first-global-minimum winner.
+  const std::size_t total = static_cast<std::size_t>(states);
+  const std::size_t shards = util::ParallelShardCount(total);
+  std::vector<double> shard_cost(shards,
+                                 std::numeric_limits<double>::infinity());
+  std::vector<std::vector<int>> shard_best(shards);
+  util::ParallelFor(total, [&](const util::Shard& shard) {
+    std::vector<int> assignment(t);
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      std::size_t rem = i;
+      for (std::size_t k = 0; k < t; ++k) {
+        assignment[k] = static_cast<int>(rem % n);
+        rem /= n;
+      }
+      const double c = problem.Cost(assignment);
+      if (c < shard_cost[shard.index]) {
+        shard_cost[shard.index] = c;
+        shard_best[shard.index] = assignment;
+      }
     }
-    // Odometer increment.
-    std::size_t i = 0;
-    for (; i < t; ++i) {
-      if (++assignment[i] < static_cast<int>(n)) break;
-      assignment[i] = 0;
+  });
+  best.evaluations = static_cast<int>(total);
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (shard_cost[s] < best.cost) {
+      best.cost = shard_cost[s];
+      best.assignment = std::move(shard_best[s]);
     }
-    if (i == t) break;
   }
   return best;
 }
@@ -184,8 +220,11 @@ PlacementSolution SolveAco(const PlacementProblem& problem, util::Rng& rng,
   PlacementSolution best;
   best.cost = std::numeric_limits<double>::infinity();
   for (int it = 0; it < iterations; ++it) {
+    // Tours are built serially — roulette selection consumes `rng` in exactly
+    // the sequential order — and only the RNG-free cost evaluations fan out.
+    // The best-so-far fold stays in ant order with strict <, so the result
+    // is bit-identical to the sequential sweep at any worker count.
     std::vector<std::vector<int>> tours(static_cast<std::size_t>(ants));
-    std::vector<double> costs(static_cast<std::size_t>(ants));
     for (int a = 0; a < ants; ++a) {
       std::vector<int>& tour = tours[static_cast<std::size_t>(a)];
       tour.resize(t);
@@ -206,11 +245,15 @@ PlacementSolution SolveAco(const PlacementProblem& problem, util::Rng& rng,
         }
         tour[i] = static_cast<int>(chosen);
       }
-      costs[static_cast<std::size_t>(a)] = problem.Cost(tour);
+    }
+    const std::vector<double> costs = util::ParallelMap<double>(
+        static_cast<std::size_t>(ants),
+        [&](std::size_t a) { return problem.Cost(tours[a]); });
+    for (int a = 0; a < ants; ++a) {
       ++best.evaluations;
       if (costs[static_cast<std::size_t>(a)] < best.cost) {
         best.cost = costs[static_cast<std::size_t>(a)];
-        best.assignment = tour;
+        best.assignment = tours[static_cast<std::size_t>(a)];
       }
     }
     // Evaporate and reinforce with each ant's tour (quality-weighted).

@@ -23,6 +23,13 @@ Rng::Rng(std::uint64_t seed, std::string_view stream_name) {
   Seed(seed ^ Fnv1a64(stream_name));
 }
 
+Rng::Rng(std::uint64_t seed, std::string_view stream_name, std::uint64_t index) {
+  // One extra SplitMix64 round decorrelates adjacent substream indices before
+  // Seed() runs its own chain, so substreams k and k+1 share no structure.
+  std::uint64_t mix = (seed ^ Fnv1a64(stream_name)) + index;
+  Seed(SplitMix64(mix));
+}
+
 void Rng::Seed(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = SplitMix64(sm);

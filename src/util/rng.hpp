@@ -16,6 +16,11 @@ class Rng {
   /// Derives a stream from a parent seed and a component name, so two
   /// components never share a sequence even with identical numeric seeds.
   Rng(std::uint64_t seed, std::string_view stream_name);
+  /// Derives substream `index` of the named stream. Substreams are the unit
+  /// of parallel determinism: util::ParallelForRng hands shard `i` substream
+  /// `i`, so the numbers a shard draws depend only on (seed, name, index) —
+  /// never on how many workers executed the region or in what order.
+  Rng(std::uint64_t seed, std::string_view stream_name, std::uint64_t index);
 
   void Seed(std::uint64_t seed);
 

@@ -1,0 +1,25 @@
+// FIXTURE: the sanctioned way to go parallel — util::ParallelFor's static
+// sharding and per-shard RNG substreams keep results independent of worker
+// count and scheduling, so none of this may trip the determinism rule.
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace fixture {
+
+double ShardedSum(const std::vector<double>& xs) {
+  return myrtus::util::ParallelReduce<double>(
+      xs.size(), 0.0, [&](std::size_t i) { return xs[i]; },
+      [](double a, double b) { return a + b; });
+}
+
+void SeededFanOut(std::vector<double>& out) {
+  myrtus::util::ParallelForRng(
+      out.size(), 0xFEEDu, "fixture.fanout",
+      [&](const myrtus::util::Shard& shard, myrtus::util::Rng& rng) {
+        for (std::size_t i = shard.begin; i < shard.end; ++i) {
+          out[i] = rng.NextDouble();
+        }
+      });
+}
+
+}  // namespace fixture

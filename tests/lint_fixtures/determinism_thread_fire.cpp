@@ -1,0 +1,29 @@
+// FIXTURE: hand-rolled host threading outside util/parallel must trip the
+// determinism rule — thread scheduling order is not reproducible, so any
+// result it can influence is not either. The sanctioned route is
+// util::ParallelFor and friends (see determinism_thread_clean.cpp).
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+void RawWorkerFanOut(std::vector<double>& out) {
+  std::vector<std::thread> workers;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    workers.emplace_back([&out, i] { out[i] = static_cast<double>(i); });
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+void DetachedSideWork() {
+  std::thread([] {}).detach();
+}
+
+void JthreadAndAsync() {
+  std::jthread j([] {});
+  auto f = std::async([] { return 1; });
+  (void)f.get();
+}
+
+}  // namespace fixture

@@ -107,6 +107,34 @@ TEST(LintRules, DeterminismRespectsPathAllowlist) {
   EXPECT_EQ(CountRule(findings, "determinism"), 0u);
 }
 
+TEST(LintRules, DeterminismFiresOnRawThreadingOutsideParallelRuntime) {
+  const auto findings =
+      LintFixture("determinism_thread_fire.cpp",
+                  "src/sched/determinism_thread_fire.cpp",
+                  {"src/util/parallel."});
+  // std::thread (x3: vector decl, emplace loop's join target, detach case),
+  // std::jthread, std::async — at minimum.
+  EXPECT_GE(CountRule(findings, "determinism"), 4u);
+}
+
+TEST(LintRules, DeterminismAcceptsParallelRuntimeCallers) {
+  // Consumers of ParallelFor/Reduce never name a thread primitive, so the
+  // fixture must be clean even under an empty allowlist.
+  const auto findings =
+      LintFixture("determinism_thread_clean.cpp",
+                  "src/sched/determinism_thread_clean.cpp");
+  EXPECT_EQ(CountRule(findings, "determinism"), 0u)
+      << "first: " << (findings.empty() ? "" : findings[0].message);
+}
+
+TEST(LintRules, DeterminismAllowsThreadsInsideParallelRuntime) {
+  // The pool implementation itself is the one sanctioned std::thread user.
+  const auto findings =
+      LintFixture("determinism_thread_fire.cpp", "src/util/parallel.cpp",
+                  {"src/util/parallel."});
+  EXPECT_EQ(CountRule(findings, "determinism"), 0u);
+}
+
 TEST(LintRules, DeterminismSiteAnnotationWaivesOneLine) {
   std::vector<FileContext> files;
   files.push_back(MakeFileContext(

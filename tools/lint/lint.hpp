@@ -30,11 +30,15 @@ struct Options {
   std::string repo_root = ".";
   /// Empty = use <repo_root>/tools/lint/suppressions.txt when present.
   std::string suppressions_path;
-  /// Path prefixes where host time is legitimate: bench drivers measure
-  /// wall-clock by design, and the telemetry exporters are the designated
-  /// boundary where host timestamps may enter exported artifacts.
-  std::vector<std::string> determinism_allowlist = {"bench/",
-                                                    "src/telemetry/export."};
+  /// Path prefixes where host time/threads are legitimate: bench drivers
+  /// measure wall-clock by design, the telemetry exporters are the designated
+  /// boundary where host timestamps may enter exported artifacts, and
+  /// util/parallel is the one sanctioned home for std::thread — its fork-join
+  /// pool guarantees results independent of thread scheduling, which is the
+  /// property the rule exists to protect. Everything else draws parallelism
+  /// through util::ParallelFor/Map/Reduce.
+  std::vector<std::string> determinism_allowlist = {
+      "bench/", "src/telemetry/export.", "src/util/parallel."};
 };
 
 struct LintResult {
