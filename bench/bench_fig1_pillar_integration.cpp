@@ -72,6 +72,7 @@ void BM_FullStackDeployAndRun(benchmark::State& state) {
     usecases::Scenario scenario = usecases::SmartMobilityScenario();
     dpe::DpePipeline dpe_pipeline(11);
     auto design = dpe_pipeline.Run(scenario.dpe_input);
+    util::MustOk(design);
     sim::Engine engine;
     continuum::Infrastructure infra = continuum::BuildInfrastructure(engine, {});
     net::Network network(engine, infra.topology, 3);

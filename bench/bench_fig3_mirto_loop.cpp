@@ -245,6 +245,7 @@ void BM_DeployThroughApi(benchmark::State& state) {
     usecases::Scenario scenario = usecases::TelerehabScenario();
     dpe::DpePipeline pipeline(3);
     auto design = pipeline.Run(scenario.dpe_input);
+    util::MustOk(design);
     mirto::AuthModule client(util::BytesOf("bench"));
     util::Json request = util::Json::MakeObject()
                              .Set("token", client.IssueToken("bench"))

@@ -105,9 +105,11 @@ void BM_CsarPackUnpack(benchmark::State& state) {
   input.graph = dpe::RandomPipeline(12, gen);
   dpe::DpePipeline pipeline(5);
   auto out = pipeline.Run(input);
+  util::MustOk(out);
   const std::string wire = out->package.Pack();
   for (auto _ : state) {
     auto unpacked = tosca::CsarPackage::Unpack(wire);
+    util::MustOk(unpacked);
     benchmark::DoNotOptimize(unpacked->Pack());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *

@@ -44,9 +44,11 @@ void PrintCoverage() {
 void BM_BB_SecurityChannel(benchmark::State& state) {
   util::Rng rng(1);
   auto pair = security::SecureChannel::Establish(security::SecurityLevel::kMedium, rng);
+  util::MustOk(pair);
   const util::Bytes msg(512, 0x42);
   for (auto _ : state) {
     auto sealed = pair->initiator.Seal(msg);
+    util::MustOk(sealed);
     benchmark::DoNotOptimize(pair->responder.Open(*sealed));
   }
 }

@@ -96,9 +96,11 @@ void BM_ChannelRecordRoundtrip(benchmark::State& state) {
   const auto level = static_cast<SecurityLevel>(state.range(0));
   util::Rng rng(7);
   auto pair = security::SecureChannel::Establish(level, rng);
+  util::MustOk(pair);
   const util::Bytes msg = Payload(1024);
   for (auto _ : state) {
     auto sealed = pair->initiator.Seal(msg);
+    util::MustOk(sealed);
     auto opened = pair->responder.Open(*sealed);
     benchmark::DoNotOptimize(opened);
   }

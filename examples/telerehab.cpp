@@ -66,6 +66,7 @@ int main() {
   const util::Bytes session = util::BytesOf(
       R"({"patient":"p-042","exercise":"shoulder-abduction","score":0.87})");
   auto sealed = channel->initiator.Seal(session);
+  util::MustOk(sealed);
   auto opened = channel->responder.Open(*sealed);
   std::printf("  sealed %zu plaintext bytes into %zu record bytes; roundtrip %s\n",
               session.size(), sealed->size(),

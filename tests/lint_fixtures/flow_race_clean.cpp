@@ -1,0 +1,42 @@
+// Fixture: parallel-capture-race must stay silent — every write inside the
+// parallel bodies lands in a shard-owned slot, a local, a safe reference
+// alias, or an atomic.
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace fx {
+
+void PerItemSlots(const std::vector<double>& xs) {
+  std::vector<double> out(xs.size());
+  std::vector<double> partial(util::ParallelShardCount(xs.size()), 0.0);
+  std::atomic<long> hits{0};
+  util::ParallelFor(xs.size(), [&](const util::Shard& shard) {
+    double acc = 0.0;  // local accumulator
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      out[i] = xs[i] * 2.0;  // per-item slot via the shard-range induction var
+      acc += xs[i];
+      hits.fetch_add(1);  // atomic counter
+    }
+    partial[shard.index] = acc;  // shard-indexed commit
+  });
+}
+
+void SafeAlias(const std::vector<double>& xs) {
+  std::vector<std::vector<double>> buckets(util::ParallelShardCount(xs.size()));
+  util::ParallelFor(xs.size(), [&](const util::Shard& shard) {
+    std::vector<double>& bucket = buckets[shard.index];  // shard-owned
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      bucket.push_back(xs[i]);
+    }
+  });
+}
+
+std::vector<double> MapForm(const std::vector<double>& xs) {
+  return util::ParallelMap<double>(xs.size(),
+                                   [&](std::size_t i) { return xs[i] + 1.0; });
+}
+
+}  // namespace fx

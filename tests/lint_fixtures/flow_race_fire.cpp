@@ -1,0 +1,31 @@
+// Fixture: parallel-capture-race must fire — writes through by-reference
+// captures inside a ParallelFor body that are not shard-indexed.
+#include <cstddef>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace fx {
+
+void Accumulate(const std::vector<double>& xs) {
+  double total = 0.0;
+  std::vector<double> out(xs.size());
+  util::ParallelFor(xs.size(), [&](const util::Shard& shard) {
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      total += xs[i];  // FIRE: unindexed accumulation across shards
+      out[0] = xs[i];  // FIRE: every shard hammers slot zero
+    }
+  });
+}
+
+void UnsafeAlias(const std::vector<double>& xs) {
+  std::vector<std::vector<double>> buckets(4);
+  util::ParallelFor(xs.size(), [&](const util::Shard& shard) {
+    std::vector<double>& bucket = buckets[0];  // not shard-owned
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      bucket.push_back(xs[i]);  // FIRE: write through an unsafe alias
+    }
+  });
+}
+
+}  // namespace fx

@@ -1,0 +1,27 @@
+// Fixture: parallel-capture-race must stay silent — the nested lambda
+// captures the vector by value, so its writes hit a private copy, and the
+// shard's own results land in a shard-indexed slot.
+#include <cstddef>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace fx {
+
+void NestedCopies(const std::vector<double>& xs) {
+  std::vector<double> seen;
+  std::vector<int> counts(util::ParallelShardCount(xs.size()), 0);
+  util::ParallelFor(xs.size(), [&](const util::Shard& shard) {
+    auto probe = [seen](double v) mutable {
+      seen.push_back(v);  // writes a by-value copy, not the shared vector
+      return seen.size();
+    };
+    int found = 0;  // local
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      if (probe(xs[i]) > 0) ++found;
+    }
+    counts[shard.index] = found;
+  });
+}
+
+}  // namespace fx

@@ -1,0 +1,23 @@
+// Fixture: parallel-capture-race must fire inside a nested lambda — the
+// helper closure still writes shared state captured by reference from the
+// enclosing ParallelFor body.
+#include <cstddef>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace fx {
+
+void NestedLogger(const std::vector<double>& xs) {
+  std::vector<double> hits;
+  util::ParallelFor(xs.size(), [&](const util::Shard& shard) {
+    auto log_hit = [&](double v) {
+      hits.push_back(v);  // FIRE: shared vector, no shard indexing
+    };
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      if (xs[i] > 0.5) log_hit(xs[i]);
+    }
+  });
+}
+
+}  // namespace fx

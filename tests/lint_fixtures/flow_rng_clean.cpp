@@ -1,0 +1,43 @@
+// Fixture: rng-substream-discipline must stay silent — parallel bodies use
+// the handed-in substream or the 3-arg indexed constructor, and every literal
+// (seed, stream) identity is unique.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace fx {
+
+void HandedInSubstream(std::vector<double>& xs, std::uint64_t seed) {
+  util::ParallelForRng(xs.size(), seed, "fx.handed",
+                       [&](const util::Shard& shard, util::Rng& rng) {
+                         for (std::size_t i = shard.begin; i < shard.end; ++i) {
+                           xs[i] += rng.Uniform();
+                         }
+                       });
+}
+
+void IndexedSubstream(std::vector<double>& xs, std::uint64_t seed) {
+  util::ParallelFor(xs.size(), [&, seed](const util::Shard& shard) {
+    util::Rng rng(seed, "fx.indexed", shard.index);  // 3-arg: sanctioned
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      xs[i] += rng.Uniform();
+    }
+  });
+}
+
+double SerialAmbient(std::uint64_t seed) {
+  util::Rng rng(seed, "fx.serial");  // outside any parallel body: fine
+  return rng.Uniform();
+}
+
+util::Rng DistinctA() { return util::Rng(42, "fx.a"); }
+util::Rng DistinctB() { return util::Rng(42, "fx.b"); }
+util::Rng DistinctSeed() { return util::Rng(7, "fx.a"); }
+
+util::Rng VariableSeedA(std::uint64_t seed) { return util::Rng(seed, "fx.v"); }
+util::Rng VariableSeedB(std::uint64_t seed) { return util::Rng(seed, "fx.v"); }
+
+}  // namespace fx

@@ -1,0 +1,30 @@
+// Fixture: rng-substream-discipline must fire — ambient Rng construction
+// inside a parallel body (shards would draw overlapping sequences), and a
+// literal (seed, stream) identity constructed at two sites.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace fx {
+
+void JitterInParallel(std::vector<double>& xs, std::uint64_t seed) {
+  util::ParallelFor(xs.size(), [&, seed](const util::Shard& shard) {
+    util::Rng rng(seed, "fx.jitter");  // FIRE: 2-arg ctor inside the body
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      xs[i] += rng.Uniform();
+    }
+  });
+}
+
+util::Rng MakeNoiseStream() {
+  return util::Rng(42, "fx.shared");
+}
+
+util::Rng MakeOtherStream() {
+  return util::Rng(42, "fx.shared");  // FIRE: duplicate (42, "fx.shared")
+}
+
+}  // namespace fx

@@ -1,0 +1,65 @@
+// Fixture: statusor-use-before-ok must stay silent — every dereference is
+// dominated by a check, across the guard shapes this codebase uses.
+#include <string>
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace fx {
+
+util::StatusOr<int> Parse(const std::string& text);
+void Consume(int v);
+
+int EarlyReturnGuard(const std::string& s) {
+  auto v = Parse(s);
+  if (!v.ok()) return -1;
+  return *v;
+}
+
+int IfInitGuard(const std::string& s) {
+  if (auto q = Parse(s); q.ok()) return *q;
+  return 0;
+}
+
+int ShortCircuitAnd(const std::string& s) {
+  auto v = Parse(s);
+  if (v.ok() && *v > 3) return 1;
+  return 0;
+}
+
+int ShortCircuitOr(const std::string& s) {
+  auto v = Parse(s);
+  if (!v.ok() || *v < 0) return -1;
+  return *v;
+}
+
+int BothBranchesChecked(const std::string& s) {
+  auto v = Parse(s);
+  if (v.ok()) {
+    return *v;
+  } else {
+    return -1;
+  }
+}
+
+int MustOkAssertion(const std::string& s) {
+  auto v = Parse(s);
+  util::MustOk(v);
+  return v.value();
+}
+
+int MoveAfterCheck(const std::string& s) {
+  auto v = Parse(s);
+  if (!v.ok()) return -1;
+  return std::move(v).value();
+}
+
+void LoopGuard(const std::string& s) {
+  while (true) {
+    auto v = Parse(s);
+    if (!v.ok()) break;
+    Consume(*v);
+  }
+}
+
+}  // namespace fx

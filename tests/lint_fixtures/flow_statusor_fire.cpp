@@ -1,0 +1,40 @@
+// Fixture: statusor-use-before-ok must fire — dereferences not dominated by
+// an ok()/MustOk check on every path. The if/else join case is the canonical
+// miss: only one branch checks, the paths meet, the deref runs on both.
+#include <string>
+
+#include "util/status.hpp"
+
+namespace fx {
+
+util::StatusOr<int> Parse(const std::string& text);
+
+int PlainUnchecked(const std::string& s) {
+  util::StatusOr<int> v = Parse(s);
+  return v.value();  // FIRE: never checked
+}
+
+int ArrowUnchecked(const std::string& s) {
+  auto v = Parse(s);
+  return *v + 1;  // FIRE: auto-declared from a StatusOr factory, unchecked
+}
+
+int IfElseJoin(const std::string& s, bool strict) {
+  auto v = Parse(s);
+  int penalty = 0;
+  if (strict) {
+    if (!v.ok()) return -1;
+  } else {
+    penalty = 1;  // this branch never checks v
+  }
+  return *v - penalty;  // FIRE: unchecked on the non-strict path
+}
+
+int CheckedThenReassigned(const std::string& s) {
+  auto v = Parse(s);
+  if (!v.ok()) return -1;
+  v = Parse(s + s);  // reassignment invalidates the earlier check
+  return *v;         // FIRE
+}
+
+}  // namespace fx

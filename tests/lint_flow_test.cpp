@@ -1,0 +1,350 @@
+// Drives myrtus_lint's flow-aware rule families (parallel-capture-race,
+// statusor-use-before-ok, rng-substream-discipline) over the checked-in
+// fixtures in tests/lint_fixtures/, and unit-tests the syntactic front-end:
+// the CFG builder's edge wiring and the lambda/function extractor. Fixtures
+// are read from disk (LINT_FIXTURES_DIR) but analyzed under synthetic
+// repo-relative paths so module attribution can be chosen per case.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ast.hpp"
+#include "cfg.hpp"
+#include "flow_rules.hpp"
+#include "rules.hpp"
+
+namespace myrtus::lint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(LINT_FIXTURES_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Lints one fixture as if it lived at `as_path` inside the repo.
+std::vector<Finding> LintFixture(const std::string& name,
+                                 const std::string& as_path) {
+  std::vector<FileContext> files;
+  files.push_back(MakeFileContext(as_path, ReadFixture(name)));
+  return RunRules(files, {});
+}
+
+std::size_t CountRule(const std::vector<Finding>& findings,
+                      const std::string& rule) {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&rule](const Finding& f) { return f.rule == rule; }));
+}
+
+/// 1-based line of the first occurrence of `marker` in `text`.
+int LineOfMarker(const std::string& text, const std::string& marker) {
+  const std::size_t pos = text.find(marker);
+  EXPECT_NE(pos, std::string::npos) << "marker not in fixture: " << marker;
+  return 1 + static_cast<int>(std::count(text.begin(), text.begin() +
+                                             static_cast<std::ptrdiff_t>(pos),
+                                         '\n'));
+}
+
+bool HasFindingAtLine(const std::vector<Finding>& findings,
+                      const std::string& rule, int line) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.rule == rule && f.line == line;
+  });
+}
+
+// --- parallel-capture-race ---------------------------------------------------
+
+TEST(LintFlowRace, FiresOnUnindexedWritesAndUnsafeAliases) {
+  const std::string src = ReadFixture("flow_race_fire.cpp");
+  const auto findings =
+      LintFixture("flow_race_fire.cpp", "src/fx/flow_race_fire.cpp");
+  // Two direct writes, plus the unsafe alias binding and the write through it.
+  EXPECT_EQ(CountRule(findings, "parallel-capture-race"), 4u);
+  EXPECT_EQ(findings.size(), 4u) << "no other rule may fire on this fixture";
+  EXPECT_TRUE(HasFindingAtLine(findings, "parallel-capture-race",
+                               LineOfMarker(src, "total += xs[i]")));
+  EXPECT_TRUE(HasFindingAtLine(findings, "parallel-capture-race",
+                               LineOfMarker(src, "out[0] = xs[i]")));
+  EXPECT_TRUE(HasFindingAtLine(findings, "parallel-capture-race",
+                               LineOfMarker(src, "bucket.push_back")));
+  for (const Finding& f : findings) {
+    EXPECT_GT(f.col, 0) << "flow findings carry exact columns";
+  }
+}
+
+TEST(LintFlowRace, FiresInsideNestedLambda) {
+  const std::string src = ReadFixture("flow_race_nested_fire.cpp");
+  const auto findings = LintFixture("flow_race_nested_fire.cpp",
+                                    "src/fx/flow_race_nested_fire.cpp");
+  EXPECT_EQ(CountRule(findings, "parallel-capture-race"), 1u);
+  EXPECT_TRUE(HasFindingAtLine(findings, "parallel-capture-race",
+                               LineOfMarker(src, "hits.push_back")));
+}
+
+TEST(LintFlowRace, ShardIndexedWritesStaySilent) {
+  const auto findings =
+      LintFixture("flow_race_clean.cpp", "src/fx/flow_race_clean.cpp");
+  EXPECT_EQ(findings.size(), 0u)
+      << "first: " << (findings.empty() ? "" : findings[0].message);
+}
+
+TEST(LintFlowRace, NestedValueCaptureStaysSilent) {
+  const auto findings = LintFixture("flow_race_nested_clean.cpp",
+                                    "src/fx/flow_race_nested_clean.cpp");
+  EXPECT_EQ(findings.size(), 0u)
+      << "first: " << (findings.empty() ? "" : findings[0].message);
+}
+
+// --- statusor-use-before-ok --------------------------------------------------
+
+TEST(LintFlowStatusOr, FiresOnUncheckedDerefs) {
+  const std::string src = ReadFixture("flow_statusor_fire.cpp");
+  const auto findings =
+      LintFixture("flow_statusor_fire.cpp", "src/fx/flow_statusor_fire.cpp");
+  EXPECT_EQ(CountRule(findings, "statusor-use-before-ok"), 4u);
+  EXPECT_EQ(findings.size(), 4u) << "no other rule may fire on this fixture";
+  EXPECT_TRUE(HasFindingAtLine(findings, "statusor-use-before-ok",
+                               LineOfMarker(src, "return v.value();")));
+  EXPECT_TRUE(HasFindingAtLine(findings, "statusor-use-before-ok",
+                               LineOfMarker(src, "return *v + 1;")));
+  // The canonical if/else join: only one branch checked, the deref after the
+  // join fires.
+  EXPECT_TRUE(HasFindingAtLine(findings, "statusor-use-before-ok",
+                               LineOfMarker(src, "return *v - penalty;")));
+  // Reassignment invalidates an earlier check.
+  EXPECT_TRUE(HasFindingAtLine(
+      findings, "statusor-use-before-ok",
+      LineOfMarker(src, "return *v;         // FIRE")));
+}
+
+TEST(LintFlowStatusOr, GuardShapesStaySilent) {
+  const auto findings =
+      LintFixture("flow_statusor_clean.cpp", "src/fx/flow_statusor_clean.cpp");
+  EXPECT_EQ(findings.size(), 0u)
+      << "first: " << (findings.empty() ? "" : findings[0].message);
+}
+
+// --- rng-substream-discipline ------------------------------------------------
+
+TEST(LintFlowRng, FiresInParallelBodyAndOnDuplicateIdentity) {
+  const std::string src = ReadFixture("flow_rng_fire.cpp");
+  const auto findings =
+      LintFixture("flow_rng_fire.cpp", "src/fx/flow_rng_fire.cpp");
+  EXPECT_EQ(CountRule(findings, "rng-substream-discipline"), 2u);
+  const int parallel_line = LineOfMarker(src, "util::Rng rng(seed, \"fx.jitter\")");
+  const int dup_line =
+      LineOfMarker(src, "return util::Rng(42, \"fx.shared\");  // FIRE");
+  EXPECT_TRUE(
+      HasFindingAtLine(findings, "rng-substream-discipline", parallel_line));
+  EXPECT_TRUE(HasFindingAtLine(findings, "rng-substream-discipline", dup_line));
+  for (const Finding& f : findings) {
+    if (f.line == dup_line) {
+      EXPECT_NE(f.message.find("duplicate"), std::string::npos);
+      EXPECT_NE(f.message.find("fx.shared"), std::string::npos);
+    }
+  }
+}
+
+TEST(LintFlowRng, SubstreamShapesStaySilent) {
+  const auto findings =
+      LintFixture("flow_rng_clean.cpp", "src/fx/flow_rng_clean.cpp");
+  EXPECT_EQ(findings.size(), 0u)
+      << "first: " << (findings.empty() ? "" : findings[0].message);
+}
+
+TEST(LintFlowRng, DuplicateIdentityOutsideSrcIsExempt) {
+  // Same fixture under a tests/ path: the in-parallel ctor still fires, the
+  // duplicate-identity half (production modules only) does not.
+  const auto findings =
+      LintFixture("flow_rng_fire.cpp", "tests/flow_rng_fire.cpp");
+  EXPECT_EQ(CountRule(findings, "rng-substream-discipline"), 1u);
+}
+
+// --- CFG builder -------------------------------------------------------------
+
+struct BuiltCfg {
+  std::string code;
+  Cfg cfg;
+};
+
+BuiltCfg BuildFromFunction(const std::string& src) {
+  BuiltCfg out;
+  out.code = src;
+  const std::size_t open = src.find('{');
+  EXPECT_NE(open, std::string::npos);
+  const std::size_t close = MatchForward(src, open);
+  EXPECT_NE(close, std::string::npos);
+  const TextIndex index(src);
+  out.cfg = BuildCfg(src, open, close, index);
+  return out;
+}
+
+/// Index of the first non-entry/exit node whose span contains `text`.
+int NodeWith(const BuiltCfg& b, const std::string& text) {
+  for (std::size_t i = 2; i < b.cfg.nodes.size(); ++i) {
+    const CfgNode& n = b.cfg.nodes[i];
+    if (n.end > n.begin &&
+        b.code.substr(n.begin, n.end - n.begin).find(text) !=
+            std::string::npos) {
+      return static_cast<int>(i);
+    }
+  }
+  ADD_FAILURE() << "no CFG node contains: " << text;
+  return -1;
+}
+
+bool HasEdge(const BuiltCfg& b, int from, int to) {
+  const auto& succ = b.cfg.nodes[static_cast<std::size_t>(from)].succ;
+  return std::find(succ.begin(), succ.end(), to) != succ.end();
+}
+
+TEST(LintCfg, IfElseBranchesAndJoin) {
+  const BuiltCfg b =
+      BuildFromFunction("void f(int c) { if (c) { a(); } else { b(); } d(); }");
+  const int cond = NodeWith(b, "c");
+  const int then_n = NodeWith(b, "a()");
+  const int else_n = NodeWith(b, "b()");
+  const int after = NodeWith(b, "d()");
+  EXPECT_EQ(b.cfg.nodes[static_cast<std::size_t>(cond)].kind,
+            CfgNode::Kind::kCondition);
+  // succ[0] is the true edge, succ[1] the false edge.
+  EXPECT_EQ(b.cfg.nodes[static_cast<std::size_t>(cond)].succ[0], then_n);
+  EXPECT_EQ(b.cfg.nodes[static_cast<std::size_t>(cond)].succ[1], else_n);
+  EXPECT_TRUE(HasEdge(b, then_n, after));
+  EXPECT_TRUE(HasEdge(b, else_n, after));
+  EXPECT_TRUE(HasEdge(b, after, b.cfg.exit));
+}
+
+TEST(LintCfg, WhileLoopWithBreak) {
+  const BuiltCfg b = BuildFromFunction(
+      "void f(int n) { while (n) { if (q) break; c(); } t(); }");
+  const int loop_cond = NodeWith(b, "n");
+  const int break_cond = NodeWith(b, "q");
+  const int break_stmt = NodeWith(b, "break");
+  const int body_stmt = NodeWith(b, "c()");
+  const int after = NodeWith(b, "t()");
+  EXPECT_EQ(b.cfg.nodes[static_cast<std::size_t>(loop_cond)].succ[0],
+            break_cond);
+  EXPECT_EQ(b.cfg.nodes[static_cast<std::size_t>(loop_cond)].succ[1], after);
+  EXPECT_TRUE(HasEdge(b, break_stmt, after));  // break jumps past the loop
+  EXPECT_TRUE(HasEdge(b, body_stmt, loop_cond));  // back edge
+}
+
+TEST(LintCfg, EarlyReturnWiresToExit) {
+  const BuiltCfg b =
+      BuildFromFunction("void f(int c) { if (c) return; g(); }");
+  const int cond = NodeWith(b, "c");
+  const int ret = NodeWith(b, "return");
+  const int after = NodeWith(b, "g()");
+  EXPECT_EQ(b.cfg.nodes[static_cast<std::size_t>(cond)].succ[0], ret);
+  EXPECT_EQ(b.cfg.nodes[static_cast<std::size_t>(cond)].succ[1], after);
+  EXPECT_TRUE(HasEdge(b, ret, b.cfg.exit));
+  EXPECT_FALSE(HasEdge(b, ret, after));
+}
+
+TEST(LintCfg, ForLoopHeaderSplitsIntoInitCondIncrement) {
+  const BuiltCfg b = BuildFromFunction(
+      "void f(int n) { for (int i = 0; i < n; ++i) { s(); } u(); }");
+  const int init = NodeWith(b, "int i = 0");
+  const int cond = NodeWith(b, "i < n");
+  const int incr = NodeWith(b, "++i");
+  const int body = NodeWith(b, "s()");
+  const int after = NodeWith(b, "u()");
+  EXPECT_TRUE(HasEdge(b, init, cond));
+  EXPECT_EQ(b.cfg.nodes[static_cast<std::size_t>(cond)].succ[0], body);
+  EXPECT_EQ(b.cfg.nodes[static_cast<std::size_t>(cond)].succ[1], after);
+  EXPECT_TRUE(HasEdge(b, body, incr));
+  EXPECT_TRUE(HasEdge(b, incr, cond));
+}
+
+TEST(LintCfg, SwitchIsOneOpaqueStatement) {
+  const BuiltCfg b = BuildFromFunction(
+      "void f(int c) { switch (c) { case 1: a(); break; default: b(); } "
+      "d(); }");
+  const int sw = NodeWith(b, "switch");
+  const int after = NodeWith(b, "d()");
+  EXPECT_EQ(b.cfg.nodes[static_cast<std::size_t>(sw)].kind,
+            CfgNode::Kind::kStatement);
+  EXPECT_TRUE(HasEdge(b, sw, after));
+  // The whole construct (including its internal break) is one node.
+  const std::string span = b.code.substr(
+      b.cfg.nodes[static_cast<std::size_t>(sw)].begin,
+      b.cfg.nodes[static_cast<std::size_t>(sw)].end -
+          b.cfg.nodes[static_cast<std::size_t>(sw)].begin);
+  EXPECT_NE(span.find("default"), std::string::npos);
+}
+
+// --- AST front-end -----------------------------------------------------------
+
+TEST(LintAst, LambdaCapturesParamsAndParallelAttribution) {
+  const FileContext f = MakeFileContext(
+      "src/util/x.cpp",
+      "void g(std::size_t n) {\n"
+      "  util::ParallelFor(n, [&total, count](const util::Shard& shard) {\n"
+      "    use(shard);\n"
+      "  });\n"
+      "  auto h = [](int a) { return a; };\n"
+      "}\n");
+  const FileAst ast = BuildFileAst(f);
+  ASSERT_EQ(ast.lambdas.size(), 2u);
+  EXPECT_EQ(ast.lambdas[0].parallel_callee, "ParallelFor");
+  EXPECT_EQ(ast.lambdas[0].ref_captures,
+            std::vector<std::string>{"total"});
+  EXPECT_EQ(ast.lambdas[0].value_captures,
+            std::vector<std::string>{"count"});
+  EXPECT_EQ(ast.lambdas[0].param_names,
+            std::vector<std::string>{"shard"});
+  EXPECT_FALSE(ast.lambdas[0].default_ref);
+  EXPECT_TRUE(ast.lambdas[1].parallel_callee.empty());
+}
+
+TEST(LintAst, LambdaWrappedInAnotherCallIsNotAttributed) {
+  const FileContext f = MakeFileContext(
+      "src/util/x.cpp",
+      "void g(std::size_t n) {\n"
+      "  util::ParallelFor(n, wrap([&](const util::Shard& s) { use(s); }));\n"
+      "}\n");
+  const FileAst ast = BuildFileAst(f);
+  ASSERT_EQ(ast.lambdas.size(), 1u);
+  EXPECT_TRUE(ast.lambdas[0].parallel_callee.empty());
+}
+
+TEST(LintAst, FunctionExtractorFindsBodies) {
+  const FileContext f = MakeFileContext(
+      "src/util/x.cpp",
+      "int Add(int a, int b) { return a + b; }\n"
+      "struct S {\n"
+      "  explicit S(int v) : v_(v) { Init(); }\n"
+      "  int Get() const { return v_; }\n"
+      "  int v_;\n"
+      "};\n"
+      "int forward_decl(int);\n");
+  const FileAst ast = BuildFileAst(f);
+  std::vector<std::string> names;
+  for (const FunctionInfo& fn : ast.functions) names.push_back(fn.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "Add"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "S"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Get"), names.end());
+  EXPECT_EQ(std::find(names.begin(), names.end(), "forward_decl"),
+            names.end());
+}
+
+TEST(LintAst, TextIndexMapsOffsetsToLineAndColumn) {
+  const TextIndex index("ab\ncde\nf");
+  EXPECT_EQ(index.LineOf(0), 1);
+  EXPECT_EQ(index.ColOf(0), 1);
+  EXPECT_EQ(index.LineOf(3), 2);
+  EXPECT_EQ(index.ColOf(5), 3);
+  EXPECT_EQ(index.LineOf(7), 3);
+}
+
+}  // namespace
+}  // namespace myrtus::lint

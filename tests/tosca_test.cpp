@@ -278,6 +278,7 @@ TEST(Csar, PackUnpackRoundtrip) {
 TEST(Csar, UnpackRejectsCorruptData) {
   EXPECT_FALSE(CsarPackage::Unpack("NOTCSAR").ok());
   auto tpl = ServiceTemplate::FromYaml(kTelerehabYaml);
+  ASSERT_TRUE(tpl.ok());
   CsarPackage pkg = CsarPackage::Create(*tpl);
   std::string wire = pkg.Pack();
   wire.resize(wire.size() / 2);  // truncate
@@ -286,6 +287,7 @@ TEST(Csar, UnpackRejectsCorruptData) {
 
 TEST(Csar, EntryPathFromMeta) {
   auto tpl = ServiceTemplate::FromYaml(kTelerehabYaml);
+  ASSERT_TRUE(tpl.ok());
   CsarPackage pkg = CsarPackage::Create(*tpl, "defs/app.yaml");
   auto entry = pkg.EntryPath();
   ASSERT_TRUE(entry.ok());

@@ -1,0 +1,425 @@
+#include "cfg.hpp"
+
+#include <cctype>
+
+namespace myrtus::lint {
+namespace {
+
+/// A pending edge out of `node`: slot -1 means "append to succ", 0/1 address
+/// a condition node's true/false slot.
+struct Dangling {
+  int node = 0;
+  int slot = -1;
+};
+
+/// A parsed region: the node control enters through, plus every edge that
+/// leaves it and still needs a target.
+struct Chunk {
+  int entry = -1;  // -1: the region is empty (e.g. a lone ';')
+  std::vector<Dangling> exits;
+};
+
+class Builder {
+ public:
+  Builder(const std::string& code, const TextIndex& index)
+      : code_(code), index_(index) {
+    cfg_.nodes.resize(2);
+    cfg_.nodes[0].kind = CfgNode::Kind::kEntry;
+    cfg_.nodes[1].kind = CfgNode::Kind::kExit;
+  }
+
+  Cfg Build(std::size_t body_begin, std::size_t body_end) {
+    std::size_t pos = body_begin + 1;
+    Chunk body = ParseStmtList(pos, body_end);
+    if (body.entry >= 0) {
+      cfg_.nodes[cfg_.entry].succ.push_back(body.entry);
+    } else {
+      cfg_.nodes[cfg_.entry].succ.push_back(cfg_.exit);
+    }
+    WireAll(body.exits, cfg_.exit);
+    // Any condition slot left unwired (malformed input) falls to exit.
+    for (CfgNode& node : cfg_.nodes) {
+      for (int& s : node.succ) {
+        if (s < 0) s = cfg_.exit;
+      }
+    }
+    return std::move(cfg_);
+  }
+
+ private:
+  int NewNode(CfgNode::Kind kind, std::size_t begin, std::size_t end) {
+    CfgNode node;
+    node.kind = kind;
+    node.begin = begin;
+    node.end = end;
+    const std::size_t anchor = SkipWsForward(code_, begin, end);
+    node.line = index_.LineOf(anchor < end ? anchor : begin);
+    if (kind == CfgNode::Kind::kCondition) node.succ = {-1, -1};
+    cfg_.nodes.push_back(std::move(node));
+    return static_cast<int>(cfg_.nodes.size()) - 1;
+  }
+
+  void Wire(const Dangling& d, int target) {
+    CfgNode& node = cfg_.nodes[static_cast<std::size_t>(d.node)];
+    if (d.slot < 0) {
+      node.succ.push_back(target);
+    } else if (node.succ[static_cast<std::size_t>(d.slot)] < 0) {
+      node.succ[static_cast<std::size_t>(d.slot)] = target;
+    }
+  }
+
+  void WireAll(const std::vector<Dangling>& exits, int target) {
+    for (const Dangling& d : exits) Wire(d, target);
+  }
+
+  bool KeywordAt(std::size_t pos, const char* word) const {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (code_.compare(pos, len, word) != 0) return false;
+    const bool left = pos == 0 || !IsIdentifierChar(code_[pos - 1]);
+    const bool right =
+        pos + len >= code_.size() || !IsIdentifierChar(code_[pos + len]);
+    return left && right;
+  }
+
+  /// Advances past a balanced group or a single character.
+  std::size_t SkipGroupOrChar(std::size_t pos, std::size_t end) const {
+    const char c = code_[pos];
+    if (c == '(' || c == '[' || c == '{') {
+      const std::size_t close = MatchForward(code_, pos);
+      if (close != std::string::npos && close < end) return close + 1;
+    }
+    return pos + 1;
+  }
+
+  /// Consumes a simple statement: everything up to (and including) the ';'
+  /// at group depth zero. Embedded lambda bodies and brace initializers are
+  /// skipped as balanced groups.
+  std::size_t FindStatementEnd(std::size_t pos, std::size_t end) const {
+    while (pos < end) {
+      if (code_[pos] == ';') return pos + 1;
+      pos = SkipGroupOrChar(pos, end);
+    }
+    return end;
+  }
+
+  Chunk ParseStmtList(std::size_t& pos, std::size_t end) {
+    Chunk list;
+    std::vector<Dangling> open;
+    while (true) {
+      pos = SkipWsForward(code_, pos, end);
+      if (pos >= end || code_[pos] == '}') break;
+      Chunk stmt = ParseStmt(pos, end);
+      if (stmt.entry < 0) continue;  // empty statement
+      if (list.entry < 0) {
+        list.entry = stmt.entry;
+      } else {
+        WireAll(open, stmt.entry);
+      }
+      open = std::move(stmt.exits);
+    }
+    list.exits = std::move(open);
+    return list;
+  }
+
+  Chunk ParseStmt(std::size_t& pos, std::size_t end) {
+    pos = SkipWsForward(code_, pos, end);
+    if (pos >= end) return {};
+    const char c = code_[pos];
+    if (c == ';') {
+      ++pos;
+      return {};
+    }
+    if (c == '{') {
+      const std::size_t close = MatchForward(code_, pos);
+      const std::size_t stop =
+          close == std::string::npos || close > end ? end : close;
+      std::size_t inner = pos + 1;
+      Chunk block = ParseStmtList(inner, stop);
+      pos = stop < end ? stop + 1 : end;
+      return block;
+    }
+    if (KeywordAt(pos, "if")) return ParseIf(pos, end);
+    if (KeywordAt(pos, "while")) return ParseWhile(pos, end);
+    if (KeywordAt(pos, "for")) return ParseFor(pos, end);
+    if (KeywordAt(pos, "do")) return ParseDo(pos, end);
+    if (KeywordAt(pos, "return")) {
+      const std::size_t stop = FindStatementEnd(pos, end);
+      const int node = NewNode(CfgNode::Kind::kStatement, pos, stop);
+      cfg_.nodes[static_cast<std::size_t>(node)].succ.push_back(cfg_.exit);
+      pos = stop;
+      return {node, {}};
+    }
+    if (KeywordAt(pos, "break")) {
+      const std::size_t stop = FindStatementEnd(pos, end);
+      const int node = NewNode(CfgNode::Kind::kStatement, pos, stop);
+      pos = stop;
+      if (!break_frames_.empty()) {
+        break_frames_.back()->push_back({node, -1});
+        return {node, {}};
+      }
+      return {node, {{node, -1}}};
+    }
+    if (KeywordAt(pos, "continue")) {
+      const std::size_t stop = FindStatementEnd(pos, end);
+      const int node = NewNode(CfgNode::Kind::kStatement, pos, stop);
+      pos = stop;
+      if (!continue_targets_.empty()) {
+        cfg_.nodes[static_cast<std::size_t>(node)].succ.push_back(
+            continue_targets_.back());
+        return {node, {}};
+      }
+      return {node, {{node, -1}}};
+    }
+    if (KeywordAt(pos, "switch") || KeywordAt(pos, "try")) {
+      return ParseOpaque(pos, end);
+    }
+    // Simple statement.
+    const std::size_t stop = FindStatementEnd(pos, end);
+    const int node = NewNode(CfgNode::Kind::kStatement, pos, stop);
+    pos = stop;
+    return {node, {{node, -1}}};
+  }
+
+  /// switch/try constructs become one opaque statement node covering the
+  /// whole construct (rules see the text, not the internal branching).
+  Chunk ParseOpaque(std::size_t& pos, std::size_t end) {
+    const std::size_t begin = pos;
+    while (pos < end && IsIdentifierChar(code_[pos])) ++pos;  // keyword
+    pos = SkipWsForward(code_, pos, end);
+    if (pos < end && code_[pos] == '(') pos = SkipGroupOrChar(pos, end);
+    pos = SkipWsForward(code_, pos, end);
+    if (pos < end && code_[pos] == '{') pos = SkipGroupOrChar(pos, end);
+    // try: consume catch clauses; switch: nothing follows the block.
+    while (true) {
+      const std::size_t mark = SkipWsForward(code_, pos, end);
+      if (mark >= end || !KeywordAt(mark, "catch")) break;
+      pos = mark + 5;
+      pos = SkipWsForward(code_, pos, end);
+      if (pos < end && code_[pos] == '(') pos = SkipGroupOrChar(pos, end);
+      pos = SkipWsForward(code_, pos, end);
+      if (pos < end && code_[pos] == '{') pos = SkipGroupOrChar(pos, end);
+    }
+    const int node = NewNode(CfgNode::Kind::kStatement, begin, pos);
+    return {node, {{node, -1}}};
+  }
+
+  Chunk ParseIf(std::size_t& pos, std::size_t end) {
+    pos += 2;  // "if"
+    pos = SkipWsForward(code_, pos, end);
+    if (KeywordAt(pos, "constexpr")) {
+      pos += 9;
+      pos = SkipWsForward(code_, pos, end);
+    }
+    if (pos >= end || code_[pos] != '(') return ParseOpaqueTail(pos, end);
+    const std::size_t close = MatchForward(code_, pos);
+    if (close == std::string::npos || close > end) {
+      return ParseOpaqueTail(pos, end);
+    }
+    const int cond = NewNode(CfgNode::Kind::kCondition, pos + 1, close);
+    pos = close + 1;
+
+    Chunk then = ParseStmt(pos, end);
+    Chunk out;
+    out.entry = cond;
+    if (then.entry >= 0) {
+      Wire({cond, 0}, then.entry);
+      out.exits = std::move(then.exits);
+    } else {
+      out.exits.push_back({cond, 0});
+    }
+    const std::size_t mark = SkipWsForward(code_, pos, end);
+    if (mark < end && KeywordAt(mark, "else")) {
+      pos = mark + 4;
+      Chunk alt = ParseStmt(pos, end);
+      if (alt.entry >= 0) {
+        Wire({cond, 1}, alt.entry);
+        out.exits.insert(out.exits.end(), alt.exits.begin(), alt.exits.end());
+      } else {
+        out.exits.push_back({cond, 1});
+      }
+    } else {
+      out.exits.push_back({cond, 1});
+    }
+    return out;
+  }
+
+  Chunk ParseWhile(std::size_t& pos, std::size_t end) {
+    pos += 5;  // "while"
+    pos = SkipWsForward(code_, pos, end);
+    if (pos >= end || code_[pos] != '(') return ParseOpaqueTail(pos, end);
+    const std::size_t close = MatchForward(code_, pos);
+    if (close == std::string::npos || close > end) {
+      return ParseOpaqueTail(pos, end);
+    }
+    const int cond = NewNode(CfgNode::Kind::kCondition, pos + 1, close);
+    pos = close + 1;
+
+    std::vector<Dangling> breaks;
+    break_frames_.push_back(&breaks);
+    continue_targets_.push_back(cond);
+    Chunk body = ParseStmt(pos, end);
+    continue_targets_.pop_back();
+    break_frames_.pop_back();
+
+    if (body.entry >= 0) {
+      Wire({cond, 0}, body.entry);
+      WireAll(body.exits, cond);
+    } else {
+      Wire({cond, 0}, cond);
+    }
+    Chunk out;
+    out.entry = cond;
+    out.exits = std::move(breaks);
+    out.exits.push_back({cond, 1});
+    return out;
+  }
+
+  Chunk ParseFor(std::size_t& pos, std::size_t end) {
+    pos += 3;  // "for"
+    pos = SkipWsForward(code_, pos, end);
+    if (pos >= end || code_[pos] != '(') return ParseOpaqueTail(pos, end);
+    const std::size_t open = pos;
+    const std::size_t close = MatchForward(code_, pos);
+    if (close == std::string::npos || close > end) {
+      return ParseOpaqueTail(pos, end);
+    }
+    // Top-level ';' positions split init / condition / increment.
+    std::vector<std::size_t> semis;
+    for (std::size_t p = open + 1; p < close;) {
+      if (code_[p] == ';') {
+        semis.push_back(p);
+        ++p;
+        continue;
+      }
+      p = SkipGroupOrChar(p, close);
+    }
+    pos = close + 1;
+
+    if (semis.size() < 2) {
+      // Range-for: the whole header acts as the loop condition (the loop may
+      // run zero times); its span carries the loop-variable declaration.
+      const int head = NewNode(CfgNode::Kind::kCondition, open + 1, close);
+      std::vector<Dangling> breaks;
+      break_frames_.push_back(&breaks);
+      continue_targets_.push_back(head);
+      Chunk body = ParseStmt(pos, end);
+      continue_targets_.pop_back();
+      break_frames_.pop_back();
+      if (body.entry >= 0) {
+        Wire({head, 0}, body.entry);
+        WireAll(body.exits, head);
+      } else {
+        Wire({head, 0}, head);
+      }
+      Chunk out;
+      out.entry = head;
+      out.exits = std::move(breaks);
+      out.exits.push_back({head, 1});
+      return out;
+    }
+
+    const std::size_t init_b = open + 1;
+    const std::size_t init_e = semis[0];
+    const std::size_t cond_b = semis[0] + 1;
+    const std::size_t cond_e = semis[1];
+    const std::size_t incr_b = semis[1] + 1;
+    const std::size_t incr_e = close;
+
+    const bool has_init =
+        SkipWsForward(code_, init_b, init_e) < init_e;
+    const bool has_incr =
+        SkipWsForward(code_, incr_b, incr_e) < incr_e;
+    const int init =
+        has_init ? NewNode(CfgNode::Kind::kStatement, init_b, init_e) : -1;
+    const int cond = NewNode(CfgNode::Kind::kCondition, cond_b, cond_e);
+    const int incr =
+        has_incr ? NewNode(CfgNode::Kind::kStatement, incr_b, incr_e) : -1;
+    if (init >= 0) cfg_.nodes[static_cast<std::size_t>(init)].succ.push_back(cond);
+
+    std::vector<Dangling> breaks;
+    break_frames_.push_back(&breaks);
+    continue_targets_.push_back(incr >= 0 ? incr : cond);
+    Chunk body = ParseStmt(pos, end);
+    continue_targets_.pop_back();
+    break_frames_.pop_back();
+
+    const int after_body = incr >= 0 ? incr : cond;
+    if (body.entry >= 0) {
+      Wire({cond, 0}, body.entry);
+      WireAll(body.exits, after_body);
+    } else {
+      Wire({cond, 0}, after_body);
+    }
+    if (incr >= 0) cfg_.nodes[static_cast<std::size_t>(incr)].succ.push_back(cond);
+
+    Chunk out;
+    out.entry = init >= 0 ? init : cond;
+    out.exits = std::move(breaks);
+    out.exits.push_back({cond, 1});
+    return out;
+  }
+
+  Chunk ParseDo(std::size_t& pos, std::size_t end) {
+    pos += 2;  // "do"
+    // The condition node is created up front so `continue` can target it.
+    const int cond = NewNode(CfgNode::Kind::kCondition, pos, pos);
+
+    std::vector<Dangling> breaks;
+    break_frames_.push_back(&breaks);
+    continue_targets_.push_back(cond);
+    Chunk body = ParseStmt(pos, end);
+    continue_targets_.pop_back();
+    break_frames_.pop_back();
+
+    std::size_t mark = SkipWsForward(code_, pos, end);
+    if (mark < end && KeywordAt(mark, "while")) {
+      pos = mark + 5;
+      pos = SkipWsForward(code_, pos, end);
+      if (pos < end && code_[pos] == '(') {
+        const std::size_t close = MatchForward(code_, pos);
+        if (close != std::string::npos && close <= end) {
+          CfgNode& node = cfg_.nodes[static_cast<std::size_t>(cond)];
+          node.begin = pos + 1;
+          node.end = close;
+          node.line = index_.LineOf(SkipWsForward(code_, pos + 1, close));
+          pos = close + 1;
+        }
+      }
+      mark = SkipWsForward(code_, pos, end);
+      if (mark < end && code_[mark] == ';') pos = mark + 1;
+    }
+    WireAll(body.exits, cond);
+    Wire({cond, 0}, body.entry >= 0 ? body.entry : cond);
+    Chunk out;
+    out.entry = body.entry >= 0 ? body.entry : cond;
+    out.exits = std::move(breaks);
+    out.exits.push_back({cond, 1});
+    return out;
+  }
+
+  /// Fallback when a control header is malformed: treat the rest of the
+  /// statement as one opaque node so the walk keeps going.
+  Chunk ParseOpaqueTail(std::size_t& pos, std::size_t end) {
+    const std::size_t begin = pos;
+    const std::size_t stop = FindStatementEnd(pos, end);
+    const int node = NewNode(CfgNode::Kind::kStatement, begin, stop);
+    pos = stop;
+    return {node, {{node, -1}}};
+  }
+
+  const std::string& code_;
+  const TextIndex& index_;
+  Cfg cfg_;
+  std::vector<std::vector<Dangling>*> break_frames_;
+  std::vector<int> continue_targets_;
+};
+
+}  // namespace
+
+Cfg BuildCfg(const std::string& code, std::size_t body_begin,
+             std::size_t body_end, const TextIndex& index) {
+  Builder builder(code, index);
+  return builder.Build(body_begin, body_end);
+}
+
+}  // namespace myrtus::lint

@@ -1,0 +1,52 @@
+// Statement-level control-flow graphs for myrtus_lint's flow rules.
+//
+// BuildCfg parses one brace-delimited body from the stripped code view into
+// basic statements and conditions, wired with explicit edges:
+//
+//   * sequencing, `{}` blocks
+//   * if / else (condition nodes carry a true edge then a false edge)
+//   * while / for / range-for / do-while, with break and continue
+//   * early return (wired straight to the exit node)
+//
+// Everything else — switch, try, goto — is kept as a single opaque statement
+// node whose span covers the whole construct; rules still see its text but
+// not its internal branching (a documented false-negative envelope, see
+// docs/LINTING.md). No template instantiation, no overload resolution, no
+// macro expansion: this is a syntactic CFG, exact for the code style this
+// repository enforces.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ast.hpp"
+
+namespace myrtus::lint {
+
+struct CfgNode {
+  enum class Kind {
+    kEntry,
+    kExit,
+    kStatement,  // simple statement (or opaque construct)
+    kCondition,  // if/while/for/do condition: succ[0] true, succ[1] false
+  };
+  Kind kind = Kind::kStatement;
+  std::size_t begin = 0;  // span in the code buffer (condition or statement)
+  std::size_t end = 0;    // exclusive
+  int line = 0;           // 1-based line of the first character of the span
+  std::vector<int> succ;
+};
+
+struct Cfg {
+  std::vector<CfgNode> nodes;  // nodes[entry] / nodes[exit] always exist
+  int entry = 0;
+  int exit = 1;
+};
+
+/// Builds the CFG for the body whose '{' is at `body_begin` and matching '}'
+/// at `body_end` in `code`. `index` supplies line numbers.
+Cfg BuildCfg(const std::string& code, std::size_t body_begin,
+             std::size_t body_end, const TextIndex& index);
+
+}  // namespace myrtus::lint

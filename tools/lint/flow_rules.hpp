@@ -1,0 +1,51 @@
+// Flow-aware rule families for myrtus_lint, built on the AST/CFG front-end
+// (tools/lint/ast.hpp, tools/lint/cfg.hpp):
+//
+//   parallel-capture-race    — every write through a by-reference capture
+//                              inside a util::Parallel* body must land in a
+//                              shard-indexed slot: `out[shard.index]`, an
+//                              induction variable derived from shard.begin,
+//                              the per-item index of ParallelMap, a reference
+//                              alias of such a slot, or an atomic method.
+//   statusor-use-before-ok   — .value() / operator* / operator-> on a
+//                              util::StatusOr variable must be dominated by
+//                              an ok()/MustOk check on every CFG path within
+//                              the enclosing function (or lambda) body.
+//   rng-substream-discipline — util::Rng constructed inside a parallel body
+//                              must be the 3-arg (seed, stream, index)
+//                              substream form (or use the rng the runtime
+//                              hands in); and no two src/ call sites may
+//                              construct the same literal (seed, "stream")
+//                              identity — duplicate streams draw identical
+//                              sequences and silently correlate components.
+//
+// docs/LINTING.md documents each family's false-negative envelope.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast.hpp"
+#include "rules.hpp"
+
+namespace myrtus::lint {
+
+/// Names of functions declared to return util::StatusOr<...> anywhere in the
+/// scanned set (the `auto v = Foo(...)` declaration heuristic needs them).
+std::set<std::string> CollectStatusOrReturningFunctions(
+    const std::vector<FileContext>& files);
+
+std::vector<Finding> CheckParallelCaptureRace(const FileContext& file,
+                                              const FileAst& ast);
+
+std::vector<Finding> CheckStatusOrFlow(const FileContext& file,
+                                       const FileAst& ast,
+                                       const std::set<std::string>& statusor_fns);
+
+/// Runs over every file at once: the duplicate-(seed, stream) half of the
+/// rule is a cross-file property. `files` and `asts` are parallel arrays.
+std::vector<Finding> CheckRngDiscipline(const std::vector<FileContext>& files,
+                                        const std::vector<FileAst>& asts);
+
+}  // namespace myrtus::lint

@@ -1,10 +1,20 @@
 // myrtus_lint — project-invariant static analyzer for the MYRTUS tree.
 //
-//   myrtus_lint [--repo-root=DIR] [--suppressions=FILE] <path>...
+//   myrtus_lint [--repo-root=DIR] [--suppressions=FILE]
+//               [--allow-stale-suppressions] [--max-ms=N] <path>...
 //
-// Prints one `file:line: rule-id: message` per unsuppressed finding.
-// Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+// Prints one `file:line:col: rule-id: message` per unsuppressed finding
+// (column omitted when the rule only knows the line) — the GCC diagnostic
+// shape, so editors and CI annotators parse it natively.
+//
+// Exit codes: 0 = clean, 1 = findings, stale suppressions, or the --max-ms
+// budget blown, 2 = usage or I/O error. A suppression that matched nothing is
+// stale: it outlived the finding it justified and must be deleted (or the run
+// re-invoked with --allow-stale-suppressions while a fix is split across
+// commits).
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -13,16 +23,22 @@
 int main(int argc, char** argv) {
   myrtus::lint::Options options;
   std::vector<std::string> paths;
+  bool allow_stale = false;
+  long max_ms = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--repo-root=", 0) == 0) {
       options.repo_root = arg.substr(12);
     } else if (arg.rfind("--suppressions=", 0) == 0) {
       options.suppressions_path = arg.substr(15);
+    } else if (arg == "--allow-stale-suppressions") {
+      allow_stale = true;
+    } else if (arg.rfind("--max-ms=", 0) == 0) {
+      max_ms = std::strtol(arg.c_str() + 9, nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: myrtus_lint [--repo-root=DIR] [--suppressions=FILE] "
-          "<path>...\n");
+          "[--allow-stale-suppressions] [--max-ms=N] <path>...\n");
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "myrtus_lint: unknown flag '%s'\n", arg.c_str());
@@ -36,24 +52,49 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // The analyzer is host tooling, not simulation code: wall time here gates
+  // its own latency budget (--max-ms), it never feeds a computed result.
+  // LINT: allow(determinism, lint CLI measures its own runtime for --max-ms)
+  const auto start = std::chrono::steady_clock::now();
   auto result = myrtus::lint::LintPaths(paths, options);
+  // LINT: allow(determinism, lint CLI measures its own runtime for --max-ms)
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const long elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count();
   if (!result.ok()) {
     std::fprintf(stderr, "myrtus_lint: %s\n", result.status().ToString().c_str());
     return 2;
   }
 
   for (const myrtus::lint::Finding& f : result->findings) {
-    std::printf("%s:%d: %s: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
-                f.message.c_str());
+    if (f.col > 0) {
+      std::printf("%s:%d:%d: %s: %s\n", f.file.c_str(), f.line, f.col,
+                  f.rule.c_str(), f.message.c_str());
+    } else {
+      std::printf("%s:%d: %s: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
   }
+  bool failed = !result->findings.empty();
   for (const myrtus::lint::Suppression& sup : result->unused_suppressions) {
     std::fprintf(stderr,
-                 "myrtus_lint: note: suppression matched nothing this run: "
+                 "myrtus_lint: %s: suppression matched nothing this run: "
                  "%s %s (%s)\n",
-                 sup.rule.c_str(), sup.path_pattern.c_str(), sup.reason.c_str());
+                 allow_stale ? "note" : "error", sup.rule.c_str(),
+                 sup.path_pattern.c_str(), sup.reason.c_str());
+    if (!allow_stale) failed = true;
   }
-  std::fprintf(stderr, "myrtus_lint: %zu files scanned, %zu finding(s), %zu suppressed\n",
+  if (max_ms > 0 && elapsed_ms > max_ms) {
+    std::fprintf(stderr,
+                 "myrtus_lint: error: run took %ldms, over the --max-ms=%ld "
+                 "budget\n",
+                 elapsed_ms, max_ms);
+    failed = true;
+  }
+  std::fprintf(stderr,
+               "myrtus_lint: %zu files scanned, %zu finding(s), %zu "
+               "suppressed, %ldms\n",
                result->files_scanned, result->findings.size(),
-               result->suppressed);
-  return result->findings.empty() ? 0 : 1;
+               result->suppressed, elapsed_ms);
+  return failed ? 1 : 0;
 }

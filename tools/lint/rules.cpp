@@ -5,6 +5,8 @@
 #include <map>
 #include <regex>
 
+#include "ast.hpp"
+#include "flow_rules.hpp"
 #include "lexer.hpp"
 
 namespace myrtus::lint {
@@ -293,8 +295,10 @@ FileContext MakeFileContext(std::string path, const std::string& source) {
     const std::size_t slash = ctx.path.find('/', 4);
     if (slash != std::string::npos) ctx.module = ctx.path.substr(4, slash - 4);
   }
-  ctx.raw_lines = SplitLines(source);
-  ctx.code_lines = SplitLines(StripCommentsAndStrings(source));
+  ctx.raw = source;
+  ctx.code = StripCommentsAndStrings(source);
+  ctx.raw_lines = SplitLines(ctx.raw);
+  ctx.code_lines = SplitLines(ctx.code);
   return ctx;
 }
 
@@ -336,8 +340,15 @@ bool HasSiteAnnotation(const FileContext& file, int line, const std::string& rul
 std::vector<Finding> RunRules(const std::vector<FileContext>& files,
                               const std::vector<std::string>& determinism_allowlist) {
   const std::set<std::string> status_fns = CollectStatusReturningFunctions(files);
+  const std::set<std::string> statusor_fns =
+      CollectStatusOrReturningFunctions(files);
+  std::vector<FileAst> asts;
+  asts.reserve(files.size());
+  for (const FileContext& file : files) asts.push_back(BuildFileAst(file));
   std::vector<Finding> findings;
-  for (const FileContext& file : files) {
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const FileContext& file = files[fi];
+    const FileAst& ast = asts[fi];
     std::vector<Finding> file_findings;
     const bool time_allowed =
         std::any_of(determinism_allowlist.begin(), determinism_allowlist.end(),
@@ -349,6 +360,12 @@ std::vector<Finding> RunRules(const std::vector<FileContext>& files,
     CheckStatusDiscard(file, status_fns, file_findings);
     CheckPragmaOnce(file, file_findings);
     CheckBannedFunctions(file, file_findings);
+    for (Finding& f : CheckParallelCaptureRace(file, ast)) {
+      file_findings.push_back(std::move(f));
+    }
+    for (Finding& f : CheckStatusOrFlow(file, ast, statusor_fns)) {
+      file_findings.push_back(std::move(f));
+    }
     for (Finding& f : file_findings) {
       // status-discard already consulted its annotation; every other rule
       // honors the generic `LINT: allow(<rule>, reason)` escape hatch here.
@@ -357,6 +374,17 @@ std::vector<Finding> RunRules(const std::vector<FileContext>& files,
       }
       findings.push_back(std::move(f));
     }
+  }
+  // rng-substream-discipline spans files (duplicate stream identities), so it
+  // runs once over the whole set; annotations are honored per site.
+  std::map<std::string, const FileContext*> by_path;
+  for (const FileContext& file : files) by_path[file.path] = &file;
+  for (Finding& f : CheckRngDiscipline(files, asts)) {
+    const auto it = by_path.find(f.file);
+    if (it != by_path.end() && HasSiteAnnotation(*it->second, f.line, f.rule)) {
+      continue;
+    }
+    findings.push_back(std::move(f));
   }
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {

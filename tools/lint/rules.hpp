@@ -12,6 +12,18 @@
 //   pragma-once     — every header carries `#pragma once`.
 //   hygiene-banned  — strcpy/sprintf/atoi-class functions are banned.
 //
+// Three flow-aware families run on top of the AST/CFG front-end
+// (tools/lint/ast.hpp, tools/lint/cfg.hpp, tools/lint/flow_rules.hpp):
+//
+//   parallel-capture-race    — writes through by-reference captures inside
+//                              util::Parallel* bodies must be shard-indexed.
+//   statusor-use-before-ok   — .value()/operator*/operator-> on a StatusOr
+//                              must be dominated by an ok()/MustOk check on
+//                              every CFG path within the function.
+//   rng-substream-discipline — no ambient util::Rng construction inside
+//                              parallel bodies; no duplicate literal
+//                              (seed, stream) pairs across src/.
+//
 // Any rule can additionally be waived at a single site with
 // `// LINT: allow(<rule-id>, <reason>)` on the finding line or the line above.
 #pragma once
@@ -27,14 +39,20 @@ struct Finding {
   int line = 0;      // 1-based
   std::string rule;
   std::string message;
+  int col = 0;  // 1-based; 0 = unknown (whole-line finding). Last on purpose:
+                // the line-only rules brace-init the first four fields.
 };
 
 /// One analyzed file: raw text for annotation lookup, stripped "code view"
-/// for token matching. Paths are repo-relative with forward slashes.
+/// for token matching. Paths are repo-relative with forward slashes. The
+/// joined `raw`/`code` buffers are byte-for-byte the same geometry (the lexer
+/// guarantees it), so offsets found in the code view address the raw text.
 struct FileContext {
   std::string path;
   std::string module;  // "util", "net", ... for src/<module>/ files, else ""
   bool is_header = false;
+  std::string raw;   // original source
+  std::string code;  // stripped source (comments/literal contents blanked)
   std::vector<std::string> raw_lines;
   std::vector<std::string> code_lines;
 };
