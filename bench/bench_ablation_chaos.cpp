@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/report.hpp"
 #include "continuum/infrastructure.hpp"
 #include "kb/cluster.hpp"
 #include "sched/controller.hpp"
@@ -50,7 +51,7 @@ struct LossyRaftWorld {
   }
 };
 
-void PrintLossSweepTable() {
+void PrintLossSweepTable(bench::Report& report) {
   std::printf(
       "=== A6: Raft commit under per-hop loss, CallWithRetry on vs off "
       "(3 replicas, 2ms links, %d writes/cell) ===\n",
@@ -94,6 +95,18 @@ void PrintLossSweepTable() {
                   loss, with_retry ? "on" : "off", committed,
                   g_writes_per_cell, latency_ms.p50(), latency_ms.p95(),
                   static_cast<unsigned long long>(world.network->retries()));
+      // The headline robustness cell: sim-time results are seed-deterministic,
+      // so they gate the regression diff.
+      if (loss == 0.10 && with_retry) {
+        report.AddMetric("raft_commit_rate_loss10_retry",
+                         g_writes_per_cell > 0
+                             ? static_cast<double>(committed) /
+                                   g_writes_per_cell
+                             : 0.0,
+                         "fraction", /*higher_is_better=*/true);
+        report.AddMetric("raft_commit_p95_ms_loss10_retry", latency_ms.p95(),
+                         "ms");
+      }
     }
   }
   std::printf(
@@ -101,7 +114,7 @@ void PrintLossSweepTable() {
       " attempt at loss 0.10 fails ~19%% of the time)\n\n");
 }
 
-void PrintNodeChurnTable() {
+void PrintNodeChurnTable(bench::Report& report) {
   std::printf(
       "=== A6b: placement success under node-kill chaos, reconcile loop "
       "on vs off (6 replicas, 3 flapping nodes, %.0fs horizon) ===\n",
@@ -156,6 +169,13 @@ void PrintNodeChurnTable() {
         ++samples;
       }
       const double mean_healthy = samples > 0 ? healthy_sum / samples : 0.0;
+      if (chaos_on && reconcile_on) {
+        report.AddMetric("mean_healthy_replicas_chaos", mean_healthy,
+                         "replicas", /*higher_is_better=*/true);
+        report.AddMetric("final_healthy_replicas_chaos",
+                         static_cast<double>(healthy_replicas()), "replicas",
+                         /*higher_is_better=*/true);
+      }
       std::printf("%-10s | %-10s | %6.2f /%3d | %7d /%3d | %11llu\n",
                   chaos_on ? "on" : "off", reconcile_on ? "on" : "off",
                   mean_healthy, dep.replicas, healthy_replicas(),
@@ -220,18 +240,19 @@ BENCHMARK(BM_CallWithRetryLossyLink);
 int main(int argc, char** argv) {
   // `--quick` keeps CI smoke runs to a few simulated seconds; strip it
   // before benchmark::Initialize, which rejects unknown flags.
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") {
-      g_writes_per_cell = 4;
-      g_chaos_horizon = sim::SimTime::Seconds(5);
-    } else {
-      argv[out++] = argv[i];
-    }
+  const bool quick = bench::StripFlag(argc, argv, "--quick");
+  if (quick) {
+    g_writes_per_cell = 4;
+    g_chaos_horizon = sim::SimTime::Seconds(5);
   }
-  argc = out;
-  PrintLossSweepTable();
-  PrintNodeChurnTable();
+  const std::string out_path = bench::StripValueFlag(argc, argv, "--out=", "");
+  bench::Report report("A6_chaos_ablation", "chaos");
+  report.set_mode(quick ? "quick" : "full");
+  report.set_seed(23);
+  report.set_sim_ms(g_chaos_horizon.ToMillisF());
+  PrintLossSweepTable(report);
+  PrintNodeChurnTable(report);
+  util::MustOk(report.Write(out_path));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

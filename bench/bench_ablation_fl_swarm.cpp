@@ -6,7 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
+#include "bench/report.hpp"
 #include "fl/fedavg.hpp"
 #include "swarm/placement.hpp"
 
@@ -28,7 +30,7 @@ fl::Dataset MakeAgentData(std::size_t n, double regime_center, util::Rng& rng) {
   return data;
 }
 
-void PrintFlTable() {
+void PrintFlTable(bench::Report& report) {
   std::printf("=== A4a: FedAvg vs local-only operating-point predictors ===\n");
   std::printf("%-8s | %-18s | %-18s\n", "agents", "FedAvg accuracy",
               "mean local accuracy");
@@ -56,6 +58,12 @@ void PrintFlTable() {
     local_acc /= static_cast<double>(locals.size());
     std::printf("%-8zu | %17.1f%% | %17.1f%%\n", agents,
                 global.Accuracy(pooled) * 100, local_acc * 100);
+    if (agents == 16u) {
+      report.AddMetric("fedavg_accuracy_16_agents", global.Accuracy(pooled),
+                       "fraction", /*higher_is_better=*/true);
+      report.AddMetric("local_only_accuracy_16_agents", local_acc, "fraction",
+                       /*higher_is_better=*/true);
+    }
   }
   std::printf("\n");
 }
@@ -84,7 +92,7 @@ swarm::PlacementProblem MakeProblem(std::size_t tasks, std::size_t nodes,
   return p;
 }
 
-void PrintSwarmTable() {
+void PrintSwarmTable(bench::Report& report) {
   std::printf("=== A4b: placement solvers at scale (cost; lower is better) ===\n");
   std::printf("%-14s | %-10s | %-10s | %-10s | %-10s\n", "tasks x nodes",
               "random", "greedy", "pso", "aco");
@@ -103,6 +111,11 @@ void PrintSwarmTable() {
     std::snprintf(label, sizeof label, "%zu x %zu", tasks, nodes);
     std::printf("%-14s | %10.1f | %10.1f | %10.1f | %10.1f\n", label,
                 random_cost, greedy, pso, aco);
+    if (tasks == 80) {
+      report.AddMetric("greedy_cost_80x20", greedy, "cost");
+      report.AddMetric("pso_cost_80x20", pso, "cost");
+      report.AddMetric("aco_cost_80x20", aco, "cost");
+    }
   }
   std::printf("\n");
 }
@@ -140,8 +153,12 @@ BENCHMARK(BM_SwarmSolvers)->Arg(0)->Arg(1)->Arg(2)->ArgNames({"solver"})->Unit(b
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintFlTable();
-  PrintSwarmTable();
+  const std::string out_path = bench::StripValueFlag(argc, argv, "--out=", "");
+  bench::Report report("A4_fl_swarm_ablation", "fl_swarm");
+  report.set_seed(50);
+  PrintFlTable(report);
+  PrintSwarmTable(report);
+  util::MustOk(report.Write(out_path));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -6,7 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
+#include "bench/report.hpp"
 #include "kb/cluster.hpp"
 #include "util/stats.hpp"
 
@@ -58,7 +60,7 @@ util::Samples MeasureCommitLatency(std::size_t replicas, int writes) {
   return latency_ms;
 }
 
-void PrintLatencyTable() {
+void PrintLatencyTable(bench::Report& report) {
   std::printf("=== A2: KB commit latency vs replication factor (2ms links) ===\n");
   std::printf("%-10s | %-10s | %-10s | %-10s\n", "replicas", "p50 (ms)",
               "p95 (ms)", "writes/s*");
@@ -67,6 +69,10 @@ void PrintLatencyTable() {
     const double throughput = lat.p50() > 0 ? 1000.0 / lat.p50() : 0.0;
     std::printf("%-10zu | %10.2f | %10.2f | %10.1f\n", n, lat.p50(), lat.p95(),
                 throughput);
+    if (n == 3u) {
+      report.AddMetric("commit_p50_ms_3_replicas", lat.p50(), "ms");
+      report.AddMetric("commit_p95_ms_3_replicas", lat.p95(), "ms");
+    }
   }
   std::printf("(*sequential closed-loop; simulated time)\n\n");
 }
@@ -130,7 +136,7 @@ void BM_RangeScan(benchmark::State& state) {
 }
 BENCHMARK(BM_RangeScan);
 
-void PrintFailoverTable() {
+void PrintFailoverTable(bench::Report& report) {
   std::printf("=== A2b: leader failover downtime (5 replicas, 2ms links) ===\n");
   RaftWorld world(5, sim::SimTime::Millis(2));
   const int leader = world.cluster->LeaderIndex();
@@ -144,15 +150,21 @@ void PrintFailoverTable() {
          world.engine.Now() < crashed_at + sim::SimTime::Seconds(30)) {
     world.engine.RunUntil(world.engine.Now() + sim::SimTime::Millis(10));
   }
+  const double failover_ms = (world.engine.Now() - crashed_at).ToMillisF();
+  report.AddMetric("leader_failover_ms_5_replicas", failover_ms, "ms");
   std::printf("new leader after %.1f ms (election timeout 150-300ms)\n\n",
-              (world.engine.Now() - crashed_at).ToMillisF());
+              failover_ms);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintLatencyTable();
-  PrintFailoverTable();
+  const std::string out_path = bench::StripValueFlag(argc, argv, "--out=", "");
+  bench::Report report("A2_kb_raft_ablation", "kb_raft");
+  report.set_seed(17);
+  PrintLatencyTable(report);
+  PrintFailoverTable(report);
+  util::MustOk(report.Write(out_path));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -7,7 +7,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
+#include "bench/report.hpp"
 #include "continuum/infrastructure.hpp"
 #include "mirto/managers.hpp"
 #include "util/rng.hpp"
@@ -82,7 +84,7 @@ Outcome RunLoad(Policy policy, double load_fraction, std::uint64_t seed) {
   return out;
 }
 
-void PrintTable() {
+void PrintTable(bench::Report& report) {
   std::printf("=== A3: operating-point policies vs offered load ===\n");
   std::printf("(20s of Poisson tasks; energy includes idle draw)\n");
   std::printf("%-6s | %-28s | %-28s | %-28s\n", "load", "fastest (mJ/viol%/p95)",
@@ -97,6 +99,12 @@ void PrintTable() {
                 eco.energy_mj, eco.violation_rate * 100, eco.p95_ms,
                 adaptive.energy_mj, adaptive.violation_rate * 100,
                 adaptive.p95_ms);
+    if (load == 0.5) {
+      report.AddMetric("adaptive_energy_mj_load50", adaptive.energy_mj, "mJ");
+      report.AddMetric("adaptive_violation_rate_load50",
+                       adaptive.violation_rate, "fraction");
+      report.AddMetric("adaptive_p95_ms_load50", adaptive.p95_ms, "ms");
+    }
   }
   std::printf("\n");
 }
@@ -123,7 +131,12 @@ BENCHMARK(BM_OperatingPointSwitch);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintTable();
+  const std::string out_path = bench::StripValueFlag(argc, argv, "--out=", "");
+  bench::Report report("A3_operating_points", "operating_points");
+  report.set_seed(1);
+  report.set_sim_ms(25'000.0);
+  PrintTable(report);
+  util::MustOk(report.Write(out_path));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -6,7 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
+#include "bench/report.hpp"
 #include "mirto/managers.hpp"
 #include "usecases/scenario.hpp"
 
@@ -73,7 +75,7 @@ RunResult RunScenario(PlacementStrategy strategy, bool mobility, int edge_scale)
   return result;
 }
 
-void PrintComparison() {
+void PrintComparison(bench::Report& report) {
   std::printf("=== A1: orchestration strategies on both use cases ===\n");
   for (const int scale : {1, 3}) {
     for (const bool mobility : {true, false}) {
@@ -95,6 +97,16 @@ void PrintComparison() {
                     std::string(PlacementStrategyName(strategy)).c_str(),
                     r.p95_ms, r.violation_rate * 100, r.energy_mj,
                     static_cast<unsigned long long>(r.completed));
+        // Headline cell: greedy on smart-mobility at the base fleet size.
+        if (strategy == PlacementStrategy::kGreedy && mobility && scale == 1) {
+          report.AddMetric("greedy_mobility_p95_ms", r.p95_ms, "ms");
+          report.AddMetric("greedy_mobility_violation_rate", r.violation_rate,
+                           "fraction");
+          report.AddMetric("greedy_mobility_energy_mj", r.energy_mj, "mJ");
+          report.AddMetric("greedy_mobility_frames",
+                           static_cast<double>(r.completed), "frames",
+                           /*higher_is_better=*/true);
+        }
       }
     }
   }
@@ -116,7 +128,12 @@ BENCHMARK(BM_StrategyEndToEnd)
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintComparison();
+  const std::string out_path = bench::StripValueFlag(argc, argv, "--out=", "");
+  bench::Report report("A1_orchestrator_ablation", "orchestrators");
+  report.set_seed(31);
+  report.set_sim_ms(12'000.0);
+  PrintComparison(report);
+  util::MustOk(report.Write(out_path));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

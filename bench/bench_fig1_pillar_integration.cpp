@@ -7,7 +7,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 
+#include "bench/report.hpp"
 #include "mirto/engine.hpp"
 #include "usecases/scenario.hpp"
 
@@ -15,7 +17,7 @@ using namespace myrtus;
 
 namespace {
 
-void PrintIntegrationTable() {
+void PrintIntegrationTable(bench::Report& report) {
   std::printf("=== Fig. 1: pillar integration, per-phase wall times ===\n");
   std::printf("%-16s | %-12s | %-14s | %-16s | KPIs\n", "use case",
               "P3 design", "P2 deploy", "P1+2 runtime");
@@ -63,6 +65,14 @@ void PrintIntegrationTable() {
                 deployed ? 1 : 0,
                 static_cast<unsigned long long>(kpis.completed),
                 kpis.latency_ms.p95(), kpis.ViolationRate() * 100);
+    const std::string prefix = mobility ? "mobility" : "telerehab";
+    report.AddMetric(prefix + "_deployed", deployed ? 1.0 : 0.0, "bool",
+                     /*higher_is_better=*/true);
+    report.AddMetric(prefix + "_frames", static_cast<double>(kpis.completed),
+                     "frames", /*higher_is_better=*/true);
+    report.AddMetric(prefix + "_p95_ms", kpis.latency_ms.p95(), "ms");
+    report.AddMetric(prefix + "_design_wall_ms", ms(t0, t1), "ms",
+                     /*higher_is_better=*/false, /*gate=*/false);
   }
   std::printf("\n");
 }
@@ -111,7 +121,11 @@ BENCHMARK(BM_SimulatedSecondOfTraffic)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintIntegrationTable();
+  const std::string out_path = bench::StripValueFlag(argc, argv, "--out=", "");
+  bench::Report report("F1_pillar_integration", "pillar_integration");
+  report.set_seed(3);
+  PrintIntegrationTable(report);
+  util::MustOk(report.Write(out_path));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

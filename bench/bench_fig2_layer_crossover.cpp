@@ -7,7 +7,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
+#include "bench/report.hpp"
 #include "continuum/infrastructure.hpp"
 
 using namespace myrtus;
@@ -46,7 +48,7 @@ LayerOutcome EvaluateAt(const continuum::Infrastructure& infra,
   return {est.latency.ToMillisF() + network_ms, est.energy_mj + network_mj};
 }
 
-void PrintCrossoverTable() {
+void PrintCrossoverTable(bench::Report& report) {
   sim::Engine engine;
   continuum::Infrastructure infra = continuum::BuildInfrastructure(engine, {});
   continuum::ComputeNode* edge = infra.FindNode("edge-0");
@@ -76,6 +78,14 @@ void PrintCrossoverTable() {
                   static_cast<unsigned long long>(bytes), e.latency_ms,
                   e.energy_mj, f.latency_ms, f.energy_mj, c.latency_ms,
                   c.energy_mj, winner);
+      // The mid-sweep cell is the crossover region the figure cares about:
+      // the analytical model is deterministic, so these gate the diff.
+      if (cycles == 1'000'000'000ULL && bytes == 1'000'000ULL) {
+        report.AddMetric("edge_latency_ms_1e9_1mb", e.latency_ms, "ms");
+        report.AddMetric("fog_latency_ms_1e9_1mb", f.latency_ms, "ms");
+        report.AddMetric("cloud_latency_ms_1e9_1mb", c.latency_ms, "ms");
+        report.AddMetric("edge_energy_mj_1e9_1mb", e.energy_mj, "mJ");
+      }
     }
   }
   std::printf("\n");
@@ -144,7 +154,10 @@ BENCHMARK(BM_QueueingUnderLoad)->Arg(0)->Arg(1)->ArgNames({"cloud"});
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintCrossoverTable();
+  const std::string out_path = bench::StripValueFlag(argc, argv, "--out=", "");
+  bench::Report report("F2_layer_crossover", "layer_crossover");
+  PrintCrossoverTable(report);
+  util::MustOk(report.Write(out_path));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench/report.hpp"
 #include "mirto/agent.hpp"
 #include "mirto/engine.hpp"
 #include "telemetry/export.hpp"
@@ -76,7 +77,7 @@ double MeasureRecoveryMs(World& world, usecases::Scenario& scenario) {
   return -1;
 }
 
-void PrintRecoveryTable() {
+void PrintRecoveryTable(bench::Report& report) {
   std::printf("=== Fig. 3: MAPE-K loop reaction to node failure ===\n");
   std::printf("%-28s | recovery time after node kill\n", "configuration");
   for (const auto period_ms : {100, 250, 500, 1000}) {
@@ -98,6 +99,9 @@ void PrintRecoveryTable() {
     } else {
       std::printf("MAPE period %4d ms           | %.0f ms\n", period_ms, ms);
     }
+    if (period_ms == 250) {
+      report.AddMetric("recovery_ms_period_250", ms < 0 ? 60'000.0 : ms, "ms");
+    }
     agent.Stop();
   }
   {
@@ -110,16 +114,21 @@ void PrintRecoveryTable() {
   std::printf("\n");
 }
 
+enum class TelemetryMode { kDisabled, kEnabled, kEnabledNoRecorder };
+
 /// Wall-clock latency of MAPE iterations, bucketed into a telemetry
 /// histogram so the table below can quote p50/p95/p99.
-telemetry::Histogram MeasureMapeLatency(bool telemetry_on, int iterations) {
+telemetry::Histogram MeasureMapeLatency(TelemetryMode mode, int iterations) {
   telemetry::ResetGlobal();
   World world;
   usecases::Scenario scenario = usecases::SmartMobilityScenario();
   util::MustOk(usecases::DeployScenario(scenario, world.cluster, 1));
   world.engine.RunUntil(world.engine.Now() + sim::SimTime::Millis(500));
 
-  telemetry::SetEnabled(telemetry_on);
+  telemetry::SetEnabled(mode != TelemetryMode::kDisabled);
+  if (mode == TelemetryMode::kEnabledNoRecorder) {
+    telemetry::Global().recorder.set_enabled(false);
+  }
   telemetry::Histogram hist(
       telemetry::Histogram::ExponentialBounds(1e-4, 2.0, 30));  // 0.1 µs..
   for (int i = 0; i < iterations; ++i) {
@@ -133,32 +142,49 @@ telemetry::Histogram MeasureMapeLatency(bool telemetry_on, int iterations) {
   return hist;
 }
 
-void PrintMapeLatencyTable() {
+void PrintMapeLatencyTable(bench::Report& report) {
   constexpr int kIterations = 2000;
-  // Warm both paths once so allocator/cache effects don't bias either row.
-  (void)MeasureMapeLatency(false, 100);
-  (void)MeasureMapeLatency(true, 100);
-  const telemetry::Histogram off = MeasureMapeLatency(false, kIterations);
-  const telemetry::Histogram on = MeasureMapeLatency(true, kIterations);
+  // Warm every path once so allocator/cache effects don't bias the rows.
+  (void)MeasureMapeLatency(TelemetryMode::kDisabled, 100);
+  (void)MeasureMapeLatency(TelemetryMode::kEnabled, 100);
+  const telemetry::Histogram off =
+      MeasureMapeLatency(TelemetryMode::kDisabled, kIterations);
+  const telemetry::Histogram on =
+      MeasureMapeLatency(TelemetryMode::kEnabled, kIterations);
+  const telemetry::Histogram no_rec =
+      MeasureMapeLatency(TelemetryMode::kEnabledNoRecorder, kIterations);
 
   std::printf("=== MAPE-K iteration latency (wall-clock, %d iterations) ===\n",
               kIterations);
   std::printf("%-18s | %9s | %9s | %9s | %9s\n", "telemetry", "p50 ms",
               "p95 ms", "p99 ms", "mean ms");
-  const auto row = [](const char* label, const telemetry::Histogram& h) {
+  const auto mean = [](const telemetry::Histogram& h) {
+    return h.count() > 0 ? h.sum() / static_cast<double>(h.count()) : 0.0;
+  };
+  const auto row = [&](const char* label, const telemetry::Histogram& h) {
     std::printf("%-18s | %9.4f | %9.4f | %9.4f | %9.4f\n", label, h.p50(),
-                h.p95(), h.p99(),
-                h.count() > 0 ? h.sum() / static_cast<double>(h.count()) : 0.0);
+                h.p95(), h.p99(), mean(h));
   };
   row("disabled", off);
+  row("on, no recorder", no_rec);
   row("enabled", on);
+  report.AddMetric("mape_iteration_mean_ms", mean(off), "ms",
+                   /*higher_is_better=*/false, /*gate=*/false);
   if (off.count() > 0 && off.sum() > 0.0) {
-    const double overhead =
-        (on.sum() / static_cast<double>(on.count())) /
-            (off.sum() / static_cast<double>(off.count())) -
-        1.0;
+    const double overhead = mean(on) / mean(off) - 1.0;
     std::printf("enabled-vs-disabled mean overhead: %+.1f%%\n",
                 overhead * 100.0);
+    report.AddMetric("telemetry_overhead_frac", overhead, "fraction",
+                     /*higher_is_better=*/false, /*gate=*/false);
+  }
+  if (no_rec.count() > 0 && no_rec.sum() > 0.0) {
+    // The flight recorder's marginal cost on an instrumented iteration: the
+    // acceptance target is <= 3% on this loop.
+    const double recorder_overhead = mean(on) / mean(no_rec) - 1.0;
+    std::printf("recorder-vs-no-recorder mean overhead: %+.1f%%\n",
+                recorder_overhead * 100.0);
+    report.AddMetric("recorder_overhead_frac", recorder_overhead, "fraction",
+                     /*higher_is_better=*/false, /*gate=*/false);
   }
   std::printf("\n");
 }
@@ -278,20 +304,15 @@ BENCHMARK(BM_TrustUpdateSweep)->Arg(16)->Arg(256)->ArgNames({"nodes"});
 int main(int argc, char** argv) {
   // --trace-out=<file>: dump one traced MAPE-K + negotiation cycle as a
   // Chrome trace_event file, then continue with the regular experiment.
-  std::string trace_out;
-  int kept = 1;
-  for (int i = 1; i < argc; ++i) {
-    constexpr const char* kFlag = "--trace-out=";
-    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
-      trace_out = argv[i] + std::strlen(kFlag);
-    } else {
-      argv[kept++] = argv[i];
-    }
-  }
-  argc = kept;
+  const std::string trace_out =
+      bench::StripValueFlag(argc, argv, "--trace-out=", "");
+  const std::string out_path = bench::StripValueFlag(argc, argv, "--out=", "");
 
-  PrintRecoveryTable();
-  PrintMapeLatencyTable();
+  bench::Report report("F3_mirto_loop", "mape");
+  report.set_seed(5);
+  PrintRecoveryTable(report);
+  PrintMapeLatencyTable(report);
+  util::MustOk(report.Write(out_path));
   if (!trace_out.empty()) DumpNegotiationTrace(trace_out);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

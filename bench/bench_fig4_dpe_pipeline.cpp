@@ -5,14 +5,16 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
+#include "bench/report.hpp"
 #include "dpe/pipeline.hpp"
 
 using namespace myrtus;
 
 namespace {
 
-void PrintDseQualityTable() {
+void PrintDseQualityTable(bench::Report& report) {
   std::printf("=== Fig. 4: DPE pipeline — DSE front quality and cost ===\n");
   std::printf("%-8s | %-10s | %-12s | %-14s | %-12s\n", "actors", "method",
               "evaluations", "best latency", "front size");
@@ -33,6 +35,13 @@ void PrintDseQualityTable() {
       std::printf("%-8d | %-10s | %-12d | %11.3f ms | %-12zu\n", actors,
                   "genetic", ga.evaluated, ga.front.front().kpi.latency_s * 1e3,
                   ga.front.size());
+      if (actors == 7) {
+        report.AddMetric("genetic_best_latency_ms_7_actors",
+                         ga.front.front().kpi.latency_s * 1e3, "ms");
+        report.AddMetric("genetic_front_size_7_actors",
+                         static_cast<double>(ga.front.size()), "points",
+                         /*higher_is_better=*/true);
+      }
     }
   }
   // Larger graphs: genetic only.
@@ -120,7 +129,11 @@ BENCHMARK(BM_CsarPackUnpack);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintDseQualityTable();
+  const std::string out_path = bench::StripValueFlag(argc, argv, "--out=", "");
+  bench::Report report("F4_dpe_pipeline", "dpe_pipeline");
+  report.set_seed(7);
+  PrintDseQualityTable(report);
+  util::MustOk(report.Write(out_path));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -5,7 +5,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <iterator>
+#include <string>
 
+#include "bench/report.hpp"
 #include "dpe/pipeline.hpp"
 #include "kb/cluster.hpp"
 #include "mirto/agent.hpp"
@@ -18,7 +21,7 @@ using namespace myrtus;
 
 namespace {
 
-void PrintCoverage() {
+void PrintCoverage(bench::Report& report) {
   std::printf("=== Table I: EU-CEI building blocks -> MYRTUS implementation ===\n");
   const struct {
     const char* block;
@@ -37,6 +40,9 @@ void PrintCoverage() {
   for (const auto& row : rows) {
     std::printf("  %-28s | %s\n", row.block, row.implementation);
   }
+  report.AddMetric("building_blocks_covered",
+                   static_cast<double>(std::size(rows)), "blocks",
+                   /*higher_is_better=*/true);
   std::printf("\n");
 }
 
@@ -241,7 +247,10 @@ BENCHMARK(BM_BB_DpeEndToEnd)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintCoverage();
+  const std::string out_path = bench::StripValueFlag(argc, argv, "--out=", "");
+  bench::Report report("T1_building_blocks", "building_blocks");
+  PrintCoverage(report);
+  util::MustOk(report.Write(out_path));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -7,7 +7,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
+#include "bench/report.hpp"
 #include "security/ascon.hpp"
 #include "security/channel.hpp"
 #include "security/gcm.hpp"
@@ -25,7 +27,7 @@ const util::Bytes kKey16(16, 2);
 const util::Bytes kNonce12(12, 3);
 const util::Bytes kNonce16(16, 4);
 
-void PrintTable() {
+void PrintTable(bench::Report& report) {
   std::printf("=== Table II: MYRTUS security levels ===\n");
   std::printf("%-8s | %-12s | %-22s | %-20s | %-10s | handshake@1GHz | wire bytes\n",
               "level", "encryption", "authentication", "key exchange", "hashing");
@@ -40,6 +42,12 @@ void PrintTable() {
                 std::string(security::SymAlgName(s.hashing)).c_str(),
                 security::HandshakeLatencyUs(level, 1.0),
                 static_cast<unsigned long long>(security::HandshakeWireBytes(level)));
+    const std::string name(security::SecurityLevelName(level));
+    report.AddMetric("handshake_us_" + name,
+                     security::HandshakeLatencyUs(level, 1.0), "us");
+    report.AddMetric(
+        "handshake_wire_bytes_" + name,
+        static_cast<double>(security::HandshakeWireBytes(level)), "bytes");
   }
   std::printf("\n");
 }
@@ -125,7 +133,10 @@ BENCHMARK(BM_HandshakeModeledLatency)->Arg(0)->Arg(1)->Arg(2)->ArgNames({"level"
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintTable();
+  const std::string out_path = bench::StripValueFlag(argc, argv, "--out=", "");
+  bench::Report report("T2_security_levels", "security_levels");
+  PrintTable(report);
+  util::MustOk(report.Write(out_path));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

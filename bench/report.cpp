@@ -1,0 +1,93 @@
+#include "bench/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "util/parallel.hpp"
+
+namespace myrtus::bench {
+
+std::string GitSha() {
+  const char* sha = std::getenv("MYRTUS_GIT_SHA");
+  return (sha != nullptr && sha[0] != '\0') ? std::string(sha) : "unknown";
+}
+
+bool StripFlag(int& argc, char** argv, std::string_view flag) {
+  bool found = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) {
+      found = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  return found;
+}
+
+std::string StripValueFlag(int& argc, char** argv, std::string_view prefix,
+                           std::string fallback) {
+  std::string value = std::move(fallback);
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.data(), prefix.size()) == 0) {
+      value.assign(argv[i] + prefix.size());
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  return value;
+}
+
+Report::Report(std::string experiment, std::string bench)
+    : experiment_(std::move(experiment)),
+      bench_(std::move(bench)),
+      started_(std::chrono::steady_clock::now()) {}
+
+void Report::AddMetric(const std::string& name, double value, std::string unit,
+                       bool higher_is_better, bool gate) {
+  metrics_.Set(name, util::Json::MakeObject()
+                         .Set("value", value)
+                         .Set("unit", std::move(unit))
+                         .Set("higher_is_better", higher_is_better)
+                         .Set("gate", gate));
+}
+
+void Report::SetExtra(const std::string& key, util::Json value) {
+  extra_.Set(key, std::move(value));
+}
+
+util::Json Report::ToJson() const {
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - started_)
+                             .count();
+  return util::Json::MakeObject()
+      .Set("schema_version", kBenchSchemaVersion)
+      .Set("experiment", experiment_)
+      .Set("bench", bench_)
+      .Set("mode", mode_)
+      .Set("seed", seed_)
+      .Set("workers", util::ParallelWorkers())
+      .Set("git_sha", GitSha())
+      .Set("wall_ms", wall_ms)
+      .Set("sim_ms", sim_ms_)
+      .Set("metrics", metrics_)
+      .Set("extra", extra_);
+}
+
+util::Status Report::Write(const std::string& path) const {
+  const std::string dest = path.empty() ? default_path() : path;
+  std::ofstream out(dest);
+  if (!out) {
+    return util::Status::InvalidArgument("cannot open " + dest + " for write");
+  }
+  out << ToJson().Dump() << "\n";
+  std::printf("wrote bench artifact %s\n", dest.c_str());
+  return util::Status::Ok();
+}
+
+}  // namespace myrtus::bench

@@ -46,10 +46,37 @@ util::Status MonitoringService::AddAlertRule(std::string metric,
   return util::Status::Ok();
 }
 
+void MonitoringService::AttachSlo(telemetry::SloEngine* slo,
+                                  std::string slo_objective) {
+  slo_ = slo;
+  slo_objective_ = std::move(slo_objective);
+}
+
 void MonitoringService::SampleOnce() {
   ++samples_;
   telemetry::ScopedSpan span("monitor.sample", "continuum");
   const std::int64_t now_ns = engine_.Now().ns;
+  if (slo_ != nullptr) {
+    for (const auto& node : infra_.nodes) {
+      slo_->RecordAvailability(slo_objective_, node->up(), now_ns);
+    }
+    slo_->Evaluate(now_ns);
+    // Burn-rate alert state is knowledge, not just telemetry: publish it so
+    // KB consumers see the same breach the sampler saw.
+    if (const telemetry::SloStatus* s = slo_->Find(slo_objective_)) {
+      registry_.PutSloState(
+          "monitor", slo_objective_,
+          util::Json::MakeObject()
+              .Set("state", std::string(telemetry::SloStateName(s->state)))
+              .Set("fast_burn_rate", s->fast_burn_rate)
+              .Set("slow_burn_rate", s->slow_burn_rate)
+              .Set("breaches", s->breaches)
+              .Set("at_ns", now_ns));
+    }
+    if (slo_->any_breached()) {
+      span.SetAttribute("slo_breach", slo_objective_);
+    }
+  }
   for (const auto& node : infra_.nodes) {
     double max_util = 0.0;
     for (std::size_t d = 0; d < node->devices().size(); ++d) {

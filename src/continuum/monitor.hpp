@@ -12,6 +12,7 @@
 #include "continuum/infrastructure.hpp"
 #include "kb/registry.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/slo.hpp"
 #include "util/status.hpp"
 
 namespace myrtus::continuum {
@@ -50,6 +51,14 @@ class MonitoringService {
   [[nodiscard]] std::uint64_t samples_taken() const { return samples_; }
   [[nodiscard]] std::uint64_t alerts_fired() const { return alerts_; }
 
+  /// Attaches an SLO engine (not owned; may be null to detach). Every
+  /// sampling pass then feeds each node's liveness into the availability
+  /// objective `slo_objective` (when the engine defines it) and re-evaluates
+  /// burn rates, so threshold alerts and burn-rate alerts ride the same
+  /// cadence. Breach state lands in the registry under the SLO keys.
+  void AttachSlo(telemetry::SloEngine* slo,
+                 std::string slo_objective = "fleet.availability");
+
  private:
   struct Rule {
     std::string metric;
@@ -64,6 +73,8 @@ class MonitoringService {
   sim::EventHandle loop_;
   std::uint64_t samples_ = 0;
   std::uint64_t alerts_ = 0;
+  telemetry::SloEngine* slo_ = nullptr;
+  std::string slo_objective_;
 };
 
 }  // namespace myrtus::continuum

@@ -51,6 +51,24 @@ std::string ResourceRegistry::TelemetryKey(const std::string& node_id,
   return "/telemetry/" + node_id + "/" + metric;
 }
 
+std::string ResourceRegistry::SloKey(const std::string& scope,
+                                     const std::string& name) {
+  return "/slo/" + scope + "/" + name;
+}
+
+void ResourceRegistry::PutSloState(const std::string& scope,
+                                   const std::string& name,
+                                   util::Json record) {
+  store_.Put(SloKey(scope, name), std::move(record));
+}
+
+util::StatusOr<util::Json> ResourceRegistry::GetSloState(
+    const std::string& scope, const std::string& name) const {
+  auto kv = store_.Get(SloKey(scope, name));
+  if (!kv.ok()) return kv.status();
+  return kv->value;
+}
+
 void ResourceRegistry::PutNode(const NodeRecord& record) {
   store_.Put(NodeKey(record.node_id), record.ToJson());
 }

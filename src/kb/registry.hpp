@@ -6,6 +6,7 @@
 //   /registry/nodes/<node-id>        -> NodeRecord
 //   /registry/workloads/<wl-id>      -> workload placement record
 //   /telemetry/<node-id>/<metric>    -> ring of recent samples
+//   /slo/<scope>/<objective>         -> burn-rate alert state (self-monitoring)
 #pragma once
 
 #include <cstdint>
@@ -53,6 +54,7 @@ class ResourceRegistry {
   static std::string WorkloadKey(const std::string& workload_id);
   static std::string TelemetryKey(const std::string& node_id,
                                   const std::string& metric);
+  static std::string SloKey(const std::string& scope, const std::string& name);
 
   /// Upserts a node record.
   void PutNode(const NodeRecord& record);
@@ -75,6 +77,15 @@ class ResourceRegistry {
   [[nodiscard]] double RecentMean(const std::string& node_id,
                                   const std::string& metric,
                                   std::size_t window = 16) const;
+
+  /// SLO burn-rate alert state published by the self-monitoring loop
+  /// (`scope` = the evaluating component, e.g. the MIRTO agent host). This is
+  /// the MAPE-K knowledge feedback: Analyze writes it, anything on the KB —
+  /// peers, dashboards, the next Analyze pass — can read it.
+  void PutSloState(const std::string& scope, const std::string& name,
+                   util::Json record);
+  [[nodiscard]] util::StatusOr<util::Json> GetSloState(
+      const std::string& scope, const std::string& name) const;
 
  private:
   Store& store_;

@@ -6,6 +6,21 @@
 
 namespace myrtus::mirto {
 
+std::vector<telemetry::SloObjective> DefaultAgentSlos() {
+  telemetry::SloObjective availability;
+  availability.name = "fleet.availability";
+  availability.kind = telemetry::SloObjective::Kind::kAvailability;
+  availability.target = 0.95;          // budget: 1 node of 20 down
+  availability.burn_rate_threshold = 2.0;
+  telemetry::SloObjective start_wait;
+  start_wait.name = "pod.start_wait";
+  start_wait.kind = telemetry::SloObjective::Kind::kLatency;
+  start_wait.latency_threshold_ms = 500.0;  // two MAPE periods at defaults
+  start_wait.target = 0.9;
+  start_wait.burn_rate_threshold = 2.0;
+  return {availability, start_wait};
+}
+
 AuthModule::AuthModule(util::Bytes shared_secret)
     : secret_(std::move(shared_secret)) {}
 
@@ -52,6 +67,15 @@ MirtoAgent::MirtoAgent(net::Network& network, sched::Cluster& cluster,
         if (event.type == kb::WatchEvent::Type::kDelete) {
           failure_signal_ = true;
         }
+      });
+  for (const telemetry::SloObjective& objective : config_.slo_objectives) {
+    // LINT: discard(the defaults are valid by construction; a caller-supplied
+    // bad objective degrades to "not tracked" rather than aborting the agent)
+    (void)slo_.AddObjective(objective);
+  }
+  slo_.set_transition_handler(
+      [this](const std::string&, const telemetry::SloStatus&, bool breached) {
+        if (breached) ++stats_.slo_breaches;
       });
 }
 
@@ -156,9 +180,11 @@ util::Status MirtoAgent::Deploy(const tosca::CsarPackage& package) {
   // Record placements in the KB (Resource Registry / workload records) and
   // track the app's pod set for lifecycle management.
   std::vector<std::string>& tracked = app_pods_[app_name];
+  const std::int64_t deployed_at_ns = network_.engine().Now().ns;
   for (const sched::PodSpec& pod : *pods) {
     const sched::Pod* bound = cluster_.FindPod(pod.name);
     tracked.push_back(pod.name);
+    pod_created_ns_[pod.name] = deployed_at_ns;
     registry_.PutWorkload(
         pod.name, util::Json::MakeObject()
                       .Set("app", app_name)
@@ -180,6 +206,7 @@ util::Status MirtoAgent::Undeploy(const std::string& app_name) {
     // idempotent by design)
     (void)cluster_.DeletePod(pod);
     kb_.Delete(kb::ResourceRegistry::WorkloadKey(pod));
+    pod_created_ns_.erase(pod);
   }
   app_pods_.erase(it);
   return util::Status::Ok();
@@ -235,6 +262,27 @@ void MirtoAgent::Monitor() {
     }
     registry_.AppendTelemetry(node->id(), "queue_depth",
                               {now_ns, static_cast<double>(node->QueueDepth())});
+    slo_.RecordAvailability("fleet.availability", node->up(), now_ns);
+  }
+  // Pod start wait: pods record their deploy-to-bind latency once bound, and
+  // a growing bad observation each pass while they stay pending, so sustained
+  // scheduling pressure burns the latency error budget.
+  for (auto it = pod_created_ns_.begin(); it != pod_created_ns_.end();) {
+    const sched::Pod* pod = cluster_.FindPod(it->first);
+    if (pod == nullptr) {
+      it = pod_created_ns_.erase(it);
+      continue;
+    }
+    if (pod->bound_at_ns >= 0) {
+      const double wait_ms =
+          static_cast<double>(pod->bound_at_ns - it->second) / 1e6;
+      slo_.RecordLatencyMs("pod.start_wait", wait_ms, now_ns);
+      it = pod_created_ns_.erase(it);
+    } else {
+      const double age_ms = static_cast<double>(now_ns - it->second) / 1e6;
+      slo_.RecordLatencyMs("pod.start_wait", age_ms, now_ns);
+      ++it;
+    }
   }
 }
 
@@ -250,6 +298,34 @@ void MirtoAgent::Analyze() {
     }
   }
   if (cluster_.PendingPods() > 0) reallocation_needed_ = true;
+
+  // SLO self-monitoring closes the loop: burn rates computed from Monitor's
+  // own observations decide whether the agent considers itself in violation,
+  // and the verdict is published to the KB for peers and the next pass.
+  const std::int64_t now_ns = network_.engine().Now().ns;
+  slo_.Evaluate(now_ns);
+  const std::vector<std::string> breached = slo_.Breached();
+  if (!breached.empty()) {
+    reallocation_needed_ = true;
+    std::string joined;
+    for (const std::string& name : breached) {
+      if (!joined.empty()) joined += ",";
+      joined += name;
+    }
+    span.SetAttribute("slo_breach", joined);
+  }
+  for (const telemetry::SloObjective& objective : config_.slo_objectives) {
+    if (const telemetry::SloStatus* s = slo_.Find(objective.name)) {
+      registry_.PutSloState(
+          config_.host, objective.name,
+          util::Json::MakeObject()
+              .Set("state", std::string(telemetry::SloStateName(s->state)))
+              .Set("fast_burn_rate", s->fast_burn_rate)
+              .Set("slow_burn_rate", s->slow_burn_rate)
+              .Set("breaches", s->breaches)
+              .Set("at_ns", now_ns));
+    }
+  }
 }
 
 void MirtoAgent::Plan() {

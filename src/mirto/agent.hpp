@@ -17,6 +17,7 @@
 #include "net/transport.hpp"
 #include "sched/controller.hpp"
 #include "security/hmac.hpp"
+#include "telemetry/slo.hpp"
 #include "tosca/csar.hpp"
 
 namespace myrtus::mirto {
@@ -36,12 +37,21 @@ class AuthModule {
   util::Bytes secret_;
 };
 
+/// The objectives every agent self-monitors by default: fleet availability
+/// (fraction of continuum nodes up) and pod start wait (time from deployment
+/// request to binding). Both use the sim-scale burn-rate windows.
+std::vector<telemetry::SloObjective> DefaultAgentSlos();
+
 struct AgentConfig {
   std::string host;                 // network address of this agent
   sim::SimTime mape_period = sim::SimTime::Millis(250);
   PlacementStrategy strategy = PlacementStrategy::kGreedy;
   std::string gateway_anchor;       // host used for latency costs
   std::uint64_t seed = 1;
+  /// Self-monitoring objectives evaluated each Analyze pass. A breach marks
+  /// the fleet dirty (reallocation) and is written back to the KB under
+  /// /slo/<host>/<objective> — the loop observing itself.
+  std::vector<telemetry::SloObjective> slo_objectives = DefaultAgentSlos();
 };
 
 /// Counters the Fig-3 bench reads out.
@@ -52,6 +62,7 @@ struct AgentStats {
   std::uint64_t reallocations = 0;
   std::uint64_t operating_point_changes = 0;
   std::uint64_t auth_failures = 0;
+  std::uint64_t slo_breaches = 0;   // Ok -> Breach transitions, all objectives
 };
 
 class MirtoAgent {
@@ -88,6 +99,7 @@ class MirtoAgent {
   [[nodiscard]] PrivacySecurityManager& security_manager() { return psm_; }
   [[nodiscard]] kb::ResourceRegistry& registry() { return registry_; }
   [[nodiscard]] const std::string& host() const { return config_.host; }
+  [[nodiscard]] telemetry::SloEngine& slo_engine() { return slo_; }
 
  private:
   void Monitor();   // sample PMCs into the registry (KB)
@@ -117,6 +129,10 @@ class MirtoAgent {
   std::int64_t registry_watch_ = 0;
   std::vector<NodeManager::Decision> planned_points_;
   std::map<std::string, std::vector<std::string>> app_pods_;  // app -> pods
+  telemetry::SloEngine slo_;
+  // Pods awaiting their first binding: deploy-request sim time, consumed by
+  // Monitor() into the pod.start_wait latency objective once bound.
+  std::map<std::string, std::int64_t> pod_created_ns_;
 };
 
 }  // namespace myrtus::mirto

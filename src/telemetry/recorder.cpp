@@ -1,0 +1,246 @@
+#include "telemetry/recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/json.hpp"
+
+namespace myrtus::telemetry {
+namespace {
+
+util::Status WriteFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return util::Status::Internal("cannot open " + path + " for writing");
+  }
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    return util::Status::DataLoss("short write to " + path);
+  }
+  return util::Status::Ok();
+}
+
+/// Filename-safe rendering of a trigger reason ("chaos.inject:link-a" ->
+/// "chaos.inject_link-a").
+std::string SanitizeReason(std::string_view reason) {
+  std::string out;
+  out.reserve(reason.size());
+  for (const char c : reason) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '.';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view FlightRecordKindName(FlightRecordKind kind) {
+  switch (kind) {
+    case FlightRecordKind::kSpan: return "span";
+    case FlightRecordKind::kCounter: return "counter";
+    case FlightRecordKind::kEvent: return "event";
+  }
+  return "event";
+}
+
+void FlightRecorder::set_capacity(std::size_t capacity) {
+  capacity_ = std::max<std::size_t>(1, capacity);
+  ring_.clear();
+  ring_.shrink_to_fit();
+  head_ = 0;
+  total_ = 0;
+}
+
+std::size_t FlightRecorder::size() const { return ring_.size(); }
+
+std::uint64_t FlightRecorder::overwritten() const {
+  return total_ - static_cast<std::uint64_t>(ring_.size());
+}
+
+FlightRecord& FlightRecorder::NextSlot() {
+  ++total_;
+  if (ring_.size() < capacity_) {
+    return ring_.emplace_back();
+  }
+  FlightRecord& slot = ring_[head_];
+  head_ = (head_ + 1) % capacity_;
+  return slot;
+}
+
+void FlightRecorder::RecordSpan(const SpanRecord& span) {
+  if (!enabled_) return;
+  FlightRecord& r = NextSlot();
+  r.at_ns = span.end_ns;
+  r.seq = seq_++;
+  r.kind = FlightRecordKind::kSpan;
+  r.name = span.name;
+  r.detail = span.category;
+  r.value = static_cast<double>(span.end_ns - span.start_ns);
+  r.trace_id = span.trace_id;
+  r.span_id = span.span_id;
+}
+
+void FlightRecorder::RecordCounter(std::string_view name, double value,
+                                   std::int64_t at_ns) {
+  if (!enabled_) return;
+  FlightRecord& r = NextSlot();
+  r.at_ns = at_ns;
+  r.seq = seq_++;
+  r.kind = FlightRecordKind::kCounter;
+  r.name.assign(name);
+  r.detail.clear();
+  r.value = value;
+  r.trace_id = 0;
+  r.span_id = 0;
+}
+
+void FlightRecorder::RecordEvent(std::string_view name, std::string_view detail,
+                                 std::int64_t at_ns) {
+  if (!enabled_) return;
+  FlightRecord& r = NextSlot();
+  r.at_ns = at_ns;
+  r.seq = seq_++;
+  r.kind = FlightRecordKind::kEvent;
+  r.name.assign(name);
+  r.detail.assign(detail);
+  r.value = 0.0;
+  r.trace_id = 0;
+  r.span_id = 0;
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  std::vector<FlightRecord> out;
+  out.reserve(ring_.size());
+  // Oldest-first ring order: once full, head_ points at the oldest slot.
+  if (ring_.size() < capacity_) {
+    out.assign(ring_.begin(), ring_.end());
+  } else {
+    out.assign(ring_.begin() + static_cast<std::ptrdiff_t>(head_), ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  }
+  // Spans are recorded at end time while their start may predate neighboring
+  // records; (at_ns, seq) gives one canonical total order for dumps.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FlightRecord& a, const FlightRecord& b) {
+                     if (a.at_ns != b.at_ns) return a.at_ns < b.at_ns;
+                     return a.seq < b.seq;
+                   });
+  return out;
+}
+
+std::string FlightRecorder::DumpJson() const {
+  util::Json records = util::Json::MakeArray();
+  for (const FlightRecord& r : Snapshot()) {
+    util::Json rec = util::Json::MakeObject()
+                         .Set("at_ns", r.at_ns)
+                         .Set("seq", static_cast<std::int64_t>(r.seq))
+                         .Set("kind", std::string(FlightRecordKindName(r.kind)))
+                         .Set("name", r.name)
+                         .Set("value", r.value);
+    if (!r.detail.empty()) rec.Set("detail", r.detail);
+    if (r.kind == FlightRecordKind::kSpan) {
+      rec.Set("trace_id", static_cast<std::int64_t>(r.trace_id))
+          .Set("span_id", static_cast<std::int64_t>(r.span_id));
+    }
+    records.Append(std::move(rec));
+  }
+  return util::Json::MakeObject()
+      .Set("schema", "myrtus.flight.v1")
+      .Set("capacity", static_cast<std::int64_t>(capacity_))
+      .Set("total_recorded", static_cast<std::int64_t>(total_))
+      .Set("overwritten", static_cast<std::int64_t>(overwritten()))
+      .Set("triggers", static_cast<std::int64_t>(triggers_))
+      .Set("last_trigger", last_trigger_)
+      .Set("records", std::move(records))
+      .Dump();
+}
+
+std::string FlightRecorder::DumpChromeTrace() const {
+  util::Json events = util::Json::MakeArray();
+  events.Append(
+      util::Json::MakeObject()
+          .Set("name", "process_name")
+          .Set("ph", "M")
+          .Set("pid", 1)
+          .Set("args", util::Json::MakeObject().Set("name", "myrtus-flight")));
+  for (const FlightRecord& r : Snapshot()) {
+    switch (r.kind) {
+      case FlightRecordKind::kSpan:
+        events.Append(
+            util::Json::MakeObject()
+                .Set("name", r.name)
+                .Set("cat", r.detail.empty() ? std::string("span") : r.detail)
+                .Set("ph", "X")
+                .Set("ts", (static_cast<double>(r.at_ns) - r.value) * 1e-3)
+                .Set("dur", r.value * 1e-3)
+                .Set("pid", 1)
+                .Set("tid", static_cast<std::int64_t>(r.trace_id)));
+        break;
+      case FlightRecordKind::kCounter:
+        events.Append(
+            util::Json::MakeObject()
+                .Set("name", r.name)
+                .Set("ph", "C")
+                .Set("ts", static_cast<double>(r.at_ns) * 1e-3)
+                .Set("pid", 1)
+                .Set("args", util::Json::MakeObject().Set("value", r.value)));
+        break;
+      case FlightRecordKind::kEvent:
+        events.Append(
+            util::Json::MakeObject()
+                .Set("name", r.detail.empty() ? r.name : r.name + ":" + r.detail)
+                .Set("cat", "flight")
+                .Set("ph", "i")
+                .Set("s", "g")
+                .Set("ts", static_cast<double>(r.at_ns) * 1e-3)
+                .Set("pid", 1)
+                .Set("tid", 0));
+        break;
+    }
+  }
+  return util::Json::MakeObject()
+      .Set("traceEvents", std::move(events))
+      .Set("displayTimeUnit", "ms")
+      .Dump();
+}
+
+util::Status FlightRecorder::WriteJson(const std::string& path) const {
+  return WriteFile(path, DumpJson());
+}
+
+util::Status FlightRecorder::WriteChromeTrace(const std::string& path) const {
+  return WriteFile(path, DumpChromeTrace());
+}
+
+std::string FlightRecorder::Trigger(std::string_view reason,
+                                    std::int64_t at_ns) {
+  if (!enabled_) return "";
+  ++triggers_;
+  last_trigger_.assign(reason);
+  RecordEvent("flight.trigger", reason, at_ns);
+  if (dump_prefix_.empty()) return "";
+  const std::string path = dump_prefix_ + std::to_string(triggers_) + "_" +
+                           SanitizeReason(reason) + ".json";
+  // LINT: discard(a failed trigger dump must never abort the experiment that
+  // tripped it; the trigger counter still records that it fired)
+  (void)WriteJson(path);
+  return path;
+}
+
+void FlightRecorder::Clear() {
+  ring_.clear();
+  ring_.shrink_to_fit();
+  capacity_ = kDefaultCapacity;
+  head_ = 0;
+  total_ = 0;
+  seq_ = 0;
+  enabled_ = true;
+  dump_prefix_.clear();
+  triggers_ = 0;
+  last_trigger_.clear();
+}
+
+}  // namespace myrtus::telemetry

@@ -1,0 +1,116 @@
+// Flight recorder: an always-on bounded ring buffer of the most recent
+// telemetry records (finished spans, counter samples, discrete events) — the
+// "what happened in the seconds right before it broke" artifact. Chaos fault
+// injection, Raft leadership loss, and SLO burn-rate breaches all trigger a
+// dump, so post-mortems of a simulated incident come for free instead of
+// requiring the full (unbounded) tracer history.
+//
+// Everything is simulation-time stamped and sequence-numbered: the ring is
+// fed only from the single-threaded simulator side of the fence (the
+// fork-join pool never emits telemetry), so two runs with the same seed —
+// at ANY SetParallelWorkers count — produce byte-identical dumps. The
+// recorder's steady-state cost is one ring-slot assignment per record
+// (slots are reused, so string capacity amortizes away); when telemetry is
+// disabled nothing reaches it at all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/span.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::telemetry {
+
+enum class FlightRecordKind : std::uint8_t { kSpan, kCounter, kEvent };
+std::string_view FlightRecordKindName(FlightRecordKind kind);
+
+/// One entry of the ring. For spans, `at_ns` is the span end and `value` its
+/// duration in nanoseconds; for counters, `value` is the sample; for events,
+/// `value` is unused (0).
+struct FlightRecord {
+  std::int64_t at_ns = 0;
+  std::uint64_t seq = 0;  // global record sequence, breaks at_ns ties
+  FlightRecordKind kind = FlightRecordKind::kEvent;
+  std::string name;    // span name / metric name / event name
+  std::string detail;  // span category / labels / free-form detail
+  double value = 0.0;
+  std::uint64_t trace_id = 0;  // spans only
+  std::uint64_t span_id = 0;   // spans only
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// Resizes the ring. Existing records are dropped (the ring restarts
+  /// empty); sequence and trigger counters are preserved.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Records currently held (<= capacity()).
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  /// Records pushed out of the ring by newer ones.
+  [[nodiscard]] std::uint64_t overwritten() const;
+
+  /// Gate for overhead ablations (BM_MapeIterationTelemetry's recorder
+  /// row). On by default — the recorder is meant to be always armed.
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void RecordSpan(const SpanRecord& span);
+  void RecordCounter(std::string_view name, double value, std::int64_t at_ns);
+  void RecordEvent(std::string_view name, std::string_view detail,
+                   std::int64_t at_ns);
+
+  /// Copy of the live records in (at_ns, seq) order. Spans enter the ring at
+  /// their end time and the sim clock is monotonic, so this is a stable sort
+  /// of an almost-sorted sequence.
+  [[nodiscard]] std::vector<FlightRecord> Snapshot() const;
+
+  /// Canonical JSON dump (schema "myrtus.flight.v1"): ring metadata plus the
+  /// snapshot records. Byte-identical for identical record sequences.
+  [[nodiscard]] std::string DumpJson() const;
+  /// Chrome trace_event rendering of the snapshot: spans as complete ("X")
+  /// events, events as instants ("i"), counters as counter ("C") samples.
+  [[nodiscard]] std::string DumpChromeTrace() const;
+  util::Status WriteJson(const std::string& path) const;
+  util::Status WriteChromeTrace(const std::string& path) const;
+
+  /// Arms automatic dumps: every Trigger() writes
+  /// `<prefix><trigger-ordinal>_<sanitized-reason>.json`. Pass an empty
+  /// prefix to disarm (triggers are still counted and recorded as events).
+  void ArmDump(std::string path_prefix) { dump_prefix_ = std::move(path_prefix); }
+  [[nodiscard]] const std::string& dump_prefix() const { return dump_prefix_; }
+
+  /// Fault boundary hook (chaos injection, Raft leadership loss, SLO
+  /// breach): records a "flight.trigger" event, bumps the trigger counter,
+  /// and — when armed — dumps the ring as JSON. Returns the written path
+  /// (empty when disarmed or the recorder is disabled).
+  std::string Trigger(std::string_view reason, std::int64_t at_ns);
+
+  [[nodiscard]] std::uint64_t triggers() const { return triggers_; }
+  [[nodiscard]] const std::string& last_trigger() const { return last_trigger_; }
+
+  /// Drops all records and resets counters, the enabled flag, the capacity,
+  /// and the dump arming — the ResetGlobal() companion.
+  void Clear();
+
+ private:
+  FlightRecord& NextSlot();
+
+  std::vector<FlightRecord> ring_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::size_t head_ = 0;  // next slot to (over)write once the ring is full
+  std::uint64_t total_ = 0;
+  std::uint64_t seq_ = 0;
+  bool enabled_ = true;
+  std::string dump_prefix_;
+  std::uint64_t triggers_ = 0;
+  std::string last_trigger_;
+};
+
+}  // namespace myrtus::telemetry

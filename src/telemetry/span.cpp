@@ -45,6 +45,7 @@ void Tracer::EndSpan(const SpanContext& ctx, std::int64_t end_ns) {
   const auto it = open_.find(ctx.span_id);
   if (it == open_.end()) return;  // already ended or cleared
   it->second.end_ns = end_ns;
+  if (span_sink_) span_sink_(it->second);
   if (finished_.size() < max_finished_) {
     finished_.push_back(std::move(it->second));
   } else {

@@ -75,14 +75,23 @@ class Tracer {
   [[nodiscard]] std::uint64_t dropped_spans() const { return dropped_; }
   void set_max_finished(std::size_t cap) { max_finished_ = cap; }
 
+  /// Observer invoked for every span as it ends — even spans the
+  /// `max_finished` cap subsequently discards, so a bounded consumer (the
+  /// flight recorder) still sees the full stream. Survives Clear(): the sink
+  /// is wiring, not data.
+  void set_span_sink(std::function<void(const SpanRecord&)> sink) {
+    span_sink_ = std::move(sink);
+  }
+
   /// Drops all spans, the context stack, and the installed clock; resets ids
-  /// and restores the default `max_finished` cap.
+  /// and restores the default `max_finished` cap. The span sink stays.
   void Clear();
 
  private:
   static constexpr std::size_t kDefaultMaxFinished = 1u << 18;
 
   std::function<std::int64_t()> clock_;
+  std::function<void(const SpanRecord&)> span_sink_;
   std::unordered_map<std::uint64_t, SpanRecord> open_;  // by span_id
   std::vector<SpanRecord> finished_;
   std::vector<SpanContext> stack_;

@@ -11,7 +11,11 @@
 // ResetGlobal() between worlds to drop spans, metrics, and the clock.
 #pragma once
 
+#include <string_view>
+#include <utility>
+
 #include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
 #include "telemetry/span.hpp"
 
 namespace myrtus::telemetry {
@@ -19,6 +23,9 @@ namespace myrtus::telemetry {
 struct Telemetry {
   Tracer tracer;
   MetricsRegistry metrics;
+  /// Bounded ring of recent spans/counters/events (see recorder.hpp). The
+  /// tracer's span sink feeds every finished span into it automatically.
+  FlightRecorder recorder;
 };
 
 /// The process-wide sink.
@@ -32,8 +39,8 @@ inline bool g_enabled = false;
 inline bool Enabled() { return internal::g_enabled; }
 inline void SetEnabled(bool on) { internal::g_enabled = on; }
 
-/// Clears the global tracer (spans, context stack, clock) and all metrics.
-/// Does not touch the enabled flag.
+/// Clears the global tracer (spans, context stack, clock), all metrics, and
+/// the flight recorder. Does not touch the enabled flag.
 void ResetGlobal();
 
 /// Snapshots util::ParallelStats() into the metrics registry (gauges under
@@ -48,10 +55,13 @@ void EmitParallelPoolStats();
 /// instrumentation (scheduler passes, MAPE phases, monitor sampling).
 class ScopedSpan {
  public:
-  ScopedSpan(std::string name, std::string category) {
+  /// string_view parameters on purpose: when telemetry is disabled the
+  /// owning std::strings are never materialized, so an instrumented hot path
+  /// costs one branch — not two allocations — per scope.
+  ScopedSpan(std::string_view name, std::string_view category) {
     if (!Enabled()) return;
     tracer_ = &Global().tracer;
-    ctx_ = tracer_->StartSpan(std::move(name), std::move(category));
+    ctx_ = tracer_->StartSpan(std::string(name), std::string(category));
     tracer_->PushContext(ctx_);
   }
   ~ScopedSpan() {
@@ -62,9 +72,14 @@ class ScopedSpan {
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
-  void SetAttribute(std::string key, std::string value) {
+  /// Accepts any string-ish pair (literal, string_view, lvalue or rvalue
+  /// std::string). Nothing is copied or allocated unless the span is live;
+  /// rvalue std::strings are moved straight into the attribute.
+  template <typename K, typename V>
+  void SetAttribute(K&& key, V&& value) {
     if (tracer_ != nullptr) {
-      tracer_->SetAttribute(ctx_, std::move(key), std::move(value));
+      tracer_->SetAttribute(ctx_, std::string(std::forward<K>(key)),
+                            std::string(std::forward<V>(value)));
     }
   }
   [[nodiscard]] const SpanContext& context() const { return ctx_; }

@@ -1,0 +1,25 @@
+// FIXTURE: the same recorder-dump shape done right — every timestamp is
+// simulation-clock nanoseconds handed in by the caller, so the file is clean
+// under ANY path with an empty allowlist.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+struct DumpMeta {
+  std::int64_t sim_ns = 0;
+  std::string reason;
+};
+
+DumpMeta StampDump(const std::string& reason, std::int64_t now_ns) {
+  DumpMeta meta;
+  meta.reason = reason;
+  meta.sim_ns = now_ns;
+  return meta;
+}
+
+double DumpLatencyMs(std::int64_t begin_ns, std::int64_t end_ns) {
+  return static_cast<double>(end_ns - begin_ns) * 1e-6;
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// FIXTURE: recorder-dump-shaped code that stamps dump metadata with the host
+// clock. Legitimate only under the src/telemetry/recorder. allowlist prefix
+// (the exporter-adjacent dump boundary); anywhere else in src/ every clock
+// read below must trip the determinism rule.
+#include <chrono>
+#include <string>
+
+namespace fixture {
+
+struct DumpMeta {
+  long long wall_unix_ms = 0;
+  std::string reason;
+};
+
+DumpMeta StampDump(const std::string& reason) {
+  DumpMeta meta;
+  meta.reason = reason;
+  const auto now = std::chrono::system_clock::now();
+  meta.wall_unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count();
+  return meta;
+}
+
+double DumpLatencyMs() {
+  const auto begin = std::chrono::steady_clock::now();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - begin).count();
+}
+
+}  // namespace fixture

@@ -135,6 +135,33 @@ TEST(LintRules, DeterminismAllowsThreadsInsideParallelRuntime) {
   EXPECT_EQ(CountRule(findings, "determinism"), 0u);
 }
 
+TEST(LintRules, DeterminismFiresOnRecorderDumpCodeOutsideBoundary) {
+  // Host-clock dump stamping is only sanctioned under the recorder/exporter
+  // prefixes; the same code elsewhere in src/telemetry must fire.
+  const auto findings = LintFixture(
+      "determinism_recorder_dump_fire.cpp", "src/telemetry/flight_meta.cpp",
+      {"bench/", "src/telemetry/export.", "src/telemetry/recorder."});
+  // system_clock::now + two steady_clock::now reads — at minimum.
+  EXPECT_GE(CountRule(findings, "determinism"), 3u);
+}
+
+TEST(LintRules, DeterminismSanctionsRecorderDumpBoundary) {
+  const auto findings = LintFixture(
+      "determinism_recorder_dump_fire.cpp", "src/telemetry/recorder.cpp",
+      {"bench/", "src/telemetry/export.", "src/telemetry/recorder."});
+  EXPECT_EQ(CountRule(findings, "determinism"), 0u);
+}
+
+TEST(LintRules, SimStampedDumpCodeIsCleanEverywhere) {
+  // The sim-time-parameterized twin never names a host clock, so it passes
+  // under an empty allowlist at any path.
+  const auto findings =
+      LintFixture("determinism_recorder_dump_clean.cpp",
+                  "src/telemetry/flight_meta.cpp");
+  EXPECT_EQ(CountRule(findings, "determinism"), 0u)
+      << "first: " << (findings.empty() ? "" : findings[0].message);
+}
+
 TEST(LintRules, DeterminismSiteAnnotationWaivesOneLine) {
   std::vector<FileContext> files;
   files.push_back(MakeFileContext(

@@ -10,6 +10,7 @@
 #include "sched/controller.hpp"
 #include "continuum/infrastructure.hpp"
 #include "swarm/placement.hpp"
+#include "telemetry/recorder.hpp"
 #include "tosca/yaml.hpp"
 #include "usecases/scenario.hpp"
 
@@ -380,6 +381,59 @@ TEST_P(RaftChaosProperty, AcknowledgedWritesSurviveCrashChurn) {
   }
 }
 INSTANTIATE_TEST_SUITE_P(Seeds, RaftChaosProperty, ::testing::Values(1, 2, 3, 7, 13));
+
+// --- Flight recorder invariants ---------------------------------------------
+
+/// Under a random mix of spans/counters/events at random (monotone) sim
+/// timestamps and random capacity changes, the ring never exceeds its
+/// capacity, the accounting identity total == size + overwritten holds, and
+/// every snapshot is sorted by (at_ns, seq).
+class FlightRecorderProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlightRecorderProperty, BoundedAndSorted) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()), "recorder-prop");
+  telemetry::FlightRecorder rec;
+  rec.set_capacity(1 + rng.NextBounded(64));
+  std::int64_t now = 0;
+  for (int i = 0; i < 2000; ++i) {
+    now += static_cast<std::int64_t>(rng.NextBounded(1000));  // may repeat
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        telemetry::SpanRecord span;
+        span.trace_id = 1;
+        span.span_id = static_cast<std::uint64_t>(i) + 1;
+        span.name = "s" + std::to_string(rng.NextBounded(8));
+        span.start_ns = now - static_cast<std::int64_t>(rng.NextBounded(500));
+        span.end_ns = now;
+        rec.RecordSpan(span);
+        break;
+      }
+      case 1:
+        rec.RecordCounter("c" + std::to_string(rng.NextBounded(4)),
+                          rng.Uniform(0.0, 100.0), now);
+        break;
+      default:
+        rec.RecordEvent("e", "detail", now);
+    }
+    if (rng.NextBool(0.01)) {  // occasional live resize restarts the ring
+      rec.set_capacity(1 + rng.NextBounded(64));
+    }
+
+    ASSERT_LE(rec.size(), rec.capacity());
+    ASSERT_EQ(rec.total_recorded(), rec.size() + rec.overwritten());
+  }
+
+  const std::vector<telemetry::FlightRecord> snap = rec.Snapshot();
+  ASSERT_EQ(snap.size(), rec.size());
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    ASSERT_TRUE(snap[i - 1].at_ns < snap[i].at_ns ||
+                (snap[i - 1].at_ns == snap[i].at_ns &&
+                 snap[i - 1].seq < snap[i].seq))
+        << "snapshot order violated at " << i;
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, FlightRecorderProperty,
+                         ::testing::Values(1, 2, 3, 11, 29));
 
 }  // namespace
 }  // namespace myrtus

@@ -1,0 +1,226 @@
+// Flight recorder: ring wraparound accounting, (at_ns, seq) snapshot order,
+// trigger/dump plumbing, and the determinism acceptance check — a dump of the
+// same seeded world is byte-identical at any SetParallelWorkers count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mirto/agent.hpp"
+#include "mirto/engine.hpp"
+#include "sim/chaos.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/parallel.hpp"
+
+namespace myrtus::telemetry {
+namespace {
+
+using sim::SimTime;
+
+class RecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ResetGlobal();
+    SetEnabled(true);
+  }
+  void TearDown() override {
+    SetEnabled(false);
+    ResetGlobal();
+    util::SetParallelWorkers(0);
+  }
+};
+
+TEST_F(RecorderTest, RingWrapsAndAccountsOverwrites) {
+  FlightRecorder rec;
+  rec.set_capacity(8);
+  for (int i = 0; i < 20; ++i) {
+    rec.RecordCounter("c", static_cast<double>(i), i * 10);
+  }
+  EXPECT_EQ(rec.size(), 8u);
+  EXPECT_EQ(rec.total_recorded(), 20u);
+  EXPECT_EQ(rec.overwritten(), 12u);
+
+  // Only the newest `capacity` records survive, still in order.
+  const std::vector<FlightRecord> snap = rec.Snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].value, static_cast<double>(12 + i));
+    if (i > 0) {
+      EXPECT_GT(snap[i].seq, snap[i - 1].seq);
+    }
+  }
+}
+
+TEST_F(RecorderTest, SetCapacityRestartsRingButKeepsSequence) {
+  FlightRecorder rec;
+  rec.set_capacity(4);
+  for (int i = 0; i < 6; ++i) rec.RecordEvent("e", "", i);
+  EXPECT_EQ(rec.size(), 4u);
+  rec.set_capacity(16);
+  EXPECT_EQ(rec.size(), 0u);
+  rec.RecordEvent("after", "", 100);
+  ASSERT_EQ(rec.size(), 1u);
+  // The global sequence survives the resize: records before and after remain
+  // totally ordered.
+  EXPECT_EQ(rec.Snapshot()[0].seq, 6u);
+}
+
+TEST_F(RecorderTest, SnapshotOrdersByTimeThenSequence) {
+  FlightRecorder rec;
+  // Same timestamp: sequence breaks the tie; a later-recorded earlier
+  // timestamp (a span that *ended* now but started before) still sorts by
+  // at_ns first.
+  rec.RecordEvent("a", "", 50);
+  rec.RecordEvent("b", "", 50);
+  rec.RecordCounter("c", 1.0, 10);
+  const auto snap = rec.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "c");
+  EXPECT_EQ(snap[1].name, "a");
+  EXPECT_EQ(snap[2].name, "b");
+}
+
+TEST_F(RecorderTest, DisabledRecorderDropsEverything) {
+  FlightRecorder rec;
+  rec.set_enabled(false);
+  rec.RecordEvent("e", "", 1);
+  rec.RecordCounter("c", 1.0, 2);
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.total_recorded(), 0u);
+  EXPECT_EQ(rec.Trigger("ignored", 3), "");
+  EXPECT_EQ(rec.triggers(), 0u);
+}
+
+TEST_F(RecorderTest, SpanSinkFeedsGlobalRecorder) {
+  Tracer& tracer = Global().tracer;
+  std::int64_t now = 0;
+  tracer.set_clock([&now] { return now; });
+  {
+    ScopedSpan span("unit.work", "test");
+    now = 500;
+  }
+  const auto snap = Global().recorder.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].kind, FlightRecordKind::kSpan);
+  EXPECT_EQ(snap[0].name, "unit.work");
+  EXPECT_EQ(snap[0].at_ns, 500);
+  EXPECT_EQ(snap[0].value, 500.0);  // duration ns
+}
+
+TEST_F(RecorderTest, TriggerRecordsEventAndWritesWhenArmed) {
+  FlightRecorder rec;
+  rec.RecordEvent("before", "", 1);
+  // Disarmed: counted and ring-stamped, no file.
+  EXPECT_EQ(rec.Trigger("raft.leadership_lost:kb-1", 2), "");
+  EXPECT_EQ(rec.triggers(), 1u);
+  EXPECT_EQ(rec.last_trigger(), "raft.leadership_lost:kb-1");
+
+  rec.ArmDump(::testing::TempDir() + "flight_");
+  const std::string path = rec.Trigger("chaos.inject:link", 3);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(rec.triggers(), 2u);
+  auto parsed = util::Json::Parse([&] {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::string content;
+    char buf[4096];
+    std::size_t n = 0;
+    while (f != nullptr && (n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+      content.append(buf, n);
+    }
+    if (f != nullptr) std::fclose(f);
+    return content;
+  }());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->at("schema").as_string(), "myrtus.flight.v1");
+  // The ring holds: before, trigger#1, trigger#2.
+  EXPECT_EQ(parsed->at("records").items().size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST_F(RecorderTest, ChaosInjectionLandsInGlobalRecorder) {
+  sim::Engine engine;
+  Global().tracer.set_clock([&engine] { return engine.Now().ns; });
+  sim::ChaosController chaos(engine, 7);
+  bool down = false;
+  chaos.RegisterTarget("link-a", [&down] { down = true; },
+                       [&down] { down = false; });
+  chaos.ScheduleFault("link-a", SimTime::Millis(10), SimTime::Millis(5));
+  engine.Run();
+  EXPECT_FALSE(down);
+
+  const auto snap = Global().recorder.Snapshot();
+  std::vector<std::string> names;
+  for (const FlightRecord& r : snap) names.push_back(r.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "chaos.inject"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "chaos.restore"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "flight.trigger"),
+            names.end());
+  EXPECT_EQ(Global().recorder.last_trigger(), "chaos.inject:link-a");
+}
+
+// The acceptance check: one seeded MIRTO world, telemetry on, dumped after a
+// few MAPE iterations — the dump must not depend on the worker count.
+std::string DumpAfterMapeIterations(int workers) {
+  ResetGlobal();
+  util::SetParallelWorkers(workers);
+  SetEnabled(true);
+  std::string dump;
+  {
+    sim::Engine engine;
+    continuum::Infrastructure infra =
+        continuum::BuildInfrastructure(engine, {});
+    net::Topology topo = infra.topology;
+    topo.AddBidirectional("mirto-agent", "gw-0", SimTime::Micros(100), 1e9);
+    net::Network network(engine, std::move(topo), 3);
+    sched::Cluster cluster(engine, sched::Scheduler::Default());
+    for (auto& n : infra.nodes) cluster.AddNode(n.get());
+    kb::Store store;
+    mirto::AgentConfig config;
+    config.host = "mirto-agent";
+    mirto::MirtoAgent agent(network, cluster, infra, store,
+                            mirto::AuthModule(util::BytesOf("k")), config);
+    Global().tracer.set_clock([&engine] { return engine.Now().ns; });
+    for (int i = 0; i < 5; ++i) {
+      engine.RunUntil(SimTime::Millis(250 * (i + 1)));
+      agent.RunMapeIteration();
+    }
+    dump = Global().recorder.DumpJson();
+  }
+  SetEnabled(false);
+  ResetGlobal();
+  util::SetParallelWorkers(0);
+  return dump;
+}
+
+TEST_F(RecorderTest, DumpIsByteIdenticalAcrossWorkerCounts) {
+  const std::string serial = DumpAfterMapeIterations(1);
+  const std::string parallel4 = DumpAfterMapeIterations(4);
+  const std::string parallel8 = DumpAfterMapeIterations(8);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel4);
+  EXPECT_EQ(serial, parallel8);
+}
+
+TEST_F(RecorderTest, ChromeTraceDumpIsValidJson) {
+  Tracer& tracer = Global().tracer;
+  std::int64_t now = 0;
+  tracer.set_clock([&now] { return now; });
+  {
+    ScopedSpan span("trace.me", "test");
+    now = 1000;
+  }
+  Global().recorder.RecordCounter("gauge", 3.5, 1500);
+  Global().recorder.RecordEvent("instant", "detail", 2000);
+  auto parsed = util::Json::Parse(Global().recorder.DumpChromeTrace());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  // 1 metadata + span + counter + instant.
+  EXPECT_EQ(parsed->at("traceEvents").items().size(), 4u);
+}
+
+}  // namespace
+}  // namespace myrtus::telemetry

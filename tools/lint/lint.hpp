@@ -32,13 +32,16 @@ struct Options {
   std::string suppressions_path;
   /// Path prefixes where host time/threads are legitimate: bench drivers
   /// measure wall-clock by design, the telemetry exporters are the designated
-  /// boundary where host timestamps may enter exported artifacts, and
-  /// util/parallel is the one sanctioned home for std::thread — its fork-join
-  /// pool guarantees results independent of thread scheduling, which is the
-  /// property the rule exists to protect. Everything else draws parallelism
-  /// through util::ParallelFor/Map/Reduce.
+  /// boundary where host timestamps may enter exported artifacts, the flight
+  /// recorder's dump path is the same kind of boundary (ring contents stay
+  /// sim-time stamped; only dump-file metadata may ever touch the host
+  /// clock), and util/parallel is the one sanctioned home for std::thread —
+  /// its fork-join pool guarantees results independent of thread scheduling,
+  /// which is the property the rule exists to protect. Everything else draws
+  /// parallelism through util::ParallelFor/Map/Reduce.
   std::vector<std::string> determinism_allowlist = {
-      "bench/", "src/telemetry/export.", "src/util/parallel."};
+      "bench/", "src/telemetry/export.", "src/telemetry/recorder.",
+      "src/util/parallel."};
 };
 
 struct LintResult {
