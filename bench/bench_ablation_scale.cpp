@@ -1,0 +1,365 @@
+// Experiment A9: control-plane scale ablation. The indexed scheduler
+// (NodeIndex bitmaps + candidate cache) exists so the MYRTUS control plane
+// can admit continuum-scale pod fleets; this bench sweeps 1k -> 1M pods over
+// up to 10k nodes and measures indexed admission throughput, the sampled
+// scan-path throughput (the ablation baseline), incremental-reconcile p99
+// under node-failure churn, MAPE-iteration p99 on a loaded cluster, and RSS.
+// Wall-clock numbers ride along ungated; the gates are the deterministic
+// contracts: every pod places, the scan and indexed paths return
+// byte-identical verdicts (FNV witness), and indexed admission beats the
+// scan by >= 10x at the reference scale point.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/report.hpp"
+#include "continuum/infrastructure.hpp"
+#include "mirto/agent.hpp"
+#include "sched/controller.hpp"
+#include "sched/scheduler.hpp"
+#include "util/bytes.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+using namespace myrtus;
+
+namespace {
+
+bool g_quick = false;
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double Percentile99(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto idx = static_cast<std::size_t>(
+      0.99 * static_cast<double>(samples.size() - 1));
+  return samples[idx];
+}
+
+/// "VmRSS:" / "VmHWM:" from /proc/self/status, in MB (0 when unavailable).
+double ProcStatusMb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  double kb = 0.0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, std::strlen(key)) == 0) {
+      kb = std::strtod(line + std::strlen(key), nullptr);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb / 1024.0;
+}
+
+// --- Synthetic continuum fleet ----------------------------------------------
+// Nodes are striped over zones (~100 nodes/zone) and every pod carries a zone
+// selector: that is the realistic shape (placement is locality-scoped in the
+// continuum) and what keeps indexed candidate sets small at 10k nodes.
+
+struct World {
+  sim::Engine engine;
+  std::vector<std::unique_ptr<continuum::ComputeNode>> nodes;
+  std::unique_ptr<sched::Cluster> cluster;
+  std::size_t zones = 1;
+};
+
+World BuildWorld(std::size_t n_nodes) {
+  World w;
+  w.zones = std::max<std::size_t>(1, n_nodes / 100);
+  w.cluster =
+      std::make_unique<sched::Cluster>(w.engine, sched::Scheduler::Default());
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const std::string id = "n" + std::to_string(i);
+    // Position *within the zone* drives layer/security/accelerator so every
+    // zone contains the full mix (i % zones is the zone itself).
+    const std::size_t pos = i / w.zones;
+    auto node = std::make_unique<continuum::ComputeNode>(
+        w.engine, id, static_cast<continuum::Layer>(pos % 3), "bench",
+        static_cast<security::SecurityLevel>(pos % 3), 8192);
+    node->AddDevice(continuum::Device(id + "/cpu",
+                                      continuum::DeviceKind::kServerCpu, 32,
+                                      {continuum::OperatingPoint{"base"}}));
+    if (pos % 10 == 0) {
+      node->AddDevice(
+          continuum::Device(id + "/fpga",
+                            continuum::DeviceKind::kFpgaAccelerator, 1,
+                            {continuum::OperatingPoint{"accel"}}));
+    }
+    w.cluster->AddNode(node.get(),
+                       {{"zone", "z" + std::to_string(i % w.zones)}});
+    w.nodes.push_back(std::move(node));
+  }
+  return w;
+}
+
+sched::PodSpec MakePod(std::size_t i, std::size_t zones,
+                       const std::string& name_prefix = "p") {
+  sched::PodSpec pod;
+  pod.name = name_prefix + std::to_string(i);
+  pod.cpu_request = 0.2;
+  pod.mem_request_mb = 24;
+  pod.priority = static_cast<int>(i % 5);
+  pod.node_selector["zone"] = "z" + std::to_string(i % zones);
+  if (i % 7 == 0) pod.min_security = security::SecurityLevel::kMedium;
+  if (i % 64 == 0) pod.needs_accelerator = true;
+  return pod;
+}
+
+struct ScaleRow {
+  std::size_t pods = 0;
+  std::size_t nodes = 0;
+  std::size_t failures = 0;
+  double indexed_pods_per_s = 0.0;
+  double scan_pods_per_s = 0.0;
+  double speedup = 0.0;
+  double reconcile_p99_ms = 0.0;
+  double mape_p99_ms = 0.0;
+  double rss_mb = 0.0;
+  bool verdicts_match = true;
+};
+
+/// Differential witness: FNV checksum over the verdict (winner or failure
+/// message) of `probes` dry-run pods, once per scheduler path.
+bool VerdictsMatch(sched::Cluster& cluster, std::size_t zones,
+                   std::size_t probes) {
+  const sched::Scheduler scan_sched = sched::Scheduler::Default();
+  std::string indexed_buf;
+  std::string scan_buf;
+  for (std::size_t k = 0; k < probes; ++k) {
+    // Vary the shape: reuse the pod generator plus an oversized outlier.
+    sched::PodSpec pod = MakePod(k * 13 + 5, zones, "probe");
+    if (k % 9 == 0) pod.cpu_request = 64.0;  // infeasible on purpose
+    auto indexed = cluster.DryRunSchedule(pod);
+    auto scanned = scan_sched.Schedule(pod, cluster.NodeStates());
+    indexed_buf += indexed.ok() ? indexed->node_id : indexed.status().message();
+    indexed_buf.push_back('\n');
+    scan_buf += scanned.ok() ? scanned->node_id : scanned.status().message();
+    scan_buf.push_back('\n');
+  }
+  return util::Fnv1a64(indexed_buf) == util::Fnv1a64(scan_buf);
+}
+
+/// MAPE-iteration latency on a default infrastructure whose cluster carries
+/// `n_pods` (tiny) pods — the monitoring/analysis side of the control plane.
+double MapeP99Ms(std::size_t n_pods, std::size_t iterations) {
+  sim::Engine engine;
+  continuum::Infrastructure infra = continuum::BuildInfrastructure(engine, {});
+  net::Topology topo = infra.topology;
+  topo.AddBidirectional("mirto-agent", "gw-0", sim::SimTime::Micros(100), 1e9);
+  net::Network net(engine, std::move(topo), 3);
+  sched::Cluster cluster(engine, sched::Scheduler::Default());
+  for (auto& n : infra.nodes) cluster.AddNode(n.get());
+  kb::Store store;
+  mirto::AgentConfig config;
+  config.host = "mirto-agent";
+  mirto::MirtoAgent agent(net, cluster, infra, store,
+                          mirto::AuthModule(util::BytesOf("bench")), config);
+  for (std::size_t i = 0; i < n_pods; ++i) {
+    sched::PodSpec pod;
+    pod.name = "m" + std::to_string(i);
+    pod.cpu_request = 0.01;
+    pod.mem_request_mb = 1;
+    if (!cluster.BindPod(pod).ok()) break;  // fleet is small; fill what fits
+  }
+  std::vector<double> samples;
+  samples.reserve(iterations);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    const auto t0 = std::chrono::steady_clock::now();
+    agent.RunMapeIteration();
+    samples.push_back(MillisSince(t0));
+  }
+  return Percentile99(samples);
+}
+
+ScaleRow RunScalePoint(std::size_t n_pods) {
+  ScaleRow row;
+  row.pods = n_pods;
+  row.nodes = std::min<std::size_t>(
+      10000, std::max<std::size_t>(100, n_pods / 100));
+  World w = BuildWorld(row.nodes);
+
+  // Indexed bulk admission.
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n_pods; ++i) {
+    if (!w.cluster->BindPod(MakePod(i, w.zones)).ok()) ++row.failures;
+  }
+  const double indexed_ms = MillisSince(t0);
+  row.indexed_pods_per_s =
+      indexed_ms > 0 ? 1000.0 * static_cast<double>(n_pods) / indexed_ms : 0.0;
+  row.rss_mb = ProcStatusMb("VmRSS:");
+
+  // Scan-path sample on the same loaded fleet (the ablation baseline).
+  const std::size_t scan_n = std::min<std::size_t>(n_pods, 500);
+  w.cluster->set_schedule_path(sched::Cluster::SchedulePath::kScan);
+  const auto t1 = std::chrono::steady_clock::now();
+  for (std::size_t j = 0; j < scan_n; ++j) {
+    if (!w.cluster->BindPod(MakePod(n_pods + j, w.zones, "s")).ok()) {
+      ++row.failures;
+    }
+  }
+  const double scan_ms = MillisSince(t1);
+  w.cluster->set_schedule_path(sched::Cluster::SchedulePath::kIndexed);
+  row.scan_pods_per_s =
+      scan_ms > 0 ? 1000.0 * static_cast<double>(scan_n) / scan_ms : 0.0;
+  row.speedup = row.scan_pods_per_s > 0
+                    ? row.indexed_pods_per_s / row.scan_pods_per_s
+                    : 0.0;
+
+  // Verdict differential witness.
+  row.verdicts_match =
+      VerdictsMatch(*w.cluster, w.zones, g_quick ? 200 : 500);
+
+  // Incremental reconcile under node-failure churn: each pass kills one node
+  // (evicting ~100 pods that must rebind) and times the Reconcile sweep.
+  std::vector<double> reconcile_ms;
+  const std::size_t passes = g_quick ? 20 : 60;
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    continuum::ComputeNode* victim = w.nodes[pass % w.nodes.size()].get();
+    victim->SetUp(false);
+    const auto tr = std::chrono::steady_clock::now();
+    w.cluster->Reconcile();
+    reconcile_ms.push_back(MillisSince(tr));
+    victim->SetUp(true);
+  }
+  row.reconcile_p99_ms = Percentile99(reconcile_ms);
+
+  row.mape_p99_ms =
+      MapeP99Ms(std::min<std::size_t>(n_pods / 10, 1000), g_quick ? 10 : 40);
+  return row;
+}
+
+bool RunAblation(const std::string& out_path) {
+  bench::Report report("A9_scale_ablation", "scale");
+  report.set_mode(g_quick ? "quick" : "full");
+  report.set_seed(13);
+  // Quick mode drops only the 1M point: the 100k point stays so the speedup
+  // gate is evaluated at the same reference scale in both modes (the scan
+  // path is only meaningfully slow on 1000+ node fleets).
+  const std::vector<std::size_t> scales =
+      g_quick ? std::vector<std::size_t>{1'000, 10'000, 100'000}
+              : std::vector<std::size_t>{1'000, 10'000, 100'000, 1'000'000};
+  const std::size_t gate_scale = 100'000;
+
+  std::printf(
+      "=== A9: control-plane scale — indexed vs scan admission (%s mode) "
+      "===\n",
+      g_quick ? "quick" : "full");
+  std::printf("%-9s | %-6s | %-12s | %-12s | %-8s | %-12s | %-10s | %-8s | %s\n",
+              "pods", "nodes", "indexed p/s", "scan p/s", "speedup",
+              "reconcile99", "mape99", "rss MB", "verdicts");
+
+  util::Json rows = util::Json::MakeArray();
+  bool all_placed = true;
+  bool all_verdicts_match = true;
+  double gate_speedup = 0.0;
+  for (const std::size_t n_pods : scales) {
+    const ScaleRow row = RunScalePoint(n_pods);
+    all_placed = all_placed && row.failures == 0;
+    all_verdicts_match = all_verdicts_match && row.verdicts_match;
+    if (n_pods == gate_scale) gate_speedup = row.speedup;
+    std::printf(
+        "%-9zu | %-6zu | %-12.0f | %-12.0f | %-8.1f | %-9.3f ms | %-7.3f ms "
+        "| %-8.1f | %s\n",
+        row.pods, row.nodes, row.indexed_pods_per_s, row.scan_pods_per_s,
+        row.speedup, row.reconcile_p99_ms, row.mape_p99_ms, row.rss_mb,
+        row.verdicts_match ? "match" : "MISMATCH");
+    rows.Append(util::Json::MakeObject()
+                    .Set("pods", static_cast<std::int64_t>(row.pods))
+                    .Set("nodes", static_cast<std::int64_t>(row.nodes))
+                    .Set("failures", static_cast<std::int64_t>(row.failures))
+                    .Set("indexed_pods_per_s", row.indexed_pods_per_s)
+                    .Set("scan_pods_per_s", row.scan_pods_per_s)
+                    .Set("speedup", row.speedup)
+                    .Set("reconcile_p99_ms", row.reconcile_p99_ms)
+                    .Set("mape_p99_ms", row.mape_p99_ms)
+                    .Set("rss_mb", row.rss_mb));
+    const std::string tag = std::to_string(n_pods);
+    report.AddMetric("indexed_pods_per_s_" + tag, row.indexed_pods_per_s,
+                     "pods/s", /*higher_is_better=*/true, /*gate=*/false);
+    report.AddMetric("reconcile_p99_ms_" + tag, row.reconcile_p99_ms, "ms",
+                     /*higher_is_better=*/false, /*gate=*/false);
+    report.AddMetric("mape_p99_ms_" + tag, row.mape_p99_ms, "ms",
+                     /*higher_is_better=*/false, /*gate=*/false);
+  }
+
+  // Gates: deterministic contracts only (wall-clock rates ride along above).
+  report.AddMetric("all_pods_placed", all_placed ? 1.0 : 0.0, "bool",
+                   /*higher_is_better=*/true);
+  report.AddMetric("verdict_equivalence", all_verdicts_match ? 1.0 : 0.0,
+                   "bool", /*higher_is_better=*/true);
+  const bool speedup_ok = gate_speedup >= 10.0;
+  report.AddMetric("indexed_speedup_ge_10x", speedup_ok ? 1.0 : 0.0, "bool",
+                   /*higher_is_better=*/true);
+  report.AddMetric("indexed_speedup_at_gate_scale", gate_speedup, "x",
+                   /*higher_is_better=*/true, /*gate=*/false);
+  report.AddMetric("peak_rss_mb", ProcStatusMb("VmHWM:"), "MB",
+                   /*higher_is_better=*/false, /*gate=*/false);
+  report.SetExtra("rows", std::move(rows));
+  report.SetExtra("gate_scale_pods",
+                  util::Json(static_cast<std::int64_t>(gate_scale)));
+  util::MustOk(report.Write(out_path));
+
+  if (!all_placed) {
+    std::printf("FATAL: some pods failed to place on a fleet sized to fit "
+                "them — capacity accounting or candidate selection is off\n");
+  }
+  if (!all_verdicts_match) {
+    std::printf("FATAL: indexed and scan verdicts diverged — the "
+                "verdict-equivalence contract is broken\n");
+  }
+  if (!speedup_ok) {
+    std::printf("FATAL: indexed admission is only %.1fx the scan at %zu pods "
+                "(>= 10x required)\n",
+                gate_speedup, gate_scale);
+  }
+  return all_placed && all_verdicts_match && speedup_ok;
+}
+
+// --- Microbenchmarks ---------------------------------------------------------
+
+void BM_DryRunScheduleIndexed(benchmark::State& state) {
+  World w = BuildWorld(static_cast<std::size_t>(state.range(0)));
+  const sched::PodSpec pod = MakePod(1, w.zones);
+  for (auto _ : state) {
+    auto result = w.cluster->DryRunSchedule(pod);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DryRunScheduleIndexed)->Arg(100)->Arg(1000);
+
+void BM_ScheduleScan(benchmark::State& state) {
+  World w = BuildWorld(static_cast<std::size_t>(state.range(0)));
+  const sched::Scheduler sched = sched::Scheduler::Default();
+  const sched::PodSpec pod = MakePod(1, w.zones);
+  const std::vector<sched::NodeState*> states = w.cluster->NodeStates();
+  for (auto _ : state) {
+    auto result = sched.Schedule(pod, states);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ScheduleScan)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_quick = bench::StripFlag(argc, argv, "--quick");
+  const std::string out_path =
+      bench::StripValueFlag(argc, argv, "--out=", "BENCH_scale.json");
+  const bool ok = RunAblation(out_path);
+  if (!ok) return 1;  // CI gate: scale/equivalence contract violation
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -32,7 +32,7 @@ struct NodeRecord {
   std::uint64_t mem_allocated_mb = 0;
   int security_level = 0;         // 0=low 1=medium 2=high (Table II)
   bool has_accelerator = false;
-  double energy_mw = 0.0;         // current draw
+  double energy_mj = 0.0;         // cumulative energy consumed (millijoules)
   double trust_score = 1.0;       // runtime trust indicator (§III)
 
   [[nodiscard]] util::Json ToJson() const;

@@ -250,11 +250,10 @@ void MirtoAgent::Monitor() {
     record.security_level = static_cast<int>(node->security_level());
     record.trust_score = psm_.TrustOf(node->id());
     if (const sched::NodeState* state = cluster_.FindNodeState(node->id())) {
-      record.cpu_allocated = state->cpu_allocated;
+      record.cpu_allocated = state->cpu_allocated();
       record.has_accelerator = state->HasAccelerator();
     }
-    double energy = node->total_energy_mj();
-    record.energy_mw = energy;  // cumulative mJ as the registry's energy field
+    record.energy_mj = node->total_energy_mj();
     registry_.PutNode(record);
     if (!node->devices().empty()) {
       registry_.AppendTelemetry(node->id(), "utilization",

@@ -140,9 +140,9 @@ double MirtoEngine::TotalEnergyMj() const {
 util::StatusOr<double> MirtoEngine::ComputeBid(continuum::Layer layer,
                                                const sched::PodSpec& pod) {
   LayerSlice& slice = layers_[Index(layer)];
-  // Dry-run the scheduler: feasibility plus the node it would pick.
-  auto result =
-      sched::Scheduler::Default().Schedule(pod, slice.cluster->NodeStates());
+  // Dry-run the scheduler: feasibility plus the node it would pick. Goes
+  // through the cluster's indexed path (no state changes).
+  auto result = slice.cluster->DryRunSchedule(pod);
   if (!result.ok()) {
     return util::Status::NotFound("no capacity in layer " +
                                   std::string(continuum::LayerName(layer)));
@@ -157,7 +157,7 @@ util::StatusOr<double> MirtoEngine::ComputeBid(continuum::Layer layer,
     power_per_cpu = power / node->cpu_capacity();
   }
   const double load = node != nullptr && node->cpu_capacity() > 0
-                          ? node->cpu_allocated / node->cpu_capacity()
+                          ? node->cpu_allocated() / node->cpu_capacity()
                           : 1.0;
   auto route = network_.topology().FindRoute(infra_.DefaultGateway(),
                                              result->node_id);

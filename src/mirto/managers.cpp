@@ -35,7 +35,7 @@ util::StatusOr<std::map<std::string, std::string>> WlManager::PlanPlacement(
   swarm::PlacementProblem problem;
   std::vector<sched::NodeState*> states;
   for (sched::NodeState* ns : cluster_.NodeStates()) {
-    if (!ns->node->up() || ns->cordoned) continue;
+    if (!ns->node->up() || ns->cordoned()) continue;
     if (std::find(vetoed_nodes.begin(), vetoed_nodes.end(), ns->node->id()) !=
         vetoed_nodes.end()) {
       continue;
@@ -43,8 +43,7 @@ util::StatusOr<std::map<std::string, std::string>> WlManager::PlanPlacement(
     swarm::PlacementNode pn;
     pn.id = ns->node->id();
     pn.cpu_capacity = ns->CpuFree();
-    pn.mem_capacity_mb = static_cast<double>(ns->mem_capacity_mb() -
-                                             ns->mem_allocated_mb);
+    pn.mem_capacity_mb = static_cast<double>(ns->MemFreeMb());
     pn.security_level = static_cast<int>(ns->node->security_level());
     pn.has_accelerator = ns->HasAccelerator();
     double power = 0.0;

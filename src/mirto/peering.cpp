@@ -43,13 +43,16 @@ LiqoPeering::~LiqoPeering() {
 void LiqoPeering::SyncCapacity() {
   double remote_free = 0.0;
   for (sched::NodeState* ns : remote_.NodeStates()) {
-    if (ns->node->up() && !ns->cordoned) remote_free += ns->CpuFree();
+    if (ns->node->up() && !ns->cordoned()) remote_free += ns->CpuFree();
   }
-  if (sched::NodeState* vs = local_.FindNodeState(virtual_id_)) {
+  if (const sched::NodeState* vs = local_.FindNodeState(virtual_id_)) {
     // Reflect remote usage as local allocation on the virtual node, keeping
-    // locally-bound offloads accounted.
+    // locally-bound offloads accounted. Goes through the cluster so the
+    // scheduler ledger stays single-pathed (the ctor added the node, so the
+    // write cannot miss).
     const double advertised = vs->cpu_capacity();
-    vs->cpu_allocated = std::max(0.0, advertised - remote_free);
+    util::MustOk(local_.SetReflectedCpuAllocation(
+        virtual_id_, std::max(0.0, advertised - remote_free)));
   }
 }
 

@@ -27,46 +27,101 @@ Cluster::Cluster(sim::Engine& engine, Scheduler scheduler)
 
 void Cluster::AddNode(continuum::ComputeNode* node,
                       std::map<std::string, std::string> labels) {
-  auto state = std::make_unique<NodeState>();
-  state->node = node;
-  state->labels = std::move(labels);
-  nodes_.push_back(std::move(state));
+  index_.Add(node, std::move(labels));
 }
 
 NodeState* Cluster::FindNodeState(const std::string& node_id) {
-  for (auto& n : nodes_) {
-    if (n->node->id() == node_id) return n.get();
-  }
-  return nullptr;
+  return index_.Find(node_id);
 }
 
 std::vector<NodeState*> Cluster::NodeStates() {
   std::vector<NodeState*> out;
-  out.reserve(nodes_.size());
-  for (auto& n : nodes_) out.push_back(n.get());
+  out.reserve(index_.size());
+  for (std::size_t slot = 0; slot < index_.size(); ++slot) {
+    out.push_back(&index_.at(slot));
+  }
   return out;
 }
 
 void Cluster::Cordon(const std::string& node_id, bool cordoned) {
-  if (NodeState* n = FindNodeState(node_id)) n->cordoned = cordoned;
+  if (NodeState* n = index_.Find(node_id)) {
+    index_.SetCordoned(n->slot(), cordoned);
+  }
+}
+
+util::Status Cluster::SetNodeLabel(const std::string& node_id,
+                                   const std::string& key,
+                                   const std::string& value) {
+  NodeState* n = index_.Find(node_id);
+  if (n == nullptr) return util::Status::NotFound("node " + node_id);
+  index_.SetLabel(n->slot(), key, value);
+  return util::Status::Ok();
+}
+
+util::Status Cluster::SetReflectedCpuAllocation(const std::string& node_id,
+                                                double cpu) {
+  NodeState* n = index_.Find(node_id);
+  if (n == nullptr) return util::Status::NotFound("node " + node_id);
+  index_.SetCpuAllocation(n->slot(), cpu);
+  return util::Status::Ok();
+}
+
+util::Status Cluster::SetReflectedMemAllocation(const std::string& node_id,
+                                                std::uint64_t mem_mb) {
+  NodeState* n = index_.Find(node_id);
+  if (n == nullptr) return util::Status::NotFound("node " + node_id);
+  index_.SetMemAllocation(n->slot(), mem_mb);
+  return util::Status::Ok();
+}
+
+util::Status Cluster::CommitBind(Pod& pod, NodeState& target) {
+  MYRTUS_RETURN_IF_ERROR(target.node->ReserveMemory(pod.spec.mem_request_mb));
+  index_.AddAllocation(target.slot(), pod.spec.cpu_request,
+                       pod.spec.mem_request_mb);
+  pod.committed_cpu = pod.spec.cpu_request;
+  pod.committed_mem_mb = pod.spec.mem_request_mb;
+  pod.phase = PodPhase::kRunning;
+  pod.node_id = target.node->id();
+  pod.bound_at_ns = engine_.Now().ns;
+  unbound_.erase(pod.spec.name);
+  pods_by_node_[pod.node_id].insert(pod.spec.name);
+  ++running_count_;
+  EmitPodStartSpan(pod);
+  return util::Status::Ok();
+}
+
+void Cluster::ReleasePodResources(Pod& pod) {
+  if (pod.node_id.empty()) return;
+  if (NodeState* n = index_.Find(pod.node_id)) {
+    index_.SubAllocation(n->slot(), pod.committed_cpu, pod.committed_mem_mb);
+    n->node->ReleaseMemory(pod.committed_mem_mb);
+  }
+  const auto it = pods_by_node_.find(pod.node_id);
+  if (it != pods_by_node_.end()) {
+    it->second.erase(pod.spec.name);
+    if (it->second.empty()) pods_by_node_.erase(it);
+  }
+  if (pod.phase == PodPhase::kRunning && running_count_ > 0) {
+    --running_count_;
+  }
+  pod.committed_cpu = 0.0;
+  pod.committed_mem_mb = 0;
 }
 
 util::StatusOr<std::string> Cluster::TryBind(Pod& pod) {
   telemetry::ScopedSpan span("sched.bind", "sched");
   span.SetAttribute("pod", pod.spec.name);
-  auto result = scheduler_.Schedule(pod.spec, NodeStates());
+  auto result = schedule_path_ == SchedulePath::kScan
+                    ? scheduler_.Schedule(pod.spec, NodeStates())
+                    : scheduler_.Schedule(pod.spec, index_);
   if (!result.ok()) return result.status();
-  NodeState* target = FindNodeState(result->node_id);
-  if (target == nullptr) return util::Status::Internal("scheduler chose unknown node");
-  MYRTUS_RETURN_IF_ERROR(target->node->ReserveMemory(pod.spec.mem_request_mb));
-  target->cpu_allocated += pod.spec.cpu_request;
-  target->mem_allocated_mb += pod.spec.mem_request_mb;
-  pod.phase = PodPhase::kRunning;
-  pod.node_id = result->node_id;
-  pod.bound_at_ns = engine_.Now().ns;
+  NodeState* target = index_.Find(result->node_id);
+  if (target == nullptr) {
+    return util::Status::Internal("scheduler chose unknown node");
+  }
+  MYRTUS_RETURN_IF_ERROR(CommitBind(pod, *target));
   metrics_.Inc("pods_bound");
   span.SetAttribute("node", pod.node_id);
-  EmitPodStartSpan(pod);
   return result->node_id;
 }
 
@@ -76,9 +131,9 @@ util::StatusOr<std::string> Cluster::BindPod(const PodSpec& spec) {
   }
   Pod pod;
   pod.spec = spec;
-  auto bound = TryBind(pod);
-  pods_[spec.name] = std::move(pod);  // kept (pending) even on failure
-  return bound;
+  const auto [it, inserted] = pods_.emplace(spec.name, std::move(pod));
+  unbound_.insert(spec.name);        // CommitBind clears on success
+  return TryBind(it->second);        // kept (pending) even on failure
 }
 
 util::StatusOr<std::string> Cluster::BindPodToNode(const PodSpec& spec,
@@ -86,13 +141,13 @@ util::StatusOr<std::string> Cluster::BindPodToNode(const PodSpec& spec,
   if (pods_.count(spec.name) > 0) {
     return util::Status::AlreadyExists("pod " + spec.name);
   }
-  NodeState* target = FindNodeState(node_id);
+  NodeState* target = index_.Find(node_id);
   if (target == nullptr) return util::Status::NotFound("node " + node_id);
-  if (!target->node->up() || target->cordoned) {
+  if (!target->node->up() || target->cordoned()) {
     return util::Status::Unavailable(node_id + " not schedulable");
   }
   if (target->CpuFree() < spec.cpu_request ||
-      target->mem_capacity_mb() - target->mem_allocated_mb < spec.mem_request_mb) {
+      target->MemFreeMb() < spec.mem_request_mb) {
     return util::Status::ResourceExhausted(node_id + " cannot fit " + spec.name);
   }
   if (!security::Satisfies(target->node->security_level(), spec.min_security)) {
@@ -103,15 +158,17 @@ util::StatusOr<std::string> Cluster::BindPodToNode(const PodSpec& spec,
   }
   Pod pod;
   pod.spec = spec;
-  MYRTUS_RETURN_IF_ERROR(target->node->ReserveMemory(spec.mem_request_mb));
-  target->cpu_allocated += spec.cpu_request;
-  target->mem_allocated_mb += spec.mem_request_mb;
-  pod.phase = PodPhase::kRunning;
-  pod.node_id = node_id;
-  pod.bound_at_ns = engine_.Now().ns;
+  const auto [it, inserted] = pods_.emplace(spec.name, std::move(pod));
+  unbound_.insert(spec.name);
+  if (util::Status committed = CommitBind(it->second, *target);
+      !committed.ok()) {
+    // The device ledger refused what the clamped check allowed (external
+    // reservation raced us); drop the half-created pod.
+    unbound_.erase(spec.name);
+    pods_.erase(it);
+    return committed;
+  }
   metrics_.Inc("pods_bound_directed");
-  EmitPodStartSpan(pod);
-  pods_[spec.name] = std::move(pod);
   return node_id;
 }
 
@@ -123,34 +180,29 @@ util::StatusOr<std::string> Cluster::BindPodWithPreemption(const PodSpec& spec) 
   }
 
   // Find a node where evicting strictly-lower-priority pods frees enough
-  // room; prefer the node sacrificing the least total priority.
+  // room; prefer the node sacrificing the least total priority. Candidates
+  // come from the structural indexes (security/accelerator/layer/selector/
+  // cordon); liveness and capacity are checked live.
+  CandidateQuery query;
+  query.restrict_cordoned = true;
+  query.restrict_security = true;
+  query.min_security = spec.min_security;
+  query.restrict_accelerator = spec.needs_accelerator;
+  if (!spec.layer_affinity.empty()) query.layer = &spec.layer_affinity;
+  if (!spec.node_selector.empty()) query.selector = &spec.node_selector;
+
   NodeState* best_node = nullptr;
   std::vector<std::string> best_victims;
   int best_cost = INT_MAX;
-  for (auto& ns : nodes_) {
-    if (!ns->node->up() || ns->cordoned) continue;
-    if (!security::Satisfies(ns->node->security_level(), spec.min_security)) continue;
-    if (spec.needs_accelerator && !ns->HasAccelerator()) continue;
-    if (!spec.layer_affinity.empty() &&
-        spec.layer_affinity != continuum::LayerName(ns->node->layer())) {
-      continue;
-    }
-    bool selector_ok = true;
-    for (const auto& [k, v] : spec.node_selector) {
-      const auto it = ns->labels.find(k);
-      if (it == ns->labels.end() || it->second != v) {
-        selector_ok = false;
-        break;
-      }
-    }
-    if (!selector_ok) continue;
-    double cpu_needed = spec.cpu_request - ns->CpuFree();
-    std::int64_t mem_needed =
-        static_cast<std::int64_t>(spec.mem_request_mb) -
-        static_cast<std::int64_t>(ns->mem_capacity_mb() - ns->mem_allocated_mb);
+  index_.Candidates(query).ForEachSet([&](std::size_t slot) {
+    NodeState& ns = index_.at(slot);
+    if (!ns.node->up()) return;
+    double cpu_needed = spec.cpu_request - ns.CpuFree();
+    std::int64_t mem_needed = static_cast<std::int64_t>(spec.mem_request_mb) -
+                              static_cast<std::int64_t>(ns.MemFreeMb());
     // Victims: lowest priority first.
     std::vector<const Pod*> candidates;
-    for (const Pod* p : PodsOnNode(ns->node->id())) {
+    for (const Pod* p : PodsOnNode(ns.node->id())) {
       if (p->spec.priority < spec.priority) candidates.push_back(p);
     }
     std::sort(candidates.begin(), candidates.end(),
@@ -168,40 +220,69 @@ util::StatusOr<std::string> Cluster::BindPodWithPreemption(const PodSpec& spec) 
     }
     // A node needing no evictions would have been found by the direct bind;
     // only eviction-bearing plans are preemption candidates.
-    if (victims.empty()) continue;
+    if (victims.empty()) return;
     if (cpu_needed <= 0 && mem_needed <= 0 && cost < best_cost) {
       best_cost = cost;
-      best_node = ns.get();
+      best_node = &ns;
       best_victims = std::move(victims);
     }
-  }
+  });
   if (best_node == nullptr) return direct.status();
 
+  // Evict, remembering enough to roll each victim back.
+  struct EvictedPod {
+    std::string name;
+    std::string node_id;
+    std::int64_t bound_at_ns;
+  };
+  std::vector<EvictedPod> evicted;
+  evicted.reserve(best_victims.size());
   for (const std::string& victim : best_victims) {
     Pod& v = pods_.at(victim);
+    evicted.push_back({victim, v.node_id, v.bound_at_ns});
     ReleasePodResources(v);
     v.phase = PodPhase::kEvicted;
     v.node_id.clear();
-    ++evictions_;
-    metrics_.Inc("pods_evicted");
+    unbound_.insert(victim);
   }
   Pod& pod = pods_.at(spec.name);
-  return TryBind(pod);
+  auto rebind = TryBind(pod);
+  if (rebind.ok()) {
+    evictions_ += evicted.size();
+    for (std::size_t i = 0; i < evicted.size(); ++i) {
+      metrics_.Inc("pods_evicted");
+    }
+    return rebind;
+  }
+  // The preemptor still cannot bind (an opaque filter, or capacity shifted):
+  // re-commit every victim onto its original node, newest first, restoring
+  // the original bind time. Nothing was gained, so nothing may be lost.
+  for (auto rit = evicted.rbegin(); rit != evicted.rend(); ++rit) {
+    Pod& v = pods_.at(rit->name);
+    NodeState* home = index_.Find(rit->node_id);
+    util::Status restored = home == nullptr
+                                ? util::Status::NotFound(rit->node_id)
+                                : CommitBind(v, *home);
+    if (restored.ok()) {
+      v.bound_at_ns = rit->bound_at_ns;
+      metrics_.Inc("preemption_rollbacks");
+    } else {
+      metrics_.Inc("preemption_rollback_failures");
+    }
+  }
+  return rebind.status();
 }
 
-void Cluster::ReleasePodResources(Pod& pod) {
-  if (pod.node_id.empty()) return;
-  if (NodeState* n = FindNodeState(pod.node_id)) {
-    n->cpu_allocated -= pod.spec.cpu_request;
-    n->mem_allocated_mb -= std::min(n->mem_allocated_mb, pod.spec.mem_request_mb);
-    n->node->ReleaseMemory(pod.spec.mem_request_mb);
-  }
+util::StatusOr<ScheduleResult> Cluster::DryRunSchedule(
+    const PodSpec& spec) const {
+  return scheduler_.Schedule(spec, index_);
 }
 
 util::Status Cluster::DeletePod(const std::string& pod_name) {
   const auto it = pods_.find(pod_name);
   if (it == pods_.end()) return util::Status::NotFound("pod " + pod_name);
   ReleasePodResources(it->second);
+  unbound_.erase(pod_name);
   pods_.erase(it);
   return util::Status::Ok();
 }
@@ -213,28 +294,13 @@ const Pod* Cluster::FindPod(const std::string& pod_name) const {
 
 std::vector<const Pod*> Cluster::PodsOnNode(const std::string& node_id) const {
   std::vector<const Pod*> out;
-  for (const auto& [name, pod] : pods_) {
-    if (pod.node_id == node_id && pod.phase == PodPhase::kRunning) {
-      out.push_back(&pod);
-    }
+  const auto it = pods_by_node_.find(node_id);
+  if (it == pods_by_node_.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::string& name : it->second) {
+    out.push_back(&pods_.at(name));
   }
   return out;
-}
-
-std::size_t Cluster::RunningPods() const {
-  std::size_t n = 0;
-  for (const auto& [name, pod] : pods_) {
-    if (pod.phase == PodPhase::kRunning) ++n;
-  }
-  return n;
-}
-
-std::size_t Cluster::PendingPods() const {
-  std::size_t n = 0;
-  for (const auto& [name, pod] : pods_) {
-    if (pod.phase == PodPhase::kPending || pod.phase == PodPhase::kEvicted) ++n;
-  }
-  return n;
 }
 
 std::string Cluster::NextPodName(const std::string& base) {
@@ -268,21 +334,26 @@ int Cluster::DeploymentReadyReplicas(const std::string& name) const {
 }
 
 void Cluster::Reconcile() {
-  // 1. Evict pods bound to failed nodes.
-  for (auto& [name, pod] : pods_) {
-    if (pod.phase == PodPhase::kRunning) {
-      NodeState* n = FindNodeState(pod.node_id);
-      if (n == nullptr || !n->node->up()) {
-        ReleasePodResources(pod);
-        pod.phase = PodPhase::kEvicted;
-        pod.node_id.clear();
-        ++evictions_;
-        metrics_.Inc("pods_evicted_node_failure");
-      }
+  // 1. Evict pods bound to failed nodes. Only down nodes' rosters are
+  //    walked, not the whole pod map.
+  for (std::size_t slot = 0; slot < index_.size(); ++slot) {
+    NodeState& ns = index_.at(slot);
+    if (ns.node->up()) continue;
+    const auto it = pods_by_node_.find(ns.node->id());
+    if (it == pods_by_node_.end()) continue;
+    const std::set<std::string> roster = it->second;  // release mutates it
+    for (const std::string& pod_name : roster) {
+      Pod& pod = pods_.at(pod_name);
+      ReleasePodResources(pod);
+      pod.phase = PodPhase::kEvicted;
+      pod.node_id.clear();
+      unbound_.insert(pod_name);
+      ++evictions_;
+      metrics_.Inc("pods_evicted_node_failure");
     }
   }
 
-  // 2. Autoscalers adjust desired replica counts.
+  // 2. Autoscalers adjust desired replica counts (O(deployments)).
   for (auto& [name, dep] : deployments_) {
     if (dep.max_replicas > 0 && dep.load_signal) {
       const double demand = dep.load_signal();
@@ -314,18 +385,24 @@ void Cluster::Reconcile() {
       Pod pod;
       pod.spec = spec;
       pods_[spec.name] = std::move(pod);
+      unbound_.insert(spec.name);
       pod_names.push_back(spec.name);
     }
   }
 
-  // 4. Retry all pending/evicted pods.
-  for (auto& [name, pod] : pods_) {
-    if (pod.phase == PodPhase::kPending || pod.phase == PodPhase::kEvicted) {
-      if (TryBind(pod).ok()) {
-        ++reschedules_;
-      } else {
-        pod.phase = PodPhase::kPending;
-      }
+  // 4. Retry the unbound dirty set (pod-name order, matching the historical
+  //    full-map walk). Binds only touch the allocation ledger, never the
+  //    structural bitmaps, so the whole batch is admitted through one cached
+  //    candidate-set build per pod shape.
+  const std::vector<std::string> retry(unbound_.begin(), unbound_.end());
+  for (const std::string& pod_name : retry) {
+    const auto it = pods_.find(pod_name);
+    if (it == pods_.end()) continue;
+    Pod& pod = it->second;
+    if (TryBind(pod).ok()) {
+      ++reschedules_;
+    } else {
+      pod.phase = PodPhase::kPending;
     }
   }
   metrics_.Set("running_pods", static_cast<double>(RunningPods()));

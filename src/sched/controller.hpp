@@ -2,14 +2,26 @@
 // a reconciliation loop that keeps actual state converged with desired state
 // (rebinding pods off failed/cordoned nodes), priority preemption, and a
 // horizontal autoscaler — the kube-like substrate MIRTO drives (§III/§IV).
+//
+// Node state lives in a NodeIndex (SoA ledger + inverted indexes); every
+// resource commit and release flows through CommitBind/ReleasePodResources,
+// the single accounting path that keeps the scheduler ledger and the
+// ComputeNode memory ledger equal by construction. Reconcile is incremental:
+// it walks dirty sets (unbound pods, down nodes' pod rosters) instead of the
+// whole pod map, and the pending-pod batch is admitted through one cached
+// candidate-set build.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "sched/node_index.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
@@ -28,14 +40,31 @@ struct Deployment {
 
 class Cluster {
  public:
+  /// Which scheduler execution path binds use. Both produce identical
+  /// verdicts (differential-tested); kScan exists for ablation and tests.
+  enum class SchedulePath : std::uint8_t { kIndexed, kScan };
+
   Cluster(sim::Engine& engine, Scheduler scheduler);
 
-  /// Registers a node with optional labels. The node must outlive the cluster.
+  /// Registers a node with optional labels. The node must outlive the
+  /// cluster; register its devices first (accelerator presence is sampled
+  /// here).
   void AddNode(continuum::ComputeNode* node,
                std::map<std::string, std::string> labels = {});
   [[nodiscard]] NodeState* FindNodeState(const std::string& node_id);
   [[nodiscard]] std::vector<NodeState*> NodeStates();
   void Cordon(const std::string& node_id, bool cordoned);
+  /// Sets one node label through the index, keeping the inverted label index
+  /// coherent. NOT_FOUND for unknown nodes.
+  util::Status SetNodeLabel(const std::string& node_id, const std::string& key,
+                            const std::string& value);
+  /// Overwrites a node's allocation ledger to mirror external state (liqo
+  /// peering reflects remote usage onto its virtual node). The reflected
+  /// value may exceed capacity; free-resource reads clamp at zero.
+  util::Status SetReflectedCpuAllocation(const std::string& node_id,
+                                         double cpu);
+  util::Status SetReflectedMemAllocation(const std::string& node_id,
+                                         std::uint64_t mem_mb);
 
   /// --- Direct pod operations --------------------------------------------
   /// Schedules and binds one pod. On success resources are reserved.
@@ -45,14 +74,20 @@ class Cluster {
   util::StatusOr<std::string> BindPodToNode(const PodSpec& spec,
                                             const std::string& node_id);
   /// Binding with preemption: when no node fits, evicts the cheapest set of
-  /// strictly-lower-priority pods that makes room on some node.
+  /// strictly-lower-priority pods that makes room on some node. If the
+  /// post-eviction bind still fails, the victims are rolled back onto their
+  /// original nodes (nothing is gained, so nothing may be lost).
   util::StatusOr<std::string> BindPodWithPreemption(const PodSpec& spec);
+  /// Schedules without binding (negotiation bids / what-if probes). Uses the
+  /// indexed path; no cluster state changes.
+  [[nodiscard]] util::StatusOr<ScheduleResult> DryRunSchedule(
+      const PodSpec& spec) const;
   /// Unbinds and releases resources. NOT_FOUND if absent.
   util::Status DeletePod(const std::string& pod_name);
   [[nodiscard]] const Pod* FindPod(const std::string& pod_name) const;
   [[nodiscard]] std::vector<const Pod*> PodsOnNode(const std::string& node_id) const;
-  [[nodiscard]] std::size_t RunningPods() const;
-  [[nodiscard]] std::size_t PendingPods() const;
+  [[nodiscard]] std::size_t RunningPods() const { return running_count_; }
+  [[nodiscard]] std::size_t PendingPods() const { return unbound_.size(); }
 
   /// --- Deployments & reconciliation --------------------------------------
   void ApplyDeployment(Deployment deployment);
@@ -60,7 +95,7 @@ class Cluster {
   [[nodiscard]] int DeploymentReadyReplicas(const std::string& name) const;
 
   /// One reconciliation pass: evict pods from failed nodes, (re)create
-  /// missing replicas, run autoscalers, retry pending pods.
+  /// missing replicas, run autoscalers, retry unbound pods.
   void Reconcile();
   /// Runs Reconcile() every `period` on the engine.
   void StartReconcileLoop(sim::SimTime period);
@@ -69,18 +104,34 @@ class Cluster {
   [[nodiscard]] sim::Metrics& metrics() { return metrics_; }
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
   [[nodiscard]] std::uint64_t reschedules() const { return reschedules_; }
+  [[nodiscard]] const NodeIndex& index() const { return index_; }
+  void set_schedule_path(SchedulePath path) { schedule_path_ = path; }
+  [[nodiscard]] SchedulePath schedule_path() const { return schedule_path_; }
 
  private:
   util::StatusOr<std::string> TryBind(Pod& pod);
+  /// The single accounting path for placements: reserves node memory,
+  /// charges the index ledger, and records the committed amounts on the pod.
+  util::Status CommitBind(Pod& pod, NodeState& target);
+  /// The single accounting path for releases: refunds exactly the committed
+  /// amounts to both ledgers.
   void ReleasePodResources(Pod& pod);
   std::string NextPodName(const std::string& base);
 
   sim::Engine& engine_;
   Scheduler scheduler_;
-  std::vector<std::unique_ptr<NodeState>> nodes_;
+  NodeIndex index_;
+  SchedulePath schedule_path_ = SchedulePath::kIndexed;
   std::map<std::string, Pod> pods_;  // by pod name
   std::map<std::string, Deployment> deployments_;
   std::map<std::string, std::vector<std::string>> deployment_pods_;
+  // Dirty-set reconcile state. Invariant: every pod is either running (its
+  // name in pods_by_node_[its node]) or awaiting binding (in unbound_).
+  // std::set keeps retry order == pod-name order, matching the historical
+  // full-map walk.
+  std::set<std::string> unbound_;
+  std::unordered_map<std::string, std::set<std::string>> pods_by_node_;
+  std::size_t running_count_ = 0;
   sim::EventHandle reconcile_loop_;
   sim::Metrics metrics_;
   std::uint64_t evictions_ = 0;

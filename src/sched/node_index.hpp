@@ -1,0 +1,208 @@
+// Indexed per-node scheduler state: a struct-of-arrays arena of hot ledger
+// columns plus inverted indexes (bitmaps) over the structural placement
+// dimensions — security level, layer, labels, accelerator presence,
+// cordon state. The scheduler's indexed path intersects those bitmaps to
+// obtain a candidate set instead of filtering every node per pod; capacity
+// (cpu/memory headroom, node liveness) is always checked live per candidate
+// because it changes on every bind.
+//
+// NodeState is a *handle* into the arena: all ledger reads and writes go
+// through the owning NodeIndex, so there is exactly one accounting path and
+// the bitmaps can never drift from the data they index. Structural mutations
+// (labels, cordon, new nodes) invalidate the cached candidate bitmaps;
+// allocation changes do not, which is what lets a reconcile pass admit a
+// whole batch of pending pods through one candidate-set build.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "continuum/node.hpp"
+#include "security/policy.hpp"
+#include "util/status.hpp"
+
+namespace myrtus::sched {
+
+class NodeIndex;
+
+/// Compact bitset over node slots. Word-parallel intersection plus set-bit
+/// iteration in ascending slot order (== node insertion order), which is
+/// what preserves the scan path's deterministic tie-breaking.
+class Bitmap {
+ public:
+  void Resize(std::size_t bits) {
+    words_.resize((bits + 63) / 64, 0);
+    bits_ = bits;
+  }
+  void Set(std::size_t bit) { words_[bit / 64] |= 1ULL << (bit % 64); }
+  void Reset(std::size_t bit) { words_[bit / 64] &= ~(1ULL << (bit % 64)); }
+  [[nodiscard]] bool Test(std::size_t bit) const {
+    return bit < bits_ && (words_[bit / 64] >> (bit % 64)) & 1ULL;
+  }
+  void ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+  [[nodiscard]] std::size_t bits() const { return bits_; }
+  [[nodiscard]] std::size_t Count() const;
+  /// In-place intersection; missing words in `other` count as zero.
+  Bitmap& AndWith(const Bitmap& other);
+  /// Calls `fn(slot)` for every set bit, ascending.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        fn(w * 64 + static_cast<std::size_t>(CountTrailingZeros(word)));
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  static int CountTrailingZeros(std::uint64_t word);
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Scheduler-side view of one node's allocatable state. The scheduler tracks
+/// requests (like kube's `requested`), independent of instantaneous device
+/// utilization. The ledger itself lives in the owning NodeIndex's SoA
+/// columns; this handle only reads it. Mutations go through the index (via
+/// Cluster), keeping accounting single-pathed and the bitmaps coherent.
+class NodeState {
+ public:
+  continuum::ComputeNode* node = nullptr;
+
+  /// Capacity is read live: device operating points may change at runtime.
+  [[nodiscard]] double cpu_capacity() const { return node->CpuCapacity(); }
+  [[nodiscard]] std::uint64_t mem_capacity_mb() const;
+  [[nodiscard]] double cpu_allocated() const;
+  [[nodiscard]] std::uint64_t mem_allocated_mb() const;
+  [[nodiscard]] bool cordoned() const;
+  [[nodiscard]] const std::map<std::string, std::string>& labels() const;
+  /// Accelerator presence, sampled when the node joined the index (register
+  /// devices before Cluster::AddNode).
+  [[nodiscard]] bool HasAccelerator() const;
+  [[nodiscard]] double CpuFree() const {
+    return cpu_capacity() - cpu_allocated();
+  }
+  /// Free memory clamped at zero: the allocation ledger may legitimately
+  /// exceed capacity (peering reflection), and the unsigned subtraction must
+  /// not wrap into "plenty of room".
+  [[nodiscard]] std::uint64_t MemFreeMb() const {
+    const std::uint64_t cap = mem_capacity_mb();
+    const std::uint64_t alloc = mem_allocated_mb();
+    return cap > alloc ? cap - alloc : 0;
+  }
+  [[nodiscard]] std::uint32_t slot() const { return slot_; }
+
+ private:
+  friend class NodeIndex;
+  NodeIndex* owner_ = nullptr;
+  std::uint32_t slot_ = 0;
+};
+
+/// Structural restrictions for one candidate lookup. Pointers borrow from the
+/// pod spec and must outlive the Candidates() call. A null pointer (or an
+/// unset flag) means "dimension unrestricted".
+struct CandidateQuery {
+  bool restrict_cordoned = false;
+  bool restrict_security = false;
+  security::SecurityLevel min_security = security::SecurityLevel::kLow;
+  bool restrict_accelerator = false;
+  const std::string* layer = nullptr;
+  const std::map<std::string, std::string>* selector = nullptr;
+
+  [[nodiscard]] std::string CacheKey() const;
+};
+
+class NodeIndex {
+ public:
+  /// Registers a node; slots are assigned in insertion order and never
+  /// reused. The node must outlive the index.
+  NodeState& Add(continuum::ComputeNode* node,
+                 std::map<std::string, std::string> labels);
+  [[nodiscard]] std::size_t size() const { return arena_.size(); }
+  [[nodiscard]] NodeState* Find(const std::string& node_id);
+  [[nodiscard]] const NodeState* Find(const std::string& node_id) const;
+  [[nodiscard]] NodeState& at(std::size_t slot) { return arena_[slot]; }
+  [[nodiscard]] const NodeState& at(std::size_t slot) const {
+    return arena_[slot];
+  }
+
+  /// --- Allocation ledger (non-structural: candidate cache survives) ------
+  void AddAllocation(std::uint32_t slot, double cpu, std::uint64_t mem_mb);
+  void SubAllocation(std::uint32_t slot, double cpu, std::uint64_t mem_mb);
+  void SetCpuAllocation(std::uint32_t slot, double cpu);
+  void SetMemAllocation(std::uint32_t slot, std::uint64_t mem_mb);
+
+  /// --- Structural mutators (invalidate the candidate cache) --------------
+  void SetCordoned(std::uint32_t slot, bool cordoned);
+  void SetLabel(std::uint32_t slot, const std::string& key,
+                const std::string& value);
+
+  /// Slots passing every structural restriction in `q`, as an intersection
+  /// of the inverted-index bitmaps. Cached per query shape until the next
+  /// structural mutation; the returned reference is valid until then.
+  [[nodiscard]] const Bitmap& Candidates(const CandidateQuery& q) const;
+
+  struct Stats {
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t invalidations = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  friend class NodeState;
+  void InvalidateCandidates();
+
+  // Handles; deque keeps them pointer-stable as the fleet grows.
+  std::deque<NodeState> arena_;
+  std::unordered_map<std::string, std::uint32_t> id_to_slot_;
+
+  // SoA hot columns, indexed by slot. Memory capacity is immutable on
+  // ComputeNode, so it is cached here; cpu capacity is not (operating
+  // points).
+  std::vector<double> cpu_allocated_;
+  std::vector<std::uint64_t> mem_allocated_mb_;
+  std::vector<std::uint64_t> mem_capacity_mb_;
+  std::vector<std::uint8_t> has_accelerator_;
+  std::vector<std::uint8_t> cordoned_;
+  std::vector<std::map<std::string, std::string>> labels_;
+
+  // Inverted indexes.
+  Bitmap all_;
+  Bitmap not_cordoned_;
+  Bitmap accelerator_;
+  Bitmap security_at_least_[security::kNumSecurityLevels];
+  std::map<std::string, Bitmap> by_layer_;              // by LayerName
+  std::map<std::string, Bitmap> by_label_;              // "key\x1fvalue"
+
+  mutable std::map<std::string, Bitmap> candidate_cache_;
+  mutable Stats stats_;
+};
+
+inline std::uint64_t NodeState::mem_capacity_mb() const {
+  return owner_->mem_capacity_mb_[slot_];
+}
+inline double NodeState::cpu_allocated() const {
+  return owner_->cpu_allocated_[slot_];
+}
+inline std::uint64_t NodeState::mem_allocated_mb() const {
+  return owner_->mem_allocated_mb_[slot_];
+}
+inline bool NodeState::cordoned() const {
+  return owner_->cordoned_[slot_] != 0;
+}
+inline const std::map<std::string, std::string>& NodeState::labels() const {
+  return owner_->labels_[slot_];
+}
+inline bool NodeState::HasAccelerator() const {
+  return owner_->has_accelerator_[slot_] != 0;
+}
+
+}  // namespace myrtus::sched

@@ -45,6 +45,11 @@ struct Pod {
   PodPhase phase = PodPhase::kPending;
   std::string node_id;   // set when bound
   std::int64_t bound_at_ns = -1;
+  // Resources actually charged to the bound node's ledger. Release exactly
+  // these (not the spec's current requests) so the NodeState and ComputeNode
+  // ledgers stay equal even if a spec is edited while the pod runs.
+  double committed_cpu = 0.0;
+  std::uint64_t committed_mem_mb = 0;
 };
 
 }  // namespace myrtus::sched

@@ -7,6 +7,29 @@
 #include "util/parallel.hpp"
 
 namespace myrtus::sched {
+namespace {
+
+// Rejection reason strings, shared by the filter plugins and the indexed
+// path's residual checks so both paths report byte-identical reasons.
+constexpr const char* kReasonInsufficientCpu = "insufficient cpu";
+constexpr const char* kReasonInsufficientMemory = "insufficient memory";
+constexpr const char* kReasonSecurity = "security level too low";
+constexpr const char* kReasonNoAccelerator = "no accelerator";
+constexpr const char* kReasonLayerMismatch = "layer mismatch";
+constexpr const char* kReasonCordoned = "cordoned";
+constexpr const char* kReasonNodeDown = "node down";
+
+util::Status ExhaustedStatus(
+    const PodSpec& pod,
+    const std::vector<std::pair<std::string, std::string>>& rejections) {
+  std::string detail = "no feasible node for pod " + pod.name;
+  for (const auto& [node, reason] : rejections) {
+    detail += "; " + node + ": " + reason;
+  }
+  return util::Status::ResourceExhausted(detail);
+}
+
+}  // namespace
 
 std::string_view PodPhaseName(PodPhase phase) {
   switch (phase) {
@@ -55,80 +78,80 @@ PodSpec PodSpec::FromJson(const util::Json& j) {
   return s;
 }
 
-bool NodeState::HasAccelerator() const {
-  for (const continuum::Device& d : node->devices()) {
-    if (d.kind() == continuum::DeviceKind::kFpgaAccelerator ||
-        d.kind() == continuum::DeviceKind::kRiscvCcu) {
-      return true;
-    }
-  }
-  return false;
-}
-
 namespace plugins {
 
-FilterFn FitsResources() {
-  return [](const PodSpec& pod, const NodeState& n) -> std::optional<std::string> {
-    if (n.CpuFree() < pod.cpu_request) return "insufficient cpu";
-    if (n.mem_capacity_mb() - n.mem_allocated_mb < pod.mem_request_mb) {
-      return "insufficient memory";
-    }
-    return std::nullopt;
-  };
+FilterPlugin FitsResources() {
+  return {"fits-resources", FilterKind::kFitsResources,
+          [](const PodSpec& pod, const NodeState& n) -> std::optional<std::string> {
+            if (n.CpuFree() < pod.cpu_request) {
+              return std::string(kReasonInsufficientCpu);
+            }
+            if (n.MemFreeMb() < pod.mem_request_mb) {
+              return std::string(kReasonInsufficientMemory);
+            }
+            return std::nullopt;
+          }};
 }
 
-FilterFn SecurityLevel() {
-  return [](const PodSpec& pod, const NodeState& n) -> std::optional<std::string> {
-    if (!security::Satisfies(n.node->security_level(), pod.min_security)) {
-      return "security level too low";
-    }
-    return std::nullopt;
-  };
+FilterPlugin SecurityLevel() {
+  return {"security-level", FilterKind::kSecurityLevel,
+          [](const PodSpec& pod, const NodeState& n) -> std::optional<std::string> {
+            if (!security::Satisfies(n.node->security_level(), pod.min_security)) {
+              return std::string(kReasonSecurity);
+            }
+            return std::nullopt;
+          }};
 }
 
-FilterFn Accelerator() {
-  return [](const PodSpec& pod, const NodeState& n) -> std::optional<std::string> {
-    if (pod.needs_accelerator && !n.HasAccelerator()) {
-      return "no accelerator";
-    }
-    return std::nullopt;
-  };
+FilterPlugin Accelerator() {
+  return {"accelerator", FilterKind::kAccelerator,
+          [](const PodSpec& pod, const NodeState& n) -> std::optional<std::string> {
+            if (pod.needs_accelerator && !n.HasAccelerator()) {
+              return std::string(kReasonNoAccelerator);
+            }
+            return std::nullopt;
+          }};
 }
 
-FilterFn LayerAffinity() {
-  return [](const PodSpec& pod, const NodeState& n) -> std::optional<std::string> {
-    if (!pod.layer_affinity.empty() &&
-        pod.layer_affinity != continuum::LayerName(n.node->layer())) {
-      return "layer mismatch";
-    }
-    return std::nullopt;
-  };
+FilterPlugin LayerAffinity() {
+  return {"layer-affinity", FilterKind::kLayerAffinity,
+          [](const PodSpec& pod, const NodeState& n) -> std::optional<std::string> {
+            if (!pod.layer_affinity.empty() &&
+                pod.layer_affinity != continuum::LayerName(n.node->layer())) {
+              return std::string(kReasonLayerMismatch);
+            }
+            return std::nullopt;
+          }};
 }
 
-FilterFn NodeSelector() {
-  return [](const PodSpec& pod, const NodeState& n) -> std::optional<std::string> {
-    for (const auto& [k, v] : pod.node_selector) {
-      const auto it = n.labels.find(k);
-      if (it == n.labels.end() || it->second != v) {
-        return "selector mismatch on " + k;
-      }
-    }
-    return std::nullopt;
-  };
+FilterPlugin NodeSelector() {
+  return {"node-selector", FilterKind::kNodeSelector,
+          [](const PodSpec& pod, const NodeState& n) -> std::optional<std::string> {
+            for (const auto& [k, v] : pod.node_selector) {
+              const auto& labels = n.labels();
+              const auto it = labels.find(k);
+              if (it == labels.end() || it->second != v) {
+                return "selector mismatch on " + k;
+              }
+            }
+            return std::nullopt;
+          }};
 }
 
-FilterFn NotCordoned() {
-  return [](const PodSpec&, const NodeState& n) -> std::optional<std::string> {
-    if (n.cordoned) return "cordoned";
-    return std::nullopt;
-  };
+FilterPlugin NotCordoned() {
+  return {"not-cordoned", FilterKind::kNotCordoned,
+          [](const PodSpec&, const NodeState& n) -> std::optional<std::string> {
+            if (n.cordoned()) return std::string(kReasonCordoned);
+            return std::nullopt;
+          }};
 }
 
-FilterFn NodeReady() {
-  return [](const PodSpec&, const NodeState& n) -> std::optional<std::string> {
-    if (!n.node->up()) return "node down";
-    return std::nullopt;
-  };
+FilterPlugin NodeReady() {
+  return {"node-ready", FilterKind::kNodeReady,
+          [](const PodSpec&, const NodeState& n) -> std::optional<std::string> {
+            if (!n.node->up()) return std::string(kReasonNodeDown);
+            return std::nullopt;
+          }};
 }
 
 ScorePlugin LeastAllocated(double weight) {
@@ -141,10 +164,10 @@ ScorePlugin LeastAllocated(double weight) {
 ScorePlugin Balanced(double weight) {
   return {"balanced", weight, [](const PodSpec& pod, const NodeState& n) {
             const double cpu_frac =
-                (n.cpu_allocated + pod.cpu_request) /
+                (n.cpu_allocated() + pod.cpu_request) /
                 std::max(1e-9, n.cpu_capacity());
             const double mem_frac =
-                static_cast<double>(n.mem_allocated_mb + pod.mem_request_mb) /
+                static_cast<double>(n.mem_allocated_mb() + pod.mem_request_mb) /
                 std::max<double>(1.0, static_cast<double>(n.mem_capacity_mb()));
             return 1.0 - std::fabs(cpu_frac - mem_frac);
           }};
@@ -187,11 +210,26 @@ Scheduler Scheduler::Default() {
   return s;
 }
 
-util::StatusOr<ScheduleResult> Scheduler::Schedule(
-    const PodSpec& pod, const std::vector<NodeState*>& nodes) const {
+double Scheduler::ScoreNode(const PodSpec& pod, const NodeState& n) const {
+  double score = 0.0;
+  double total_weight = 0.0;
+  for (const ScorePlugin& plugin : scorers_) {
+    score += plugin.weight * plugin.fn(pod, n);
+    total_weight += plugin.weight;
+  }
+  return total_weight > 0 ? score / total_weight : score;
+}
+
+template <typename GetNode>
+util::StatusOr<ScheduleResult> Scheduler::ScanImpl(const PodSpec& pod,
+                                                   std::size_t count,
+                                                   GetNode get,
+                                                   const char* path) const {
   telemetry::ScopedSpan span("sched.schedule", "sched");
   span.SetAttribute("pod", pod.name);
+  span.SetAttribute("path", path);
   ScheduleResult result;
+  result.nodes_considered = count;
   double best_score = -1.0;
   const NodeState* best = nullptr;
 
@@ -206,34 +244,28 @@ util::StatusOr<ScheduleResult> Scheduler::Schedule(
     std::string rejection;
   };
   const std::vector<NodeVerdict> verdicts =
-      util::ParallelMap<NodeVerdict>(nodes.size(), [&](std::size_t i) {
-        const NodeState& n = *nodes[i];
+      util::ParallelMap<NodeVerdict>(count, [&](std::size_t i) {
+        const NodeState& n = get(i);
         NodeVerdict v;
-        for (const FilterFn& filter : filters_) {
-          if (auto reason = filter(pod, n)) {
+        for (const FilterPlugin& filter : filters_) {
+          if (auto reason = filter.fn(pod, n)) {
             v.rejection = std::move(*reason);
             return v;
           }
         }
         v.feasible = true;
-        double score = 0.0;
-        double total_weight = 0.0;
-        for (const ScorePlugin& plugin : scorers_) {
-          score += plugin.weight * plugin.fn(pod, n);
-          total_weight += plugin.weight;
-        }
-        v.score = total_weight > 0 ? score / total_weight : score;
+        v.score = ScoreNode(pod, n);
         return v;
       });
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
+  for (std::size_t i = 0; i < count; ++i) {
     const NodeVerdict& v = verdicts[i];
     if (!v.feasible) {
-      result.rejections.emplace_back(nodes[i]->node->id(), v.rejection);
+      result.rejections.emplace_back(get(i).node->id(), v.rejection);
       continue;
     }
     if (v.score > best_score) {
       best_score = v.score;
-      best = nodes[i];
+      best = &get(i);
     }
   }
 
@@ -244,14 +276,108 @@ util::StatusOr<ScheduleResult> Scheduler::Schedule(
         {{"result", best == nullptr ? "exhausted" : "placed"}});
   }
   if (best == nullptr) {
-    std::string detail = "no feasible node for pod " + pod.name;
-    for (const auto& [node, reason] : result.rejections) {
-      detail += "; " + node + ": " + reason;
-    }
-    return util::Status::ResourceExhausted(detail);
+    return ExhaustedStatus(pod, result.rejections);
   }
   result.node_id = best->node->id();
   result.score = best_score;
+  span.SetAttribute("node", result.node_id);
+  return result;
+}
+
+util::StatusOr<ScheduleResult> Scheduler::Schedule(
+    const PodSpec& pod, const std::vector<NodeState*>& nodes) const {
+  return ScanImpl(
+      pod, nodes.size(),
+      [&](std::size_t i) -> const NodeState& { return *nodes[i]; }, "scan");
+}
+
+util::StatusOr<ScheduleResult> Scheduler::Schedule(
+    const PodSpec& pod, const NodeIndex& index,
+    const ScheduleOptions& opts) const {
+  const auto get = [&](std::size_t i) -> const NodeState& {
+    return index.at(i);
+  };
+  if (opts.explain) {
+    // Full per-node rejection list requested: evaluate everything through
+    // the reference pipeline.
+    return ScanImpl(pod, index.size(), get, "indexed-explain");
+  }
+  telemetry::ScopedSpan span("sched.schedule", "sched");
+  span.SetAttribute("pod", pod.name);
+  span.SetAttribute("path", "indexed");
+
+  // Restrict only the dimensions an installed filter would enforce, so a
+  // pipeline without (say) the security filter keeps admitting low-security
+  // nodes exactly like the scan does.
+  CandidateQuery query;
+  query.restrict_cordoned =
+      has_kind_[static_cast<std::size_t>(FilterKind::kNotCordoned)];
+  if (has_kind_[static_cast<std::size_t>(FilterKind::kSecurityLevel)]) {
+    query.restrict_security = true;
+    query.min_security = pod.min_security;
+  }
+  query.restrict_accelerator =
+      has_kind_[static_cast<std::size_t>(FilterKind::kAccelerator)] &&
+      pod.needs_accelerator;
+  if (has_kind_[static_cast<std::size_t>(FilterKind::kLayerAffinity)] &&
+      !pod.layer_affinity.empty()) {
+    query.layer = &pod.layer_affinity;
+  }
+  if (has_kind_[static_cast<std::size_t>(FilterKind::kNodeSelector)] &&
+      !pod.node_selector.empty()) {
+    query.selector = &pod.node_selector;
+  }
+
+  const Bitmap& candidates = index.Candidates(query);
+  const NodeState* best = nullptr;
+  double best_score = -1.0;
+  std::uint64_t considered = 0;
+  candidates.ForEachSet([&](std::size_t slot) {
+    const NodeState& n = index.at(slot);
+    ++considered;
+    // Residual filters, in pipeline order. Dimensions the bitmaps guarantee
+    // are skipped; liveness, capacity, and opaque filters run live.
+    for (const FilterPlugin& filter : filters_) {
+      switch (filter.kind) {
+        case FilterKind::kNotCordoned:
+        case FilterKind::kSecurityLevel:
+        case FilterKind::kAccelerator:
+        case FilterKind::kLayerAffinity:
+        case FilterKind::kNodeSelector:
+          continue;
+        case FilterKind::kNodeReady:
+          if (!n.node->up()) return;
+          continue;
+        case FilterKind::kFitsResources:
+          if (n.CpuFree() < pod.cpu_request) return;
+          if (n.MemFreeMb() < pod.mem_request_mb) return;
+          continue;
+        case FilterKind::kOpaque:
+          if (filter.fn(pod, n)) return;
+          continue;
+      }
+    }
+    const double score = ScoreNode(pod, n);
+    if (score > best_score) {
+      best_score = score;
+      best = &n;
+    }
+  });
+
+  if (best == nullptr) {
+    // Verdict parity on failure: the scan fallback produces the identical
+    // RESOURCE_EXHAUSTED status with every node's first-failing reason.
+    return ScanImpl(pod, index.size(), get, "indexed-fallback");
+  }
+  if (telemetry::Enabled()) {
+    span.SetAttribute("candidates", std::to_string(considered));
+    telemetry::Global().metrics.Add("myrtus_sched_attempts_total", 1.0,
+                                    {{"result", "placed"}});
+  }
+  ScheduleResult result;
+  result.node_id = best->node->id();
+  result.score = best_score;
+  result.nodes_considered = considered;
   span.SetAttribute("node", result.node_id);
   return result;
 }

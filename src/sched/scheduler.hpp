@@ -2,38 +2,42 @@
 // framework. Filters eliminate infeasible nodes (resources, security level,
 // accelerator, layer affinity, labels); scorers rank the survivors
 // (least-allocated, balanced, energy, latency-to-consumer).
+//
+// Two execution paths produce identical verdicts:
+//  - scan: filter + score every node (the reference semantics);
+//  - indexed: intersect NodeIndex bitmaps for the structural filters, then
+//    run only the residual (capacity/liveness/opaque) filters per candidate.
+// The indexed path falls back to the scan when no candidate survives, so
+// failures carry the same per-node rejection list either way.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "continuum/node.hpp"
+#include "sched/node_index.hpp"
 #include "sched/pod.hpp"
 #include "util/status.hpp"
 
 namespace myrtus::sched {
 
-/// Scheduler-side bookkeeping of one node's allocatable state. The scheduler
-/// tracks requests (like kube's `requested`), independent of instantaneous
-/// device utilization.
-struct NodeState {
-  continuum::ComputeNode* node = nullptr;
-  double cpu_allocated = 0.0;
-  std::uint64_t mem_allocated_mb = 0;
-  std::map<std::string, std::string> labels;
-  bool cordoned = false;  // unschedulable (drain / MIRTO directive)
-
-  [[nodiscard]] double cpu_capacity() const { return node->CpuCapacity(); }
-  [[nodiscard]] std::uint64_t mem_capacity_mb() const {
-    return node->mem_capacity_mb();
-  }
-  [[nodiscard]] double CpuFree() const {
-    return cpu_capacity() - cpu_allocated;
-  }
-  [[nodiscard]] bool HasAccelerator() const;
+/// Which built-in constraint a filter implements. The indexed path uses the
+/// kind to decide which filters the candidate bitmaps already guarantee;
+/// kOpaque filters always run per candidate.
+enum class FilterKind : std::uint8_t {
+  kOpaque = 0,
+  kNodeReady,       // liveness: mutated externally, always checked live
+  kNotCordoned,     // indexed
+  kFitsResources,   // capacity: changes per bind, always checked live
+  kSecurityLevel,   // indexed
+  kAccelerator,     // indexed
+  kLayerAffinity,   // indexed
+  kNodeSelector,    // indexed
 };
+inline constexpr std::size_t kNumFilterKinds = 8;
 
 /// A filter rejects a node outright (returns a human-readable reason) or
 /// passes it (empty optional).
@@ -41,6 +45,12 @@ using FilterFn = std::function<std::optional<std::string>(
     const PodSpec& pod, const NodeState& node)>;
 /// A scorer returns [0,1]; higher is better.
 using ScoreFn = std::function<double(const PodSpec& pod, const NodeState& node)>;
+
+struct FilterPlugin {
+  std::string name;
+  FilterKind kind = FilterKind::kOpaque;
+  FilterFn fn;
+};
 
 struct ScorePlugin {
   std::string name;
@@ -50,13 +60,13 @@ struct ScorePlugin {
 
 /// Built-in plugins.
 namespace plugins {
-FilterFn FitsResources();
-FilterFn SecurityLevel();
-FilterFn Accelerator();
-FilterFn LayerAffinity();
-FilterFn NodeSelector();
-FilterFn NotCordoned();
-FilterFn NodeReady();
+FilterPlugin FitsResources();
+FilterPlugin SecurityLevel();
+FilterPlugin Accelerator();
+FilterPlugin LayerAffinity();
+FilterPlugin NodeSelector();
+FilterPlugin NotCordoned();
+FilterPlugin NodeReady();
 
 ScorePlugin LeastAllocated(double weight = 1.0);
 ScorePlugin Balanced(double weight = 1.0);
@@ -70,6 +80,15 @@ struct ScheduleResult {
   std::string node_id;
   double score = 0.0;
   std::vector<std::pair<std::string, std::string>> rejections;  // node, reason
+  /// Nodes actually evaluated: fleet size on the scan path, candidate-set
+  /// size on the indexed fast path.
+  std::uint64_t nodes_considered = 0;
+};
+
+struct ScheduleOptions {
+  /// Force full-scan semantics on the indexed path: evaluate every node and
+  /// report each infeasible one in `rejections` (costs O(fleet)).
+  bool explain = false;
 };
 
 class Scheduler {
@@ -77,18 +96,38 @@ class Scheduler {
   /// Default pipeline: all built-in filters, least-allocated + balanced.
   static Scheduler Default();
 
-  void AddFilter(FilterFn f) { filters_.push_back(std::move(f)); }
+  void AddFilter(FilterPlugin f) {
+    has_kind_[static_cast<std::size_t>(f.kind)] = true;
+    filters_.push_back(std::move(f));
+  }
+  /// Opaque custom filter: always evaluated per candidate on both paths.
+  void AddFilter(FilterFn f) {
+    AddFilter(FilterPlugin{"custom", FilterKind::kOpaque, std::move(f)});
+  }
   void AddScorer(ScorePlugin s) { scorers_.push_back(std::move(s)); }
   void ClearScorers() { scorers_.clear(); }
 
-  /// Picks the best feasible node. RESOURCE_EXHAUSTED when none fits (the
-  /// result's rejection list explains why, per node).
+  /// Picks the best feasible node by scanning `nodes`. RESOURCE_EXHAUSTED
+  /// when none fits (the result's rejection list explains why, per node).
   [[nodiscard]] util::StatusOr<ScheduleResult> Schedule(
       const PodSpec& pod, const std::vector<NodeState*>& nodes) const;
+  /// Indexed candidate selection over `index`; verdict-identical to the scan
+  /// (same winner; on failure, same rejection list via scan fallback). The
+  /// success fast path leaves `rejections` empty unless `opts.explain`.
+  [[nodiscard]] util::StatusOr<ScheduleResult> Schedule(
+      const PodSpec& pod, const NodeIndex& index,
+      const ScheduleOptions& opts = {}) const;
 
  private:
-  std::vector<FilterFn> filters_;
+  [[nodiscard]] double ScoreNode(const PodSpec& pod, const NodeState& n) const;
+  template <typename GetNode>
+  [[nodiscard]] util::StatusOr<ScheduleResult> ScanImpl(
+      const PodSpec& pod, std::size_t count, GetNode get,
+      const char* path) const;
+
+  std::vector<FilterPlugin> filters_;
   std::vector<ScorePlugin> scorers_;
+  bool has_kind_[kNumFilterKinds] = {};
 };
 
 }  // namespace myrtus::sched

@@ -5,6 +5,7 @@
 // each level costs.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -19,6 +20,9 @@ enum class SecurityLevel : std::uint8_t {
   kMedium = 1,  // non-PQC, adequate for current threats
   kHigh = 2,    // post-quantum resistant
 };
+
+/// Number of levels, for fixed-size per-level tables.
+inline constexpr std::size_t kNumSecurityLevels = 3;
 
 std::string_view SecurityLevelName(SecurityLevel level);
 util::StatusOr<SecurityLevel> ParseSecurityLevel(std::string_view name);

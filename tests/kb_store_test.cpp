@@ -128,16 +128,28 @@ TEST(Registry, NodeRecordRoundtrip) {
   r.mem_capacity_mb = 2048;
   r.security_level = 2;
   r.has_accelerator = true;
-  r.energy_mw = 850.5;
+  r.energy_mj = 850.5;
   r.trust_score = 0.93;
   auto back = NodeRecord::FromJson(r.ToJson());
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->node_id, "edge-3");
   EXPECT_EQ(back->kind, "hmpsoc");
   EXPECT_DOUBLE_EQ(back->cpu_allocated, 1.5);
+  EXPECT_DOUBLE_EQ(back->energy_mj, 850.5);
   EXPECT_EQ(back->security_level, 2);
   EXPECT_TRUE(back->has_accelerator);
   EXPECT_DOUBLE_EQ(back->trust_score, 0.93);
+}
+
+TEST(Registry, NodeRecordDecodesLegacyEnergyKey) {
+  // Records written before the energy_mw -> energy_mj rename carried
+  // millijoules under the old key; FromJson must still pick them up.
+  util::Json legacy = util::Json::MakeObject()
+                          .Set("node_id", "edge-9")
+                          .Set("energy_mw", 123.25);
+  auto back = NodeRecord::FromJson(legacy);
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back->energy_mj, 123.25);
 }
 
 TEST(Registry, NodeRecordRejectsGarbage) {

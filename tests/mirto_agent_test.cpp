@@ -170,6 +170,25 @@ TEST(MirtoAgent, MapeLoopRecoversFromNodeFailure) {
   EXPECT_LT(f.agent->security_manager().TrustOf(victim), 0.5);
 }
 
+TEST(MirtoAgent, MonitorRecordsCumulativeEnergyInMillijoules) {
+  AgentFixture f;
+  continuum::ComputeNode* node = f.infra.FindNode("edge-0");
+  ASSERT_NE(node, nullptr);
+  continuum::TaskDemand demand;
+  demand.cycles = 50'000'000;
+  demand.bytes_in = 4096;
+  node->Submit(demand, nullptr);
+  f.engine.RunUntil(SimTime::Seconds(2));
+  ASSERT_GT(node->total_energy_mj(), 0.0);
+
+  // Monitor used to publish instantaneous power (mW) under the cumulative
+  // energy field; the record must carry the node's energy counter (mJ).
+  f.agent->RunMapeIteration();
+  auto record = f.agent->registry().GetNode("edge-0");
+  ASSERT_TRUE(record.ok()) << record.status();
+  EXPECT_DOUBLE_EQ(record->energy_mj, node->total_energy_mj());
+}
+
 TEST(MirtoAgent, OperatingPointsAdaptToIdleness) {
   AgentFixture f;
   // Run with zero load: every device should be demoted to eco points.

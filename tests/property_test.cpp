@@ -214,9 +214,11 @@ TEST(SchedulerProperty, NeverOvercommitsUnderRandomChurn) {
     }
     // Invariants after every operation.
     for (sched::NodeState* ns : cluster.NodeStates()) {
-      EXPECT_LE(ns->cpu_allocated, ns->cpu_capacity() + 1e-9) << ns->node->id();
-      EXPECT_LE(ns->mem_allocated_mb, ns->mem_capacity_mb()) << ns->node->id();
-      EXPECT_GE(ns->cpu_allocated, -1e-9);
+      EXPECT_LE(ns->cpu_allocated(), ns->cpu_capacity() + 1e-9)
+          << ns->node->id();
+      EXPECT_LE(ns->mem_allocated_mb(), ns->mem_capacity_mb())
+          << ns->node->id();
+      EXPECT_GE(ns->cpu_allocated(), -1e-9);
       // Cross-check allocation against the actual pod set.
       double cpu_sum = 0;
       for (const sched::Pod* p : cluster.PodsOnNode(ns->node->id())) {
@@ -228,7 +230,7 @@ TEST(SchedulerProperty, NeverOvercommitsUnderRandomChurn) {
           EXPECT_TRUE(ns->HasAccelerator());
         }
       }
-      EXPECT_NEAR(cpu_sum, ns->cpu_allocated, 1e-6) << ns->node->id();
+      EXPECT_NEAR(cpu_sum, ns->cpu_allocated(), 1e-6) << ns->node->id();
     }
   }
 }
@@ -249,6 +251,115 @@ TEST(SchedulerProperty, ReconcileIsIdempotent) {
   EXPECT_EQ(cluster.RunningPods(), running);
   EXPECT_EQ(cluster.evictions(), evictions);
 }
+
+class SchedLedgerProperty : public ::testing::TestWithParam<int> {};
+
+// Random bind/evict/delete/preempt/cordon/fail/reconcile sequences: the
+// scheduler ledger and the ComputeNode memory ledger must stay equal, free
+// resources must never wrap negative, and the scan and indexed scheduler
+// paths must agree on every probe verdict.
+TEST_P(SchedLedgerProperty, LedgersAndVerdictsStayConsistentUnderChurn) {
+  sim::Engine engine;
+  continuum::Infrastructure infra = continuum::BuildInfrastructure(engine, {});
+  sched::Cluster cluster(engine, sched::Scheduler::Default());
+  for (auto& n : infra.nodes) cluster.AddNode(n.get());
+  const sched::Scheduler scan_sched = sched::Scheduler::Default();
+
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()), "sched-ledger");
+  std::vector<std::string> live;
+  for (int op = 0; op < 300; ++op) {
+    switch (rng.NextBounded(8)) {
+      case 0:
+      case 1:
+      case 2: {  // bind (sometimes with preemption)
+        sched::PodSpec pod;
+        pod.name = "p" + std::to_string(op);
+        pod.cpu_request = rng.Uniform(0.1, 3.0);
+        pod.mem_request_mb = 16 + rng.NextBounded(512);
+        pod.priority = static_cast<int>(rng.NextBounded(5));
+        if (rng.NextBool(0.2)) pod.needs_accelerator = true;
+        auto bound = rng.NextBool(0.3) ? cluster.BindPodWithPreemption(pod)
+                                       : cluster.BindPod(pod);
+        if (bound.ok()) {
+          live.push_back(pod.name);
+        } else {
+          // LINT: discard(cleanup of a pod that may never have bound)
+          (void)cluster.DeletePod(pod.name);
+        }
+        break;
+      }
+      case 3: {  // delete
+        if (live.empty()) break;
+        const std::size_t victim = rng.NextBounded(live.size());
+        EXPECT_TRUE(cluster.DeletePod(live[victim]).ok());
+        live.erase(live.begin() + static_cast<long>(victim));
+        break;
+      }
+      case 4: {  // cordon toggle
+        auto states = cluster.NodeStates();
+        sched::NodeState* ns = states[rng.NextBounded(states.size())];
+        cluster.Cordon(ns->node->id(), rng.NextBool());
+        break;
+      }
+      case 5: {  // node failure / recovery + reconcile sweeps the fallout
+        auto states = cluster.NodeStates();
+        sched::NodeState* ns = states[rng.NextBounded(states.size())];
+        ns->node->SetUp(rng.NextBool(0.7));
+        cluster.Reconcile();
+        // Reconcile may have rebound or evicted; rebuild the live list.
+        std::vector<std::string> still;
+        for (const std::string& name : live) {
+          const sched::Pod* p = cluster.FindPod(name);
+          if (p != nullptr && p->phase == sched::PodPhase::kRunning) {
+            still.push_back(name);
+          } else if (p != nullptr) {
+            EXPECT_TRUE(cluster.DeletePod(name).ok());
+          }
+        }
+        live = std::move(still);
+        break;
+      }
+      case 6: {  // reflected allocation overwrite (peering)
+        auto states = cluster.NodeStates();
+        sched::NodeState* ns = states[rng.NextBounded(states.size())];
+        // Reflection can legally exceed capacity; frees must clamp, not wrap.
+        EXPECT_TRUE(cluster
+                        .SetReflectedCpuAllocation(
+                            ns->node->id(), rng.Uniform(0.0, 4.0))
+                        .ok());
+        break;
+      }
+      default:
+        cluster.Reconcile();
+        break;
+    }
+
+    // Invariant: ledger equality and clamped frees on every node.
+    for (sched::NodeState* ns : cluster.NodeStates()) {
+      EXPECT_EQ(ns->mem_allocated_mb(), ns->node->mem_allocated_mb())
+          << ns->node->id() << " after op " << op;
+      EXPECT_LE(ns->MemFreeMb(), ns->mem_capacity_mb()) << ns->node->id();
+      EXPECT_GE(ns->cpu_allocated(), -1e-9) << ns->node->id();
+    }
+
+    // Invariant: both scheduler paths agree on a random probe.
+    sched::PodSpec probe;
+    probe.name = "probe";
+    probe.cpu_request = rng.Uniform(0.1, 3.0);
+    probe.mem_request_mb = 16 + rng.NextBounded(512);
+    if (rng.NextBool(0.2)) probe.needs_accelerator = true;
+    auto indexed = cluster.DryRunSchedule(probe);
+    auto scanned = scan_sched.Schedule(probe, cluster.NodeStates());
+    ASSERT_EQ(indexed.ok(), scanned.ok()) << "op " << op;
+    if (indexed.ok()) {
+      EXPECT_EQ(indexed->node_id, scanned->node_id) << "op " << op;
+    } else {
+      EXPECT_EQ(indexed.status().message(), scanned.status().message());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedLedgerProperty, ::testing::Range(1, 5));
 
 // --- Placement solver properties ----------------------------------------------------
 

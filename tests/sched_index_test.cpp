@@ -1,0 +1,436 @@
+// NodeIndex internals (bitmaps, inverted indexes, candidate cache) and the
+// scan-vs-indexed differential: both scheduler paths must produce identical
+// verdicts on randomized fleets, pods, and structural churn.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "continuum/infrastructure.hpp"
+#include "sched/controller.hpp"
+#include "sched/node_index.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace myrtus::sched {
+namespace {
+
+using continuum::ComputeNode;
+using continuum::Device;
+using continuum::DeviceKind;
+using continuum::Layer;
+using continuum::OperatingPoint;
+
+// --- Bitmap ------------------------------------------------------------------
+
+TEST(Bitmap, SetTestResetCountAcrossWordBoundaries) {
+  Bitmap b;
+  b.Resize(130);
+  EXPECT_EQ(b.Count(), 0u);
+  const std::size_t set[] = {0, 63, 64, 127, 129};
+  for (std::size_t bit : set) b.Set(bit);
+  EXPECT_EQ(b.Count(), 5u);
+  for (std::size_t bit : set) EXPECT_TRUE(b.Test(bit)) << bit;
+  for (std::size_t bit : {std::size_t{1}, std::size_t{65}, std::size_t{128}}) {
+    EXPECT_FALSE(b.Test(bit)) << bit;
+  }
+  EXPECT_FALSE(b.Test(100000));  // out of range reads as unset
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 4u);
+  b.ClearAll();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(Bitmap, AndWithIntersectsAndTreatsMissingWordsAsZero) {
+  Bitmap a;
+  a.Resize(130);
+  a.Set(1);
+  a.Set(70);
+  a.Set(129);
+  Bitmap b;
+  b.Resize(130);
+  b.Set(70);
+  b.Set(129);
+  b.Set(2);
+  a.AndWith(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_TRUE(a.Test(70));
+  EXPECT_TRUE(a.Test(129));
+  EXPECT_FALSE(a.Test(1));
+
+  // Intersecting with a shorter bitmap clears everything past its words.
+  Bitmap c;
+  c.Resize(10);
+  c.Set(1);
+  Bitmap d;
+  d.Resize(130);
+  d.Set(1);
+  d.Set(129);
+  d.AndWith(c);
+  EXPECT_EQ(d.Count(), 1u);
+  EXPECT_TRUE(d.Test(1));
+}
+
+TEST(Bitmap, ForEachSetVisitsAscendingSlots) {
+  Bitmap b;
+  b.Resize(200);
+  b.Set(129);
+  b.Set(2);
+  b.Set(64);
+  std::vector<std::size_t> seen;
+  b.ForEachSet([&](std::size_t slot) { seen.push_back(slot); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{2, 64, 129}));
+}
+
+// --- NodeIndex ---------------------------------------------------------------
+
+struct IndexFixture {
+  sim::Engine engine;
+  std::vector<std::unique_ptr<ComputeNode>> nodes;
+  NodeIndex index;
+
+  ComputeNode* AddNode(const std::string& id, Layer layer,
+                       security::SecurityLevel level, bool accel,
+                       std::map<std::string, std::string> labels = {}) {
+    auto node =
+        std::make_unique<ComputeNode>(engine, id, layer, "test", level, 1024);
+    node->AddDevice(Device(id + "/cpu", DeviceKind::kServerCpu, 4,
+                           {OperatingPoint{"base"}}));
+    if (accel) {
+      node->AddDevice(Device(id + "/fpga", DeviceKind::kFpgaAccelerator, 1,
+                             {OperatingPoint{"accel"}}));
+    }
+    ComputeNode* raw = node.get();
+    nodes.push_back(std::move(node));
+    index.Add(raw, std::move(labels));
+    return raw;
+  }
+};
+
+std::vector<std::string> Ids(const NodeIndex& index, const Bitmap& bits) {
+  std::vector<std::string> out;
+  bits.ForEachSet(
+      [&](std::size_t slot) { out.push_back(index.at(slot).node->id()); });
+  return out;
+}
+
+TEST(NodeIndex, CandidatesIntersectStructuralDimensions) {
+  IndexFixture f;
+  f.AddNode("e0", Layer::kEdge, security::SecurityLevel::kLow, true);
+  f.AddNode("e1", Layer::kEdge, security::SecurityLevel::kLow, false,
+            {{"zone", "a"}});
+  f.AddNode("f0", Layer::kFog, security::SecurityLevel::kMedium, false,
+            {{"zone", "a"}});
+  f.AddNode("c0", Layer::kCloud, security::SecurityLevel::kHigh, true);
+
+  CandidateQuery q;
+  EXPECT_EQ(f.index.Candidates(q).Count(), 4u);  // unrestricted
+
+  q.restrict_security = true;
+  q.min_security = security::SecurityLevel::kMedium;
+  EXPECT_EQ(Ids(f.index, f.index.Candidates(q)),
+            (std::vector<std::string>{"f0", "c0"}));
+
+  CandidateQuery accel;
+  accel.restrict_accelerator = true;
+  EXPECT_EQ(Ids(f.index, f.index.Candidates(accel)),
+            (std::vector<std::string>{"e0", "c0"}));
+
+  const std::string edge = "edge";
+  CandidateQuery layer;
+  layer.layer = &edge;
+  EXPECT_EQ(Ids(f.index, f.index.Candidates(layer)),
+            (std::vector<std::string>{"e0", "e1"}));
+
+  const std::map<std::string, std::string> zone_a = {{"zone", "a"}};
+  CandidateQuery selector;
+  selector.selector = &zone_a;
+  EXPECT_EQ(Ids(f.index, f.index.Candidates(selector)),
+            (std::vector<std::string>{"e1", "f0"}));
+
+  CandidateQuery combined;
+  combined.restrict_security = true;
+  combined.min_security = security::SecurityLevel::kMedium;
+  combined.selector = &zone_a;
+  EXPECT_EQ(Ids(f.index, f.index.Candidates(combined)),
+            (std::vector<std::string>{"f0"}));
+
+  const std::string moon = "moon";
+  CandidateQuery unknown_layer;
+  unknown_layer.layer = &moon;
+  EXPECT_EQ(f.index.Candidates(unknown_layer).Count(), 0u);
+
+  const std::map<std::string, std::string> nowhere = {{"zone", "zz"}};
+  CandidateQuery unknown_label;
+  unknown_label.selector = &nowhere;
+  EXPECT_EQ(f.index.Candidates(unknown_label).Count(), 0u);
+}
+
+TEST(NodeIndex, StructuralMutationsMoveBitmapMembership) {
+  IndexFixture f;
+  f.AddNode("e0", Layer::kEdge, security::SecurityLevel::kLow, false,
+            {{"zone", "a"}});
+  f.AddNode("e1", Layer::kEdge, security::SecurityLevel::kLow, false,
+            {{"zone", "a"}});
+
+  CandidateQuery uncordoned;
+  uncordoned.restrict_cordoned = true;
+  EXPECT_EQ(f.index.Candidates(uncordoned).Count(), 2u);
+  f.index.SetCordoned(0, true);
+  EXPECT_EQ(Ids(f.index, f.index.Candidates(uncordoned)),
+            (std::vector<std::string>{"e1"}));
+  f.index.SetCordoned(0, false);
+  EXPECT_EQ(f.index.Candidates(uncordoned).Count(), 2u);
+
+  const std::map<std::string, std::string> zone_a = {{"zone", "a"}};
+  const std::map<std::string, std::string> zone_b = {{"zone", "b"}};
+  CandidateQuery in_a;
+  in_a.selector = &zone_a;
+  CandidateQuery in_b;
+  in_b.selector = &zone_b;
+  f.index.SetLabel(1, "zone", "b");
+  EXPECT_EQ(Ids(f.index, f.index.Candidates(in_a)),
+            (std::vector<std::string>{"e0"}));
+  EXPECT_EQ(Ids(f.index, f.index.Candidates(in_b)),
+            (std::vector<std::string>{"e1"}));
+}
+
+TEST(NodeIndex, CandidateCacheHitsUntilStructuralChange) {
+  IndexFixture f;
+  f.AddNode("e0", Layer::kEdge, security::SecurityLevel::kLow, false);
+  f.AddNode("e1", Layer::kEdge, security::SecurityLevel::kLow, false);
+
+  CandidateQuery q;
+  q.restrict_cordoned = true;
+  const NodeIndex::Stats start = f.index.stats();
+  (void)f.index.Candidates(q);
+  (void)f.index.Candidates(q);
+  EXPECT_EQ(f.index.stats().cache_misses, start.cache_misses + 1);
+  EXPECT_EQ(f.index.stats().cache_hits, start.cache_hits + 1);
+
+  // Allocation churn is non-structural: the cache survives.
+  f.index.AddAllocation(0, 1.0, 64);
+  f.index.SubAllocation(0, 1.0, 64);
+  (void)f.index.Candidates(q);
+  EXPECT_EQ(f.index.stats().cache_misses, start.cache_misses + 1);
+  EXPECT_EQ(f.index.stats().cache_hits, start.cache_hits + 2);
+
+  // A structural mutation invalidates and forces a rebuild.
+  const std::uint64_t invalidations = f.index.stats().invalidations;
+  f.index.SetLabel(0, "zone", "a");
+  EXPECT_EQ(f.index.stats().invalidations, invalidations + 1);
+  (void)f.index.Candidates(q);
+  EXPECT_EQ(f.index.stats().cache_misses, start.cache_misses + 2);
+}
+
+TEST(Cluster, BindBatchIsAdmittedThroughOneCandidateBuild) {
+  sim::Engine engine;
+  continuum::Infrastructure infra = continuum::BuildInfrastructure(engine, {});
+  Cluster cluster(engine, Scheduler::Default());
+  for (auto& n : infra.nodes) cluster.AddNode(n.get());
+
+  const NodeIndex::Stats start = cluster.index().stats();
+  PodSpec pod;
+  pod.cpu_request = 0.1;
+  pod.mem_request_mb = 8;
+  for (int i = 0; i < 8; ++i) {
+    pod.name = "batch-" + std::to_string(i);
+    ASSERT_TRUE(cluster.BindPod(pod).ok());
+  }
+  // Binds only touch the allocation ledger, so the whole same-shape batch
+  // reuses one cached candidate set.
+  EXPECT_EQ(cluster.index().stats().cache_misses, start.cache_misses + 1);
+  EXPECT_GE(cluster.index().stats().cache_hits, start.cache_hits + 7);
+}
+
+// --- Scan vs indexed differential -------------------------------------------
+
+class SchedDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedDifferential, VerdictsMatchUnderRandomFleetsAndChurn) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()), "sched-diff");
+  sim::Engine engine;
+  Scheduler sched = Scheduler::Default();
+  Cluster cluster(engine, Scheduler::Default());
+  std::vector<std::unique_ptr<ComputeNode>> nodes;
+  std::vector<std::string> ids;
+  static const char* kZones[] = {"a", "b", "c"};
+  static const char* kLayers[] = {"edge", "fog", "cloud"};
+
+  const std::size_t fleet = 24 + rng.NextBounded(24);
+  for (std::size_t i = 0; i < fleet; ++i) {
+    const std::string id = "n" + std::to_string(i);
+    auto node = std::make_unique<ComputeNode>(
+        engine, id, static_cast<Layer>(rng.NextBounded(3)), "test",
+        static_cast<security::SecurityLevel>(rng.NextBounded(3)),
+        256 + rng.NextBounded(2048));
+    node->AddDevice(Device(id + "/cpu", DeviceKind::kServerCpu,
+                           2 + static_cast<int>(rng.NextBounded(6)),
+                           {OperatingPoint{"base"}}));
+    if (rng.NextBool(0.3)) {
+      node->AddDevice(Device(id + "/fpga", DeviceKind::kFpgaAccelerator, 1,
+                             {OperatingPoint{"accel"}}));
+    }
+    cluster.AddNode(node.get(), {{"zone", kZones[rng.NextBounded(3)]}});
+    nodes.push_back(std::move(node));
+    ids.push_back(id);
+  }
+
+  int pod_tag = 0;
+  auto probe = [&]() {
+    PodSpec pod;
+    pod.name = "probe-" + std::to_string(pod_tag++);
+    pod.cpu_request = rng.Uniform(0.1, 4.0);
+    pod.mem_request_mb = 16 + rng.NextBounded(1024);
+    if (rng.NextBool(0.3)) pod.needs_accelerator = true;
+    if (rng.NextBool(0.4)) {
+      pod.min_security =
+          static_cast<security::SecurityLevel>(rng.NextBounded(3));
+    }
+    if (rng.NextBool(0.3)) pod.layer_affinity = kLayers[rng.NextBounded(3)];
+    if (rng.NextBool(0.4)) pod.node_selector["zone"] = kZones[rng.NextBounded(3)];
+
+    auto scan = sched.Schedule(pod, cluster.NodeStates());
+    auto indexed = sched.Schedule(pod, cluster.index());
+    ASSERT_EQ(scan.ok(), indexed.ok()) << pod.name;
+    if (scan.ok()) {
+      EXPECT_EQ(scan->node_id, indexed->node_id) << pod.name;
+      EXPECT_DOUBLE_EQ(scan->score, indexed->score) << pod.name;
+    } else {
+      // Same status, same per-node first-failing-filter reasons.
+      EXPECT_EQ(scan.status().code(), indexed.status().code());
+      EXPECT_EQ(scan.status().message(), indexed.status().message());
+    }
+    ScheduleOptions opts;
+    opts.explain = true;
+    auto explain = sched.Schedule(pod, cluster.index(), opts);
+    ASSERT_EQ(explain.ok(), scan.ok()) << pod.name;
+    if (scan.ok()) {
+      EXPECT_EQ(explain->node_id, scan->node_id);
+      EXPECT_EQ(explain->rejections, scan->rejections) << pod.name;
+    }
+  };
+
+  for (int round = 0; round < 6; ++round) {
+    for (int p = 0; p < 10; ++p) probe();
+    for (int m = 0; m < 8; ++m) {
+      const std::string& id = ids[rng.NextBounded(ids.size())];
+      switch (rng.NextBounded(5)) {
+        case 0: {  // real bind: allocation churn
+          PodSpec pod;
+          pod.name = "w-" + std::to_string(pod_tag++);
+          pod.cpu_request = rng.Uniform(0.1, 2.0);
+          pod.mem_request_mb = 16 + rng.NextBounded(256);
+          // LINT: discard(churn bind; infeasible pods just stay pending)
+          (void)cluster.BindPod(pod);
+          break;
+        }
+        case 1:
+          cluster.Cordon(id, rng.NextBool());
+          break;
+        case 2:
+          ASSERT_TRUE(
+              cluster.SetNodeLabel(id, "zone", kZones[rng.NextBounded(3)])
+                  .ok());
+          break;
+        case 3:
+          cluster.FindNodeState(id)->node->SetUp(rng.NextBool(0.8));
+          break;
+        default:
+          ASSERT_TRUE(cluster
+                          .SetReflectedMemAllocation(
+                              id, rng.NextBounded(4096))
+                          .ok());
+          break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedDifferential, ::testing::Range(1, 6));
+
+TEST(SchedDifferential, OpaqueFiltersRunOnBothPaths) {
+  sim::Engine engine;
+  continuum::Infrastructure infra = continuum::BuildInfrastructure(engine, {});
+  Scheduler sched = Scheduler::Default();
+  // Opaque filter: only node ids with an even digit sum pass. The indexed
+  // path cannot prune on this; it must still apply it per candidate.
+  sched.AddFilter([](const PodSpec&,
+                     const NodeState& n) -> std::optional<std::string> {
+    int sum = 0;
+    for (char c : n.node->id()) {
+      if (c >= '0' && c <= '9') sum += c - '0';
+    }
+    if (sum % 2 != 0) return "odd digit sum";
+    return std::nullopt;
+  });
+  Cluster cluster(engine, Scheduler::Default());
+  for (auto& n : infra.nodes) cluster.AddNode(n.get());
+
+  util::Rng rng(7, "sched-diff-opaque");
+  for (int i = 0; i < 30; ++i) {
+    PodSpec pod;
+    pod.name = "p" + std::to_string(i);
+    pod.cpu_request = rng.Uniform(0.1, 2.0);
+    pod.mem_request_mb = 16 + rng.NextBounded(512);
+    if (rng.NextBool(0.3)) pod.needs_accelerator = true;
+    auto scan = sched.Schedule(pod, cluster.NodeStates());
+    auto indexed = sched.Schedule(pod, cluster.index());
+    ASSERT_EQ(scan.ok(), indexed.ok());
+    if (scan.ok()) {
+      EXPECT_EQ(scan->node_id, indexed->node_id);
+      int sum = 0;
+      for (char c : scan->node_id) {
+        if (c >= '0' && c <= '9') sum += c - '0';
+      }
+      EXPECT_EQ(sum % 2, 0) << scan->node_id;
+    } else {
+      EXPECT_EQ(scan.status().message(), indexed.status().message());
+    }
+  }
+}
+
+TEST(SchedDifferential, ClusterPathsProduceIdenticalPlacements) {
+  // Two identical worlds, one bound through each schedule path: every pod
+  // must land on the same node in both.
+  sim::Engine engine_a;
+  sim::Engine engine_b;
+  continuum::Infrastructure infra_a =
+      continuum::BuildInfrastructure(engine_a, {});
+  continuum::Infrastructure infra_b =
+      continuum::BuildInfrastructure(engine_b, {});
+  Cluster indexed(engine_a, Scheduler::Default());
+  Cluster scan(engine_b, Scheduler::Default());
+  for (auto& n : infra_a.nodes) indexed.AddNode(n.get());
+  for (auto& n : infra_b.nodes) scan.AddNode(n.get());
+  scan.set_schedule_path(Cluster::SchedulePath::kScan);
+
+  util::Rng rng(11, "sched-diff-paths");
+  for (int i = 0; i < 60; ++i) {
+    PodSpec pod;
+    pod.name = "p" + std::to_string(i);
+    pod.cpu_request = rng.Uniform(0.1, 2.5);
+    pod.mem_request_mb = 16 + rng.NextBounded(512);
+    if (rng.NextBool(0.2)) pod.needs_accelerator = true;
+    if (rng.NextBool(0.3)) {
+      pod.min_security =
+          static_cast<security::SecurityLevel>(rng.NextBounded(3));
+    }
+    auto a = indexed.BindPod(pod);
+    auto b = scan.BindPod(pod);
+    ASSERT_EQ(a.ok(), b.ok()) << pod.name;
+    if (a.ok()) {
+      EXPECT_EQ(*a, *b) << pod.name;
+    } else {
+      EXPECT_EQ(a.status().message(), b.status().message()) << pod.name;
+    }
+  }
+  EXPECT_EQ(indexed.RunningPods(), scan.RunningPods());
+}
+
+}  // namespace
+}  // namespace myrtus::sched

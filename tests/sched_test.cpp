@@ -92,7 +92,7 @@ TEST(Scheduler, LayerAffinityHardConstraint) {
 
 TEST(Scheduler, NodeSelectorMatchesLabels) {
   Fixture f;
-  f.cluster.FindNodeState("edge-0")->labels["camera"] = "true";
+  ASSERT_TRUE(f.cluster.SetNodeLabel("edge-0", "camera", "true").ok());
   PodSpec pod;
   pod.name = "vision";
   pod.node_selector["camera"] = "true";
@@ -119,7 +119,7 @@ TEST(Scheduler, CordonExcludesNode) {
   PodSpec pod;
   pod.name = "vision";
   pod.node_selector["camera"] = "true";
-  f.cluster.FindNodeState("edge-0")->labels["camera"] = "true";
+  ASSERT_TRUE(f.cluster.SetNodeLabel("edge-0", "camera", "true").ok());
   f.cluster.Cordon("edge-0", true);
   EXPECT_FALSE(f.cluster.BindPod(pod).ok());
   f.cluster.Cordon("edge-0", false);
@@ -166,7 +166,7 @@ TEST(Scheduler, ResourceExhaustionAfterManyBinds) {
 TEST(Preemption, HighPriorityEvictsLow) {
   Fixture f;
   // Saturate edge-0 (label-pinned) with low-priority pods.
-  f.cluster.FindNodeState("edge-0")->labels["pin"] = "1";
+  ASSERT_TRUE(f.cluster.SetNodeLabel("edge-0", "pin", "1").ok());
   const double cap = f.cluster.FindNodeState("edge-0")->cpu_capacity();
   PodSpec filler;
   filler.cpu_request = cap / 2;
@@ -201,7 +201,7 @@ TEST(Preemption, HighPriorityEvictsLow) {
 
 TEST(Preemption, EqualPriorityNeverPreempts) {
   Fixture f;
-  f.cluster.FindNodeState("edge-0")->labels["pin"] = "1";
+  ASSERT_TRUE(f.cluster.SetNodeLabel("edge-0", "pin", "1").ok());
   const double cap = f.cluster.FindNodeState("edge-0")->cpu_capacity();
   PodSpec a;
   a.name = "a";
