@@ -208,7 +208,7 @@ util::StatusOr<DseResult> ExploreExhaustive(const KpiEstimator& estimator,
     config.actor_to_device.assign(actors, 0);
     config.operating_point.assign(devices, 0);
     std::vector<ParetoPoint>& out = shard_points[shard.index];
-    out.reserve(shard.end - shard.begin);
+    out.reserve(shard.size());
     for (std::size_t i = shard.begin; i < shard.end; ++i) {
       decode(i, config);
       auto kpi = estimator.Estimate(config);

@@ -14,6 +14,8 @@ bool TopicMatches(const std::string& filter, const std::string& topic) {
   while (fi < filter.size() || ti < topic.size()) {
     const std::size_t fe = next_level(filter, fi);
     const std::size_t te = next_level(topic, ti);
+    // LINT: allow(unsigned-underflow, next_level returns find('/', from) or
+    // size(), both >= from, so the level span cannot wrap)
     const std::string_view flevel(filter.data() + fi, fe - fi);
     if (flevel == "#") {
       // Multi-level wildcard is only legal as the last filter level (MQTT
@@ -21,6 +23,8 @@ bool TopicMatches(const std::string& filter, const std::string& topic) {
       return fe == filter.size();
     }
     if (fi >= filter.size() || ti >= topic.size()) return false;
+    // LINT: allow(unsigned-underflow, next_level returns find('/', from) or
+    // size(), both >= from, so the level span cannot wrap)
     const std::string_view tlevel(topic.data() + ti, te - ti);
     if (flevel != "+" && flevel != tlevel) return false;
     fi = fe + 1;

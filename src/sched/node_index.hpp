@@ -25,6 +25,7 @@
 #include "continuum/node.hpp"
 #include "security/policy.hpp"
 #include "util/status.hpp"
+#include "util/units.hpp"
 
 namespace myrtus::sched {
 
@@ -93,9 +94,7 @@ class NodeState {
   /// exceed capacity (peering reflection), and the unsigned subtraction must
   /// not wrap into "plenty of room".
   [[nodiscard]] std::uint64_t MemFreeMb() const {
-    const std::uint64_t cap = mem_capacity_mb();
-    const std::uint64_t alloc = mem_allocated_mb();
-    return cap > alloc ? cap - alloc : 0;
+    return util::SubSat(mem_capacity_mb(), mem_allocated_mb());
   }
   [[nodiscard]] std::uint32_t slot() const { return slot_; }
 

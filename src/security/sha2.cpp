@@ -92,6 +92,8 @@ void Sha256::ProcessBlock(const std::uint8_t* block) {
 void Sha256::Update(const std::uint8_t* data, std::size_t len) {
   total_len_ += len;
   while (len > 0) {
+    // LINT: allow(unsigned-underflow, class invariant: buf_len_ is reset to 0
+    // the moment it reaches buf_.size(), so the headroom cannot wrap)
     const std::size_t take = std::min(len, buf_.size() - buf_len_);
     std::memcpy(buf_.data() + buf_len_, data, take);
     buf_len_ += take;
@@ -161,6 +163,8 @@ void Sha512::ProcessBlock(const std::uint8_t* block) {
 void Sha512::Update(const std::uint8_t* data, std::size_t len) {
   total_len_ += len;
   while (len > 0) {
+    // LINT: allow(unsigned-underflow, class invariant: buf_len_ is reset to 0
+    // the moment it reaches buf_.size(), so the headroom cannot wrap)
     const std::size_t take = std::min(len, buf_.size() - buf_len_);
     std::memcpy(buf_.data() + buf_len_, data, take);
     buf_len_ += take;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace myrtus::util {
 
@@ -33,6 +34,9 @@ struct Shard {
   std::size_t count = 1;  // total shards in this region
   std::size_t begin = 0;  // first item (inclusive)
   std::size_t end = 0;    // last item (exclusive)
+  /// Items in this shard. The sharder guarantees begin <= end; the clamp
+  /// keeps a hand-built degenerate Shard from wrapping.
+  [[nodiscard]] std::size_t size() const { return SubSat(end, begin); }
 };
 
 /// Configured worker count. 0 and 1 both mean "run regions inline on the

@@ -1,0 +1,76 @@
+// Unit-of-measure helpers: the named conversion vocabulary myrtus-lint's
+// unit-mismatch rule recognizes, plus the saturating subtraction clamp the
+// unsigned-underflow rule recommends.
+//
+// The codebase encodes dimensions in identifier suffixes (`_ns`, `_mb`,
+// `_mw`, ...; see docs/LINTING.md for the inference table). Converting
+// between units therefore goes through a helper named `<From>To<To>` so the
+// conversion is visible at the call site and the analyzer can type the
+// result: `deadline_ns = util::MsToNs(budget_ms)` passes the lint;
+// `deadline_ns = budget_ms` does not.
+//
+// Integer-grid time conversions (ns/us/ms) and byte conversions stay in
+// std::uint64_t — downward conversions floor, matching ledger semantics.
+// Conversions touching seconds, ratios, or the power/energy pair are double:
+// those quantities are fractional throughout the tree.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace myrtus::util {
+
+/// Saturating unsigned subtraction: `a - b` clamped at zero. The sanctioned
+/// spelling for ledger-style frees (capacity - allocated) where the ledger
+/// may legitimately run over and an unsigned wrap would read as "plenty of
+/// room".
+template <typename T>
+[[nodiscard]] constexpr T SubSat(T a, T b) {
+  static_assert(std::is_unsigned_v<T>,
+                "SubSat clamps unsigned wrap; use std::max for signed types");
+  return a > b ? a - b : T{0};
+}
+
+// --- time: integer grid -----------------------------------------------------
+
+[[nodiscard]] constexpr std::uint64_t UsToNs(std::uint64_t us) { return us * 1000; }
+[[nodiscard]] constexpr std::uint64_t MsToNs(std::uint64_t ms) { return ms * 1000000; }
+[[nodiscard]] constexpr std::uint64_t MsToUs(std::uint64_t ms) { return ms * 1000; }
+[[nodiscard]] constexpr std::uint64_t NsToUs(std::uint64_t ns) { return ns / 1000; }
+[[nodiscard]] constexpr std::uint64_t NsToMs(std::uint64_t ns) { return ns / 1000000; }
+[[nodiscard]] constexpr std::uint64_t UsToMs(std::uint64_t us) { return us / 1000; }
+
+// --- time: seconds are double ----------------------------------------------
+
+[[nodiscard]] constexpr double NsToS(std::uint64_t ns) { return static_cast<double>(ns) * 1e-9; }
+[[nodiscard]] constexpr double UsToS(std::uint64_t us) { return static_cast<double>(us) * 1e-6; }
+[[nodiscard]] constexpr double MsToS(std::uint64_t ms) { return static_cast<double>(ms) * 1e-3; }
+[[nodiscard]] constexpr std::uint64_t SToNs(double s) { return static_cast<std::uint64_t>(s * 1e9); }
+[[nodiscard]] constexpr std::uint64_t SToUs(double s) { return static_cast<std::uint64_t>(s * 1e6); }
+[[nodiscard]] constexpr std::uint64_t SToMs(double s) { return static_cast<std::uint64_t>(s * 1e3); }
+
+// --- bytes ------------------------------------------------------------------
+
+[[nodiscard]] constexpr std::uint64_t KbToB(std::uint64_t kb) { return kb * 1024; }
+[[nodiscard]] constexpr std::uint64_t MbToB(std::uint64_t mb) { return mb * 1024 * 1024; }
+[[nodiscard]] constexpr std::uint64_t MbToKb(std::uint64_t mb) { return mb * 1024; }
+[[nodiscard]] constexpr std::uint64_t BToKb(std::uint64_t b) { return b / 1024; }
+[[nodiscard]] constexpr std::uint64_t BToMb(std::uint64_t b) { return b / (1024 * 1024); }
+[[nodiscard]] constexpr std::uint64_t KbToMb(std::uint64_t kb) { return kb / 1024; }
+
+// --- ratios -----------------------------------------------------------------
+
+[[nodiscard]] constexpr double PctToFrac(double pct) { return pct / 100.0; }
+[[nodiscard]] constexpr double FracToPct(double frac) { return frac * 100.0; }
+
+// --- power / energy ---------------------------------------------------------
+
+/// Power sustained over a duration is energy: mW * s = mJ. The two-argument
+/// shape is the point — energy never comes from a power figure alone, which
+/// is exactly the pre-PR-7 `energy_mw` bug the unit rule now catches.
+[[nodiscard]] constexpr double MwToMj(double mw, double s) { return mw * s; }
+
+/// Average power of an energy spent over a duration: mJ / s = mW.
+[[nodiscard]] constexpr double MjToMw(double mj, double s) { return s > 0.0 ? mj / s : 0.0; }
+
+}  // namespace myrtus::util

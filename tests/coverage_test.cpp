@@ -88,14 +88,14 @@ TEST(Json, IntegralDoubleRoundtripsAsDouble) {
 }
 
 TEST(CostModel, SymmetricLatencyLinearInBytes) {
-  const double one_kb =
+  const double lat_1kb_us =
       security::SymLatencyUs(security::SymAlg::kAes128Gcm, 1024, 1.0);
-  const double two_kb =
+  const double lat_2kb_us =
       security::SymLatencyUs(security::SymAlg::kAes128Gcm, 2048, 1.0);
-  const double overhead =
+  const double lat_zero_us =
       security::SymLatencyUs(security::SymAlg::kAes128Gcm, 0, 1.0);
-  EXPECT_NEAR(two_kb - one_kb, one_kb - overhead, 1e-9);
-  EXPECT_GT(overhead, 0.0) << "key schedule / init cost";
+  EXPECT_NEAR(lat_2kb_us - lat_1kb_us, lat_1kb_us - lat_zero_us, 1e-9);
+  EXPECT_GT(lat_zero_us, 0.0) << "key schedule / init cost";
 }
 
 TEST(CostModel, AllSymAlgsNamed) {

@@ -1,0 +1,25 @@
+// FIXTURE: zero status-discard findings. The same forwarding wrappers as
+// interproc_status_fire.cpp, but every returned Status is consumed: bound
+// and checked, returned onward, or annotated at the discard site.
+#include "util/status.hpp"
+
+namespace fixture {
+
+myrtus::util::Status Commit() { return myrtus::util::Status::Ok(); }
+
+auto ForwardCommit() { return Commit(); }
+
+auto DoubleForward() { return ForwardCommit(); }
+
+int ConsumesEverything() {
+  const myrtus::util::Status direct = ForwardCommit();
+  if (!direct.ok()) return 1;
+  const auto retry = [] { return Commit(); };
+  const myrtus::util::Status retried = retry();
+  if (!retried.ok()) return 2;
+  return DoubleForward().ok() ? 0 : 3;
+}
+
+myrtus::util::Status ReturnsOnward() { return DoubleForward(); }
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// FIXTURE: every (void) cast below must trip status-discard. The callees are
+// wrappers that merely *forward* a Status-returning call — their own return
+// type is deduced, so the per-TU regex pass cannot see them; the call-graph
+// closure (AugmentStatusRegistry) must propagate status-ness through the
+// forwarding chain, including through a lambda and a two-hop wrapper.
+#include "util/status.hpp"
+
+namespace fixture {
+
+myrtus::util::Status Commit() { return myrtus::util::Status::Ok(); }
+
+auto ForwardCommit() { return Commit(); }
+
+auto DoubleForward() { return ForwardCommit(); }
+
+void DiscardsThroughWrappers() {
+  (void)ForwardCommit();  // FIRE: one hop from Commit
+  (void)DoubleForward();  // FIRE: two hops, needs the fixpoint
+  const auto retry = [] { return Commit(); };
+  (void)retry();  // FIRE: lambda wrapper swallows the Status
+}
+
+}  // namespace fixture

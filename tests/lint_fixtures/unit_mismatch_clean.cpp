@@ -1,0 +1,45 @@
+// FIXTURE: zero unit-mismatch findings. The same flows as
+// unit_mismatch_fire.cpp, but every unit crossing goes through a named
+// conversion helper (util::MsToNs-style names type-check as "produces the
+// target unit"), and the multiplicative power-times-duration form is exempt
+// by design — multiplication legitimately *forms* new dimensions.
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace fixture {
+
+struct EnergyEstimate {
+  double energy_mj = 0.0;
+};
+
+void Sink(std::uint64_t window_ns);
+void Sink(std::uint64_t window_ns) { (void)window_ns; }
+
+double AccountEnergy(double sample_mw, double duration_s) {
+  EnergyEstimate est;
+  est.energy_mj = myrtus::util::MwToMj(sample_mw, duration_s);
+  return est.energy_mj;
+}
+
+double FormedDimension(double power_mw, double duration_s) {
+  return power_mw * duration_s;  // multiplicative: exempt, forms mJ
+}
+
+std::uint64_t MixedBudget(std::uint64_t window_ms, std::uint64_t latency_ns) {
+  return myrtus::util::MsToNs(window_ms) + latency_ns;
+}
+
+bool DeadlineBlown(std::uint64_t deadline_us, std::uint64_t budget_ms) {
+  return myrtus::util::UsToMs(deadline_us) < budget_ms;
+}
+
+void Schedule(std::uint64_t timeout_ms) {
+  Sink(myrtus::util::MsToNs(timeout_ms));
+}
+
+std::uint64_t SameUnitArithmetic(std::uint64_t a_ns, std::uint64_t b_ns) {
+  return a_ns + b_ns;  // same unit on both sides: fine
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// FIXTURE: every marked line must trip unit-mismatch. The first case is the
+// pre-PR-7 energy-accounting bug reproduced verbatim: a milliwatt power
+// sample stored into a millijoule energy field with no duration anywhere in
+// sight. The rule infers units from identifier suffixes and fires whenever
+// two *known, different* units meet across =, + -, comparison, or a call
+// argument without a named conversion helper in between.
+#include <cstdint>
+
+namespace fixture {
+
+struct EnergyEstimate {
+  double energy_mj = 0.0;
+};
+
+void Sink(std::uint64_t window_ns);
+void Sink(std::uint64_t window_ns) { (void)window_ns; }
+
+double AccountEnergy(double sample_mw) {
+  EnergyEstimate est;
+  est.energy_mj = sample_mw;  // FIRE: power (mw) assigned to energy (mj)
+  return est.energy_mj;
+}
+
+std::uint64_t MixedBudget(std::uint64_t window_ms, std::uint64_t latency_ns) {
+  return window_ms + latency_ns;  // FIRE: additive mix of ms and ns
+}
+
+bool DeadlineBlown(std::uint64_t deadline_us, std::uint64_t budget_ms) {
+  return deadline_us < budget_ms;  // FIRE: comparison across us and ms
+}
+
+void Schedule(std::uint64_t timeout_ms) {
+  Sink(timeout_ms);  // FIRE: ms argument into a ns parameter
+}
+
+}  // namespace fixture

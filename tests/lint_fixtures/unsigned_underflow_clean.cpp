@@ -1,0 +1,48 @@
+// FIXTURE: zero unsigned-underflow findings. Each function shows one
+// recognized discharge: a dominating >= guard, an early-exit on the negated
+// comparison, a std::min clamp (both as the direct subtrahend and through an
+// intermediate `take = std::min(...)` assignment), util::SubSat, and a
+// guard that survives a loop back-edge because neither side is written.
+#include <algorithm>
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace fixture {
+
+std::uint64_t GuardedBranch(std::uint64_t cap_mb, std::uint64_t used_mb) {
+  if (cap_mb >= used_mb) {
+    return cap_mb - used_mb;  // dominated by the guard's true edge
+  }
+  return 0;
+}
+
+std::uint64_t EarlyExit(std::uint64_t cap_mb, std::uint64_t used_mb) {
+  if (cap_mb < used_mb) return 0;
+  return cap_mb - used_mb;  // false edge of a strict < is cap >= used
+}
+
+std::uint64_t DirectMinClamp(std::uint64_t total_b, std::uint64_t used_b) {
+  return total_b - std::min(total_b, used_b);  // subtrahend clamped in place
+}
+
+std::uint64_t MinThroughAssignment(std::uint64_t len_b, std::uint64_t room_b) {
+  const std::uint64_t take_b = std::min(len_b, room_b);
+  return len_b - take_b;  // take = min(len, ...) implies len >= take
+}
+
+std::uint64_t Saturating(std::uint64_t cap_mb, std::uint64_t used_mb) {
+  return myrtus::util::SubSat(cap_mb, used_mb);  // no raw subtraction at all
+}
+
+std::uint64_t LoopDrain(std::uint64_t len_b, std::uint64_t chunk_b) {
+  std::uint64_t drained_b = 0;
+  while (len_b > 0) {
+    const std::uint64_t take_b = std::min(len_b, chunk_b);
+    len_b -= take_b;  // fact regenerated each iteration by the min above
+    drained_b += take_b;
+  }
+  return drained_b;
+}
+
+}  // namespace fixture

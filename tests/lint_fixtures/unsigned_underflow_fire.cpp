@@ -1,0 +1,35 @@
+// FIXTURE: every marked line must trip unsigned-underflow. The first case is
+// the PR-7 scheduler ledger bug reproduced verbatim: free memory computed as
+// capacity minus allocation, where peering reflection legitimately lets the
+// allocation ledger exceed capacity — the unsigned difference wraps to
+// "plenty of room". Ternaries are deliberately NOT recognized as guards
+// (the project answer is util::SubSat), and a guard on one path does not
+// dominate the other.
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t mem_capacity_mb();
+std::uint64_t mem_allocated_mb();
+
+std::uint64_t MemFreeMb() {
+  return mem_capacity_mb() - mem_allocated_mb();  // FIRE: ledger can overcommit
+}
+
+std::uint64_t TernaryIsNotAGuard(std::uint64_t cap_mb, std::uint64_t used_mb) {
+  return cap_mb > used_mb ? cap_mb - used_mb : 0;  // FIRE: use util::SubSat
+}
+
+std::uint64_t GuardOnWrongPath(std::uint64_t cap_mb, std::uint64_t used_mb) {
+  if (cap_mb >= used_mb) {
+    return 0;
+  }
+  return cap_mb - used_mb;  // FIRE: guarded branch is the *other* one
+}
+
+void CompoundWithoutGuard(std::uint64_t spent_mb, std::uint64_t refund_mb) {
+  spent_mb -= refund_mb;  // FIRE: nothing relates refund to spent
+  (void)spent_mb;
+}
+
+}  // namespace fixture

@@ -191,6 +191,8 @@ BuiltCfg BuildFromFunction(const std::string& src) {
 int NodeWith(const BuiltCfg& b, const std::string& text) {
   for (std::size_t i = 2; i < b.cfg.nodes.size(); ++i) {
     const CfgNode& n = b.cfg.nodes[i];
+    // LINT: allow(unsigned-underflow, CFG node spans satisfy begin <= end by
+    // construction and the n.end > n.begin conjunct guards this very line)
     if (n.end > n.begin &&
         b.code.substr(n.begin, n.end - n.begin).find(text) !=
             std::string::npos) {
@@ -275,10 +277,11 @@ TEST(LintCfg, SwitchIsOneOpaqueStatement) {
             CfgNode::Kind::kStatement);
   EXPECT_TRUE(HasEdge(b, sw, after));
   // The whole construct (including its internal break) is one node.
-  const std::string span = b.code.substr(
-      b.cfg.nodes[static_cast<std::size_t>(sw)].begin,
-      b.cfg.nodes[static_cast<std::size_t>(sw)].end -
-          b.cfg.nodes[static_cast<std::size_t>(sw)].begin);
+  const CfgNode& sw_node = b.cfg.nodes[static_cast<std::size_t>(sw)];
+  // LINT: allow(unsigned-underflow, CFG node spans satisfy begin <= end by
+  // construction)
+  const std::string span =
+      b.code.substr(sw_node.begin, sw_node.end - sw_node.begin);
   EXPECT_NE(span.find("default"), std::string::npos);
 }
 

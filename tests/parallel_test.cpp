@@ -100,7 +100,7 @@ TEST(ParallelForRng, ShardRngMatchesDirectSubstreamConstruction) {
   ParallelForRng(first_draw.size(), kSeed, "pinned",
                  [&](const Shard& shard, Rng& rng) {
                    // 8 items -> 8 shards, one item each.
-                   ASSERT_EQ(shard.end - shard.begin, 1u);
+                   ASSERT_EQ(shard.size(), 1u);
                    first_draw[shard.index] = rng.NextU64();
                  });
   SetParallelWorkers(1);

@@ -1,0 +1,72 @@
+// Unit tests for src/util/units.hpp — the conversion vocabulary the
+// unit-mismatch lint rule recognizes, and the SubSat clamp the
+// unsigned-underflow rule recommends.
+#include "util/units.hpp"
+
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace myrtus::util {
+namespace {
+
+TEST(SubSat, ClampsAtZero) {
+  EXPECT_EQ(SubSat<std::uint64_t>(10, 3), 7u);
+  EXPECT_EQ(SubSat<std::uint64_t>(3, 10), 0u);
+  EXPECT_EQ(SubSat<std::uint64_t>(5, 5), 0u);
+  EXPECT_EQ(SubSat<std::uint32_t>(0, std::numeric_limits<std::uint32_t>::max()),
+            0u);
+  // The whole point: the unclamped expression would wrap to a huge value.
+  constexpr std::uint64_t cap = 4096;
+  constexpr std::uint64_t alloc = 5120;  // peering reflection over-commit
+  static_assert(SubSat(cap, alloc) == 0);
+  static_assert(SubSat(alloc, cap) == 1024);
+}
+
+TEST(TimeConversions, IntegerGridRoundTrips) {
+  EXPECT_EQ(MsToNs(1), 1000000u);
+  EXPECT_EQ(MsToUs(1), 1000u);
+  EXPECT_EQ(UsToNs(1), 1000u);
+  EXPECT_EQ(NsToMs(MsToNs(250)), 250u);
+  EXPECT_EQ(NsToUs(UsToNs(77)), 77u);
+  EXPECT_EQ(UsToMs(MsToUs(42)), 42u);
+  // Downward conversions floor, ledger-style.
+  EXPECT_EQ(NsToMs(1999999), 1u);
+  EXPECT_EQ(NsToUs(999), 0u);
+}
+
+TEST(TimeConversions, SecondsAreDouble) {
+  EXPECT_DOUBLE_EQ(NsToS(1500000000), 1.5);
+  EXPECT_DOUBLE_EQ(UsToS(250000), 0.25);
+  EXPECT_DOUBLE_EQ(MsToS(1500), 1.5);
+  EXPECT_EQ(SToNs(1.5), 1500000000u);
+  EXPECT_EQ(SToUs(0.25), 250000u);
+  EXPECT_EQ(SToMs(1.5), 1500u);
+}
+
+TEST(ByteConversions, PowersOfTwo) {
+  EXPECT_EQ(KbToB(1), 1024u);
+  EXPECT_EQ(MbToB(1), 1024u * 1024u);
+  EXPECT_EQ(MbToKb(2), 2048u);
+  EXPECT_EQ(BToKb(4096), 4u);
+  EXPECT_EQ(BToMb(3u * 1024u * 1024u), 3u);
+  EXPECT_EQ(KbToMb(2048), 2u);
+  EXPECT_EQ(BToKb(1023), 0u);  // floors
+}
+
+TEST(RatioConversions, PctFrac) {
+  EXPECT_DOUBLE_EQ(PctToFrac(85.0), 0.85);
+  EXPECT_DOUBLE_EQ(FracToPct(0.125), 12.5);
+  EXPECT_DOUBLE_EQ(FracToPct(PctToFrac(33.0)), 33.0);
+}
+
+TEST(EnergyConversions, PowerTimesDurationIsEnergy) {
+  // 200 mW sustained for 3 s = 600 mJ.
+  EXPECT_DOUBLE_EQ(MwToMj(200.0, 3.0), 600.0);
+  EXPECT_DOUBLE_EQ(MjToMw(600.0, 3.0), 200.0);
+  EXPECT_DOUBLE_EQ(MjToMw(600.0, 0.0), 0.0);  // degenerate duration
+}
+
+}  // namespace
+}  // namespace myrtus::util

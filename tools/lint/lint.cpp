@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/json.hpp"
+
 namespace myrtus::lint {
 namespace fs = std::filesystem;
 
@@ -42,19 +44,60 @@ std::string Trim(const std::string& s) {
   return s.substr(b, e - b);
 }
 
-bool Matches(const Suppression& sup, const Finding& f) {
-  if (sup.rule != f.rule) return false;
-  if (!sup.path_pattern.empty() && sup.path_pattern.back() == '*') {
-    const std::string prefix =
-        sup.path_pattern.substr(0, sup.path_pattern.size() - 1);
-    if (f.file.rfind(prefix, 0) != 0) return false;
-  } else if (f.file != sup.path_pattern) {
-    return false;
+bool HasWildcard(const std::string& pattern) {
+  return pattern.find_first_of("*?") != std::string::npos;
+}
+
+/// Legacy shape: a single trailing '*' and no other wildcard. Kept as a
+/// whole-subtree prefix match (crosses '/') so existing entries like
+/// `src/kb/*` keep covering nested directories.
+bool IsPrefixPattern(const std::string& pattern) {
+  return !pattern.empty() && pattern.back() == '*' &&
+         pattern.find_first_of("*?") == pattern.size() - 1;
+}
+
+/// Segment-aware glob: '*' matches any run of non-'/' characters, '?' one
+/// non-'/' character. Iterative match with single-star backtracking.
+bool GlobMatch(const std::string& pattern, const std::string& path) {
+  std::size_t p = 0;
+  std::size_t s = 0;
+  std::size_t star = std::string::npos;  // position of last '*' in pattern
+  std::size_t mark = 0;                  // path position that star matched to
+  while (s < path.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == path[s] || (pattern[p] == '?' && path[s] != '/'))) {
+      ++p;
+      ++s;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = s;
+    } else if (star != std::string::npos && path[mark] != '/') {
+      // Widen the last '*' by one character — but never across a '/'.
+      p = star + 1;
+      s = ++mark;
+    } else {
+      return false;
+    }
   }
-  return sup.line == 0 || sup.line == f.line;
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
 }
 
 }  // namespace
+
+bool PathPatternMatches(const std::string& pattern, const std::string& path) {
+  if (!HasWildcard(pattern)) return path == pattern;
+  if (IsPrefixPattern(pattern)) {
+    return path.rfind(pattern.substr(0, pattern.size() - 1), 0) == 0;
+  }
+  return GlobMatch(pattern, path);
+}
+
+bool SuppressionMatches(const Suppression& sup, const Finding& f) {
+  if (sup.rule != f.rule) return false;
+  if (!PathPatternMatches(sup.path_pattern, f.file)) return false;
+  return sup.line == 0 || sup.line == f.line;
+}
 
 util::StatusOr<std::vector<Suppression>> ParseSuppressions(
     const std::string& text, const std::string& origin) {
@@ -93,7 +136,112 @@ util::StatusOr<std::vector<Suppression>> ParseSuppressions(
     sup.path_pattern = target;
     out.push_back(std::move(sup));
   }
+  // Reject exact entries shadowed by a wildcard entry for the same rule: one
+  // of the two is redundant, and a redundant suppression never goes stale, so
+  // it would hide a fixed finding forever.
+  for (const Suppression& exact : out) {
+    if (HasWildcard(exact.path_pattern)) continue;
+    for (const Suppression& wild : out) {
+      if (&wild == &exact || wild.rule != exact.rule) continue;
+      if (!HasWildcard(wild.path_pattern)) continue;
+      if (PathPatternMatches(wild.path_pattern, exact.path_pattern)) {
+        return util::Status::InvalidArgument(
+            origin + ": exact suppression '" + exact.rule + " " +
+            exact.path_pattern + "' is already covered by pattern '" +
+            wild.path_pattern + "' for the same rule; drop one of the two");
+      }
+    }
+  }
   return out;
+}
+
+std::string SarifReport(const LintResult& result) {
+  using util::Json;
+  // Rule metadata table: every rule the engine can emit, not just the ones
+  // that fired, so result.ruleIndex-free consumers can still enumerate the
+  // gate set from the log alone.
+  static const struct {
+    const char* id;
+    const char* description;
+  } kRules[] = {
+      {"determinism",
+       "Host clocks, ambient entropy, and raw std::thread are banned outside "
+       "the allowlisted boundary modules; simulation results must be pure "
+       "functions of their inputs."},
+      {"layering",
+       "#include edges must follow the module DAG; lower layers never reach "
+       "up."},
+      {"status-discard",
+       "util::Status/StatusOr returns (including one-deep wrappers that "
+       "forward them) must be consumed, not silently dropped."},
+      {"pragma-once", "Headers open with #pragma once."},
+      {"hygiene-banned",
+       "Banned calls (printf-family in library code, abort, system, getenv "
+       "outside config loading)."},
+      {"parallel-capture-race",
+       "ParallelFor bodies must not capture and mutate shared state without "
+       "per-shard ownership."},
+      {"statusor-use-before-ok",
+       "StatusOr values must be checked ok() on every path before "
+       "dereference."},
+      {"rng-substream-discipline",
+       "Randomness is drawn from named util::Rng substreams; ad-hoc seeding "
+       "breaks run reproducibility."},
+      {"unit-mismatch",
+       "Suffix-inferred units of measure (_ns/_ms/_b/_mb/_mw/_mj/_pct/...) "
+       "must agree across assignment, additive arithmetic, comparison, and "
+       "argument passing, or cross through a named util conversion helper."},
+      {"unsigned-underflow",
+       "Unsigned subtraction needs a dominating guard (a >= b branch, "
+       "std::min clamp) or util::SubSat; otherwise the difference can wrap."},
+  };
+
+  Json rules = Json::MakeArray();
+  for (const auto& r : kRules) {
+    Json rule = Json::MakeObject();
+    rule.Set("id", r.id);
+    rule.Set("shortDescription",
+             Json::MakeObject().Set("text", r.description));
+    rules.Append(std::move(rule));
+  }
+
+  Json results = Json::MakeArray();
+  for (const Finding& f : result.findings) {
+    Json region = Json::MakeObject();
+    region.Set("startLine", f.line);
+    if (f.col > 0) region.Set("startColumn", f.col);
+    Json location = Json::MakeObject();
+    location.Set(
+        "physicalLocation",
+        Json::MakeObject()
+            .Set("artifactLocation", Json::MakeObject()
+                                         .Set("uri", f.file)
+                                         .Set("uriBaseId", "SRCROOT"))
+            .Set("region", std::move(region)));
+    Json entry = Json::MakeObject();
+    entry.Set("ruleId", f.rule);
+    entry.Set("level", "error");
+    entry.Set("message", Json::MakeObject().Set("text", f.message));
+    entry.Set("locations", Json::MakeArray().Append(std::move(location)));
+    results.Append(std::move(entry));
+  }
+
+  Json driver = Json::MakeObject();
+  driver.Set("name", "myrtus-lint");
+  driver.Set("informationUri",
+             "https://github.com/myrtus-project/myrtus/blob/main/docs/"
+             "LINTING.md");
+  driver.Set("rules", std::move(rules));
+  Json run = Json::MakeObject();
+  run.Set("tool", Json::MakeObject().Set("driver", std::move(driver)));
+  run.Set("results", std::move(results));
+  run.Set("columnKind", "utf16CodeUnits");
+
+  Json log = Json::MakeObject();
+  log.Set("$schema", "https://json.schemastore.org/sarif-2.1.0.json");
+  log.Set("version", "2.1.0");
+  log.Set("runs", Json::MakeArray().Append(std::move(run)));
+  return log.Pretty();
 }
 
 util::StatusOr<LintResult> LintPaths(const std::vector<std::string>& paths,
@@ -151,7 +299,7 @@ util::StatusOr<LintResult> LintPaths(const std::vector<std::string>& paths,
   for (Finding& f : RunRules(contexts, options.determinism_allowlist)) {
     bool suppressed = false;
     for (Suppression& sup : suppressions) {
-      if (Matches(sup, f)) {
+      if (SuppressionMatches(sup, f)) {
         sup.used = true;
         suppressed = true;
       }

@@ -13,9 +13,16 @@ namespace myrtus::lint {
 
 /// One entry of tools/lint/suppressions.txt:
 ///   <rule-id> <path[:line]> -- <reason>
-/// A path ending in '*' matches any scanned path with that prefix. The
-/// reason is mandatory — a suppression without a written justification is a
-/// parse error, by design.
+/// Three path-pattern shapes:
+///   * exact:        src/kb/registry.cpp
+///   * prefix:       src/kb/*           (a single TRAILING '*' and no other
+///                                       wildcard — matches across '/')
+///   * glob:         src/sched/*.cpp    ('*' = any run of non-'/' chars,
+///                                       '?' = one non-'/' char)
+/// The reason is mandatory — a suppression without a written justification
+/// is a parse error, by design. An exact entry whose path is also matched by
+/// a glob/prefix entry for the same rule is rejected at parse time: one of
+/// the two is redundant, and redundant suppressions rot.
 struct Suppression {
   std::string rule;
   std::string path_pattern;
@@ -23,6 +30,12 @@ struct Suppression {
   std::string reason;
   bool used = false;
 };
+
+/// True when `path` matches `pattern` under the shape rules above.
+bool PathPatternMatches(const std::string& pattern, const std::string& path);
+
+/// True when the suppression covers the finding (rule, path pattern, line).
+bool SuppressionMatches(const Suppression& sup, const Finding& f);
 
 struct Options {
   /// All scanned paths are reported relative to this root, so suppressions
@@ -55,6 +68,13 @@ struct LintResult {
 
 util::StatusOr<std::vector<Suppression>> ParseSuppressions(
     const std::string& text, const std::string& origin);
+
+/// Renders a run as a SARIF 2.1.0 log (one run, driver "myrtus-lint", every
+/// rule in the metadata table, one result per unsuppressed finding). File
+/// paths are emitted repo-relative with uriBaseId "SRCROOT" so the log stays
+/// portable across checkouts; CI uploads it for PR annotations. The console
+/// GCC-diagnostic format stays the default — SARIF is opt-in via --sarif=.
+std::string SarifReport(const LintResult& result);
 
 /// Walks `paths` (files or directories, relative to Options::repo_root),
 /// lexes every .cpp/.hpp (skipping lint fixture trees), runs all rules, and

@@ -1,11 +1,14 @@
 // myrtus_lint — project-invariant static analyzer for the MYRTUS tree.
 //
 //   myrtus_lint [--repo-root=DIR] [--suppressions=FILE]
-//               [--allow-stale-suppressions] [--max-ms=N] <path>...
+//               [--allow-stale-suppressions] [--max-ms=N] [--sarif=FILE]
+//               <path>...
 //
 // Prints one `file:line:col: rule-id: message` per unsuppressed finding
 // (column omitted when the rule only knows the line) — the GCC diagnostic
-// shape, so editors and CI annotators parse it natively.
+// shape, so editors and CI annotators parse it natively. --sarif=FILE
+// additionally writes the run as a SARIF 2.1.0 log for PR-annotation
+// uploads; the console format stays the source of truth.
 //
 // Exit codes: 0 = clean, 1 = findings, stale suppressions, or the --max-ms
 // budget blown, 2 = usage or I/O error. A suppression that matched nothing is
@@ -15,6 +18,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -25,6 +29,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   bool allow_stale = false;
   long max_ms = 0;
+  std::string sarif_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--repo-root=", 0) == 0) {
@@ -35,10 +40,13 @@ int main(int argc, char** argv) {
       allow_stale = true;
     } else if (arg.rfind("--max-ms=", 0) == 0) {
       max_ms = std::strtol(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: myrtus_lint [--repo-root=DIR] [--suppressions=FILE] "
-          "[--allow-stale-suppressions] [--max-ms=N] <path>...\n");
+          "[--allow-stale-suppressions] [--max-ms=N] [--sarif=FILE] "
+          "<path>...\n");
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "myrtus_lint: unknown flag '%s'\n", arg.c_str());
@@ -64,6 +72,16 @@ int main(int argc, char** argv) {
   if (!result.ok()) {
     std::fprintf(stderr, "myrtus_lint: %s\n", result.status().ToString().c_str());
     return 2;
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "myrtus_lint: cannot write SARIF log to '%s'\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+    out << myrtus::lint::SarifReport(*result) << "\n";
   }
 
   for (const myrtus::lint::Finding& f : result->findings) {

@@ -6,8 +6,11 @@
 #include <regex>
 
 #include "ast.hpp"
+#include "callgraph.hpp"
 #include "flow_rules.hpp"
 #include "lexer.hpp"
+#include "underflow_rules.hpp"
+#include "unit_rules.hpp"
 
 namespace myrtus::lint {
 namespace {
@@ -339,12 +342,19 @@ bool HasSiteAnnotation(const FileContext& file, int line, const std::string& rul
 
 std::vector<Finding> RunRules(const std::vector<FileContext>& files,
                               const std::vector<std::string>& determinism_allowlist) {
-  const std::set<std::string> status_fns = CollectStatusReturningFunctions(files);
+  std::set<std::string> status_fns = CollectStatusReturningFunctions(files);
   const std::set<std::string> statusor_fns =
       CollectStatusOrReturningFunctions(files);
   std::vector<FileAst> asts;
   asts.reserve(files.size());
   for (const FileContext& file : files) asts.push_back(BuildFileAst(file));
+  // Interprocedural front-end: the cross-TU symbol table / call graph, the
+  // unsignedness fact tables, and the status-registry closure (wrappers that
+  // forward a Status become status-returning themselves, so status-discard
+  // sees through one or more call hops).
+  const CallGraph graph = BuildCallGraph(files, asts);
+  const TypeFacts type_facts = CollectTypeFacts(files, asts, graph);
+  AugmentStatusRegistry(files, asts, graph, &status_fns);
   std::vector<Finding> findings;
   for (std::size_t fi = 0; fi < files.size(); ++fi) {
     const FileContext& file = files[fi];
@@ -375,11 +385,20 @@ std::vector<Finding> RunRules(const std::vector<FileContext>& files,
       findings.push_back(std::move(f));
     }
   }
-  // rng-substream-discipline spans files (duplicate stream identities), so it
-  // runs once over the whole set; annotations are honored per site.
+  // The cross-file families run once over the whole set (duplicate stream
+  // identities, argument-passing across TUs); annotations are honored per
+  // site.
   std::map<std::string, const FileContext*> by_path;
   for (const FileContext& file : files) by_path[file.path] = &file;
-  for (Finding& f : CheckRngDiscipline(files, asts)) {
+  std::vector<Finding> cross;
+  for (Finding& f : CheckRngDiscipline(files, asts)) cross.push_back(std::move(f));
+  for (Finding& f : CheckUnitMismatch(files, asts, graph)) {
+    cross.push_back(std::move(f));
+  }
+  for (Finding& f : CheckUnsignedUnderflow(files, asts, graph, type_facts)) {
+    cross.push_back(std::move(f));
+  }
+  for (Finding& f : cross) {
     const auto it = by_path.find(f.file);
     if (it != by_path.end() && HasSiteAnnotation(*it->second, f.line, f.rule)) {
       continue;

@@ -1,0 +1,43 @@
+// unsigned-underflow: flags unsigned `a - b` (and `a -= b`) with no
+// dominating guard establishing a >= b on every CFG path to the subtraction.
+//
+// Unsignedness is a cross-TU name property (callgraph.hpp TypeFacts): an
+// operand is unsigned when its trailing identifier is only ever declared
+// with an unsigned integer type anywhere in the scanned set, or when it is a
+// call to a function whose every scanned declaration returns one — so
+// `node.mem_capacity_mb() - node.mem_allocated_mb()` is tracked even though
+// both accessors live in another translation unit.
+//
+// Recognized guards:
+//   * a dominating branch fact `a >= b` / `a > b` (or `b <= a` / `b < a`),
+//     including the negated fact on the false edge of a single-comparison
+//     condition (`if (b > a) return 0;` guards the fall-through), with facts
+//     killed when either side is written;
+//   * a subtrahend clamped through `std::min(a, ...)` / `std::min(..., a)`;
+//   * no subtraction at all: `util::SubSat(a, b)` is the sanctioned clamp.
+//
+// Deliberately NOT recognized: ternary guards (`a > b ? a - b : 0`). The
+// statement-level CFG cannot see into them, and the repo's reviewed idiom for
+// that exact shape is util::SubSat — the rule exists to push conversions to
+// it. Literal subtrahends (`v.size() - 1`) are out of scope: constant offsets
+// are overwhelmingly guarded by emptiness checks the analyzer cannot model,
+// and flagging them would drown the signal. docs/LINTING.md has the full
+// envelope.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ast.hpp"
+#include "callgraph.hpp"
+#include "rules.hpp"
+
+namespace myrtus::lint {
+
+/// Runs over every file at once (`files` and `asts` are parallel arrays);
+/// `facts` carries the cross-TU unsignedness tables.
+std::vector<Finding> CheckUnsignedUnderflow(
+    const std::vector<FileContext>& files, const std::vector<FileAst>& asts,
+    const CallGraph& graph, const TypeFacts& facts);
+
+}  // namespace myrtus::lint

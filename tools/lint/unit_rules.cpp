@@ -1,0 +1,255 @@
+#include "unit_rules.hpp"
+
+#include <cctype>
+#include <map>
+
+namespace myrtus::lint {
+namespace {
+
+/// unit -> dimension. Two units mix legally only through a named conversion
+/// helper; two dimensions never mix additively at all.
+const std::map<std::string, std::string>& UnitDims() {
+  static const std::map<std::string, std::string> dims = {
+      {"ns", "time"},  {"us", "time"},   {"ms", "time"}, {"s", "time"},
+      {"b", "bytes"},  {"kb", "bytes"},  {"mb", "bytes"}, {"mw", "power"},
+      {"mj", "energy"}, {"pct", "ratio"}, {"frac", "ratio"}};
+  return dims;
+}
+
+/// CamelCase unit tokens as they appear in helper names (MsToNs). The
+/// single-letter units are legal here — `SToMs` is unambiguous — but not in
+/// plain camel-tail inference.
+const std::map<std::string, std::string>& CamelUnitTokens() {
+  static const std::map<std::string, std::string> tokens = {
+      {"Ns", "ns"}, {"Us", "us"}, {"Ms", "ms"},   {"S", "s"},
+      {"B", "b"},   {"Kb", "kb"}, {"Mb", "mb"},   {"Mw", "mw"},
+      {"Mj", "mj"}, {"Pct", "pct"}, {"Frac", "frac"}};
+  return tokens;
+}
+
+std::string CapUnit(const std::string& unit) {
+  std::string out = unit;
+  out[0] = static_cast<char>(
+      std::toupper(static_cast<unsigned char>(out[0])));
+  return out;
+}
+
+/// `MsToNs` -> "ns"; "" when the name is not a conversion-helper shape.
+std::string ConversionTarget(const std::string& name) {
+  for (std::size_t p = name.find("To"); p != std::string::npos;
+       p = name.find("To", p + 1)) {
+    if (p == 0 || p + 2 >= name.size()) continue;
+    const auto from = CamelUnitTokens().find(name.substr(0, p));
+    const auto to = CamelUnitTokens().find(name.substr(p + 2));
+    if (from != CamelUnitTokens().end() && to != CamelUnitTokens().end()) {
+      return to->second;
+    }
+  }
+  return "";
+}
+
+struct Mismatch {
+  Operand left;
+  Operand right;
+  std::string lu;
+  std::string ru;
+};
+
+/// Renders the shared tail of a mismatch message: what the units are and how
+/// to reconcile them.
+std::string Describe(const Mismatch& m) {
+  std::string out = "'" + m.left.text + "' is " + m.lu + " but '" +
+                    m.right.text + "' is " + m.ru;
+  const std::string& ld = UnitDims().at(m.lu);
+  const std::string& rd = UnitDims().at(m.ru);
+  if (ld == rd) {
+    out += "; convert explicitly: util::" + CapUnit(m.ru) + "To" +
+           CapUnit(m.lu) + "(" + m.right.text + ")";
+  } else {
+    out += "; these are different dimensions (" + ld + " vs " + rd +
+           ") — relate them through a named helper (util::MwToMj-style)";
+  }
+  return out;
+}
+
+void Report(const FileContext& file, const FileAst& ast, std::size_t pos,
+            const std::string& context, const Mismatch& m,
+            std::vector<Finding>& findings) {
+  Finding f;
+  f.file = file.path;
+  f.line = ast.index.LineOf(pos);
+  f.col = ast.index.ColOf(pos);
+  f.rule = "unit-mismatch";
+  f.message = context + " mixes units: " + Describe(m);
+  findings.push_back(std::move(f));
+}
+
+/// Parses both sides of the operator at [op_begin, op_end) and fills `m` when
+/// they carry different known units.
+bool MismatchAt(const std::string& code, std::size_t op_begin,
+                std::size_t op_end, Mismatch* m) {
+  m->left = ParseOperandBackward(code, op_begin);
+  if (!m->left.valid) return false;
+  m->right = ParseOperandForward(code, op_end, code.size());
+  if (!m->right.valid) return false;
+  m->lu = UnitOfOperand(m->left);
+  m->ru = UnitOfOperand(m->right);
+  return !m->lu.empty() && !m->ru.empty() && m->lu != m->ru;
+}
+
+void CheckOperators(const FileContext& file, const FileAst& ast,
+                    std::vector<Finding>& findings) {
+  const std::string& code = ast.code;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    const char prev = i > 0 ? code[i - 1] : '\0';
+    const char next = i + 1 < code.size() ? code[i + 1] : '\0';
+    Mismatch m;
+    if (c == '+' || c == '-') {
+      // Binary additive only: not ++/--/+=/-=/->.
+      if (next == c || next == '=' || prev == c) continue;
+      if (c == '-' && next == '>') continue;
+      if (MismatchAt(code, i, i + 1, &m)) {
+        Report(file, ast, i, std::string("'") + c + "'", m, findings);
+      }
+    } else if (c == '<' || c == '>') {
+      if (next == c || prev == c) continue;  // shifts
+      if (c == '>' && prev == '-') continue;  // ->
+      if (prev == '=' || prev == '!') continue;
+      const std::size_t end = next == '=' ? i + 2 : i + 1;
+      if (MismatchAt(code, i, end, &m)) {
+        Report(file, ast, i, "comparison", m, findings);
+      }
+    } else if (c == '=' && next == '=' && prev != '=' && prev != '!' &&
+               prev != '<' && prev != '>') {
+      if (MismatchAt(code, i, i + 2, &m)) {
+        Report(file, ast, i, "comparison", m, findings);
+      }
+    } else if (c == '=' && next != '=' &&
+               (prev == '+' || prev == '-')) {
+      // Compound additive assignment: x_ms += y_ns.
+      if (MismatchAt(code, i - 1, i + 1, &m) && !m.left.is_call &&
+          !m.left.is_literal) {
+        Report(file, ast, i - 1, "compound assignment", m, findings);
+      }
+    } else if (c == '=' && next != '=' && prev != '=' && prev != '!' &&
+               prev != '<' && prev != '>' && prev != '+' && prev != '-' &&
+               prev != '*' && prev != '/' && prev != '%' && prev != '&' &&
+               prev != '|' && prev != '^') {
+      // Plain assignment / initialization. Only a fully unit-simple RHS is
+      // checked: when the RHS is an expression, the additive scan covers its
+      // interior mixes instead.
+      if (!MismatchAt(code, i, i + 1, &m)) continue;
+      if (m.left.is_call || m.left.is_literal) continue;
+      const std::size_t after =
+          SkipWsForward(code, m.right.end, code.size());
+      const char terminator = after < code.size() ? code[after] : '\0';
+      if (terminator != ';' && terminator != ',' && terminator != ')' &&
+          terminator != '}') {
+        continue;
+      }
+      Report(file, ast, i, "assignment", m, findings);
+    }
+  }
+}
+
+void CheckArgumentPassing(const std::vector<FileContext>& files,
+                          const std::vector<FileAst>& asts,
+                          const CallGraph& graph,
+                          std::vector<Finding>& findings) {
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const std::string& code = asts[fi].code;
+    for (const CallSite& site : graph.file_calls[fi]) {
+      const std::vector<int>& cands = graph.Resolve(site.name);
+      if (cands.empty()) continue;
+      for (std::size_t j = 0; j < site.args.size(); ++j) {
+        // Every overload candidate must have a j-th parameter and agree on
+        // its unit; disagreement (or any unit-less candidate) skips the
+        // argument — the conservative reading of a collapsed overload set.
+        std::string param_unit;
+        std::string param_name;
+        bool agree = true;
+        for (int cand : cands) {
+          const Symbol& sym = graph.symbols[static_cast<std::size_t>(cand)];
+          if (sym.params.size() <= j) {
+            agree = false;
+            break;
+          }
+          const std::string unit = UnitOfIdentifier(sym.params[j].name);
+          if (unit.empty() || (!param_unit.empty() && unit != param_unit)) {
+            agree = false;
+            break;
+          }
+          param_unit = unit;
+          param_name = sym.params[j].name;
+        }
+        if (!agree || param_unit.empty()) continue;
+        const auto [ab, ae] = site.args[j];
+        const Operand arg = ParseOperandForward(code, ab, ae);
+        if (!arg.valid || SkipWsForward(code, arg.end, ae) != ae) continue;
+        const std::string arg_unit = UnitOfOperand(arg);
+        if (arg_unit.empty() || arg_unit == param_unit) continue;
+        Mismatch m;
+        m.left.text = param_name;
+        m.lu = param_unit;
+        m.right = arg;
+        m.ru = arg_unit;
+        Finding f;
+        f.file = files[fi].path;
+        f.line = site.line;
+        f.col = site.col;
+        f.rule = "unit-mismatch";
+        f.message = "argument " + std::to_string(j + 1) + " of '" +
+                    site.name + "' mixes units: parameter " + Describe(m);
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string UnitOfIdentifier(const std::string& name) {
+  std::string n = name;
+  while (!n.empty() && n.back() == '_') n.pop_back();
+  if (n.empty()) return "";
+  const std::size_t us = n.rfind('_');
+  if (us != std::string::npos) {
+    if (us == 0) return "";
+    const std::string suffix = n.substr(us + 1);
+    return UnitDims().count(suffix) != 0 ? suffix : "";
+  }
+  // CamelCase tail: the substring from the last uppercase letter. The
+  // single-letter units need the underscore form (`Mb` reads as megabytes;
+  // a trailing `B` or `S` alone does not).
+  for (std::size_t i = n.size(); i-- > 1;) {
+    if (std::isupper(static_cast<unsigned char>(n[i])) == 0) continue;
+    const std::string tail = n.substr(i);
+    if (tail.size() < 2) return "";
+    const auto it = CamelUnitTokens().find(tail);
+    return it != CamelUnitTokens().end() ? it->second : "";
+  }
+  return "";
+}
+
+std::string UnitOfOperand(const Operand& op) {
+  if (!op.valid || op.is_literal) return "";
+  if (op.is_call) {
+    const std::string conv = ConversionTarget(op.last_ident);
+    if (!conv.empty()) return conv;
+  }
+  return UnitOfIdentifier(op.last_ident);
+}
+
+std::vector<Finding> CheckUnitMismatch(const std::vector<FileContext>& files,
+                                       const std::vector<FileAst>& asts,
+                                       const CallGraph& graph) {
+  std::vector<Finding> findings;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    CheckOperators(files[fi], asts[fi], findings);
+  }
+  CheckArgumentPassing(files, asts, graph, findings);
+  return findings;
+}
+
+}  // namespace myrtus::lint

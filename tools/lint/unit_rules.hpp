@@ -1,0 +1,58 @@
+// unit-mismatch: the unit-of-measure rule family.
+//
+// Dimensions are inferred from identifier suffixes — the codebase's naming
+// convention IS its unit system, so the analyzer reads it as one:
+//
+//   time    _ns  _us  _ms  _s
+//   bytes   _b   _kb  _mb
+//   power   _mw
+//   energy  _mj
+//   ratio   _pct _frac
+//
+// CamelCase tails (`MemFreeMb`, `ReadEnergyMw`) infer the same way for the
+// multi-letter units; the single-letter units (`_s`, `_b`) require the
+// snake_case underscore form to stay unambiguous. Trailing member
+// underscores (`width_ns_`) are stripped before inference.
+//
+// The rule fires when two operands with DIFFERENT known units meet in a
+// context where they must agree:
+//
+//   * additive arithmetic  (`a_ms + b_ns`, `a_ms - b_ns`, `x_ms += y_ns`)
+//   * comparisons          (`deadline_ms < now_ns`)
+//   * assignment / init with a unit-simple RHS (`energy_mj = sample_mw;`)
+//   * argument passing, when the call resolves through the cross-TU call
+//     graph and every overload candidate agrees on the parameter's unit
+//
+// A named conversion helper `XToY(...)` (util::MsToNs-style, see
+// src/util/units.hpp) gives its result the target unit Y, so converted flows
+// pass. Multiplicative contexts are deliberately unchecked: dimension-forming
+// products (`energy_mj = power_mw * duration_s * 1e-3`) are legitimate
+// physics, and the named-helper convention (util::MwToMj) is the reviewed
+// path for them. docs/LINTING.md documents the full FN envelope.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ast.hpp"
+#include "callgraph.hpp"
+#include "rules.hpp"
+
+namespace myrtus::lint {
+
+/// Unit inferred from an identifier's suffix ("ns", "mb", ...); "" when the
+/// name carries no unit.
+std::string UnitOfIdentifier(const std::string& name);
+
+/// Unit of a parsed unit-simple operand: conversion-helper calls yield their
+/// target unit; otherwise the trailing identifier's suffix decides. Literals
+/// and invalid operands are unit-less ("").
+std::string UnitOfOperand(const Operand& op);
+
+/// Runs over every file at once (argument passing needs the call graph).
+/// `files` and `asts` are parallel arrays.
+std::vector<Finding> CheckUnitMismatch(const std::vector<FileContext>& files,
+                                       const std::vector<FileAst>& asts,
+                                       const CallGraph& graph);
+
+}  // namespace myrtus::lint
