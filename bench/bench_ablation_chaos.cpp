@@ -155,8 +155,8 @@ void PrintNodeChurnTable(bench::Report& report) {
         int healthy = 0;
         for (const auto& n : infra.nodes) {
           if (!n->up()) continue;
-          for (const sched::Pod* p : cluster.PodsOnNode(n->id())) {
-            if (p->spec.name.rfind("svc", 0) == 0) ++healthy;
+          for (const sched::PodView& p : cluster.PodsOnNode(n->id())) {
+            if (p.spec().name.rfind("svc", 0) == 0) ++healthy;
           }
         }
         return healthy;

@@ -58,19 +58,19 @@ double MeasureRecoveryMs(World& world, usecases::Scenario& scenario) {
   if (!usecases::DeployScenario(scenario, world.cluster, 1).ok()) return -1;
   world.engine.RunUntil(world.engine.Now() + sim::SimTime::Seconds(1));
 
-  const sched::Pod* detect =
+  const sched::PodView detect =
       world.cluster.FindPod(scenario.name + "/" + scenario.stages[1].pod_name);
-  if (detect == nullptr) return -1;
-  const std::string victim = detect->node_id;
+  if (!detect) return -1;
+  const std::string victim = detect.node_id();
   world.infra.FindNode(victim)->SetUp(false);
   const sim::SimTime failed_at = world.engine.Now();
 
   while (world.engine.Now() < failed_at + sim::SimTime::Seconds(30)) {
     world.engine.RunUntil(world.engine.Now() + sim::SimTime::Millis(50));
-    const sched::Pod* pod = world.cluster.FindPod(scenario.name + "/" +
-                                                  scenario.stages[1].pod_name);
-    if (pod != nullptr && pod->phase == sched::PodPhase::kRunning &&
-        pod->node_id != victim) {
+    const sched::PodView pod = world.cluster.FindPod(scenario.name + "/" +
+                                                     scenario.stages[1].pod_name);
+    if (pod && pod.phase() == sched::PodPhase::kRunning &&
+        pod.node_id() != victim) {
       return (world.engine.Now() - failed_at).ToMillisF();
     }
   }

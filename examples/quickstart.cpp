@@ -88,10 +88,10 @@ int main() {
 
   std::printf("\npods after deployment:\n");
   for (const char* name : {"video_filter", "dashboard"}) {
-    const sched::Pod* pod = cluster.FindPod(name);
-    if (pod != nullptr) {
-      std::printf("  %-14s -> %-8s (%s)\n", name, pod->node_id.c_str(),
-                  std::string(sched::PodPhaseName(pod->phase)).c_str());
+    const sched::PodView pod = cluster.FindPod(name);
+    if (pod) {
+      std::printf("  %-14s -> %-8s (%s)\n", name, pod.node_id().c_str(),
+                  std::string(sched::PodPhaseName(pod.phase())).c_str());
     }
   }
 

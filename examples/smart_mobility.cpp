@@ -81,16 +81,16 @@ int main() {
               kpis.compute_energy_mj);
 
   // --- Failure injection ----------------------------------------------------
-  const sched::Pod* detect = all_layers.FindPod("smart-mobility/detect");
-  if (detect != nullptr) {
+  const sched::PodView detect = all_layers.FindPod("smart-mobility/detect");
+  if (detect) {
     std::printf("\ninjecting failure on %s (hosts the detector)...\n",
-                detect->node_id.c_str());
-    infra.FindNode(detect->node_id)->SetUp(false);
+                detect.node_id().c_str());
+    infra.FindNode(detect.node_id())->SetUp(false);
     all_layers.StartReconcileLoop(sim::SimTime::Millis(250));
     engine.RunUntil(engine.Now() + sim::SimTime::Seconds(2));
-    const sched::Pod* after = all_layers.FindPod("smart-mobility/detect");
-    std::printf("detector rescheduled to %s (%s)\n", after->node_id.c_str(),
-                std::string(sched::PodPhaseName(after->phase)).c_str());
+    const sched::PodView after = all_layers.FindPod("smart-mobility/detect");
+    std::printf("detector rescheduled to %s (%s)\n", after.node_id().c_str(),
+                std::string(sched::PodPhaseName(after.phase())).c_str());
   }
   (void)edge;
   mirto.Stop();

@@ -42,10 +42,10 @@ int main() {
   }
   std::printf("\nstage placements:\n");
   for (const usecases::Stage& stage : scenario.stages) {
-    const sched::Pod* pod = cluster.FindPod(scenario.name + "/" + stage.pod_name);
-    const continuum::ComputeNode* node = infra.FindNode(pod->node_id);
+    const sched::PodView pod = cluster.FindPod(scenario.name + "/" + stage.pod_name);
+    const continuum::ComputeNode* node = infra.FindNode(pod.node_id());
     std::printf("  %-10s -> %-8s (node level: %-6s, required: %s)\n",
-                stage.pod_name.c_str(), pod->node_id.c_str(),
+                stage.pod_name.c_str(), pod.node_id().c_str(),
                 std::string(security::SecurityLevelName(node->security_level())).c_str(),
                 std::string(security::SecurityLevelName(stage.min_security)).c_str());
   }

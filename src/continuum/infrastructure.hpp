@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "continuum/change_tracker.hpp"
 #include "continuum/node.hpp"
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
@@ -43,6 +44,18 @@ struct Infrastructure {
   [[nodiscard]] std::vector<ComputeNode*> NodesInLayer(Layer layer) const;
   /// The gateway each edge node homes to (first gateway by default).
   [[nodiscard]] std::string DefaultGateway() const;
+
+  /// Lazily-created change tracker over this fleet. Heap-owned (shared_ptr)
+  /// so node hooks capturing the tracker survive moves of this struct; the
+  /// tracker itself never references back, so moving Infrastructure stays
+  /// safe after creation.
+  [[nodiscard]] ChangeTracker& change_tracker() {
+    if (!tracker_) tracker_ = std::make_shared<ChangeTracker>();
+    return *tracker_;
+  }
+
+ private:
+  std::shared_ptr<ChangeTracker> tracker_;
 };
 
 /// Builds nodes and topology per `spec`. Security levels follow the paper's

@@ -30,6 +30,7 @@ void ComputeNode::AddDevice(Device device) {
   busy_until_.push_back(engine_.Now());
   busy_accum_.push_back(sim::SimTime::Zero());
   queue_depth_.push_back(0);
+  MarkChanged();
 }
 
 double ComputeNode::CpuCapacity() const {
@@ -46,11 +47,13 @@ util::Status ComputeNode::ReserveMemory(std::uint64_t mb) {
     return util::Status::ResourceExhausted(id_ + ": out of memory");
   }
   mem_allocated_mb_ += mb;
+  MarkChanged();
   return util::Status::Ok();
 }
 
 void ComputeNode::ReleaseMemory(std::uint64_t mb) {
   mem_allocated_mb_ -= std::min(mem_allocated_mb_, mb);
+  MarkChanged();
 }
 
 std::size_t ComputeNode::BestDeviceFor(const TaskDemand& demand) const {
@@ -85,12 +88,14 @@ void ComputeNode::Submit(const TaskDemand& demand, std::size_t device_index,
   busy_until_[device_index] = finish;
   busy_accum_[device_index] += est.latency;
   ++queue_depth_[device_index];
+  MarkChanged();
 
   engine_.ScheduleAt(finish, [this, device_index, est, start, now,
                               done = std::move(done)] {
     --queue_depth_[device_index];
     ++tasks_completed_;
     total_energy_mj_ += est.energy_mj;
+    MarkChanged(est.energy_mj);
     if (done) {
       TaskReport report;
       report.node_id = id_;

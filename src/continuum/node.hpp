@@ -46,7 +46,12 @@ class ComputeNode {
   [[nodiscard]] std::uint64_t mem_capacity_mb() const { return mem_capacity_mb_; }
   [[nodiscard]] std::uint64_t mem_allocated_mb() const { return mem_allocated_mb_; }
   [[nodiscard]] const std::vector<Device>& devices() const { return devices_; }
-  Device& mutable_device(std::size_t i) { return devices_[i]; }
+  /// Mutable device access bumps the change epoch: callers take it to change
+  /// operating points (capacity / power), which observers must re-sample.
+  Device& mutable_device(std::size_t i) {
+    MarkChanged();
+    return devices_[i];
+  }
 
   /// Total abstract CPU capacity: sum over devices of units * speedup * GHz.
   [[nodiscard]] double CpuCapacity() const;
@@ -68,14 +73,44 @@ class ComputeNode {
   void Submit(const TaskDemand& demand, CompletionFn done);
 
   /// Node availability (failure injection). Down nodes reject submissions.
-  void SetUp(bool up) { up_ = up; }
+  void SetUp(bool up) {
+    up_ = up;
+    MarkChanged();
+  }
   [[nodiscard]] bool up() const { return up_; }
+
+  /// --- Change-epoch observation ----------------------------------------
+  /// Monotonic counter bumped on every observable mutation: up/down flips,
+  /// memory allocation, task submission/completion (queue depth, busy time,
+  /// energy), device changes. Observers (MAPE Monitor) compare epochs to
+  /// skip unchanged nodes instead of re-sampling the whole fleet.
+  [[nodiscard]] std::uint64_t change_epoch() const { return change_epoch_; }
+  /// Single listener, fanned out by continuum::ChangeTracker. `energy_delta`
+  /// is nonzero only for task-completion energy accrual, letting the tracker
+  /// maintain the fleet energy total incrementally.
+  using ChangeHook = std::function<void(double energy_delta_mj)>;
+  void SetChangeHook(ChangeHook hook) { change_hook_ = std::move(hook); }
+  /// Bumps the epoch and notifies the hook. Public so ledgers living outside
+  /// the node (scheduler allocation columns, peering reflections) can mark
+  /// their node dirty through the same channel.
+  void MarkChanged(double energy_delta_mj = 0.0) {
+    ++change_epoch_;
+    if (change_hook_) change_hook_(energy_delta_mj);
+  }
 
   /// --- PMC-style counters ----------------------------------------------
   [[nodiscard]] std::uint64_t tasks_completed() const { return tasks_completed_; }
   [[nodiscard]] double total_energy_mj() const { return total_energy_mj_; }
   /// Busy fraction of a device since the node was created.
   [[nodiscard]] double Utilization(std::size_t device_index) const;
+  [[nodiscard]] sim::SimTime created_at() const { return created_at_; }
+  /// Total busy time accumulated on a device — with created_at(), the inputs
+  /// of Utilization(), exposed so observers can predict when the (strictly
+  /// decaying, absent new work) utilization crosses a planning threshold.
+  [[nodiscard]] sim::SimTime BusyAccum(std::size_t device_index) const {
+    return device_index < busy_accum_.size() ? busy_accum_[device_index]
+                                             : sim::SimTime::Zero();
+  }
   /// Instantaneous queue depth across all devices.
   [[nodiscard]] std::size_t QueueDepth() const;
   /// Idle-power energy accumulated up to `now` (integrates idle draw).
@@ -99,6 +134,8 @@ class ComputeNode {
 
   std::uint64_t tasks_completed_ = 0;
   double total_energy_mj_ = 0.0;
+  std::uint64_t change_epoch_ = 0;
+  ChangeHook change_hook_;
 };
 
 }  // namespace myrtus::continuum

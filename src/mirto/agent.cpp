@@ -1,8 +1,11 @@
 #include "mirto/agent.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "telemetry/telemetry.hpp"
+#include "util/units.hpp"
 
 namespace myrtus::mirto {
 
@@ -58,25 +61,80 @@ MirtoAgent::MirtoAgent(net::Network& network, sched::Cluster& cluster,
       wl_(cluster, config_.strategy, config_.seed),
       node_(),
       netmgr_(network.topology()),
-      psm_() {
+      psm_(),
+      monitor_path_(config_.monitor_path) {
   // Observability is watch-driven, not poll-only: a component record
   // vanishing from the registry (e.g. heartbeat-lease expiry) marks the
-  // fleet dirty for the next MAPE Analyze pass.
+  // fleet dirty for the next MAPE Analyze pass, and any external write under
+  // /registry/nodes/ is mirrored into the change-tracker dirty set so the
+  // incremental Monitor re-observes that node. The agent's own registry
+  // writes are suppressed via self_registry_write_ (Store::Notify fires
+  // synchronously inside Put/Delete).
   registry_watch_ = kb_.Watch(
       kb::ResourceRegistry::NodeKey(""), [this](const kb::WatchEvent& event) {
         if (event.type == kb::WatchEvent::Type::kDelete) {
           failure_signal_ = true;
         }
+        if (self_registry_write_ || tracker_listener_ < 0) return;
+        const std::string prefix = kb::ResourceRegistry::NodeKey("");
+        if (event.kv.key.size() <= prefix.size()) return;
+        infra_.change_tracker().MarkDirtyById(
+            infra_.nodes, event.kv.key.substr(prefix.size()),
+            tracker_listener_);
       });
+  // Deploy-to-bind waits are event-driven: the cluster tells us when a
+  // tracked pod binds or disappears, so Monitor never sweeps all pods.
+  cluster_.AddPodEventListener(sched::Cluster::PodEvents{
+      [this](const std::string& pod_name) {
+        const auto it = pending_pods_.find(pod_name);
+        if (it == pending_pods_.end()) return;
+        const sched::PodView pod = cluster_.FindPod(pod_name);
+        if (!pod.valid() || pod.bound_at_ns() < 0) return;
+        bound_waits_[pod_name] =
+            static_cast<double>(pod.bound_at_ns() - it->second.created_ns) /
+            1e6;
+        if (it->second.old) --pending_old_;
+        pending_pods_.erase(it);
+      },
+      [this](const std::string& pod_name) { UntrackPod(pod_name); }});
   for (const telemetry::SloObjective& objective : config_.slo_objectives) {
     // LINT: discard(the defaults are valid by construction; a caller-supplied
     // bad objective degrades to "not tracked" rather than aborting the agent)
     (void)slo_.AddObjective(objective);
+    if (objective.name == "pod.start_wait" &&
+        objective.kind == telemetry::SloObjective::Kind::kLatency) {
+      pending_threshold_ns_ = static_cast<std::int64_t>(
+          std::llround(objective.latency_threshold_ms * 1e6));
+    }
   }
   slo_.set_transition_handler(
       [this](const std::string&, const telemetry::SloStatus&, bool breached) {
         if (breached) ++stats_.slo_breaches;
       });
+}
+
+void MirtoAgent::set_monitor_path(MonitorPath path) {
+  if (path == monitor_path_) return;
+  monitor_path_ = path;
+  // Reset the incremental caches on every switch. Entering kIncremental
+  // registers a fresh listener lazily — all nodes start dirty for it, so the
+  // first incremental iteration re-observes the entire fleet.
+  if (tracker_listener_ >= 0) {
+    infra_.change_tracker().RemoveListener(tracker_listener_);
+    tracker_listener_ = -1;
+  }
+  observed_up_.clear();
+  observed_up_count_ = 0;
+  down_nodes_.clear();
+  healing_nodes_.clear();
+  plan_crossings_ = {};
+  plan_queued_cross_ns_.clear();
+  iter_dirty_.clear();
+}
+
+void MirtoAgent::EnsureTrackerListener() {
+  if (tracker_listener_ >= 0) return;
+  tracker_listener_ = infra_.change_tracker().AddListener(infra_.nodes);
 }
 
 void MirtoAgent::Start() {
@@ -182,13 +240,13 @@ util::Status MirtoAgent::Deploy(const tosca::CsarPackage& package) {
   std::vector<std::string>& tracked = app_pods_[app_name];
   const std::int64_t deployed_at_ns = network_.engine().Now().ns;
   for (const sched::PodSpec& pod : *pods) {
-    const sched::Pod* bound = cluster_.FindPod(pod.name);
+    const sched::PodView bound = cluster_.FindPod(pod.name);
     tracked.push_back(pod.name);
-    pod_created_ns_[pod.name] = deployed_at_ns;
+    TrackPodCreated(pod.name, deployed_at_ns);
     registry_.PutWorkload(
         pod.name, util::Json::MakeObject()
                       .Set("app", app_name)
-                      .Set("node", bound != nullptr ? bound->node_id : "")
+                      .Set("node", bound.valid() ? bound.node_id() : "")
                       .Set("cpu", pod.cpu_request)
                       .Set("min_security",
                            std::string(security::SecurityLevelName(pod.min_security))));
@@ -206,10 +264,34 @@ util::Status MirtoAgent::Undeploy(const std::string& app_name) {
     // idempotent by design)
     (void)cluster_.DeletePod(pod);
     kb_.Delete(kb::ResourceRegistry::WorkloadKey(pod));
-    pod_created_ns_.erase(pod);
+    UntrackPod(pod);  // the delete hook already ran when the pod existed
   }
   app_pods_.erase(it);
   return util::Status::Ok();
+}
+
+void MirtoAgent::TrackPodCreated(const std::string& pod_name,
+                                 std::int64_t created_ns) {
+  // The workload manager may have bound the pod synchronously during
+  // Deploy — credit its wait immediately; the bind hook has already fired
+  // (and found the pod untracked) by the time we get here.
+  const sched::PodView pod = cluster_.FindPod(pod_name);
+  if (pod.valid() && pod.bound_at_ns() >= 0) {
+    bound_waits_[pod_name] =
+        static_cast<double>(pod.bound_at_ns() - created_ns) / 1e6;
+    return;
+  }
+  pending_pods_[pod_name] = PendingTrack{created_ns, false};
+  pending_young_.emplace_back(created_ns, pod_name);
+}
+
+void MirtoAgent::UntrackPod(const std::string& pod_name) {
+  const auto it = pending_pods_.find(pod_name);
+  if (it != pending_pods_.end()) {
+    if (it->second.old) --pending_old_;
+    pending_pods_.erase(it);
+  }
+  bound_waits_.erase(pod_name);
 }
 
 std::vector<std::string> MirtoAgent::DeployedApps() const {
@@ -235,60 +317,144 @@ void MirtoAgent::RunMapeIteration() {
   telemetry::EmitParallelPoolStats();
 }
 
+void MirtoAgent::ObserveNode(std::size_t index, std::int64_t now_ns) {
+  continuum::ComputeNode& node = *infra_.nodes[index];
+  ++stats_.nodes_observed;
+  kb::NodeRecord record;
+  record.node_id = node.id();
+  record.layer = std::string(continuum::LayerName(node.layer()));
+  record.kind = node.kind();
+  record.ready = node.up();
+  record.cpu_capacity = node.CpuCapacity();
+  record.mem_capacity_mb = node.mem_capacity_mb();
+  record.mem_allocated_mb = node.mem_allocated_mb();
+  record.security_level = static_cast<int>(node.security_level());
+  record.trust_score = psm_.TrustOf(node.id());
+  if (const sched::NodeState* state = cluster_.FindNodeState(node.id())) {
+    record.cpu_allocated = state->cpu_allocated();
+    record.has_accelerator = state->HasAccelerator();
+  }
+  record.energy_mj = node.total_energy_mj();
+  self_registry_write_ = true;
+  registry_.PutNode(record);
+  self_registry_write_ = false;
+  if (!node.devices().empty()) {
+    registry_.AppendTelemetry(node.id(), "utilization",
+                              {now_ns, node.Utilization(0)});
+  }
+  registry_.AppendTelemetry(node.id(), "queue_depth",
+                            {now_ns, static_cast<double>(node.QueueDepth())});
+  // Cached availability + Analyze attention sets. observed_up_ holds the
+  // last observed state (0 unseen / 1 down / 2 up); unchanged nodes cannot
+  // have flipped without marking themselves dirty (SetUp bumps the epoch).
+  const bool up = node.up();
+  const std::uint8_t state_now = up ? 2 : 1;
+  if (observed_up_[index] != state_now) {
+    if (observed_up_[index] == 2) --observed_up_count_;
+    if (state_now == 2) ++observed_up_count_;
+    observed_up_[index] = state_now;
+  }
+  if (up) {
+    down_nodes_.erase(index);
+    if (psm_.TrustOf(node.id()) < 1.0) healing_nodes_.insert(index);
+  } else {
+    down_nodes_.insert(index);
+    healing_nodes_.erase(index);
+  }
+}
+
 void MirtoAgent::Monitor() {
   telemetry::ScopedSpan span("mape.monitor", "mirto");
   const std::int64_t now_ns = network_.engine().Now().ns;
-  for (const auto& node : infra_.nodes) {
-    kb::NodeRecord record;
-    record.node_id = node->id();
-    record.layer = std::string(continuum::LayerName(node->layer()));
-    record.kind = node->kind();
-    record.ready = node->up();
-    record.cpu_capacity = node->CpuCapacity();
-    record.mem_capacity_mb = node->mem_capacity_mb();
-    record.mem_allocated_mb = node->mem_allocated_mb();
-    record.security_level = static_cast<int>(node->security_level());
-    record.trust_score = psm_.TrustOf(node->id());
-    if (const sched::NodeState* state = cluster_.FindNodeState(node->id())) {
-      record.cpu_allocated = state->cpu_allocated();
-      record.has_accelerator = state->HasAccelerator();
-    }
-    record.energy_mj = node->total_energy_mj();
-    registry_.PutNode(record);
-    if (!node->devices().empty()) {
-      registry_.AppendTelemetry(node->id(), "utilization",
-                                {now_ns, node->Utilization(0)});
-    }
-    registry_.AppendTelemetry(node->id(), "queue_depth",
-                              {now_ns, static_cast<double>(node->QueueDepth())});
-    slo_.RecordAvailability("fleet.availability", node->up(), now_ns);
+  if (monitor_path_ == MonitorPath::kFull) {
+    MonitorFull(now_ns);
+  } else {
+    MonitorIncremental(now_ns);
   }
-  // Pod start wait: pods record their deploy-to-bind latency once bound, and
-  // a growing bad observation each pass while they stay pending, so sustained
-  // scheduling pressure burns the latency error budget.
-  for (auto it = pod_created_ns_.begin(); it != pod_created_ns_.end();) {
-    const sched::Pod* pod = cluster_.FindPod(it->first);
-    if (pod == nullptr) {
-      it = pod_created_ns_.erase(it);
-      continue;
-    }
-    if (pod->bound_at_ns >= 0) {
-      const double wait_ms =
-          static_cast<double>(pod->bound_at_ns - it->second) / 1e6;
-      slo_.RecordLatencyMs("pod.start_wait", wait_ms, now_ns);
-      it = pod_created_ns_.erase(it);
-    } else {
-      const double age_ms = static_cast<double>(now_ns - it->second) / 1e6;
+  FlushPodStartWaits(now_ns);
+}
+
+void MirtoAgent::MonitorFull(std::int64_t now_ns) {
+  if (observed_up_.size() < infra_.nodes.size()) {
+    observed_up_.resize(infra_.nodes.size(), 0);
+  }
+  for (std::size_t index = 0; index < infra_.nodes.size(); ++index) {
+    ObserveNode(index, now_ns);
+    slo_.RecordAvailability("fleet.availability", infra_.nodes[index]->up(),
+                            now_ns);
+  }
+}
+
+void MirtoAgent::MonitorIncremental(std::int64_t now_ns) {
+  EnsureTrackerListener();
+  iter_dirty_.clear();
+  infra_.change_tracker().Drain(infra_.nodes, tracker_listener_, iter_dirty_);
+  const std::size_t fleet = infra_.nodes.size();
+  if (observed_up_.size() < fleet) observed_up_.resize(fleet, 0);
+  for (const std::size_t index : iter_dirty_) ObserveNode(index, now_ns);
+  // Every node has been observed at least once (a fresh listener starts
+  // all-dirty), so the cached up-count covers the whole fleet and one bulk
+  // observation is arithmetically identical to N per-node singles.
+  slo_.RecordAvailabilityBulk("fleet.availability", observed_up_count_,
+                              util::SubSat(fleet, observed_up_count_), now_ns);
+}
+
+void MirtoAgent::FlushPodStartWaits(std::int64_t now_ns) {
+  // Pod start wait: pods record their deploy-to-bind latency once bound (the
+  // bind hook captured it), and a growing bad observation each pass while
+  // they stay pending, so sustained scheduling pressure burns the latency
+  // error budget.
+  for (const auto& [pod_name, wait_ms] : bound_waits_) {
+    slo_.RecordLatencyMs("pod.start_wait", wait_ms, now_ns);
+  }
+  bound_waits_.clear();
+  if (monitor_path_ == MonitorPath::kFull) {
+    for (const auto& [pod_name, track] : pending_pods_) {
+      const double age_ms =
+          static_cast<double>(now_ns - track.created_ns) / 1e6;
       slo_.RecordLatencyMs("pod.start_wait", age_ms, now_ns);
-      ++it;
+    }
+    return;
+  }
+  // Incremental: pending pods only matter as good/bad counts against the
+  // latency threshold, and a pod crosses it exactly once — advance the
+  // creation-ordered queue past the integer-ns boundary (equivalent to the
+  // full path's `age_ms <= threshold_ms` double compare: both sides of the
+  // boundary round to the same classification) and record one bulk
+  // observation.
+  if (pending_threshold_ns_ >= 0) {
+    const std::int64_t boundary_ns = now_ns - pending_threshold_ns_;
+    while (!pending_young_.empty() &&
+           pending_young_.front().first < boundary_ns) {
+      const auto [created_ns, pod_name] = pending_young_.front();
+      pending_young_.pop_front();
+      const auto it = pending_pods_.find(pod_name);
+      if (it != pending_pods_.end() && it->second.created_ns == created_ns &&
+          !it->second.old) {
+        it->second.old = true;
+        ++pending_old_;
+      }
     }
   }
+  slo_.RecordLatencyOutcomes("pod.start_wait",
+                             util::SubSat(pending_pods_.size(), pending_old_),
+                             pending_old_, now_ns);
 }
 
 void MirtoAgent::Analyze() {
   telemetry::ScopedSpan span("mape.analyze", "mirto");
   reallocation_needed_ = failure_signal_;
   failure_signal_ = false;
+  if (monitor_path_ == MonitorPath::kFull) {
+    AnalyzeFullTrust();
+  } else {
+    AnalyzeIncrementalTrust();
+  }
+  if (cluster_.PendingPods() > 0) reallocation_needed_ = true;
+  EvaluateAndPublishSlos(span, network_.engine().Now().ns);
+}
+
+void MirtoAgent::AnalyzeFullTrust() {
   for (const auto& node : infra_.nodes) {
     const bool healthy = node->up();
     psm_.RecordOutcome(node->id(), healthy);
@@ -296,12 +462,37 @@ void MirtoAgent::Analyze() {
       reallocation_needed_ = true;
     }
   }
-  if (cluster_.PendingPods() > 0) reallocation_needed_ = true;
+}
 
+void MirtoAgent::AnalyzeIncrementalTrust() {
+  // Only two kinds of node can have their trust move this iteration: nodes
+  // observed down (failure outcome, trust decays) and up nodes still healing
+  // back toward 1.0 (success outcome). A success on a node at exactly 1.0 is
+  // a no-op (1.0 * 0.95 + 0.05 == 1.0 in double), so skipping the rest of
+  // the fleet leaves every TrustOf() value identical to the full walk.
+  for (const std::size_t index : down_nodes_) {
+    const continuum::ComputeNode& node = *infra_.nodes[index];
+    psm_.RecordOutcome(node.id(), false);
+    if (!cluster_.PodsOnNode(node.id()).empty()) {
+      reallocation_needed_ = true;
+    }
+  }
+  for (auto it = healing_nodes_.begin(); it != healing_nodes_.end();) {
+    const continuum::ComputeNode& node = *infra_.nodes[*it];
+    psm_.RecordOutcome(node.id(), true);
+    if (psm_.TrustOf(node.id()) >= 1.0) {
+      it = healing_nodes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MirtoAgent::EvaluateAndPublishSlos(telemetry::ScopedSpan& span,
+                                        std::int64_t now_ns) {
   // SLO self-monitoring closes the loop: burn rates computed from Monitor's
   // own observations decide whether the agent considers itself in violation,
   // and the verdict is published to the KB for peers and the next pass.
-  const std::int64_t now_ns = network_.engine().Now().ns;
   slo_.Evaluate(now_ns);
   const std::vector<std::string> breached = slo_.Breached();
   if (!breached.empty()) {
@@ -313,29 +504,120 @@ void MirtoAgent::Analyze() {
     }
     span.SetAttribute("slo_breach", joined);
   }
+  // Verdicts are re-published only on a state/breach-count transition or
+  // when a burn rate crosses a quantum bucket — steady state costs zero KB
+  // writes instead of one serialized record per objective per iteration.
+  const double quantum = config_.slo_publish_quantum;
   for (const telemetry::SloObjective& objective : config_.slo_objectives) {
-    if (const telemetry::SloStatus* s = slo_.Find(objective.name)) {
-      registry_.PutSloState(
-          config_.host, objective.name,
-          util::Json::MakeObject()
-              .Set("state", std::string(telemetry::SloStateName(s->state)))
-              .Set("fast_burn_rate", s->fast_burn_rate)
-              .Set("slow_burn_rate", s->slow_burn_rate)
-              .Set("breaches", s->breaches)
-              .Set("at_ns", now_ns));
+    const telemetry::SloStatus* s = slo_.Find(objective.name);
+    if (s == nullptr) continue;
+    SloPublished& last = slo_published_[objective.name];
+    SloPublished next;
+    next.valid = true;
+    next.state = s->state;
+    next.breaches = s->breaches;
+    if (quantum > 0.0) {
+      next.fast_bucket =
+          static_cast<std::int64_t>(std::floor(s->fast_burn_rate / quantum));
+      next.slow_bucket =
+          static_cast<std::int64_t>(std::floor(s->slow_burn_rate / quantum));
     }
+    const bool unchanged = last.valid && quantum > 0.0 &&
+                           last.state == next.state &&
+                           last.breaches == next.breaches &&
+                           last.fast_bucket == next.fast_bucket &&
+                           last.slow_bucket == next.slow_bucket;
+    if (unchanged) continue;
+    last = next;
+    ++stats_.slo_publishes;
+    registry_.PutSloState(
+        config_.host, objective.name,
+        util::Json::MakeObject()
+            .Set("state", std::string(telemetry::SloStateName(s->state)))
+            .Set("fast_burn_rate", s->fast_burn_rate)
+            .Set("slow_burn_rate", s->slow_burn_rate)
+            .Set("breaches", s->breaches)
+            .Set("at_ns", now_ns));
   }
 }
 
 void MirtoAgent::Plan() {
   telemetry::ScopedSpan span("mape.plan", "mirto");
   planned_points_.clear();
+  if (monitor_path_ == MonitorPath::kFull) {
+    PlanFull();
+  } else {
+    PlanIncremental(network_.engine().Now().ns);
+  }
+}
+
+void MirtoAgent::PlanFull() {
   for (const auto& node : infra_.nodes) {
     if (!node->up()) continue;
     for (const NodeManager::Decision& d : node_.PlanNode(*node)) {
       if (d.changed) planned_points_.push_back(d);
     }
   }
+}
+
+void MirtoAgent::PlanIncremental(std::int64_t now_ns) {
+  // A decision can only change for (a) nodes that mutated since the last
+  // iteration (drained in Monitor) or (b) quiet nodes whose utilization —
+  // strictly decaying while no work arrives — crosses below the eco
+  // threshold; upward crossings require new work, which marks the node
+  // dirty. (b) is predicted with a min-heap of crossing times, one queued
+  // entry per node. Visiting a node early is harmless: PlanNode returns
+  // changed=false, exactly like the full walk.
+  plan_visit_.assign(iter_dirty_.begin(), iter_dirty_.end());
+  if (plan_queued_cross_ns_.size() < infra_.nodes.size()) {
+    plan_queued_cross_ns_.resize(infra_.nodes.size(), 0);
+  }
+  while (!plan_crossings_.empty() && plan_crossings_.top().first <= now_ns) {
+    const std::size_t index = plan_crossings_.top().second;
+    plan_crossings_.pop();
+    plan_queued_cross_ns_[index] = 0;
+    plan_visit_.push_back(index);
+  }
+  std::sort(plan_visit_.begin(), plan_visit_.end());
+  plan_visit_.erase(std::unique(plan_visit_.begin(), plan_visit_.end()),
+                    plan_visit_.end());
+  for (const std::size_t index : plan_visit_) {
+    continuum::ComputeNode& node = *infra_.nodes[index];
+    if (!node.up()) continue;
+    for (const NodeManager::Decision& d : node_.PlanNode(node)) {
+      if (d.changed) planned_points_.push_back(d);
+    }
+    QueuePlanCrossing(index, now_ns);
+  }
+}
+
+void MirtoAgent::QueuePlanCrossing(std::size_t index, std::int64_t now_ns) {
+  if (plan_queued_cross_ns_[index] != 0) return;  // earlier entry fires first
+  const continuum::ComputeNode& node = *infra_.nodes[index];
+  const double down_threshold = node_.down_threshold();
+  if (down_threshold <= 0.0) return;  // utilization can never dip below
+  std::int64_t best_ns = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t d = 0; d < node.devices().size(); ++d) {
+    const continuum::Device& device = node.devices()[d];
+    if (device.active_point_index() + 1 >= device.operating_points().size()) {
+      continue;  // already at the eco point; a down-crossing changes nothing
+    }
+    // util(t) = busy / (t - created) dips strictly below `down_threshold`
+    // for all t past created + busy/down_threshold.
+    const double cross = static_cast<double>(node.created_at().ns) +
+                         static_cast<double>(node.BusyAccum(d).ns) /
+                             down_threshold;
+    if (cross >=
+        static_cast<double>(std::numeric_limits<std::int64_t>::max() / 2)) {
+      continue;
+    }
+    const std::int64_t cross_ns =
+        std::max(static_cast<std::int64_t>(cross) + 1, now_ns + 1);
+    best_ns = std::min(best_ns, cross_ns);
+  }
+  if (best_ns == std::numeric_limits<std::int64_t>::max()) return;
+  plan_queued_cross_ns_[index] = best_ns;
+  plan_crossings_.emplace(best_ns, index);
 }
 
 void MirtoAgent::Execute() {
@@ -350,7 +632,9 @@ void MirtoAgent::Execute() {
     cluster_.Reconcile();
     stats_.reallocations += cluster_.reschedules() - before;
   }
+  self_registry_write_ = true;
   psm_.PublishTrust(registry_);
+  self_registry_write_ = false;
 }
 
 }  // namespace myrtus::mirto

@@ -4,10 +4,26 @@
 // Processor), a MIRTO Manager unifying the four optimization drivers, and
 // proxies toward the Knowledge Base and the deployment mechanism. The agent
 // runs the MAPE-K loop of §IV: sense → evaluate → decide → reconfigure.
+//
+// The loop is event-driven by default (MonitorPath::kIncremental): Monitor
+// drains the infrastructure ChangeTracker and visits only nodes that mutated
+// since the previous iteration, Analyze touches only down/healing nodes, and
+// Plan only dirty nodes plus those whose decaying utilization is predicted to
+// cross the eco-point threshold. The historical full-walk path is kept behind
+// set_monitor_path(MonitorPath::kFull) and is differentially tested to
+// produce byte-identical registry records, SLO states, trust scores, and
+// planned decisions.
 #pragma once
 
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
 #include <memory>
+#include <queue>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "continuum/infrastructure.hpp"
@@ -42,12 +58,20 @@ class AuthModule {
 /// request to binding). Both use the sim-scale burn-rate windows.
 std::vector<telemetry::SloObjective> DefaultAgentSlos();
 
+/// How Monitor/Analyze/Plan observe the fleet: the historical O(all nodes,
+/// all pending pods) walk, or the change-epoch/watch-event incremental path.
+enum class MonitorPath : std::uint8_t { kFull, kIncremental };
+
 struct AgentConfig {
   std::string host;                 // network address of this agent
   sim::SimTime mape_period = sim::SimTime::Millis(250);
   PlacementStrategy strategy = PlacementStrategy::kGreedy;
   std::string gateway_anchor;       // host used for latency costs
   std::uint64_t seed = 1;
+  MonitorPath monitor_path = MonitorPath::kIncremental;
+  /// SLO verdicts are re-published to the KB only when the state changes or
+  /// a burn rate moves across a bucket of this width (0 = publish always).
+  double slo_publish_quantum = 0.25;
   /// Self-monitoring objectives evaluated each Analyze pass. A breach marks
   /// the fleet dirty (reallocation) and is written back to the KB under
   /// /slo/<host>/<objective> — the loop observing itself.
@@ -63,6 +87,8 @@ struct AgentStats {
   std::uint64_t operating_point_changes = 0;
   std::uint64_t auth_failures = 0;
   std::uint64_t slo_breaches = 0;   // Ok -> Breach transitions, all objectives
+  std::uint64_t nodes_observed = 0;  // Monitor node visits (records written)
+  std::uint64_t slo_publishes = 0;   // PutSloState writes actually issued
 };
 
 class MirtoAgent {
@@ -92,6 +118,12 @@ class MirtoAgent {
   /// One MAPE-K iteration (also invoked by the periodic loop).
   void RunMapeIteration();
 
+  /// Switches between the full-walk and incremental observation paths. Safe
+  /// mid-run: the incremental caches are rebuilt (all nodes re-observed) on
+  /// the first iteration after switching to kIncremental.
+  void set_monitor_path(MonitorPath path);
+  [[nodiscard]] MonitorPath monitor_path() const { return monitor_path_; }
+
   [[nodiscard]] const AgentStats& stats() const { return stats_; }
   [[nodiscard]] WlManager& wl_manager() { return wl_; }
   [[nodiscard]] NodeManager& node_manager() { return node_; }
@@ -100,12 +132,43 @@ class MirtoAgent {
   [[nodiscard]] kb::ResourceRegistry& registry() { return registry_; }
   [[nodiscard]] const std::string& host() const { return config_.host; }
   [[nodiscard]] telemetry::SloEngine& slo_engine() { return slo_; }
+  /// Operating-point changes planned by the most recent Plan pass (only
+  /// changed decisions) — the differential tests compare these across paths.
+  [[nodiscard]] const std::vector<NodeManager::Decision>& planned_decisions()
+      const {
+    return planned_points_;
+  }
 
  private:
   void Monitor();   // sample PMCs into the registry (KB)
   void Analyze();   // detect violations, mark pending work
   void Plan();      // consult managers
   void Execute();   // apply decisions
+
+  void MonitorFull(std::int64_t now_ns);
+  void MonitorIncremental(std::int64_t now_ns);
+  /// Writes one node's registry record + telemetry and refreshes the cached
+  /// up/down, healing, and availability bookkeeping for it.
+  void ObserveNode(std::size_t index, std::int64_t now_ns);
+  void AnalyzeFullTrust();
+  void AnalyzeIncrementalTrust();
+  void EvaluateAndPublishSlos(telemetry::ScopedSpan& span,
+                              std::int64_t now_ns);
+  void PlanFull();
+  void PlanIncremental(std::int64_t now_ns);
+  /// Predicts when a device's (strictly decaying, absent new work)
+  /// utilization will cross below the eco threshold and queues the node for
+  /// a Plan visit at that time.
+  void QueuePlanCrossing(std::size_t index, std::int64_t now_ns);
+
+  /// Lazily registers the ChangeTracker listener (incremental path only).
+  void EnsureTrackerListener();
+  /// Begins tracking a just-deployed pod's start wait. Pods the workload
+  /// manager bound synchronously during Deploy are credited immediately.
+  void TrackPodCreated(const std::string& pod_name, std::int64_t created_ns);
+  void UntrackPod(const std::string& pod_name);
+  /// Records bound waits and pending ages into pod.start_wait; both paths.
+  void FlushPodStartWaits(std::int64_t now_ns);
 
   net::Network& network_;
   sched::Cluster& cluster_;
@@ -130,9 +193,57 @@ class MirtoAgent {
   std::vector<NodeManager::Decision> planned_points_;
   std::map<std::string, std::vector<std::string>> app_pods_;  // app -> pods
   telemetry::SloEngine slo_;
-  // Pods awaiting their first binding: deploy-request sim time, consumed by
-  // Monitor() into the pod.start_wait latency objective once bound.
-  std::map<std::string, std::int64_t> pod_created_ns_;
+
+  /// --- Incremental observation state -------------------------------------
+  MonitorPath monitor_path_;
+  int tracker_listener_ = -1;
+  // True while the agent itself writes /registry/nodes/ records, so the KB
+  // watch does not mirror its own writes back into the dirty set.
+  bool self_registry_write_ = false;
+  std::vector<std::size_t> iter_dirty_;   // drained once per iteration
+  std::vector<std::uint8_t> observed_up_;  // last observed up/down per index
+  std::size_t observed_up_count_ = 0;
+  // Analyze attention sets: nodes currently observed down (record a failure
+  // outcome each iteration) and up nodes whose trust has not yet recovered
+  // to exactly 1.0 (record successes until it converges — the 0.95x + 0.05
+  // update reaches 1.0 in finitely many steps in double precision, after
+  // which further successes are no-ops the full walk also performs).
+  std::set<std::size_t> down_nodes_;
+  std::set<std::size_t> healing_nodes_;
+  // Plan visit prediction: min-heap of (crossing sim-time ns, node index)
+  // with at most one queued entry per node.
+  std::priority_queue<std::pair<std::int64_t, std::size_t>,
+                      std::vector<std::pair<std::int64_t, std::size_t>>,
+                      std::greater<>>
+      plan_crossings_;
+  std::vector<std::int64_t> plan_queued_cross_ns_;  // 0 = none queued
+  std::vector<std::size_t> plan_visit_;
+
+  /// --- Pod start-wait tracking (event-driven) -----------------------------
+  struct PendingTrack {
+    std::int64_t created_ns = 0;
+    bool old = false;  // already aged past the latency threshold
+  };
+  // Pods awaiting their first binding. Maintained by the Cluster pod-event
+  // hooks in both paths; the full path sweeps it per iteration (historical
+  // behaviour), the incremental path records one bulk good/bad observation.
+  std::map<std::string, PendingTrack> pending_pods_;
+  // Pending pods in creation order, advanced past the age threshold lazily.
+  std::deque<std::pair<std::int64_t, std::string>> pending_young_;
+  std::size_t pending_old_ = 0;
+  // Deploy-to-bind waits (ms) captured by the bind hook, flushed by Monitor.
+  std::map<std::string, double> bound_waits_;
+  std::int64_t pending_threshold_ns_ = 0;
+
+  /// --- SLO publish-on-change cache ----------------------------------------
+  struct SloPublished {
+    bool valid = false;
+    telemetry::SloState state = telemetry::SloState::kOk;
+    std::int64_t fast_bucket = 0;
+    std::int64_t slow_bucket = 0;
+    std::uint64_t breaches = 0;
+  };
+  std::map<std::string, SloPublished> slo_published_;
 };
 
 }  // namespace myrtus::mirto

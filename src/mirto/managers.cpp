@@ -193,8 +193,15 @@ PrivacySecurityManager::PrivacySecurityManager(double veto_threshold)
 void PrivacySecurityManager::RecordOutcome(const std::string& node_id,
                                            bool success) {
   double& trust = trust_.try_emplace(node_id, 1.0).first->second;
-  // Exponential update: failures bite harder than successes heal.
-  trust = success ? std::min(1.0, trust * 0.95 + 0.05) : trust * 0.7;
+  // Exponential update: failures bite harder than successes heal. Note that
+  // 1.0 * 0.95 + 0.05 == 1.0 exactly in double, so a fully trusted node is a
+  // fixed point under successes and recovery converges to exactly 1.0.
+  const double updated =
+      success ? std::min(1.0, trust * 0.95 + 0.05) : trust * 0.7;
+  if (updated != trust) {
+    trust = updated;
+    pending_publish_.insert(node_id);
+  }
 }
 
 double PrivacySecurityManager::TrustOf(const std::string& node_id) const {
@@ -216,13 +223,19 @@ bool PrivacySecurityManager::Permits(const sched::PodSpec& pod,
          TrustOf(node.id()) >= veto_threshold_;
 }
 
-void PrivacySecurityManager::PublishTrust(kb::ResourceRegistry& registry) const {
-  for (const auto& [node, trust] : trust_) {
-    if (auto record = registry.GetNode(node); record.ok()) {
-      kb::NodeRecord updated = *record;
-      updated.trust_score = trust;
-      registry.PutNode(updated);
+void PrivacySecurityManager::PublishTrust(kb::ResourceRegistry& registry) {
+  for (auto it = pending_publish_.begin(); it != pending_publish_.end();) {
+    auto record = registry.GetNode(*it);
+    if (!record.ok()) {
+      // Not registered yet (e.g. trust recorded before the first Monitor
+      // pass wrote the node record) — keep it queued for the next publish.
+      ++it;
+      continue;
     }
+    kb::NodeRecord updated = *record;
+    updated.trust_score = trust_.at(*it);
+    registry.PutNode(updated);
+    it = pending_publish_.erase(it);
   }
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,8 @@ class NodeManager {
   util::Status Execute(continuum::ComputeNode& node, const Decision& decision);
 
   [[nodiscard]] std::uint64_t reconfigurations() const { return reconfigurations_; }
+  [[nodiscard]] double up_threshold() const { return up_threshold_; }
+  [[nodiscard]] double down_threshold() const { return down_threshold_; }
 
  private:
   double up_threshold_;
@@ -129,12 +132,15 @@ class PrivacySecurityManager {
   /// trusted.
   [[nodiscard]] bool Permits(const sched::PodSpec& pod,
                              const continuum::ComputeNode& node) const;
-  /// Publishes trust scores into the registry.
-  void PublishTrust(kb::ResourceRegistry& registry) const;
+  /// Publishes trust scores into the registry — dirty-driven: only nodes
+  /// whose trust actually changed since the last publish are rewritten.
+  /// Nodes without a registry record yet stay queued for the next call.
+  void PublishTrust(kb::ResourceRegistry& registry);
 
  private:
   double veto_threshold_;
   std::map<std::string, double> trust_;  // default 1.0
+  std::set<std::string> pending_publish_;  // trust changed since last publish
 };
 
 }  // namespace myrtus::mirto

@@ -11,19 +11,24 @@ namespace {
 
 /// Instant child span marking the moment a pod transitions to Running —
 /// the leaf of the announce→bid→award→schedule→start causal chain.
-void EmitPodStartSpan(const Pod& pod) {
+void EmitPodStartSpan(const std::string& pod_name, const std::string& node_id) {
   if (!telemetry::Enabled()) return;
   auto& tracer = telemetry::Global().tracer;
   const telemetry::SpanContext span = tracer.StartSpan("pod.start", "sched");
-  tracer.SetAttribute(span, "pod", pod.spec.name);
-  tracer.SetAttribute(span, "node", pod.node_id);
+  tracer.SetAttribute(span, "pod", pod_name);
+  tracer.SetAttribute(span, "node", node_id);
   tracer.EndSpan(span);
 }
 
 }  // namespace
 
 Cluster::Cluster(sim::Engine& engine, Scheduler scheduler)
-    : engine_(engine), scheduler_(std::move(scheduler)) {}
+    : engine_(engine), scheduler_(std::move(scheduler)) {
+  pods_.set_node_id_resolver(
+      [this](std::int32_t slot) -> const std::string& {
+        return index_.at(static_cast<std::size_t>(slot)).node->id();
+      });
+}
 
 void Cluster::AddNode(continuum::ComputeNode* node,
                       std::map<std::string, std::string> labels) {
@@ -46,6 +51,9 @@ std::vector<NodeState*> Cluster::NodeStates() {
 void Cluster::Cordon(const std::string& node_id, bool cordoned) {
   if (NodeState* n = index_.Find(node_id)) {
     index_.SetCordoned(n->slot(), cordoned);
+    // Scheduler-visible state changed without touching the ComputeNode:
+    // bump its epoch so event-driven monitors re-observe it.
+    n->node->MarkChanged();
   }
 }
 
@@ -63,6 +71,7 @@ util::Status Cluster::SetReflectedCpuAllocation(const std::string& node_id,
   NodeState* n = index_.Find(node_id);
   if (n == nullptr) return util::Status::NotFound("node " + node_id);
   index_.SetCpuAllocation(n->slot(), cpu);
+  n->node->MarkChanged();
   return util::Status::Ok();
 }
 
@@ -71,74 +80,107 @@ util::Status Cluster::SetReflectedMemAllocation(const std::string& node_id,
   NodeState* n = index_.Find(node_id);
   if (n == nullptr) return util::Status::NotFound("node " + node_id);
   index_.SetMemAllocation(n->slot(), mem_mb);
+  n->node->MarkChanged();
   return util::Status::Ok();
 }
 
-util::Status Cluster::CommitBind(Pod& pod, NodeState& target) {
-  MYRTUS_RETURN_IF_ERROR(target.node->ReserveMemory(pod.spec.mem_request_mb));
-  index_.AddAllocation(target.slot(), pod.spec.cpu_request,
-                       pod.spec.mem_request_mb);
-  pod.committed_cpu = pod.spec.cpu_request;
-  pod.committed_mem_mb = pod.spec.mem_request_mb;
-  pod.phase = PodPhase::kRunning;
-  pod.node_id = target.node->id();
-  pod.bound_at_ns = engine_.Now().ns;
-  unbound_.erase(pod.spec.name);
-  pods_by_node_[pod.node_id].insert(pod.spec.name);
+void Cluster::MarkUnbound(PodId id) {
+  unbound_.push_back(id);
+  ++pending_count_;
+}
+
+void Cluster::RosterInsert(std::int32_t slot, PodId id) {
+  const auto s = static_cast<std::size_t>(slot);
+  if (pods_by_node_.size() <= s) pods_by_node_.resize(s + 1);
+  std::vector<PodId>& roster = pods_by_node_[s];
+  const std::string& name = pods_.View(id).name();
+  const auto pos = std::lower_bound(
+      roster.begin(), roster.end(), name, [this](PodId lhs, const std::string& n) {
+        return pods_.View(lhs).name() < n;
+      });
+  roster.insert(pos, id);
+}
+
+void Cluster::RosterErase(std::int32_t slot, PodId id) {
+  const auto s = static_cast<std::size_t>(slot);
+  if (pods_by_node_.size() <= s) return;
+  std::vector<PodId>& roster = pods_by_node_[s];
+  const auto pos = std::find(roster.begin(), roster.end(), id);
+  if (pos != roster.end()) roster.erase(pos);
+}
+
+void Cluster::NotifyBound(const std::string& pod_name) {
+  for (const PodEvents& listener : pod_listeners_) {
+    if (listener.on_bound) listener.on_bound(pod_name);
+  }
+}
+
+void Cluster::NotifyDeleted(const std::string& pod_name) {
+  for (const PodEvents& listener : pod_listeners_) {
+    if (listener.on_deleted) listener.on_deleted(pod_name);
+  }
+}
+
+util::Status Cluster::CommitBind(PodId id, NodeState& target) {
+  const PodView pod = pods_.View(id);
+  MYRTUS_RETURN_IF_ERROR(target.node->ReserveMemory(pod.spec().mem_request_mb));
+  index_.AddAllocation(target.slot(), pod.spec().cpu_request,
+                       pod.spec().mem_request_mb);
+  pods_.Bind(id, static_cast<std::int32_t>(target.slot()), engine_.Now().ns,
+             pod.spec().cpu_request, pod.spec().mem_request_mb);
+  if (pending_count_ > 0) --pending_count_;
+  RosterInsert(static_cast<std::int32_t>(target.slot()), id);
   ++running_count_;
-  EmitPodStartSpan(pod);
+  EmitPodStartSpan(pod.name(), target.node->id());
+  NotifyBound(pod.name());
   return util::Status::Ok();
 }
 
-void Cluster::ReleasePodResources(Pod& pod) {
-  if (pod.node_id.empty()) return;
-  if (NodeState* n = index_.Find(pod.node_id)) {
-    index_.SubAllocation(n->slot(), pod.committed_cpu, pod.committed_mem_mb);
-    n->node->ReleaseMemory(pod.committed_mem_mb);
-  }
-  const auto it = pods_by_node_.find(pod.node_id);
-  if (it != pods_by_node_.end()) {
-    it->second.erase(pod.spec.name);
-    if (it->second.empty()) pods_by_node_.erase(it);
-  }
-  if (pod.phase == PodPhase::kRunning && running_count_ > 0) {
+void Cluster::ReleasePodResources(PodId id) {
+  const PodView pod = pods_.View(id);
+  if (!pod || pod.node_slot() < 0) return;
+  const std::int32_t slot = pod.node_slot();
+  index_.SubAllocation(static_cast<std::uint32_t>(slot), pod.committed_cpu(),
+                       pod.committed_mem_mb());
+  index_.at(static_cast<std::size_t>(slot))
+      .node->ReleaseMemory(pod.committed_mem_mb());
+  RosterErase(slot, id);
+  if (pod.phase() == PodPhase::kRunning && running_count_ > 0) {
     --running_count_;
   }
-  pod.committed_cpu = 0.0;
-  pod.committed_mem_mb = 0;
+  pods_.ClearBinding(id);
 }
 
-util::StatusOr<std::string> Cluster::TryBind(Pod& pod) {
+util::StatusOr<std::string> Cluster::TryBind(PodId id) {
+  const PodView pod = pods_.View(id);
   telemetry::ScopedSpan span("sched.bind", "sched");
-  span.SetAttribute("pod", pod.spec.name);
+  span.SetAttribute("pod", pod.name());
   auto result = schedule_path_ == SchedulePath::kScan
-                    ? scheduler_.Schedule(pod.spec, NodeStates())
-                    : scheduler_.Schedule(pod.spec, index_);
+                    ? scheduler_.Schedule(pod.spec(), NodeStates())
+                    : scheduler_.Schedule(pod.spec(), index_);
   if (!result.ok()) return result.status();
   NodeState* target = index_.Find(result->node_id);
   if (target == nullptr) {
     return util::Status::Internal("scheduler chose unknown node");
   }
-  MYRTUS_RETURN_IF_ERROR(CommitBind(pod, *target));
+  MYRTUS_RETURN_IF_ERROR(CommitBind(id, *target));
   metrics_.Inc("pods_bound");
-  span.SetAttribute("node", pod.node_id);
+  span.SetAttribute("node", result->node_id);
   return result->node_id;
 }
 
 util::StatusOr<std::string> Cluster::BindPod(const PodSpec& spec) {
-  if (pods_.count(spec.name) > 0) {
+  const PodId id = pods_.Create(spec);
+  if (id == kInvalidPodId) {
     return util::Status::AlreadyExists("pod " + spec.name);
   }
-  Pod pod;
-  pod.spec = spec;
-  const auto [it, inserted] = pods_.emplace(spec.name, std::move(pod));
-  unbound_.insert(spec.name);        // CommitBind clears on success
-  return TryBind(it->second);        // kept (pending) even on failure
+  MarkUnbound(id);        // CommitBind uncounts on success
+  return TryBind(id);     // kept (pending) even on failure
 }
 
 util::StatusOr<std::string> Cluster::BindPodToNode(const PodSpec& spec,
                                                    const std::string& node_id) {
-  if (pods_.count(spec.name) > 0) {
+  if (pods_.FindId(spec.name) != kInvalidPodId) {
     return util::Status::AlreadyExists("pod " + spec.name);
   }
   NodeState* target = index_.Find(node_id);
@@ -156,16 +198,14 @@ util::StatusOr<std::string> Cluster::BindPodToNode(const PodSpec& spec,
   if (spec.needs_accelerator && !target->HasAccelerator()) {
     return util::Status::FailedPrecondition(node_id + " has no accelerator");
   }
-  Pod pod;
-  pod.spec = spec;
-  const auto [it, inserted] = pods_.emplace(spec.name, std::move(pod));
-  unbound_.insert(spec.name);
-  if (util::Status committed = CommitBind(it->second, *target);
-      !committed.ok()) {
+  const PodId id = pods_.Create(spec);
+  MarkUnbound(id);
+  if (util::Status committed = CommitBind(id, *target); !committed.ok()) {
     // The device ledger refused what the clamped check allowed (external
     // reservation raced us); drop the half-created pod.
-    unbound_.erase(spec.name);
-    pods_.erase(it);
+    unbound_.pop_back();  // the id we just pushed
+    if (pending_count_ > 0) --pending_count_;
+    pods_.Erase(id);
     return committed;
   }
   metrics_.Inc("pods_bound_directed");
@@ -192,7 +232,7 @@ util::StatusOr<std::string> Cluster::BindPodWithPreemption(const PodSpec& spec) 
   if (!spec.node_selector.empty()) query.selector = &spec.node_selector;
 
   NodeState* best_node = nullptr;
-  std::vector<std::string> best_victims;
+  std::vector<PodId> best_victims;
   int best_cost = INT_MAX;
   index_.Candidates(query).ForEachSet([&](std::size_t slot) {
     NodeState& ns = index_.at(slot);
@@ -200,23 +240,23 @@ util::StatusOr<std::string> Cluster::BindPodWithPreemption(const PodSpec& spec) 
     double cpu_needed = spec.cpu_request - ns.CpuFree();
     std::int64_t mem_needed = static_cast<std::int64_t>(spec.mem_request_mb) -
                               static_cast<std::int64_t>(ns.MemFreeMb());
-    // Victims: lowest priority first.
-    std::vector<const Pod*> candidates;
-    for (const Pod* p : PodsOnNode(ns.node->id())) {
-      if (p->spec.priority < spec.priority) candidates.push_back(p);
+    // Victims: lowest priority first (candidates arrive in name order).
+    std::vector<PodView> candidates;
+    for (const PodView& p : PodsOnNode(ns.node->id())) {
+      if (p.spec().priority < spec.priority) candidates.push_back(p);
     }
     std::sort(candidates.begin(), candidates.end(),
-              [](const Pod* a, const Pod* b) {
-                return a->spec.priority < b->spec.priority;
+              [](const PodView& a, const PodView& b) {
+                return a.spec().priority < b.spec().priority;
               });
-    std::vector<std::string> victims;
+    std::vector<PodId> victims;
     int cost = 0;
-    for (const Pod* p : candidates) {
+    for (const PodView& p : candidates) {
       if (cpu_needed <= 0 && mem_needed <= 0) break;
-      victims.push_back(p->spec.name);
-      cost += p->spec.priority + 1;
-      cpu_needed -= p->spec.cpu_request;
-      mem_needed -= static_cast<std::int64_t>(p->spec.mem_request_mb);
+      victims.push_back(p.id());
+      cost += p.spec().priority + 1;
+      cpu_needed -= p.spec().cpu_request;
+      mem_needed -= static_cast<std::int64_t>(p.spec().mem_request_mb);
     }
     // A node needing no evictions would have been found by the direct bind;
     // only eviction-bearing plans are preemption candidates.
@@ -231,22 +271,21 @@ util::StatusOr<std::string> Cluster::BindPodWithPreemption(const PodSpec& spec) 
 
   // Evict, remembering enough to roll each victim back.
   struct EvictedPod {
-    std::string name;
-    std::string node_id;
+    PodId id;
+    std::int32_t node_slot;
     std::int64_t bound_at_ns;
   };
   std::vector<EvictedPod> evicted;
   evicted.reserve(best_victims.size());
-  for (const std::string& victim : best_victims) {
-    Pod& v = pods_.at(victim);
-    evicted.push_back({victim, v.node_id, v.bound_at_ns});
-    ReleasePodResources(v);
-    v.phase = PodPhase::kEvicted;
-    v.node_id.clear();
-    unbound_.insert(victim);
+  for (const PodId victim : best_victims) {
+    const PodView v = pods_.View(victim);
+    evicted.push_back({victim, v.node_slot(), v.bound_at_ns()});
+    ReleasePodResources(victim);
+    pods_.SetPhase(victim, PodPhase::kEvicted);
+    MarkUnbound(victim);
   }
-  Pod& pod = pods_.at(spec.name);
-  auto rebind = TryBind(pod);
+  const PodId id = pods_.FindId(spec.name);
+  auto rebind = TryBind(id);
   if (rebind.ok()) {
     evictions_ += evicted.size();
     for (std::size_t i = 0; i < evicted.size(); ++i) {
@@ -258,13 +297,9 @@ util::StatusOr<std::string> Cluster::BindPodWithPreemption(const PodSpec& spec) 
   // re-commit every victim onto its original node, newest first, restoring
   // the original bind time. Nothing was gained, so nothing may be lost.
   for (auto rit = evicted.rbegin(); rit != evicted.rend(); ++rit) {
-    Pod& v = pods_.at(rit->name);
-    NodeState* home = index_.Find(rit->node_id);
-    util::Status restored = home == nullptr
-                                ? util::Status::NotFound(rit->node_id)
-                                : CommitBind(v, *home);
-    if (restored.ok()) {
-      v.bound_at_ns = rit->bound_at_ns;
+    NodeState& home = index_.at(static_cast<std::size_t>(rit->node_slot));
+    if (util::Status restored = CommitBind(rit->id, home); restored.ok()) {
+      pods_.SetBoundAtNs(rit->id, rit->bound_at_ns);
       metrics_.Inc("preemption_rollbacks");
     } else {
       metrics_.Inc("preemption_rollback_failures");
@@ -278,28 +313,33 @@ util::StatusOr<ScheduleResult> Cluster::DryRunSchedule(
   return scheduler_.Schedule(spec, index_);
 }
 
-util::Status Cluster::DeletePod(const std::string& pod_name) {
-  const auto it = pods_.find(pod_name);
-  if (it == pods_.end()) return util::Status::NotFound("pod " + pod_name);
-  ReleasePodResources(it->second);
-  unbound_.erase(pod_name);
-  pods_.erase(it);
+util::Status Cluster::DeletePodById(PodId id) {
+  const PodView pod = pods_.View(id);
+  if (!pod) return util::Status::NotFound("pod");
+  const std::string name = pod.name();  // survives the erase, for listeners
+  if (pod.node_slot() >= 0) {
+    ReleasePodResources(id);
+  } else if (pending_count_ > 0) {
+    --pending_count_;  // its unbound_ entry goes stale and filters out
+  }
+  pods_.Erase(id);
+  NotifyDeleted(name);
   return util::Status::Ok();
 }
 
-const Pod* Cluster::FindPod(const std::string& pod_name) const {
-  const auto it = pods_.find(pod_name);
-  return it == pods_.end() ? nullptr : &it->second;
+util::Status Cluster::DeletePod(const std::string& pod_name) {
+  const PodId id = pods_.FindId(pod_name);
+  if (id == kInvalidPodId) return util::Status::NotFound("pod " + pod_name);
+  return DeletePodById(id);
 }
 
-std::vector<const Pod*> Cluster::PodsOnNode(const std::string& node_id) const {
-  std::vector<const Pod*> out;
-  const auto it = pods_by_node_.find(node_id);
-  if (it == pods_by_node_.end()) return out;
-  out.reserve(it->second.size());
-  for (const std::string& name : it->second) {
-    out.push_back(&pods_.at(name));
-  }
+std::vector<PodView> Cluster::PodsOnNode(const std::string& node_id) const {
+  std::vector<PodView> out;
+  const NodeState* n = index_.Find(node_id);
+  if (n == nullptr || pods_by_node_.size() <= n->slot()) return out;
+  const std::vector<PodId>& roster = pods_by_node_[n->slot()];
+  out.reserve(roster.size());
+  for (const PodId id : roster) out.push_back(pods_.View(id));
   return out;
 }
 
@@ -326,28 +366,25 @@ int Cluster::DeploymentReadyReplicas(const std::string& name) const {
   const auto it = deployment_pods_.find(name);
   if (it == deployment_pods_.end()) return 0;
   int ready = 0;
-  for (const std::string& pod_name : it->second) {
-    const Pod* p = FindPod(pod_name);
-    if (p != nullptr && p->phase == PodPhase::kRunning) ++ready;
+  for (const PodId id : it->second) {
+    const PodView p = pods_.View(id);
+    if (p && p.phase() == PodPhase::kRunning) ++ready;
   }
   return ready;
 }
 
 void Cluster::Reconcile() {
   // 1. Evict pods bound to failed nodes. Only down nodes' rosters are
-  //    walked, not the whole pod map.
+  //    walked, not the whole pod table.
   for (std::size_t slot = 0; slot < index_.size(); ++slot) {
     NodeState& ns = index_.at(slot);
     if (ns.node->up()) continue;
-    const auto it = pods_by_node_.find(ns.node->id());
-    if (it == pods_by_node_.end()) continue;
-    const std::set<std::string> roster = it->second;  // release mutates it
-    for (const std::string& pod_name : roster) {
-      Pod& pod = pods_.at(pod_name);
-      ReleasePodResources(pod);
-      pod.phase = PodPhase::kEvicted;
-      pod.node_id.clear();
-      unbound_.insert(pod_name);
+    if (pods_by_node_.size() <= slot || pods_by_node_[slot].empty()) continue;
+    const std::vector<PodId> roster = pods_by_node_[slot];  // release mutates
+    for (const PodId id : roster) {
+      ReleasePodResources(id);
+      pods_.SetPhase(id, PodPhase::kEvicted);
+      MarkUnbound(id);
       ++evictions_;
       metrics_.Inc("pods_evicted_node_failure");
     }
@@ -366,43 +403,48 @@ void Cluster::Reconcile() {
 
   // 3. Converge each deployment's replica set.
   for (auto& [name, dep] : deployments_) {
-    auto& pod_names = deployment_pods_[name];
-    // Drop deleted pods from the tracking list.
-    std::erase_if(pod_names, [&](const std::string& pn) {
-      return pods_.count(pn) == 0;
-    });
+    auto& pod_ids = deployment_pods_[name];
+    // Drop deleted pods from the tracking list (stale generations).
+    std::erase_if(pod_ids, [&](PodId id) { return !pods_.Alive(id); });
     // Scale down: remove newest pods first.
-    while (static_cast<int>(pod_names.size()) > dep.replicas) {
-      // LINT: discard(name filtered to live pods above; a miss only means
+    while (static_cast<int>(pod_ids.size()) > dep.replicas) {
+      // LINT: discard(ids filtered to live pods above; a miss only means
       // the pod already terminated)
-      (void)DeletePod(pod_names.back());
-      pod_names.pop_back();
+      (void)DeletePodById(pod_ids.back());
+      pod_ids.pop_back();
     }
     // Scale up: create missing replicas.
-    while (static_cast<int>(pod_names.size()) < dep.replicas) {
+    while (static_cast<int>(pod_ids.size()) < dep.replicas) {
       PodSpec spec = dep.pod_template;
       spec.name = NextPodName(name);
-      Pod pod;
-      pod.spec = spec;
-      pods_[spec.name] = std::move(pod);
-      unbound_.insert(spec.name);
-      pod_names.push_back(spec.name);
+      const PodId id = pods_.Create(std::move(spec));
+      MarkUnbound(id);
+      pod_ids.push_back(id);
     }
   }
 
-  // 4. Retry the unbound dirty set (pod-name order, matching the historical
-  //    full-map walk). Binds only touch the allocation ledger, never the
-  //    structural bitmaps, so the whole batch is admitted through one cached
-  //    candidate-set build per pod shape.
-  const std::vector<std::string> retry(unbound_.begin(), unbound_.end());
-  for (const std::string& pod_name : retry) {
-    const auto it = pods_.find(pod_name);
-    if (it == pods_.end()) continue;
-    Pod& pod = it->second;
-    if (TryBind(pod).ok()) {
+  // 4. Retry the unbound dirty set in pod-name order, matching the
+  //    historical full-map walk. The vector tolerates stale ids (pods bound
+  //    or deleted since they were pushed) and the rare duplicate (a pod that
+  //    bound and was later evicted); both are filtered here. Binds only
+  //    touch the allocation ledger, never the structural bitmaps, so the
+  //    whole batch is admitted through one cached candidate-set build.
+  std::vector<PodId> retry;
+  retry.swap(unbound_);
+  std::erase_if(retry, [&](PodId id) {
+    const PodView v = pods_.View(id);
+    return !v || v.node_slot() >= 0;
+  });
+  std::sort(retry.begin(), retry.end(), [&](PodId a, PodId b) {
+    return pods_.View(a).name() < pods_.View(b).name();
+  });
+  retry.erase(std::unique(retry.begin(), retry.end()), retry.end());
+  for (const PodId id : retry) {
+    if (TryBind(id).ok()) {
       ++reschedules_;
     } else {
-      pod.phase = PodPhase::kPending;
+      pods_.SetPhase(id, PodPhase::kPending);
+      unbound_.push_back(id);
     }
   }
   metrics_.Set("running_pods", static_cast<double>(RunningPods()));

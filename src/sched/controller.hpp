@@ -3,25 +3,27 @@
 // (rebinding pods off failed/cordoned nodes), priority preemption, and a
 // horizontal autoscaler — the kube-like substrate MIRTO drives (§III/§IV).
 //
-// Node state lives in a NodeIndex (SoA ledger + inverted indexes); every
-// resource commit and release flows through CommitBind/ReleasePodResources,
-// the single accounting path that keeps the scheduler ledger and the
-// ComputeNode memory ledger equal by construction. Reconcile is incremental:
-// it walks dirty sets (unbound pods, down nodes' pod rosters) instead of the
-// whole pod map, and the pending-pod batch is admitted through one cached
-// candidate-set build.
+// Node state lives in a NodeIndex (SoA ledger + inverted indexes); pod state
+// lives in a PodLedger (sharded name index + SoA hot columns, PodId handles).
+// Every resource commit and release flows through CommitBind/
+// ReleasePodResources, the single accounting path that keeps the scheduler
+// ledger and the ComputeNode memory ledger equal by construction. Reconcile
+// is incremental: it walks dirty sets (unbound pods, down nodes' pod rosters)
+// instead of the whole pod table, and the pending-pod batch is admitted
+// through one cached candidate-set build. Bind/delete events fan out to
+// registered listeners so MAPE monitors can track pod lifecycle without
+// sweeping the table.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sched/node_index.hpp"
+#include "sched/pod_ledger.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
@@ -84,10 +86,29 @@ class Cluster {
       const PodSpec& spec) const;
   /// Unbinds and releases resources. NOT_FOUND if absent.
   util::Status DeletePod(const std::string& pod_name);
-  [[nodiscard]] const Pod* FindPod(const std::string& pod_name) const;
-  [[nodiscard]] std::vector<const Pod*> PodsOnNode(const std::string& node_id) const;
+  [[nodiscard]] PodView FindPod(const std::string& pod_name) const {
+    return pods_.Find(pod_name);
+  }
+  [[nodiscard]] PodView PodById(PodId id) const { return pods_.View(id); }
+  /// Pods bound to `node_id`, in pod-name order (the historical contract;
+  /// rosters are kept name-sorted).
+  [[nodiscard]] std::vector<PodView> PodsOnNode(const std::string& node_id) const;
   [[nodiscard]] std::size_t RunningPods() const { return running_count_; }
-  [[nodiscard]] std::size_t PendingPods() const { return unbound_.size(); }
+  [[nodiscard]] std::size_t PendingPods() const { return pending_count_; }
+
+  /// --- Pod lifecycle events ----------------------------------------------
+  /// Listeners fire synchronously after a pod binds (CommitBind success,
+  /// including reschedules and preemption rollbacks) or after a pod is
+  /// deleted. This is what lets an event-driven monitor track deploy-to-bind
+  /// waits without sweeping every pending pod each iteration.
+  struct PodEvents {
+    std::function<void(const std::string& pod_name)> on_bound;
+    std::function<void(const std::string& pod_name)> on_deleted;
+  };
+  int AddPodEventListener(PodEvents events) {
+    pod_listeners_.push_back(std::move(events));
+    return static_cast<int>(pod_listeners_.size()) - 1;
+  }
 
   /// --- Deployments & reconciliation --------------------------------------
   void ApplyDeployment(Deployment deployment);
@@ -109,29 +130,40 @@ class Cluster {
   [[nodiscard]] SchedulePath schedule_path() const { return schedule_path_; }
 
  private:
-  util::StatusOr<std::string> TryBind(Pod& pod);
+  util::StatusOr<std::string> TryBind(PodId id);
   /// The single accounting path for placements: reserves node memory,
   /// charges the index ledger, and records the committed amounts on the pod.
-  util::Status CommitBind(Pod& pod, NodeState& target);
+  util::Status CommitBind(PodId id, NodeState& target);
   /// The single accounting path for releases: refunds exactly the committed
-  /// amounts to both ledgers.
-  void ReleasePodResources(Pod& pod);
+  /// amounts to both ledgers and clears the pod's binding.
+  void ReleasePodResources(PodId id);
+  /// Marks a live unbound pod pending retry (pushes to unbound_, counts it).
+  void MarkUnbound(PodId id);
+  void RosterInsert(std::int32_t slot, PodId id);
+  void RosterErase(std::int32_t slot, PodId id);
+  void NotifyBound(const std::string& pod_name);
+  void NotifyDeleted(const std::string& pod_name);
+  util::Status DeletePodById(PodId id);
   std::string NextPodName(const std::string& base);
 
   sim::Engine& engine_;
   Scheduler scheduler_;
   NodeIndex index_;
   SchedulePath schedule_path_ = SchedulePath::kIndexed;
-  std::map<std::string, Pod> pods_;  // by pod name
+  PodLedger pods_;
   std::map<std::string, Deployment> deployments_;
-  std::map<std::string, std::vector<std::string>> deployment_pods_;
-  // Dirty-set reconcile state. Invariant: every pod is either running (its
-  // name in pods_by_node_[its node]) or awaiting binding (in unbound_).
-  // std::set keeps retry order == pod-name order, matching the historical
-  // full-map walk.
-  std::set<std::string> unbound_;
-  std::unordered_map<std::string, std::set<std::string>> pods_by_node_;
+  std::map<std::string, std::vector<PodId>> deployment_pods_;
+  // Dirty-set reconcile state. Invariant: every live pod is either bound
+  // (on its node's roster in pods_by_node_) or counted in pending_count_
+  // with its id somewhere in unbound_. unbound_ tolerates stale/already-
+  // bound ids (lazily filtered at retry, which sorts by name to match the
+  // historical full-map walk order); pending_count_ is exact.
+  std::vector<PodId> unbound_;
+  std::size_t pending_count_ = 0;
+  // Per node slot, bound pod ids kept sorted by pod name.
+  std::vector<std::vector<PodId>> pods_by_node_;
   std::size_t running_count_ = 0;
+  std::vector<PodEvents> pod_listeners_;
   sim::EventHandle reconcile_loop_;
   sim::Metrics metrics_;
   std::uint64_t evictions_ = 0;

@@ -39,17 +39,10 @@ struct PodSpec {
   static PodSpec FromJson(const util::Json& j);
 };
 
-/// A pod bound (or trying to bind) to a node.
-struct Pod {
-  PodSpec spec;
-  PodPhase phase = PodPhase::kPending;
-  std::string node_id;   // set when bound
-  std::int64_t bound_at_ns = -1;
-  // Resources actually charged to the bound node's ledger. Release exactly
-  // these (not the spec's current requests) so the NodeState and ComputeNode
-  // ledgers stay equal even if a spec is edited while the pod runs.
-  double committed_cpu = 0.0;
-  std::uint64_t committed_mem_mb = 0;
-};
+// Live pod state (phase, bound node, committed resources) lives in the
+// sharded SoA PodLedger (sched/pod_ledger.hpp), read through PodView handles.
+// Committed amounts are recorded at bind time and released exactly (not the
+// spec's current requests), so the NodeState and ComputeNode ledgers stay
+// equal even if a spec is edited while the pod runs.
 
 }  // namespace myrtus::sched

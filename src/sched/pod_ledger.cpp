@@ -1,0 +1,174 @@
+#include "sched/pod_ledger.hpp"
+
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace myrtus::sched {
+
+namespace {
+
+std::size_t NextPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+PodId PodLedger::Create(PodSpec spec) {
+  const std::uint64_t hash = util::Fnv1a64(spec.name);
+  Shard& shard = shards_[hash % kShardCount];
+  if (FindRow(spec.name, hash) != UINT32_MAX) return kInvalidPodId;
+
+  std::uint32_t row;
+  if (!free_rows_.empty()) {
+    row = free_rows_.back();
+    free_rows_.pop_back();
+    specs_[row] = std::move(spec);
+  } else {
+    row = static_cast<std::uint32_t>(alive_.size());
+    phase_.push_back(0);
+    node_slot_.push_back(kNoNodeSlot);
+    bound_at_ns_.push_back(-1);
+    committed_cpu_.push_back(0.0);
+    committed_mem_mb_.push_back(0);
+    generation_.push_back(1);
+    alive_.push_back(0);
+    specs_.push_back(std::move(spec));
+  }
+  phase_[row] = static_cast<std::uint8_t>(PodPhase::kPending);
+  node_slot_[row] = kNoNodeSlot;
+  bound_at_ns_[row] = -1;
+  committed_cpu_[row] = 0.0;
+  committed_mem_mb_[row] = 0;
+  alive_[row] = 1;
+  InsertName(shard, hash, row);
+  ++live_;
+  return MakeId(generation_[row], row);
+}
+
+void PodLedger::Erase(PodId id) {
+  if (!Alive(id)) return;
+  const std::uint32_t row = RowOf(id);
+  EraseName(specs_[row].name, util::Fnv1a64(specs_[row].name));
+  specs_[row] = PodSpec{};  // return the cold heap now, not at row reuse
+  ++generation_[row];
+  alive_[row] = 0;
+  free_rows_.push_back(row);
+  --live_;
+}
+
+PodId PodLedger::FindId(std::string_view name) const {
+  const std::uint64_t hash = util::Fnv1a64(name);
+  const std::uint32_t row = FindRow(name, hash);
+  if (row == UINT32_MAX) return kInvalidPodId;
+  return MakeId(generation_[row], row);
+}
+
+void PodLedger::SetPhase(PodId id, PodPhase phase) {
+  if (!Alive(id)) return;
+  phase_[RowOf(id)] = static_cast<std::uint8_t>(phase);
+}
+
+void PodLedger::Bind(PodId id, std::int32_t node_slot,
+                     std::int64_t bound_at_ns, double committed_cpu,
+                     std::uint64_t committed_mem_mb) {
+  if (!Alive(id)) return;
+  const std::uint32_t row = RowOf(id);
+  phase_[row] = static_cast<std::uint8_t>(PodPhase::kRunning);
+  node_slot_[row] = node_slot;
+  bound_at_ns_[row] = bound_at_ns;
+  committed_cpu_[row] = committed_cpu;
+  committed_mem_mb_[row] = committed_mem_mb;
+}
+
+void PodLedger::ClearBinding(PodId id) {
+  if (!Alive(id)) return;
+  const std::uint32_t row = RowOf(id);
+  node_slot_[row] = kNoNodeSlot;
+  committed_cpu_[row] = 0.0;
+  committed_mem_mb_[row] = 0;
+}
+
+void PodLedger::SetBoundAtNs(PodId id, std::int64_t at_ns) {
+  if (!Alive(id)) return;
+  bound_at_ns_[RowOf(id)] = at_ns;
+}
+
+std::uint32_t PodLedger::FindRow(std::string_view name,
+                                 std::uint64_t hash) const {
+  const Shard& shard = shards_[hash % kShardCount];
+  if (shard.rows.empty()) return UINT32_MAX;
+  const std::size_t mask = shard.rows.size() - 1;
+  std::size_t i = (hash / kShardCount) & mask;
+  while (true) {
+    if (shard.state[i] == kEmpty) return UINT32_MAX;
+    if (shard.state[i] == kFull) {
+      const std::uint32_t row = shard.rows[i];
+      if (specs_[row].name == name) return row;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void PodLedger::InsertName(Shard& shard, std::uint64_t hash,
+                           std::uint32_t row) {
+  // Grow (or scrub tombstones) before the shard crosses 0.7 load.
+  if (shard.rows.empty() ||
+      (shard.filled + 1) * 10 > shard.rows.size() * 7) {
+    Rehash(shard, std::max(kMinShardCapacity, NextPow2((shard.used + 1) * 2)));
+  }
+  const std::size_t mask = shard.rows.size() - 1;
+  std::size_t i = (hash / kShardCount) & mask;
+  std::size_t target = SIZE_MAX;  // first tombstone on the probe path
+  while (shard.state[i] == kFull || shard.state[i] == kTomb) {
+    if (shard.state[i] == kTomb && target == SIZE_MAX) target = i;
+    i = (i + 1) & mask;
+  }
+  if (target == SIZE_MAX) {
+    target = i;
+    ++shard.filled;  // consuming a fresh kEmpty slot
+  }
+  shard.rows[target] = row;
+  shard.state[target] = kFull;
+  ++shard.used;
+}
+
+void PodLedger::Rehash(Shard& shard, std::size_t capacity) {
+  std::vector<std::uint32_t> old_rows = std::move(shard.rows);
+  std::vector<std::uint8_t> old_state = std::move(shard.state);
+  shard.rows.assign(capacity, 0);
+  shard.state.assign(capacity, kEmpty);
+  shard.used = 0;
+  shard.filled = 0;
+  const std::size_t mask = capacity - 1;
+  for (std::size_t i = 0; i < old_rows.size(); ++i) {
+    if (old_state[i] != kFull) continue;
+    const std::uint32_t row = old_rows[i];
+    const std::uint64_t hash = util::Fnv1a64(specs_[row].name);
+    std::size_t j = (hash / kShardCount) & mask;
+    while (shard.state[j] == kFull) j = (j + 1) & mask;
+    shard.rows[j] = row;
+    shard.state[j] = kFull;
+    ++shard.used;
+    ++shard.filled;
+  }
+}
+
+void PodLedger::EraseName(std::string_view name, std::uint64_t hash) {
+  Shard& shard = shards_[hash % kShardCount];
+  if (shard.rows.empty()) return;
+  const std::size_t mask = shard.rows.size() - 1;
+  std::size_t i = (hash / kShardCount) & mask;
+  while (shard.state[i] != kEmpty) {
+    if (shard.state[i] == kFull && specs_[shard.rows[i]].name == name) {
+      shard.state[i] = kTomb;  // filled stays: the probe chain must survive
+      --shard.used;
+      return;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+}  // namespace myrtus::sched

@@ -1,0 +1,194 @@
+// Sharded arena pod ledger: the cluster's pod table, rebuilt for the
+// million-pod control plane. The former std::map<std::string, Pod> paid a
+// red-black-tree node, a duplicated key string, and a fat AoS record per pod;
+// here the hot columns the reconcile and MAPE loops actually touch (phase,
+// bound node slot, committed cpu/mem, bind timestamp) live in dense
+// struct-of-arrays vectors, cold PodSpecs live in a separate deque pool, and
+// the name index is an open-addressing table sharded 16 ways by FNV-1a so no
+// single probe array grows monstrous.
+//
+// Rows are recycled through a freelist; a PodId handle (generation<<32|row,
+// generation >= 1) stays unforgeably stale after its pod is erased, so
+// deployment tracking lists and reconcile dirty sets can hold PodIds and
+// validate them lazily instead of storing owning strings (the classic ABA
+// guard). All reads go through PodView, a non-owning handle that resolves
+// hot columns by row and the node id through an optional resolver the
+// Cluster installs (pods store node *slots*, 4 bytes, not id strings).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sched/pod.hpp"
+
+namespace myrtus::sched {
+
+/// Stable pod handle: generation (>= 1) in the high 32 bits, arena row in
+/// the low 32. Value 0 is never a live pod.
+using PodId = std::uint64_t;
+inline constexpr PodId kInvalidPodId = 0;
+/// node_slot value for an unbound pod.
+inline constexpr std::int32_t kNoNodeSlot = -1;
+
+class PodLedger;
+
+/// Non-owning read handle over one pod's columns. Invalidated by Erase of
+/// the pod (generation check) — a default-constructed or stale lookup yields
+/// an invalid view, which converts to false.
+class PodView {
+ public:
+  PodView() = default;
+  [[nodiscard]] bool valid() const { return ledger_ != nullptr; }
+  explicit operator bool() const { return valid(); }
+
+  [[nodiscard]] PodId id() const { return id_; }
+  [[nodiscard]] const PodSpec& spec() const;
+  [[nodiscard]] const std::string& name() const;
+  [[nodiscard]] PodPhase phase() const;
+  [[nodiscard]] std::int32_t node_slot() const;
+  [[nodiscard]] bool bound() const { return node_slot() >= 0; }
+  /// Id of the bound node via the owning ledger's resolver; empty when
+  /// unbound (mirrors the historical Pod::node_id contract).
+  [[nodiscard]] const std::string& node_id() const;
+  [[nodiscard]] std::int64_t bound_at_ns() const;
+  [[nodiscard]] double committed_cpu() const;
+  [[nodiscard]] std::uint64_t committed_mem_mb() const;
+
+ private:
+  friend class PodLedger;
+  PodView(const PodLedger* ledger, PodId id) : ledger_(ledger), id_(id) {}
+  const PodLedger* ledger_ = nullptr;
+  PodId id_ = kInvalidPodId;
+};
+
+class PodLedger {
+ public:
+  /// Maps a node slot to its id string; installed by the Cluster so
+  /// PodView::node_id() stays ergonomic without storing strings per pod.
+  using NodeIdResolver = std::function<const std::string&(std::int32_t slot)>;
+  void set_node_id_resolver(NodeIdResolver resolver) {
+    node_id_resolver_ = std::move(resolver);
+  }
+
+  /// Inserts a pod in phase kPending, unbound. kInvalidPodId when the name
+  /// is already taken.
+  PodId Create(PodSpec spec);
+  /// Erases the pod, recycles its row, and bumps the row generation so any
+  /// outstanding PodId for it goes stale. No-op on stale/invalid ids.
+  void Erase(PodId id);
+
+  [[nodiscard]] PodId FindId(std::string_view name) const;
+  [[nodiscard]] PodView Find(std::string_view name) const {
+    return View(FindId(name));
+  }
+  /// Invalid view for stale/unknown ids.
+  [[nodiscard]] PodView View(PodId id) const {
+    return Alive(id) ? PodView(this, id) : PodView();
+  }
+  [[nodiscard]] bool Alive(PodId id) const {
+    const std::uint32_t row = RowOf(id);
+    return id != kInvalidPodId && row < generation_.size() &&
+           alive_[row] != 0 && generation_[row] == GenOf(id);
+  }
+
+  /// --- Hot-column mutators (no-ops on stale ids) --------------------------
+  void SetPhase(PodId id, PodPhase phase);
+  /// Records a placement: node slot, bind time, committed resources, and
+  /// phase kRunning, in one row touch.
+  void Bind(PodId id, std::int32_t node_slot, std::int64_t bound_at_ns,
+            double committed_cpu, std::uint64_t committed_mem_mb);
+  /// Clears slot and committed amounts. bound_at_ns is deliberately kept:
+  /// the MAPE monitor reads first-bind latency even off evicted pods.
+  void ClearBinding(PodId id);
+  void SetBoundAtNs(PodId id, std::int64_t at_ns);
+
+  [[nodiscard]] std::size_t size() const { return live_; }
+  /// Total arena rows ever allocated (live + recycled) — test/debug surface.
+  [[nodiscard]] std::size_t row_capacity() const { return alive_.size(); }
+
+  /// Visits every live pod in row order (not name order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::uint32_t row = 0; row < alive_.size(); ++row) {
+      if (alive_[row] != 0) fn(PodView(this, MakeId(generation_[row], row)));
+    }
+  }
+
+ private:
+  friend class PodView;
+  static constexpr std::uint32_t kShardCount = 16;
+  static constexpr std::size_t kMinShardCapacity = 64;
+  enum : std::uint8_t { kEmpty = 0, kFull = 1, kTomb = 2 };
+
+  struct Shard {
+    std::vector<std::uint32_t> rows;
+    std::vector<std::uint8_t> state;
+    std::size_t used = 0;    // kFull slots
+    std::size_t filled = 0;  // kFull + kTomb slots
+  };
+
+  static std::uint32_t RowOf(PodId id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffULL);
+  }
+  static std::uint32_t GenOf(PodId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static PodId MakeId(std::uint32_t gen, std::uint32_t row) {
+    return (static_cast<PodId>(gen) << 32) | row;
+  }
+
+  void InsertName(Shard& shard, std::uint64_t hash, std::uint32_t row);
+  void Rehash(Shard& shard, std::size_t capacity);
+  [[nodiscard]] std::uint32_t FindRow(std::string_view name,
+                                      std::uint64_t hash) const;
+  void EraseName(std::string_view name, std::uint64_t hash);
+
+  // SoA hot columns, indexed by row.
+  std::vector<std::uint8_t> phase_;
+  std::vector<std::int32_t> node_slot_;
+  std::vector<std::int64_t> bound_at_ns_;
+  std::vector<double> committed_cpu_;
+  std::vector<std::uint64_t> committed_mem_mb_;
+  std::vector<std::uint32_t> generation_;
+  std::vector<std::uint8_t> alive_;
+  // Cold pool, row-parallel; erased rows hold a default-constructed spec so
+  // their heap strings are returned immediately.
+  std::deque<PodSpec> specs_;
+
+  std::vector<std::uint32_t> free_rows_;
+  Shard shards_[kShardCount];
+  std::size_t live_ = 0;
+  NodeIdResolver node_id_resolver_;
+};
+
+inline const PodSpec& PodView::spec() const {
+  return ledger_->specs_[PodLedger::RowOf(id_)];
+}
+inline const std::string& PodView::name() const { return spec().name; }
+inline PodPhase PodView::phase() const {
+  return static_cast<PodPhase>(ledger_->phase_[PodLedger::RowOf(id_)]);
+}
+inline std::int32_t PodView::node_slot() const {
+  return ledger_->node_slot_[PodLedger::RowOf(id_)];
+}
+inline const std::string& PodView::node_id() const {
+  static const std::string kEmptyId;
+  const std::int32_t slot = node_slot();
+  if (slot < 0 || !ledger_->node_id_resolver_) return kEmptyId;
+  return ledger_->node_id_resolver_(slot);
+}
+inline std::int64_t PodView::bound_at_ns() const {
+  return ledger_->bound_at_ns_[PodLedger::RowOf(id_)];
+}
+inline double PodView::committed_cpu() const {
+  return ledger_->committed_cpu_[PodLedger::RowOf(id_)];
+}
+inline std::uint64_t PodView::committed_mem_mb() const {
+  return ledger_->committed_mem_mb_[PodLedger::RowOf(id_)];
+}
+
+}  // namespace myrtus::sched

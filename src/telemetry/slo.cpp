@@ -28,6 +28,20 @@ void SloEngine::Window::Observe(std::int64_t at_ns, bool good) {
   if (good) ++b.good;
 }
 
+void SloEngine::Window::ObserveBulk(std::int64_t at_ns, std::uint64_t good,
+                                    std::uint64_t total) {
+  if (total == 0) return;
+  const std::int64_t index = at_ns / bucket_width_ns;
+  if (buckets.empty() || buckets.back().index < index) {
+    buckets.push_back({index, 0, 0});
+  }
+  // All `total` observations share one timestamp, hence one bucket — folding
+  // them into a single increment is exactly N calls to Observe(at_ns, ...).
+  Bucket& b = buckets.back();
+  b.total += total;
+  b.good += good;
+}
+
 void SloEngine::Window::Evict(std::int64_t now_ns) {
   const std::int64_t horizon = (now_ns - span_ns) / bucket_width_ns;
   while (!buckets.empty() && buckets.front().index < horizon) {
@@ -89,6 +103,20 @@ void SloEngine::Observe(std::string_view name, SloObjective::Kind kind,
   t.slow.Observe(now_ns, good);
 }
 
+void SloEngine::ObserveBulk(std::string_view name, SloObjective::Kind kind,
+                            std::uint64_t good, std::uint64_t bad,
+                            std::int64_t now_ns) {
+  const std::uint64_t total = good + bad;
+  if (total == 0) return;
+  const auto it = slos_.find(name);
+  if (it == slos_.end() || it->second.objective.kind != kind) return;
+  Tracked& t = it->second;
+  t.status.observations += total;
+  t.status.bad += bad;
+  t.fast.ObserveBulk(now_ns, good, total);
+  t.slow.ObserveBulk(now_ns, good, total);
+}
+
 void SloEngine::RecordLatencyMs(std::string_view name, double ms,
                                 std::int64_t now_ns) {
   const auto it = slos_.find(name);
@@ -100,6 +128,22 @@ void SloEngine::RecordLatencyMs(std::string_view name, double ms,
 void SloEngine::RecordAvailability(std::string_view name, bool ok,
                                    std::int64_t now_ns) {
   Observe(name, SloObjective::Kind::kAvailability, ok, now_ns);
+}
+
+void SloEngine::RecordAvailabilityBulk(std::string_view name,
+                                       std::uint64_t ok_count,
+                                       std::uint64_t bad_count,
+                                       std::int64_t now_ns) {
+  ObserveBulk(name, SloObjective::Kind::kAvailability, ok_count, bad_count,
+              now_ns);
+}
+
+void SloEngine::RecordLatencyOutcomes(std::string_view name,
+                                      std::uint64_t good_count,
+                                      std::uint64_t bad_count,
+                                      std::int64_t now_ns) {
+  ObserveBulk(name, SloObjective::Kind::kLatency, good_count, bad_count,
+              now_ns);
 }
 
 void SloEngine::Evaluate(std::int64_t now_ns) {

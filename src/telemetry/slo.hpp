@@ -80,6 +80,18 @@ class SloEngine {
   /// Feeds one success/failure observation to a kAvailability objective.
   void RecordAvailability(std::string_view name, bool ok, std::int64_t now_ns);
 
+  /// Bulk paths for event-driven monitors: exactly equivalent to `ok_count`
+  /// RecordAvailability(ok=true) plus `bad_count` (ok=false) calls at the
+  /// same now_ns — observations commute within a bucket, so an incremental
+  /// Monitor can fold its "N unchanged-up nodes" into one call and keep the
+  /// availability math byte-identical to the full walk.
+  void RecordAvailabilityBulk(std::string_view name, std::uint64_t ok_count,
+                              std::uint64_t bad_count, std::int64_t now_ns);
+  /// Same for pre-classified latency outcomes (good iff value was within the
+  /// objective threshold).
+  void RecordLatencyOutcomes(std::string_view name, std::uint64_t good_count,
+                             std::uint64_t bad_count, std::int64_t now_ns);
+
   /// Recomputes burn rates and applies breach/clear transitions. When
   /// telemetry is enabled, publishes myrtus_slo_* metrics, records breach /
   /// clear events in the flight recorder, and fires a recorder dump trigger
@@ -108,6 +120,8 @@ class SloEngine {
     std::deque<Bucket> buckets;
 
     void Observe(std::int64_t at_ns, bool good);
+    void ObserveBulk(std::int64_t at_ns, std::uint64_t good,
+                     std::uint64_t total);
     void Evict(std::int64_t now_ns);
     /// Fraction of bad observations in the window (0 when empty).
     [[nodiscard]] double BadFraction() const;
@@ -121,6 +135,8 @@ class SloEngine {
 
   void Observe(std::string_view name, SloObjective::Kind kind, bool good,
                std::int64_t now_ns);
+  void ObserveBulk(std::string_view name, SloObjective::Kind kind,
+                   std::uint64_t good, std::uint64_t bad, std::int64_t now_ns);
 
   std::map<std::string, Tracked, std::less<>> slos_;
   TransitionHandler handler_;

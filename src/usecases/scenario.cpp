@@ -174,18 +174,18 @@ void RequestPipeline::RunStage(std::size_t stage_index, std::string at_host,
     return;
   }
   const Stage& stage = scenario_.stages[stage_index];
-  const sched::Pod* pod =
+  const sched::PodView pod =
       cluster_.FindPod(scenario_.name + "/" + stage.pod_name);
-  if (pod == nullptr || pod->phase != sched::PodPhase::kRunning) {
+  if (!pod || pod.phase() != sched::PodPhase::kRunning) {
     Finish(started, energy_acc, false);
     return;
   }
-  continuum::ComputeNode* node = infra_.FindNode(pod->node_id);
+  continuum::ComputeNode* node = infra_.FindNode(pod.node_id());
   if (node == nullptr || !node->up()) {
     Finish(started, energy_acc, false);
     return;
   }
-  const std::string target = pod->node_id;
+  const std::string target = pod.node_id();
 
   const auto compute = [this, stage_index, target, started, energy_acc,
                         node]() {

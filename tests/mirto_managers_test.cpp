@@ -57,13 +57,13 @@ TEST_P(WlStrategyTest, PlansAndExecutesFeasiblePlacement) {
   EXPECT_EQ(f.cluster.RunningPods(), 3u);
 
   // Hard constraints hold regardless of strategy.
-  const sched::Pod* detector = f.cluster.FindPod("detector");
-  ASSERT_NE(detector, nullptr);
-  EXPECT_TRUE(f.cluster.FindNodeState(detector->node_id)->HasAccelerator());
-  const sched::Pod* aggregator = f.cluster.FindPod("aggregator");
-  ASSERT_NE(aggregator, nullptr);
+  const sched::PodView detector = f.cluster.FindPod("detector");
+  ASSERT_TRUE(detector.valid());
+  EXPECT_TRUE(f.cluster.FindNodeState(detector.node_id())->HasAccelerator());
+  const sched::PodView aggregator = f.cluster.FindPod("aggregator");
+  ASSERT_TRUE(aggregator.valid());
   EXPECT_TRUE(security::Satisfies(
-      f.infra.FindNode(aggregator->node_id)->security_level(),
+      f.infra.FindNode(aggregator.node_id())->security_level(),
       security::SecurityLevel::kMedium));
 }
 

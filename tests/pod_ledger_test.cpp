@@ -1,0 +1,131 @@
+// PodLedger: the sharded-arena pod table — name index, generation-tagged
+// PodId handles (ABA guard), row recycling, rehash survival, and ForEach.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sched/pod_ledger.hpp"
+
+namespace myrtus::sched {
+namespace {
+
+PodSpec Spec(const std::string& name) {
+  PodSpec spec;
+  spec.name = name;
+  spec.cpu_request = 0.5;
+  spec.mem_request_mb = 64;
+  return spec;
+}
+
+TEST(PodLedger, CreateFindAndViewRoundTrip) {
+  PodLedger ledger;
+  const PodId id = ledger.Create(Spec("web-0"));
+  ASSERT_NE(id, kInvalidPodId);
+  EXPECT_EQ(ledger.FindId("web-0"), id);
+  const PodView view = ledger.Find("web-0");
+  ASSERT_TRUE(view.valid());
+  EXPECT_EQ(view.name(), "web-0");
+  EXPECT_EQ(view.phase(), PodPhase::kPending);
+  EXPECT_FALSE(view.bound());
+  EXPECT_EQ(view.bound_at_ns(), -1);
+  EXPECT_EQ(ledger.size(), 1u);
+}
+
+TEST(PodLedger, DuplicateNameIsRejected) {
+  PodLedger ledger;
+  ASSERT_NE(ledger.Create(Spec("dup")), kInvalidPodId);
+  EXPECT_EQ(ledger.Create(Spec("dup")), kInvalidPodId);
+  EXPECT_EQ(ledger.size(), 1u);
+}
+
+TEST(PodLedger, BindAndClearBindingKeepBoundAt) {
+  PodLedger ledger;
+  const PodId id = ledger.Create(Spec("job"));
+  ledger.Bind(id, /*node_slot=*/7, /*bound_at_ns=*/42, /*committed_cpu=*/0.5,
+              /*committed_mem_mb=*/64);
+  PodView view = ledger.View(id);
+  EXPECT_EQ(view.phase(), PodPhase::kRunning);
+  EXPECT_EQ(view.node_slot(), 7);
+  EXPECT_EQ(view.bound_at_ns(), 42);
+  EXPECT_DOUBLE_EQ(view.committed_cpu(), 0.5);
+  EXPECT_EQ(view.committed_mem_mb(), 64u);
+  ledger.ClearBinding(id);
+  view = ledger.View(id);
+  EXPECT_EQ(view.node_slot(), kNoNodeSlot);
+  EXPECT_DOUBLE_EQ(view.committed_cpu(), 0.0);
+  // The first-bind timestamp survives eviction: the MAPE monitor reads
+  // deploy-to-bind latency off evicted pods too.
+  EXPECT_EQ(view.bound_at_ns(), 42);
+}
+
+TEST(PodLedger, StaleIdGoesInvalidAfterEraseAndRowReuse) {
+  PodLedger ledger;
+  const PodId first = ledger.Create(Spec("ephemeral"));
+  ledger.Erase(first);
+  EXPECT_FALSE(ledger.Alive(first));
+  EXPECT_FALSE(ledger.View(first).valid());
+  EXPECT_EQ(ledger.size(), 0u);
+  // The recycled row must not resurrect the old handle (generation bump).
+  const PodId second = ledger.Create(Spec("replacement"));
+  ASSERT_NE(second, kInvalidPodId);
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(ledger.Alive(first));
+  EXPECT_EQ(ledger.View(second).name(), "replacement");
+  EXPECT_EQ(ledger.row_capacity(), 1u) << "row was recycled, not re-allocated";
+  // Mutators on the stale handle are no-ops.
+  ledger.Bind(first, 3, 9, 1.0, 8);
+  EXPECT_FALSE(ledger.View(second).bound());
+}
+
+TEST(PodLedger, SurvivesRehashAndChurnAtScale) {
+  PodLedger ledger;
+  constexpr int kPods = 5000;  // forces several rehashes in every shard
+  std::vector<PodId> ids;
+  for (int i = 0; i < kPods; ++i) {
+    ids.push_back(ledger.Create(Spec("pod-" + std::to_string(i))));
+    ASSERT_NE(ids.back(), kInvalidPodId);
+  }
+  // Erase every third pod (leaves tombstones), then re-create them.
+  for (int i = 0; i < kPods; i += 3) ledger.Erase(ids[i]);
+  for (int i = 0; i < kPods; i += 3) {
+    ids[i] = ledger.Create(Spec("pod-" + std::to_string(i)));
+    ASSERT_NE(ids[i], kInvalidPodId) << i;
+  }
+  EXPECT_EQ(ledger.size(), static_cast<std::size_t>(kPods));
+  for (int i = 0; i < kPods; ++i) {
+    const PodView view = ledger.Find("pod-" + std::to_string(i));
+    ASSERT_TRUE(view.valid()) << i;
+    EXPECT_EQ(view.id(), ids[i]);
+  }
+  EXPECT_FALSE(ledger.Find("pod-" + std::to_string(kPods)).valid());
+}
+
+TEST(PodLedger, ForEachVisitsExactlyTheLivePods) {
+  PodLedger ledger;
+  const PodId a = ledger.Create(Spec("a"));
+  const PodId b = ledger.Create(Spec("b"));
+  const PodId c = ledger.Create(Spec("c"));
+  ledger.Erase(b);
+  std::set<std::string> seen;
+  ledger.ForEach([&](const PodView& view) { seen.insert(view.name()); });
+  EXPECT_EQ(seen, (std::set<std::string>{"a", "c"}));
+  EXPECT_TRUE(ledger.Alive(a));
+  EXPECT_TRUE(ledger.Alive(c));
+}
+
+TEST(PodLedger, NodeIdResolverBacksPodViewNodeId) {
+  PodLedger ledger;
+  const std::vector<std::string> slots = {"edge-0", "fog-0"};
+  ledger.set_node_id_resolver(
+      [&slots](std::int32_t slot) -> const std::string& {
+        return slots[static_cast<std::size_t>(slot)];
+      });
+  const PodId id = ledger.Create(Spec("svc"));
+  EXPECT_EQ(ledger.View(id).node_id(), "");
+  ledger.Bind(id, 1, 5, 0.5, 64);
+  EXPECT_EQ(ledger.View(id).node_id(), "fog-0");
+}
+
+}  // namespace
+}  // namespace myrtus::sched

@@ -221,12 +221,12 @@ TEST(SchedulerProperty, NeverOvercommitsUnderRandomChurn) {
       EXPECT_GE(ns->cpu_allocated(), -1e-9);
       // Cross-check allocation against the actual pod set.
       double cpu_sum = 0;
-      for (const sched::Pod* p : cluster.PodsOnNode(ns->node->id())) {
-        cpu_sum += p->spec.cpu_request;
+      for (const sched::PodView& p : cluster.PodsOnNode(ns->node->id())) {
+        cpu_sum += p.spec().cpu_request;
         // Hard constraints hold for every running pod.
         EXPECT_TRUE(security::Satisfies(ns->node->security_level(),
-                                        p->spec.min_security));
-        if (p->spec.needs_accelerator) {
+                                        p.spec().min_security));
+        if (p.spec().needs_accelerator) {
           EXPECT_TRUE(ns->HasAccelerator());
         }
       }
@@ -288,10 +288,15 @@ TEST_P(SchedLedgerProperty, LedgersAndVerdictsStayConsistentUnderChurn) {
         }
         break;
       }
-      case 3: {  // delete
+      case 3: {  // delete — and the stale PodId must not resurrect
         if (live.empty()) break;
         const std::size_t victim = rng.NextBounded(live.size());
+        const sched::PodView doomed = cluster.FindPod(live[victim]);
+        ASSERT_TRUE(doomed.valid());
+        const sched::PodId stale = doomed.id();
         EXPECT_TRUE(cluster.DeletePod(live[victim]).ok());
+        EXPECT_FALSE(cluster.PodById(stale).valid())
+            << "generation bump must invalidate " << live[victim];
         live.erase(live.begin() + static_cast<long>(victim));
         break;
       }
@@ -309,10 +314,10 @@ TEST_P(SchedLedgerProperty, LedgersAndVerdictsStayConsistentUnderChurn) {
         // Reconcile may have rebound or evicted; rebuild the live list.
         std::vector<std::string> still;
         for (const std::string& name : live) {
-          const sched::Pod* p = cluster.FindPod(name);
-          if (p != nullptr && p->phase == sched::PodPhase::kRunning) {
+          const sched::PodView p = cluster.FindPod(name);
+          if (p && p.phase() == sched::PodPhase::kRunning) {
             still.push_back(name);
-          } else if (p != nullptr) {
+          } else if (p) {
             EXPECT_TRUE(cluster.DeletePod(name).ok());
           }
         }
@@ -341,6 +346,30 @@ TEST_P(SchedLedgerProperty, LedgersAndVerdictsStayConsistentUnderChurn) {
       EXPECT_LE(ns->MemFreeMb(), ns->mem_capacity_mb()) << ns->node->id();
       EXPECT_GE(ns->cpu_allocated(), -1e-9) << ns->node->id();
     }
+
+    // Invariant: pod-ledger counters are exact. Every pod this test created
+    // is either in `live` (bound-failures are deleted on the spot), so the
+    // running/pending tallies must reconcile against per-pod phases, and the
+    // per-node rosters must cover exactly the running pods.
+    std::size_t running = 0;
+    std::size_t pending = 0;
+    for (const std::string& name : live) {
+      const sched::PodView p = cluster.FindPod(name);
+      ASSERT_TRUE(p.valid()) << name << " after op " << op;
+      EXPECT_EQ(cluster.PodById(p.id()).name(), name) << "handle round-trip";
+      if (p.phase() == sched::PodPhase::kRunning) {
+        ++running;
+      } else {
+        ++pending;
+      }
+    }
+    EXPECT_EQ(cluster.RunningPods(), running) << "op " << op;
+    EXPECT_EQ(cluster.PendingPods(), pending) << "op " << op;
+    std::size_t on_nodes = 0;
+    for (sched::NodeState* ns : cluster.NodeStates()) {
+      on_nodes += cluster.PodsOnNode(ns->node->id()).size();
+    }
+    EXPECT_EQ(on_nodes, cluster.RunningPods()) << "op " << op;
 
     // Invariant: both scheduler paths agree on a random probe.
     sched::PodSpec probe;

@@ -151,10 +151,10 @@ TEST(Regression, PreemptionRollsBackVictimsWhenRebindFails) {
   // Nothing was gained, so nothing may be lost: every victim is back on its
   // node with resources re-committed, and no eviction was counted.
   for (const char* name : {"low-a", "low-b"}) {
-    const Pod* p = cluster.FindPod(name);
-    ASSERT_NE(p, nullptr) << name;
-    EXPECT_EQ(p->phase, PodPhase::kRunning) << name;
-    EXPECT_EQ(p->node_id, "edge-0") << name;
+    const PodView p = cluster.FindPod(name);
+    ASSERT_TRUE(p.valid()) << name;
+    EXPECT_EQ(p.phase(), PodPhase::kRunning) << name;
+    EXPECT_EQ(p.node_id(), "edge-0") << name;
   }
   EXPECT_EQ(cluster.evictions(), 0u);
   EXPECT_EQ(cluster.RunningPods(), 2u);
@@ -162,9 +162,9 @@ TEST(Regression, PreemptionRollsBackVictimsWhenRebindFails) {
   EXPECT_EQ(edge->mem_allocated_mb(), edge->node->mem_allocated_mb());
 
   // The preemptor stays pending (a later Reconcile may retry it).
-  const Pod* vip_pod = cluster.FindPod("vip");
-  ASSERT_NE(vip_pod, nullptr);
-  EXPECT_EQ(vip_pod->phase, PodPhase::kPending);
+  const PodView vip_pod = cluster.FindPod("vip");
+  ASSERT_TRUE(vip_pod.valid());
+  EXPECT_EQ(vip_pod.phase(), PodPhase::kPending);
   EXPECT_EQ(cluster.PendingPods(), 1u);
 }
 

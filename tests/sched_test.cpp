@@ -124,9 +124,9 @@ TEST(Scheduler, CordonExcludesNode) {
   EXPECT_FALSE(f.cluster.BindPod(pod).ok());
   f.cluster.Cordon("edge-0", false);
   f.cluster.Reconcile();  // pending pod retried
-  const Pod* p = f.cluster.FindPod("vision");
-  ASSERT_NE(p, nullptr);
-  EXPECT_EQ(p->phase, PodPhase::kRunning);
+  const PodView p = f.cluster.FindPod("vision");
+  ASSERT_TRUE(p.valid());
+  EXPECT_EQ(p.phase(), PodPhase::kRunning);
 }
 
 TEST(Scheduler, LeastAllocatedSpreadsLoad) {
@@ -194,7 +194,7 @@ TEST(Preemption, HighPriorityEvictsLow) {
   // Exactly one low pod was sacrificed.
   int low_running = 0;
   for (const char* n : {"low-a", "low-b"}) {
-    if (f.cluster.FindPod(n)->phase == PodPhase::kRunning) ++low_running;
+    if (f.cluster.FindPod(n).phase() == PodPhase::kRunning) ++low_running;
   }
   EXPECT_EQ(low_running, 1);
 }
@@ -254,8 +254,8 @@ TEST(Deployment, NodeFailureTriggersRescheduling) {
   f.cluster.Reconcile();
   EXPECT_EQ(f.cluster.DeploymentReadyReplicas("svc"), 4)
       << "replicas must be rebuilt on surviving nodes";
-  for (const Pod* p : f.cluster.PodsOnNode(victim)) {
-    FAIL() << "pod still on failed node: " << p->spec.name;
+  for (const PodView& p : f.cluster.PodsOnNode(victim)) {
+    FAIL() << "pod still on failed node: " << p.name();
   }
   EXPECT_GT(f.cluster.evictions(), 0u);
 }

@@ -51,11 +51,11 @@ TEST_P(ScenarioTest, DeploysOntoInfrastructure) {
   EXPECT_EQ(f.cluster.RunningPods(), s.stages.size());
   // Layer-pinned stages respect their affinity.
   for (const Stage& stage : s.stages) {
-    const sched::Pod* pod = f.cluster.FindPod(s.name + "/" + stage.pod_name);
-    ASSERT_NE(pod, nullptr);
+    const sched::PodView pod = f.cluster.FindPod(s.name + "/" + stage.pod_name);
+    ASSERT_TRUE(pod.valid());
     if (!stage.layer_affinity.empty()) {
       EXPECT_EQ(std::string(continuum::LayerName(
-                    f.infra.FindNode(pod->node_id)->layer())),
+                    f.infra.FindNode(pod.node_id())->layer())),
                 stage.layer_affinity)
           << stage.pod_name;
     }
@@ -106,9 +106,9 @@ TEST(RequestPipeline, NodeFailureMidStreamCountsAsFailures) {
 
   // Kill the node hosting the detect stage; new requests must fail (until an
   // orchestrator repairs the placement, which this test deliberately omits).
-  const sched::Pod* detect = f.cluster.FindPod("smart-mobility/detect");
-  ASSERT_NE(detect, nullptr);
-  f.infra.FindNode(detect->node_id)->SetUp(false);
+  const sched::PodView detect = f.cluster.FindPod("smart-mobility/detect");
+  ASSERT_TRUE(detect.valid());
+  f.infra.FindNode(detect.node_id())->SetUp(false);
   pipeline.LaunchRequest();
   f.engine.RunUntil(SimTime::Seconds(4));
   EXPECT_EQ(pipeline.kpis().failed, 1u);
