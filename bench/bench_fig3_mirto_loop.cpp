@@ -91,6 +91,8 @@ void PrintRecoveryTable(bench::Report& report) {
     mirto::MirtoAgent agent(*world.network, world.cluster, world.infra,
                             world.kb_store,
                             mirto::AuthModule(util::BytesOf("bench")), config);
+    // LINT: deferred-capture-ok(agent) -- MeasureRecoveryMs drains the shared
+    // engine and Stop() disarms the MAPE loop before the agent leaves scope
     agent.Start();
     usecases::Scenario scenario = usecases::SmartMobilityScenario();
     const double ms = MeasureRecoveryMs(world, scenario);

@@ -29,10 +29,17 @@ Network::Network(sim::Engine& engine, Topology topology, std::uint64_t seed)
       rng_(seed, "network"),
       retry_rng_(seed, "retry") {
   // The network is the chokepoint every layer already passes through, so its
-  // engine becomes the tracer's sim-time source. Last-constructed wins;
-  // telemetry::ResetGlobal() uninstalls (tests / bench teardown).
-  telemetry::Global().tracer.set_clock(
+  // engine becomes the tracer's sim-time source. Last-constructed wins; the
+  // destructor uninstalls via the returned token, so the global tracer never
+  // holds this closure past the network's lifetime.
+  // LINT: deferred-capture-ok(eng) -- ~Network uninstalls this clock
+  // (generation token) before the pointee can dangle
+  tracer_clock_token_ = telemetry::Global().tracer.set_clock(
       [eng = &engine_] { return eng->Now().ns; });
+}
+
+Network::~Network() {
+  telemetry::Global().tracer.reset_clock(tracer_clock_token_);
 }
 
 void Network::FinishCallTelemetry(PendingCall& call, const util::Status& status) {

@@ -50,6 +50,12 @@ using MessageHandler = std::function<void(const Message&)>;
 class Network {
  public:
   Network(sim::Engine& engine, Topology topology, std::uint64_t seed);
+  /// Uninstalls the tracer clock this network installed (no-op when a
+  /// later-constructed network installed over it): the closure points into
+  /// this object, and the global tracer outlives every network.
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   [[nodiscard]] Topology& topology() { return topology_; }
   [[nodiscard]] const Topology& topology() const { return topology_; }
@@ -133,6 +139,7 @@ class Network {
   Topology topology_;
   util::Rng rng_;
   sim::Trace trace_;
+  std::int64_t tracer_clock_token_ = 0;  // Tracer::set_clock installation
 
   std::map<HostId, MessageHandler> handlers_;
   std::map<std::pair<HostId, std::string>, AsyncRpcHandler> rpc_handlers_;

@@ -9,7 +9,12 @@ namespace myrtus::sim {
 
 ChaosController::ChaosController(Engine& engine, std::uint64_t seed,
                                  Trace* trace)
-    : engine_(engine), rng_(seed, "chaos"), trace_(trace) {}
+    : engine_(engine),
+      guard_(std::make_shared<LifetimeGuard>(LifetimeGuard{this})),
+      rng_(seed, "chaos"),
+      trace_(trace) {}
+
+ChaosController::~ChaosController() { guard_->self = nullptr; }
 
 void ChaosController::RegisterTarget(const std::string& name,
                                      std::function<void()> inject,
@@ -19,9 +24,13 @@ void ChaosController::RegisterTarget(const std::string& name,
 
 void ChaosController::ScheduleFault(const std::string& target, SimTime start,
                                     SimTime duration) {
-  engine_.ScheduleAt(start, [this, target] { Inject(target); });
+  engine_.ScheduleAt(start, [guard = guard_, target] {
+    if (guard->self != nullptr) guard->self->Inject(target);
+  });
   if (duration > SimTime::Zero()) {
-    engine_.ScheduleAt(start + duration, [this, target] { Restore(target); });
+    engine_.ScheduleAt(start + duration, [guard = guard_, target] {
+      if (guard->self != nullptr) guard->self->Restore(target);
+    });
   }
 }
 
@@ -43,15 +52,21 @@ void ChaosController::ScheduleRandomFaults(const std::string& target,
     if (t >= horizon) break;
     faulty = !faulty;
     if (faulty) {
-      engine_.ScheduleAt(t, [this, target] { Inject(target); });
+      engine_.ScheduleAt(t, [guard = guard_, target] {
+        if (guard->self != nullptr) guard->self->Inject(target);
+      });
     } else {
-      engine_.ScheduleAt(t, [this, target] { Restore(target); });
+      engine_.ScheduleAt(t, [guard = guard_, target] {
+        if (guard->self != nullptr) guard->self->Restore(target);
+      });
     }
   }
   // Never leave a target faulty past the horizon: the experiment's cooldown
   // phase measures recovery, not a dangling fault.
   if (faulty) {
-    engine_.ScheduleAt(horizon, [this, target] { Restore(target); });
+    engine_.ScheduleAt(horizon, [guard = guard_, target] {
+      if (guard->self != nullptr) guard->self->Restore(target);
+    });
   }
 }
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,13 @@ class ChaosController {
  public:
   /// `trace` may be null; events are then only kept in the local timeline.
   ChaosController(Engine& engine, std::uint64_t seed, Trace* trace = nullptr);
+  /// Scheduled fault events hold a shared liveness guard, not `this`: events
+  /// still queued in the engine when the controller dies become inert no-ops
+  /// instead of use-after-scope (the engine routinely outlives a scoped
+  /// controller in benches and tests).
+  ~ChaosController();
+  ChaosController(const ChaosController&) = delete;
+  ChaosController& operator=(const ChaosController&) = delete;
 
   /// Registers a fault target. `inject` puts the target into its faulty
   /// state, `restore` heals it; both must be idempotent-friendly — the
@@ -80,7 +88,14 @@ class ChaosController {
   void Inject(const std::string& name);
   void Restore(const std::string& name);
 
+  /// Back-pointer shared with every scheduled engine event; the destructor
+  /// nulls it, detaching events that have not fired yet.
+  struct LifetimeGuard {
+    ChaosController* self = nullptr;
+  };
+
   Engine& engine_;
+  std::shared_ptr<LifetimeGuard> guard_;
   util::Rng rng_;
   Trace* trace_;
   std::map<std::string, Target> targets_;

@@ -46,10 +46,22 @@ struct SpanRecord {
 /// identical traces.
 class Tracer {
  public:
-  /// Installs the time source (typically `[&engine]{ return engine.Now().ns; }`).
-  /// The engine behind the most recently installed clock must outlive any
-  /// span started without an explicit timestamp; Clear() uninstalls it.
-  void set_clock(std::function<std::int64_t()> now_ns) { clock_ = std::move(now_ns); }
+  /// Installs the time source (typically `[&engine]{ return engine.Now().ns; }`)
+  /// and returns an installation token. The engine behind the most recently
+  /// installed clock must outlive any span started without an explicit
+  /// timestamp; Clear() uninstalls it, and an installer whose clock closes
+  /// over its own lifetime must call reset_clock(token) before that lifetime
+  /// ends (see ~Network).
+  std::int64_t set_clock(std::function<std::int64_t()> now_ns) {
+    clock_ = std::move(now_ns);
+    return ++clock_generation_;
+  }
+  /// Uninstalls the clock iff `token` identifies the current installation —
+  /// a stale token (someone installed over us) is a no-op, preserving
+  /// last-constructed-wins. Falls back to the epoch clock (NowNs() == 0).
+  void reset_clock(std::int64_t token) {
+    if (token == clock_generation_) clock_ = nullptr;
+  }
   [[nodiscard]] std::int64_t NowNs() const { return clock_ ? clock_() : 0; }
 
   /// Starts a span. An invalid `parent` starts a new trace.
@@ -91,6 +103,7 @@ class Tracer {
   static constexpr std::size_t kDefaultMaxFinished = 1u << 18;
 
   std::function<std::int64_t()> clock_;
+  std::int64_t clock_generation_ = 0;
   std::function<void(const SpanRecord&)> span_sink_;
   std::unordered_map<std::uint64_t, SpanRecord> open_;  // by span_id
   std::vector<SpanRecord> finished_;

@@ -98,6 +98,8 @@ TEST(Raft, ProposeOnFollowerFailsWithLeaderHint) {
   ASSERT_GE(leader, 0);
   const std::size_t follower = (static_cast<std::size_t>(leader) + 1) % 3;
   bool failed = false;
+  // LINT: deferred-capture-ok(default) -- a follower rejects the proposal
+  // synchronously, inside Propose; EXPECT_TRUE(failed) below relies on it
   f.cluster->replica(follower).raft->Propose(
       util::Json(1), [&](util::StatusOr<std::int64_t> r) {
         EXPECT_FALSE(r.ok());

@@ -1,0 +1,153 @@
+// Capture-lifetime CLEAN fixture: every construct here is a near-miss of a
+// lifetime_fire.cpp case — by-value state, shared owners, drain discharge
+// (Run and the Settle fixture idiom), annotation waivers, init-captures of
+// members, and the immediate-invocation vetoes. The lifetime family must
+// report NOTHING in this file; lint_lifetime_test asserts exactly that.
+// (Other families may fire here — the lock is per-family.)
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace liftest_clean {
+
+struct TickC {
+  long ns = 0;
+};
+
+class MotorC {
+ public:
+  void ScheduleAt(TickC at, std::function<void()> fn) {
+    (void)at;
+    jobs_.push_back(std::move(fn));
+  }
+  void Run() {
+    for (auto& fn : jobs_) fn();
+    jobs_.clear();
+  }
+
+ private:
+  std::vector<std::function<void()>> jobs_;
+};
+
+// The test-fixture drain idiom: Settle wraps the engine drain.
+struct HarnessC {
+  MotorC motor;
+  void Settle() { motor.Run(); }
+};
+
+void CleanValueCapture(MotorC& motor) {
+  int n = 7;
+  motor.ScheduleAt(TickC{1}, [n] { (void)n; });  // by value: owned copy
+}
+
+void CleanSharedOwner(MotorC& motor) {
+  auto state = std::make_shared<int>(0);
+  motor.ScheduleAt(TickC{2}, [state] { ++*state; });  // shared ownership
+}
+
+void CleanDrainedRef(MotorC& motor) {
+  int tally = 0;
+  motor.ScheduleAt(TickC{3}, [&tally] { ++tally; });
+  motor.Run();  // drains before tally dies
+}
+
+void CleanSettledRef(HarnessC& fix) {
+  int tally = 0;
+  fix.motor.ScheduleAt(TickC{4}, [&tally] { ++tally; });
+  fix.Settle();  // the fixture-drain idiom discharges too
+}
+
+void CleanAnnotatedRef(MotorC& motor, int& durable) {
+  // LINT: deferred-capture-ok(durable) -- the caller owns durable for the
+  // whole life of the motor; checked at every call site
+  motor.ScheduleAt(TickC{5}, [&durable] { ++durable; });
+}
+
+void CleanAnnotatedDefault(MotorC& motor, int& durable) {
+  // LINT: deferred-capture-ok(default) -- everything captured here outlives
+  // the motor by construction
+  motor.ScheduleAt(TickC{6}, [&] { ++durable; });
+}
+
+// [&alias = member] init-captures denote object-lifetime state, not the
+// registering frame — exempt from the ref rule.
+class GaugeC {
+ public:
+  void Arm(MotorC& motor) {
+    motor.ScheduleAt(TickC{7}, [&level = level_] { level += 1; });
+  }
+
+ private:
+  int level_ = 0;
+};
+
+// this-capture negatives: a function-scope receiver (not block-scoped), and
+// a block-scoped receiver whose events drain inside the block.
+class SensorC {
+ public:
+  void Arm(MotorC& motor) {
+    motor.ScheduleAt(TickC{8}, [this] { ++hits_; });
+  }
+
+ private:
+  int hits_ = 0;
+};
+
+void CleanTopLevelReceiver(MotorC& motor) {
+  SensorC sensor;
+  sensor.Arm(motor);
+}
+
+void CleanDrainedReceiver(MotorC& motor) {
+  {
+    SensorC sensor;
+    sensor.Arm(motor);
+    motor.Run();
+  }
+}
+
+// Immediate-invocation vetoes: ParallelFor-style callees run the body before
+// returning, Pool::Run joins before returning even though it stores the job
+// in a member, and FilterFn-typed parameters run inside the callee.
+void ParallelFor(int n, const std::function<void(int)>& body) {
+  for (int i = 0; i < n; ++i) body(i);
+}
+
+void CleanImmediateCallee(int n) {
+  int acc = 0;
+  ParallelFor(n, [&acc](int i) { acc += i; });
+}
+
+class PoolC {
+ public:
+  void Run(std::function<void()> job) {
+    job_ = std::move(job);
+    if (job_) job_();
+  }
+
+ private:
+  std::function<void()> job_;
+};
+
+void CleanPoolRunVeto(PoolC& pool) {
+  int acc = 0;
+  pool.Run([&acc] { ++acc; });
+}
+
+using FilterFn = std::function<bool(int)>;
+
+class ScannerC {
+ public:
+  void SetFilter(FilterFn keep) { keep_ = std::move(keep); }
+
+ private:
+  FilterFn keep_;
+};
+
+void CleanImmediateParamType(ScannerC& scanner, int threshold) {
+  scanner.SetFilter([&threshold](int v) { return v > threshold; });
+}
+
+}  // namespace liftest_clean

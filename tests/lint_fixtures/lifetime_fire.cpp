@@ -1,0 +1,131 @@
+// Capture-lifetime FIRE fixture for the deferred-capture family
+// (tools/lint/lifetime_rules.cpp). Self-contained mini engine mirroring the
+// src/sim shapes the rules were built for. Every FIRE-marked line must
+// produce exactly one lifetime-family finding, and no other line may fire:
+// lint_lifetime_test locks the reported line set to the marker set.
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace liftest {
+
+struct TickF {
+  long ns = 0;
+};
+
+// ScheduleAt is a seeded sink (name + arg index); the push_back into the
+// '_'-suffixed member also classifies it structurally, so the fixture works
+// even if the seed table changes.
+class EngineF {
+ public:
+  void ScheduleAt(TickF at, std::function<void()> fn) {
+    (void)at;
+    pending_.push_back(std::move(fn));
+  }
+  void Run() {
+    for (auto& fn : pending_) fn();
+    pending_.clear();
+  }
+
+ private:
+  std::vector<std::function<void()>> pending_;
+};
+
+// A std::function field at class scope: assignments through it are deferred
+// stores (`hooks.on_bound = ...`).
+struct HooksF {
+  std::function<void()> on_bound;
+};
+
+// Forwarders: the fixpoint must make DeferF a sink (one hop from the seeded
+// ScheduleAt) and RelayF a sink (two hops).
+void DeferF(EngineF& eng, std::function<void()> fn) {
+  eng.ScheduleAt(TickF{1}, std::move(fn));
+}
+
+void RelayF(EngineF& eng, std::function<void()> fn) {
+  DeferF(eng, std::move(fn));
+}
+
+// A callback container behind a method: `pending_[token] = fn` makes
+// Enqueue's callback parameter a structural sink.
+class PipelineF {
+ public:
+  void Enqueue(int token, std::function<void()> fn) {
+    pending_[token] = std::move(fn);
+  }
+
+ private:
+  std::map<int, std::function<void()>> pending_;
+};
+
+// Registers a this-capturing deferred callback: calling Arm on a
+// block-scoped receiver is the deferred-this-capture hazard.
+class WidgetF {
+ public:
+  void Arm(EngineF& eng) {
+    eng.ScheduleAt(TickF{2}, [this] { ++count_; });
+  }
+
+ private:
+  int count_ = 0;
+};
+
+void FireDefault(EngineF& eng) {
+  int count = 0;
+  eng.ScheduleAt(TickF{3}, [&] { ++count; });  // FIRE: [&] into deferred sink
+}
+
+void FireNamedRef(EngineF& eng) {
+  int counter = 0;
+  eng.ScheduleAt(TickF{4}, [&counter] { ++counter; });  // FIRE: &local
+}
+
+void FireThroughForwarders(EngineF& eng) {
+  int depth = 0;
+  RelayF(eng, [&depth] { ++depth; });  // FIRE: two-hop forwarder chain
+}
+
+void FireFieldStore(HooksF& hooks) {
+  bool bound = false;
+  hooks.on_bound = [&bound] { bound = true; };  // FIRE: std::function field
+}
+
+void FireContainerStore(PipelineF& pipe) {
+  bool done = false;
+  pipe.Enqueue(7, [&done] { done = true; });  // FIRE: callback container
+}
+
+void FirePointerCaptures(EngineF& eng) {
+  int slot = 0;
+  int* cursor = &slot;
+  eng.ScheduleAt(TickF{5}, [cursor] { ++*cursor; });  // FIRE: pointer capture
+  eng.ScheduleAt(TickF{6}, [p = &slot] { ++*p; });    // FIRE: init &local
+}
+
+void FireNamedLambdaFlow(EngineF& eng) {
+  int tally = 0;
+  auto cb = [&tally] { ++tally; };  // FIRE: named lambda flows into sink
+  eng.ScheduleAt(TickF{7}, std::move(cb));
+}
+
+void FireBlockScopedReceiver(EngineF& eng) {
+  {
+    WidgetF w;
+    w.Arm(eng);  // FIRE: this-capture armed on a block-scoped receiver
+  }
+}
+
+void FireInnerFrame(EngineF& eng) {
+  // The outer [&eng] capture is drained below and must NOT fire; the inner
+  // one captures a variable of the outer lambda's frame, which dies during
+  // the drain — the discharge is refused for it.
+  eng.ScheduleAt(TickF{8}, [&eng] {
+    int inner = 0;
+    eng.ScheduleAt(TickF{9}, [&inner] { ++inner; });  // FIRE: inner frame
+  });
+  eng.Run();
+}
+
+}  // namespace liftest

@@ -2,9 +2,12 @@
 // MQTT-style broker.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "net/pubsub.hpp"
 #include "net/topology.hpp"
 #include "net/transport.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace myrtus::net {
 namespace {
@@ -346,6 +349,37 @@ TEST(Broker, UnsubscribeStopsDelivery) {
   broker.Publish("pub", "t/2", util::Json(2));
   engine.Run();
   EXPECT_EQ(events, 1);
+}
+
+TEST(Network, DestructionUninstallsTracerClock) {
+  // Regression for the capture-lifetime fix: the constructor hands the global
+  // tracer a closure over &engine_; the destructor must take it back, or the
+  // tracer dereferences a destroyed network on the next NowNs().
+  telemetry::ResetGlobal();
+  {
+    sim::Engine engine;
+    Network net(engine, LineTopology(), 1);
+    engine.RunUntil(SimTime::Millis(5));
+    EXPECT_EQ(telemetry::Global().tracer.NowNs(), SimTime::Millis(5).ns);
+  }
+  EXPECT_EQ(telemetry::Global().tracer.NowNs(), 0)
+      << "destroyed network left its clock installed";
+  telemetry::ResetGlobal();
+}
+
+TEST(Network, StaleClockTokenDoesNotClobberNewerInstall) {
+  // Last-constructed wins must survive out-of-order destruction: the first
+  // network's (stale) token is a no-op against the second's installation.
+  telemetry::ResetGlobal();
+  sim::Engine engine_a;
+  sim::Engine engine_b;
+  auto net_a = std::make_unique<Network>(engine_a, LineTopology(), 1);
+  Network net_b(engine_b, LineTopology(), 2);
+  engine_b.RunUntil(SimTime::Millis(3));
+  net_a.reset();
+  EXPECT_EQ(telemetry::Global().tracer.NowNs(), SimTime::Millis(3).ns)
+      << "stale uninstall token clobbered the newer clock";
+  telemetry::ResetGlobal();
 }
 
 }  // namespace

@@ -117,6 +117,8 @@ TEST(PodLedger, ForEachVisitsExactlyTheLivePods) {
 TEST(PodLedger, NodeIdResolverBacksPodViewNodeId) {
   PodLedger ledger;
   const std::vector<std::string> slots = {"edge-0", "fog-0"};
+  // LINT: deferred-capture-ok(slots) -- the resolver only runs inside View()
+  // calls below; ledger and slots die with this frame together
   ledger.set_node_id_resolver(
       [&slots](std::int32_t slot) -> const std::string& {
         return slots[static_cast<std::size_t>(slot)];

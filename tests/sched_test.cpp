@@ -283,6 +283,8 @@ TEST(Autoscaler, TracksLoadSignal) {
   dep.replicas = 1;
   dep.min_replicas = 1;
   dep.max_replicas = 6;
+  // LINT: deferred-capture-ok(demand) -- the signal only runs inside the
+  // Reconcile() calls below, while demand is alive; both die with the test
   dep.load_signal = [&demand] { return demand; };
   f.cluster.ApplyDeployment(dep);
   EXPECT_EQ(f.cluster.DeploymentReadyReplicas("elastic"), 1);

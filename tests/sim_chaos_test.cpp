@@ -14,6 +14,8 @@ struct Counters {
 
 void RegisterCounting(ChaosController& chaos, const std::string& name,
                       Counters& c) {
+  // LINT: deferred-capture-ok(c) -- every caller declares the Counters before
+  // the controller, so the hooks die before the storage they point at
   chaos.RegisterTarget(
       name, [&c] { ++c.injected; }, [&c] { ++c.restored; });
 }
@@ -21,8 +23,8 @@ void RegisterCounting(ChaosController& chaos, const std::string& name,
 TEST(Chaos, ScriptedFaultInjectsAndRestoresOnSchedule) {
   Engine engine;
   Trace trace;
+  Counters c;  // declared before the controller: the hooks must die first
   ChaosController chaos(engine, 1, &trace);
-  Counters c;
   RegisterCounting(chaos, "link-0", c);
 
   chaos.ScheduleFault("link-0", SimTime::Millis(100), SimTime::Millis(50));
@@ -46,8 +48,8 @@ TEST(Chaos, ScriptedFaultInjectsAndRestoresOnSchedule) {
 
 TEST(Chaos, PermanentFaultStaysUntilRestoreAll) {
   Engine engine;
-  ChaosController chaos(engine, 1);
   Counters c;
+  ChaosController chaos(engine, 1);
   RegisterCounting(chaos, "node-0", c);
   chaos.ScheduleFault("node-0", SimTime::Millis(10), SimTime::Zero());
   engine.RunUntil(SimTime::Seconds(10));
@@ -59,8 +61,8 @@ TEST(Chaos, PermanentFaultStaysUntilRestoreAll) {
 
 TEST(Chaos, DuplicateInjectionsDoNotDoubleFire) {
   Engine engine;
-  ChaosController chaos(engine, 1);
   Counters c;
+  ChaosController chaos(engine, 1);
   RegisterCounting(chaos, "t", c);
   chaos.ScheduleFault("t", SimTime::Millis(10), SimTime::Zero());
   chaos.ScheduleFault("t", SimTime::Millis(20), SimTime::Zero());
@@ -81,8 +83,8 @@ TEST(Chaos, UnknownTargetIsIgnored) {
 
 TEST(Chaos, RandomScheduleAlternatesAndEndsHealthy) {
   Engine engine;
-  ChaosController chaos(engine, 99);
   Counters c;
+  ChaosController chaos(engine, 99);
   RegisterCounting(chaos, "flappy", c);
   chaos.ScheduleRandomFaults("flappy", SimTime::Zero(), SimTime::Seconds(60),
                              /*mean_up=*/SimTime::Seconds(2),
@@ -97,6 +99,23 @@ TEST(Chaos, RandomScheduleAlternatesAndEndsHealthy) {
     EXPECT_EQ(ev.injected, expect_inject);
     expect_inject = !expect_inject;
   }
+}
+
+TEST(Chaos, ScheduledFaultAfterControllerDestructionIsInert) {
+  // Regression for the capture-lifetime fix: scheduled fault events hold a
+  // shared liveness guard, so events still queued when the controller dies
+  // become no-ops instead of calling into a destroyed object.
+  Engine engine;
+  Counters c;
+  {
+    ChaosController chaos(engine, 1);
+    RegisterCounting(chaos, "t", c);
+    chaos.ScheduleFault("t", SimTime::Millis(100), SimTime::Millis(50));
+  }  // controller gone; inject@100ms and restore@150ms still queued
+  engine.RunUntil(SimTime::Millis(200));
+  EXPECT_EQ(c.injected, 0) << "detached event must not fire the inject hook";
+  EXPECT_EQ(c.restored, 0);
+  EXPECT_EQ(engine.Now(), SimTime::Millis(200));
 }
 
 TEST(Chaos, IdenticalSeedsProduceByteIdenticalTimelines) {

@@ -96,6 +96,8 @@ TEST_F(RecorderTest, DisabledRecorderDropsEverything) {
 TEST_F(RecorderTest, SpanSinkFeedsGlobalRecorder) {
   Tracer& tracer = Global().tracer;
   std::int64_t now = 0;
+  // LINT: deferred-capture-ok(now) -- clock only ticks inside this body;
+  // TearDown's ResetGlobal() uninstalls it before anything else can call it
   tracer.set_clock([&now] { return now; });
   {
     ScopedSpan span("unit.work", "test");
@@ -209,6 +211,8 @@ TEST_F(RecorderTest, DumpIsByteIdenticalAcrossWorkerCounts) {
 TEST_F(RecorderTest, ChromeTraceDumpIsValidJson) {
   Tracer& tracer = Global().tracer;
   std::int64_t now = 0;
+  // LINT: deferred-capture-ok(now) -- clock only ticks inside this body;
+  // TearDown's ResetGlobal() uninstalls it before anything else can call it
   tracer.set_clock([&now] { return now; });
   {
     ScopedSpan span("trace.me", "test");

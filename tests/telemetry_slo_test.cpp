@@ -173,6 +173,8 @@ TEST(SloEngine, TransitionHandlerAndBreachedListFire) {
   ASSERT_TRUE(engine.AddObjective(Availability("a.avail", 0.9, 4.0)).ok());
   ASSERT_TRUE(engine.AddObjective(Availability("b.avail", 0.9, 4.0)).ok());
   std::vector<std::string> transitions;
+  // LINT: deferred-capture-ok(default) -- the handler only runs inside the
+  // Evaluate() call below; engine and transitions die with this frame
   engine.set_transition_handler(
       [&](const std::string& name, const SloStatus&, bool breached) {
         transitions.push_back((breached ? "breach:" : "clear:") + name);

@@ -49,6 +49,8 @@ const SpanRecord* FindSpan(const std::vector<SpanRecord>& spans,
 TEST_F(TelemetryTest, SpansNestThroughImplicitContext) {
   Tracer& tracer = Global().tracer;
   std::int64_t now = 0;
+  // LINT: deferred-capture-ok(now) -- clock only ticks inside this body;
+  // TearDown's ResetGlobal() uninstalls it before anything else can call it
   tracer.set_clock([&now] { return now; });
 
   const SpanContext root = tracer.StartSpan("root", "test");
@@ -177,6 +179,8 @@ TEST_F(TelemetryTest, PrometheusTextGolden) {
 TEST_F(TelemetryTest, ChromeTraceJsonRoundtripsThroughParser) {
   Tracer& tracer = Global().tracer;
   std::int64_t now = 2'000;  // ns
+  // LINT: deferred-capture-ok(now) -- clock only ticks inside this body;
+  // TearDown's ResetGlobal() uninstalls it before anything else can call it
   tracer.set_clock([&now] { return now; });
   const SpanContext root = tracer.StartSpan("negotiate", "mirto");
   tracer.SetAttribute(root, "pod", "pose-0");

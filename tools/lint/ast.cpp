@@ -127,14 +127,25 @@ void ParseCaptures(const std::string& text, LambdaInfo& info) {
     }
     const bool by_ref = entry[0] == '&';
     std::string name = by_ref ? Trimmed(entry.substr(1)) : entry;
-    // Init-captures: keep the introduced name only.
+    // Init-captures: keep the introduced name, remember the initializer.
+    std::string init;
     const std::size_t eq = name.find('=');
-    if (eq != std::string::npos) name = Trimmed(name.substr(0, eq));
+    if (eq != std::string::npos) {
+      init = Trimmed(name.substr(eq + 1));
+      name = Trimmed(name.substr(0, eq));
+    }
     std::size_t e = 0;
     while (e < name.size() && IsIdentifierChar(name[e])) ++e;
     name.resize(e);
     if (name.empty()) continue;
     (by_ref ? info.ref_captures : info.value_captures).push_back(name);
+    if (eq != std::string::npos) {
+      if (by_ref) {
+        info.init_ref_captures.push_back(name);
+      } else {
+        info.init_value_captures.emplace_back(name, init);
+      }
+    }
   }
 }
 

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rules.hpp"
@@ -51,6 +52,13 @@ struct LambdaInfo {
   bool default_copy = false;   // capture-default '='
   std::vector<std::string> ref_captures;    // [&name] and [&name = expr]
   std::vector<std::string> value_captures;  // [name], [name = expr], [this]
+  /// Names introduced by reference init-captures ([&alias = expr]): a subset
+  /// of ref_captures. The lifetime family exempts these — the initializer may
+  /// denote a member or heap object, not necessarily a stack local.
+  std::vector<std::string> init_ref_captures;
+  /// Value init-captures as (name, initializer text): [p = &slot] yields
+  /// ("p", "&slot"). The initializer is whitespace-trimmed source text.
+  std::vector<std::pair<std::string, std::string>> init_value_captures;
   std::vector<std::string> param_names;     // "" for unnamed parameters
   std::vector<std::string> param_texts;     // full declaration text per param
   /// "ParallelFor", "ParallelMap", ... when this lambda is a *direct*

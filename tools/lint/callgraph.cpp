@@ -670,4 +670,63 @@ void AugmentStatusRegistry(const std::vector<FileContext>& files,
   }
 }
 
+int InnermostSymbolAt(const CallGraph& graph, std::size_t file_index,
+                      std::size_t offset) {
+  int best = -1;
+  std::size_t best_span = std::string::npos;
+  for (std::size_t s = 0; s < graph.symbols.size(); ++s) {
+    const Symbol& sym = graph.symbols[s];
+    if (sym.file_index != file_index) continue;
+    if (offset <= sym.body_begin || offset >= sym.body_end) continue;
+    const std::size_t span = sym.body_end - sym.body_begin;
+    if (span < best_span) {
+      best_span = span;
+      best = static_cast<int>(s);
+    }
+  }
+  return best;
+}
+
+std::size_t FindLocalDeclaration(const std::string& code,
+                                 const std::string& name, std::size_t from,
+                                 std::size_t to) {
+  static const std::set<std::string> kStatementWords = {
+      "return", "new",      "delete", "throw", "else",     "case",
+      "goto",   "co_return", "break",  "continue", "sizeof", "using",
+      "typedef"};
+  for (std::size_t pos = FindTokenInRange(code, name, from, to);
+       pos != std::string::npos;
+       pos = FindTokenInRange(code, name, pos + 1, to)) {
+    const std::size_t prev = PrevNonWs(code, pos);
+    if (prev == std::string::npos) continue;
+    const char c = code[prev];
+    bool type_before = false;
+    if (c == '&' || c == '*' || c == '>') {
+      // `T& x`, `T* x`, `vector<T> x`. A '>' closing a comparison before a
+      // declaration-shaped name is accepted: the follow-set check below
+      // rejects nearly every expression context.
+      type_before = true;
+    } else if (IsIdentifierChar(c)) {
+      std::size_t b = prev + 1;
+      while (b > 0 && IsIdentifierChar(code[b - 1])) --b;
+      type_before = kStatementWords.count(code.substr(b, prev + 1 - b)) == 0;
+    }
+    if (!type_before) continue;
+    const std::size_t after =
+        SkipWsForward(code, pos + name.size(), code.size());
+    if (after >= code.size()) continue;
+    const char n = code[after];
+    if (n == '=' && after + 1 < code.size() && code[after + 1] == '=') {
+      continue;
+    }
+    if (n == ':' && after + 1 < code.size() && code[after + 1] == ':') {
+      continue;
+    }
+    if (n == '=' || n == ';' || n == ',' || n == '{' || n == '(' || n == ':') {
+      return pos;
+    }
+  }
+  return std::string::npos;
+}
+
 }  // namespace myrtus::lint

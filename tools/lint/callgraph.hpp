@@ -146,4 +146,20 @@ void AugmentStatusRegistry(const std::vector<FileContext>& files,
                            const CallGraph& graph,
                            std::set<std::string>* status_fns);
 
+/// Index of the innermost symbol (smallest body span) in `file_index` whose
+/// body strictly contains `offset`, or -1 at class/namespace scope. The same
+/// smallest-span resolution CallSite::caller uses, exposed for rules that
+/// attribute arbitrary offsets (stores, lambda introducers) to a symbol.
+int InnermostSymbolAt(const CallGraph& graph, std::size_t file_index,
+                      std::size_t offset);
+
+/// Offset of a declaration-shaped occurrence of `name` in [from, to) of the
+/// code view, or npos. Declaration-shaped: the token is preceded by a
+/// type-ish token ('&', '*', '>', or an identifier that is not a statement
+/// keyword) and followed by '=' (not '=='), ';', ',', '{', '(' or a range-for
+/// ':'. Structured bindings and macro-introduced names are a documented miss.
+std::size_t FindLocalDeclaration(const std::string& code,
+                                 const std::string& name, std::size_t from,
+                                 std::size_t to);
+
 }  // namespace myrtus::lint

@@ -1,0 +1,103 @@
+// Capture-lifetime escape analysis for deferred callbacks (the "lifetime"
+// tier of myrtus_lint — see docs/LINTING.md, "Deferred-sink model").
+//
+// The control plane is callback-driven: sim::Engine::ScheduleAt, Network::
+// Call, Broker::Subscribe, Store::Watch, chaos RegisterTarget, and the
+// Cluster hook structs all stash std::functions that fire arbitrarily later
+// in sim time. A lambda that captures a stack local by reference into one of
+// those sinks is a use-after-scope that ASan only catches when a test
+// happens to hit the ordering. This family proves the absence of that flow
+// at lint time, the same annotate-the-sinks-then-propagate way Clang's
+// -Wthread-safety treats lock capabilities:
+//
+//   1. A seed table marks the known deferred entry points as (callee name,
+//      argument index) pairs. "Deferred" means the callable is stored and
+//      may run after the call returns; ParallelFor-style callees that join
+//      before returning are vetoed by name.
+//   2. Structural classification adds sinks the seed table never heard of:
+//      a parameter whose name reaches a member std::function assignment
+//      (`cb_ = std::move(cb)`, `hooks.on_bound = fn`) or a callback-
+//      container insertion (`pending_[id] = fn`, `subs_.push_back(fn)`)
+//      makes its (function, index) a sink.
+//   3. A fixpoint closes the table over the PR-8 call graph: a forwarder
+//      that passes its parameter into a deferred sink argument becomes a
+//      deferred sink itself, N hops deep and across TUs (mirroring
+//      AugmentStatusRegistry).
+//   4. Every lambda whose value flows into a sink argument — written inline
+//      at the call, stored into a member, or passed via a named lambda
+//      variable — gets its capture list walked:
+//
+//        deferred-ref-capture      [&] defaults and explicit &name captures
+//                                  (a non-init &name capture can only name
+//                                  an automatic-storage variable, so it is
+//                                  stack-scoped by construction)
+//        deferred-this-capture     a method that registers [this] callbacks,
+//                                  called on a receiver declared in a nested
+//                                  block of the caller (the object dies at
+//                                  the block's end, the callback does not)
+//        deferred-pointer-capture  by-value captures holding the address of
+//                                  a stack object ([p = &slot], or a local
+//                                  `T* p = &x` captured by value) — second
+//                                  severity: the escape needs one more hop
+//                                  to go wrong, and SARIF reports "warning"
+//
+//   A registration is discharged when the enclosing function drains the
+//   engine in the same scope (`.Run(` / `.RunUntil(` / `.Step(` after the
+//   registration): the callback cannot outlive the frame. The discharge is
+//   refused when the captured name belongs to an inner lambda's frame —
+//   that frame dies during the drain, not after it.
+//
+// Escape hatches: `// LINT: deferred-capture-ok(<name>) -- <reason>` within
+// three lines above the capture (name = the capture, `default`, `this`, or
+// the receiver variable), the generic `LINT: allow(<rule>, reason)`, and
+// suppressions.txt globs.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast.hpp"
+#include "callgraph.hpp"
+#include "rules.hpp"
+
+namespace myrtus::lint {
+
+/// The deferred-sink registry: which (unqualified callee name, 0-based
+/// argument index) pairs store their callable past the call's return.
+/// Name-keyed, like every call-graph fact: overload sets collapse, so one
+/// deferred `Call(... cb ...)` marks every same-named overload (documented
+/// over-approximation; it only bites when a lambda actually flows there).
+struct DeferredSinkTable {
+  std::set<std::pair<std::string, int>> sinks;
+  /// std::function-typed member names declared at class scope anywhere in
+  /// the scanned set (`std::function<void()> on_bound;`, `WatchCallback
+  /// cb_;`) — assignment through these is a deferred store even without the
+  /// trailing-underscore house style.
+  std::set<std::string> function_fields;
+  /// `using X = std::function<...>` aliases, collected so typedef-typed
+  /// fields land in function_fields too.
+  std::set<std::string> callback_aliases;
+
+  bool IsSink(const std::string& name, int arg) const {
+    return sinks.count({name, arg}) != 0;
+  }
+};
+
+/// Builds the registry: seeds, structural member/container stores, then the
+/// call-graph fixpoint. Exposed separately so tests can assert the
+/// classification itself (e.g. that a 2-hop forwarder chain closes).
+DeferredSinkTable BuildDeferredSinkTable(const std::vector<FileContext>& files,
+                                         const std::vector<FileAst>& asts,
+                                         const CallGraph& graph);
+
+/// Runs the three capture-lifetime rules over every lambda that flows into a
+/// registered sink. Findings carry the lambda introducer's line/column
+/// (call-site line for deferred-this-capture).
+std::vector<Finding> CheckDeferredCaptureLifetime(
+    const std::vector<FileContext>& files, const std::vector<FileAst>& asts,
+    const CallGraph& graph, const DeferredSinkTable& table);
+
+}  // namespace myrtus::lint

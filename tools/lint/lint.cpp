@@ -4,6 +4,7 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "util/json.hpp"
@@ -194,6 +195,20 @@ std::string SarifReport(const LintResult& result) {
       {"unsigned-underflow",
        "Unsigned subtraction needs a dominating guard (a >= b branch, "
        "std::min clamp) or util::SubSat; otherwise the difference can wrap."},
+      {"deferred-ref-capture",
+       "Lambdas flowing into deferred callback sinks (ScheduleAt, Subscribe, "
+       "Watch, member std::function stores, and their forwarders via the "
+       "call-graph fixpoint) must not capture stack-scoped state by "
+       "reference; the callback can outlive the frame."},
+      {"deferred-this-capture",
+       "Calling a method that registers [this]-capturing deferred callbacks "
+       "on a block-scoped receiver leaves the callback pointing at a dead "
+       "object."},
+      {"deferred-pointer-capture",
+       "By-value captures that smuggle the address of a stack object "
+       "([p = &local], or a captured T* initialized from &local) into a "
+       "deferred callback; second-severity tier of the capture-lifetime "
+       "family."},
   };
 
   Json rules = Json::MakeArray();
@@ -220,7 +235,11 @@ std::string SarifReport(const LintResult& result) {
             .Set("region", std::move(region)));
     Json entry = Json::MakeObject();
     entry.Set("ruleId", f.rule);
-    entry.Set("level", "error");
+    // Severity tiers: the pointer-smuggling shape needs one more hop (a
+    // dereference after the frame dies) to become UB, so it reports at
+    // "warning"; everything else is an "error".
+    entry.Set("level",
+              f.rule == "deferred-pointer-capture" ? "warning" : "error");
     entry.Set("message", Json::MakeObject().Set("text", f.message));
     entry.Set("locations", Json::MakeArray().Append(std::move(location)));
     results.Append(std::move(entry));
@@ -296,7 +315,13 @@ util::StatusOr<LintResult> LintPaths(const std::vector<std::string>& paths,
 
   LintResult result;
   result.files_scanned = contexts.size();
-  for (Finding& f : RunRules(contexts, options.determinism_allowlist)) {
+  std::set<std::string> report_set(options.report_paths.begin(),
+                                   options.report_paths.end());
+  for (Finding& f : RunRules(contexts, options.determinism_allowlist,
+                             options.collect_timings ? &result.timings
+                                                     : nullptr,
+                             options.restrict_report ? &report_set
+                                                     : nullptr)) {
     bool suppressed = false;
     for (Suppression& sup : suppressions) {
       if (SuppressionMatches(sup, f)) {
@@ -311,7 +336,16 @@ util::StatusOr<LintResult> LintPaths(const std::vector<std::string>& paths,
     }
   }
   for (const Suppression& sup : suppressions) {
-    if (!sup.used) result.unused_suppressions.push_back(sup);
+    if (sup.used) continue;
+    // Staleness is judged against the scanned scope: an entry for a path this
+    // run never looked at (lint_self scans only tools/lint; a targeted run
+    // scans one subtree) is out of scope, not stale. Only a full-tree run —
+    // lint_repo — can convict an entry of having outlived its finding.
+    const bool in_scope =
+        std::any_of(contexts.begin(), contexts.end(), [&](const FileContext& f) {
+          return PathPatternMatches(sup.path_pattern, f.path);
+        });
+    if (in_scope) result.unused_suppressions.push_back(sup);
   }
   return result;
 }

@@ -55,6 +55,15 @@ struct Options {
   std::vector<std::string> determinism_allowlist = {
       "bench/", "src/telemetry/export.", "src/telemetry/recorder.",
       "src/util/parallel."};
+  /// --changed-only: when true, only findings on `report_paths`
+  /// (repo-relative) are reported. The whole scanned set still feeds the
+  /// cross-TU analysis, so the reported subset matches a full run exactly.
+  /// An empty report_paths with restrict_report=true reports nothing.
+  bool restrict_report = false;
+  std::vector<std::string> report_paths;
+  /// --timings: collect the per-family wall-time breakdown into
+  /// LintResult::timings.
+  bool collect_timings = false;
 };
 
 struct LintResult {
@@ -64,6 +73,8 @@ struct LintResult {
   /// Suppressions that matched nothing this run (stale entries; reported as
   /// warnings, not failures, so allowlist-style entries may stay).
   std::vector<Suppression> unused_suppressions;
+  /// Per-rule-family wall time (only populated under Options::collect_timings).
+  std::vector<FamilyTiming> timings;
 };
 
 util::StatusOr<std::vector<Suppression>> ParseSuppressions(

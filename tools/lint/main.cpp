@@ -2,6 +2,7 @@
 //
 //   myrtus_lint [--repo-root=DIR] [--suppressions=FILE]
 //               [--allow-stale-suppressions] [--max-ms=N] [--sarif=FILE]
+//               [--timings] [--changed-only[=REF]]
 //               <path>...
 //
 // Prints one `file:line:col: rule-id: message` per unsuppressed finding
@@ -10,11 +11,19 @@
 // additionally writes the run as a SARIF 2.1.0 log for PR-annotation
 // uploads; the console format stays the source of truth.
 //
+// --timings prints a per-rule-family wall-time breakdown to stderr.
+// --changed-only[=REF] reports findings only for files that differ from REF
+// (default HEAD: working-tree edits) plus untracked files — fast local
+// iteration with full-run fidelity, because the cross-TU analysis context is
+// still built from every scanned file. Implies --allow-stale-suppressions
+// (suppressions for unchanged files cannot match on a filtered run).
+//
 // Exit codes: 0 = clean, 1 = findings, stale suppressions, or the --max-ms
 // budget blown, 2 = usage or I/O error. A suppression that matched nothing is
 // stale: it outlived the finding it justified and must be deleted (or the run
 // re-invoked with --allow-stale-suppressions while a fix is split across
 // commits).
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -24,10 +33,62 @@
 
 #include "lint.hpp"
 
+namespace {
+
+/// Changed-file discovery for --changed-only: `git diff --name-only REF`
+/// (committed + staged + working-tree differences) plus untracked files.
+/// Returns false when git is unavailable or REF does not resolve.
+bool GitChangedFiles(const std::string& repo_root, const std::string& ref,
+                     std::vector<std::string>* out) {
+  // REF reaches a shell; restrict it to git-refname characters so the
+  // command stays inert ("origin/main", "HEAD~2", "abc123").
+  for (char c : ref) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 &&
+        c != '_' && c != '.' && c != '/' && c != '~' && c != '^' &&
+        c != '-') {
+      std::fprintf(stderr,
+                   "myrtus_lint: --changed-only: invalid character in ref "
+                   "'%s'\n",
+                   ref.c_str());
+      return false;
+    }
+  }
+  if (repo_root.find('\'') != std::string::npos) return false;
+  const std::string git = "git -C '" + repo_root + "' ";
+  const std::string cmd = git + "diff --name-only '" + ref +
+                          "' -- 2>/dev/null && " + git +
+                          "ls-files --others --exclude-standard 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return false;
+  std::string text;
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) text += buf;
+  const int rc = pclose(pipe);
+  if (rc != 0) {
+    std::fprintf(stderr,
+                 "myrtus_lint: --changed-only: git diff against '%s' failed "
+                 "(not a repository, or unknown ref)\n",
+                 ref.c_str());
+    return false;
+  }
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) out->push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   myrtus::lint::Options options;
   std::vector<std::string> paths;
   bool allow_stale = false;
+  bool changed_only = false;
+  std::string changed_ref = "HEAD";
   long max_ms = 0;
   std::string sarif_path;
   for (int i = 1; i < argc; ++i) {
@@ -42,11 +103,18 @@ int main(int argc, char** argv) {
       max_ms = std::strtol(arg.c_str() + 9, nullptr, 10);
     } else if (arg.rfind("--sarif=", 0) == 0) {
       sarif_path = arg.substr(8);
+    } else if (arg == "--timings") {
+      options.collect_timings = true;
+    } else if (arg == "--changed-only") {
+      changed_only = true;
+    } else if (arg.rfind("--changed-only=", 0) == 0) {
+      changed_only = true;
+      changed_ref = arg.substr(15);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: myrtus_lint [--repo-root=DIR] [--suppressions=FILE] "
           "[--allow-stale-suppressions] [--max-ms=N] [--sarif=FILE] "
-          "<path>...\n");
+          "[--timings] [--changed-only[=REF]] <path>...\n");
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "myrtus_lint: unknown flag '%s'\n", arg.c_str());
@@ -58,6 +126,17 @@ int main(int argc, char** argv) {
   if (paths.empty()) {
     std::fprintf(stderr, "myrtus_lint: no paths given (try: src tests bench)\n");
     return 2;
+  }
+  if (changed_only) {
+    if (!GitChangedFiles(options.repo_root, changed_ref,
+                         &options.report_paths)) {
+      return 2;
+    }
+    options.restrict_report = true;
+    allow_stale = true;  // suppressions for unchanged files cannot match
+    std::fprintf(stderr,
+                 "myrtus_lint: --changed-only: %zu file(s) differ from %s\n",
+                 options.report_paths.size(), changed_ref.c_str());
   }
 
   // The analyzer is host tooling, not simulation code: wall time here gates
@@ -82,6 +161,13 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << myrtus::lint::SarifReport(*result) << "\n";
+  }
+
+  if (options.collect_timings) {
+    for (const myrtus::lint::FamilyTiming& t : result->timings) {
+      std::fprintf(stderr, "myrtus_lint: timing: %-26s %9.2f ms\n",
+                   t.family.c_str(), t.ms);
+    }
   }
 
   for (const myrtus::lint::Finding& f : result->findings) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <map>
 #include <regex>
 
@@ -9,6 +10,7 @@
 #include "callgraph.hpp"
 #include "flow_rules.hpp"
 #include "lexer.hpp"
+#include "lifetime_rules.hpp"
 #include "underflow_rules.hpp"
 #include "unit_rules.hpp"
 
@@ -341,41 +343,73 @@ bool HasSiteAnnotation(const FileContext& file, int line, const std::string& rul
 }
 
 std::vector<Finding> RunRules(const std::vector<FileContext>& files,
-                              const std::vector<std::string>& determinism_allowlist) {
-  std::set<std::string> status_fns = CollectStatusReturningFunctions(files);
-  const std::set<std::string> statusor_fns =
-      CollectStatusOrReturningFunctions(files);
+                              const std::vector<std::string>& determinism_allowlist,
+                              std::vector<FamilyTiming>* timings,
+                              const std::set<std::string>* report_only) {
+  // Per-family wall-time accounting for the CLI's --timings breakdown. The
+  // analyzer is host tooling measuring its own latency, never feeding a
+  // simulated result.
+  std::map<std::string, double> family_ms;
+  std::vector<std::string> family_order;
+  const auto timed = [&](const char* family, auto&& body) {
+    // LINT: allow(determinism, --timings measures the analyzer's own latency)
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    // LINT: allow(determinism, --timings measures the analyzer's own latency)
+    const auto t1 = std::chrono::steady_clock::now();
+    if (family_ms.emplace(family, 0.0).second) family_order.push_back(family);
+    family_ms[family] +=
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+  };
+
+  std::set<std::string> status_fns;
+  std::set<std::string> statusor_fns;
   std::vector<FileAst> asts;
-  asts.reserve(files.size());
-  for (const FileContext& file : files) asts.push_back(BuildFileAst(file));
-  // Interprocedural front-end: the cross-TU symbol table / call graph, the
-  // unsignedness fact tables, and the status-registry closure (wrappers that
-  // forward a Status become status-returning themselves, so status-discard
-  // sees through one or more call hops).
-  const CallGraph graph = BuildCallGraph(files, asts);
-  const TypeFacts type_facts = CollectTypeFacts(files, asts, graph);
-  AugmentStatusRegistry(files, asts, graph, &status_fns);
+  CallGraph graph;
+  TypeFacts type_facts;
+  timed("front-end", [&] {
+    status_fns = CollectStatusReturningFunctions(files);
+    statusor_fns = CollectStatusOrReturningFunctions(files);
+    asts.reserve(files.size());
+    for (const FileContext& file : files) asts.push_back(BuildFileAst(file));
+    // Interprocedural front-end: the cross-TU symbol table / call graph, the
+    // unsignedness fact tables, and the status-registry closure (wrappers
+    // that forward a Status become status-returning themselves, so
+    // status-discard sees through one or more call hops).
+    graph = BuildCallGraph(files, asts);
+    type_facts = CollectTypeFacts(files, asts, graph);
+    AugmentStatusRegistry(files, asts, graph, &status_fns);
+  });
   std::vector<Finding> findings;
   for (std::size_t fi = 0; fi < files.size(); ++fi) {
     const FileContext& file = files[fi];
     const FileAst& ast = asts[fi];
+    // The per-file families are file-local, so skipping unreported files
+    // cannot change the findings on the reported subset (--changed-only).
+    if (report_only != nullptr && report_only->count(file.path) == 0) continue;
     std::vector<Finding> file_findings;
-    const bool time_allowed =
-        std::any_of(determinism_allowlist.begin(), determinism_allowlist.end(),
-                    [&](const std::string& prefix) {
-                      return StartsWith(file.path, prefix);
-                    });
-    if (!time_allowed) CheckDeterminism(file, file_findings);
-    CheckLayering(file, file_findings);
-    CheckStatusDiscard(file, status_fns, file_findings);
-    CheckPragmaOnce(file, file_findings);
-    CheckBannedFunctions(file, file_findings);
-    for (Finding& f : CheckParallelCaptureRace(file, ast)) {
-      file_findings.push_back(std::move(f));
-    }
-    for (Finding& f : CheckStatusOrFlow(file, ast, statusor_fns)) {
-      file_findings.push_back(std::move(f));
-    }
+    timed("lexical", [&] {
+      const bool time_allowed = std::any_of(
+          determinism_allowlist.begin(), determinism_allowlist.end(),
+          [&](const std::string& prefix) {
+            return StartsWith(file.path, prefix);
+          });
+      if (!time_allowed) CheckDeterminism(file, file_findings);
+      CheckLayering(file, file_findings);
+      CheckStatusDiscard(file, status_fns, file_findings);
+      CheckPragmaOnce(file, file_findings);
+      CheckBannedFunctions(file, file_findings);
+    });
+    timed("parallel-capture-race", [&] {
+      for (Finding& f : CheckParallelCaptureRace(file, ast)) {
+        file_findings.push_back(std::move(f));
+      }
+    });
+    timed("statusor-use-before-ok", [&] {
+      for (Finding& f : CheckStatusOrFlow(file, ast, statusor_fns)) {
+        file_findings.push_back(std::move(f));
+      }
+    });
     for (Finding& f : file_findings) {
       // status-discard already consulted its annotation; every other rule
       // honors the generic `LINT: allow(<rule>, reason)` escape hatch here.
@@ -387,23 +421,45 @@ std::vector<Finding> RunRules(const std::vector<FileContext>& files,
   }
   // The cross-file families run once over the whole set (duplicate stream
   // identities, argument-passing across TUs); annotations are honored per
-  // site.
+  // site, and --changed-only filters their findings after the fact — the
+  // analysis context is always the full file set.
   std::map<std::string, const FileContext*> by_path;
   for (const FileContext& file : files) by_path[file.path] = &file;
   std::vector<Finding> cross;
-  for (Finding& f : CheckRngDiscipline(files, asts)) cross.push_back(std::move(f));
-  for (Finding& f : CheckUnitMismatch(files, asts, graph)) {
-    cross.push_back(std::move(f));
-  }
-  for (Finding& f : CheckUnsignedUnderflow(files, asts, graph, type_facts)) {
-    cross.push_back(std::move(f));
-  }
+  timed("rng-substream-discipline", [&] {
+    for (Finding& f : CheckRngDiscipline(files, asts)) {
+      cross.push_back(std::move(f));
+    }
+  });
+  timed("unit-mismatch", [&] {
+    for (Finding& f : CheckUnitMismatch(files, asts, graph)) {
+      cross.push_back(std::move(f));
+    }
+  });
+  timed("unsigned-underflow", [&] {
+    for (Finding& f : CheckUnsignedUnderflow(files, asts, graph, type_facts)) {
+      cross.push_back(std::move(f));
+    }
+  });
+  timed("deferred-capture", [&] {
+    const DeferredSinkTable table = BuildDeferredSinkTable(files, asts, graph);
+    for (Finding& f :
+         CheckDeferredCaptureLifetime(files, asts, graph, table)) {
+      cross.push_back(std::move(f));
+    }
+  });
   for (Finding& f : cross) {
+    if (report_only != nullptr && report_only->count(f.file) == 0) continue;
     const auto it = by_path.find(f.file);
     if (it != by_path.end() && HasSiteAnnotation(*it->second, f.line, f.rule)) {
       continue;
     }
     findings.push_back(std::move(f));
+  }
+  if (timings != nullptr) {
+    for (const std::string& family : family_order) {
+      timings->push_back({family, family_ms[family]});
+    }
   }
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {

@@ -24,6 +24,18 @@
 //                              parallel bodies; no duplicate literal
 //                              (seed, stream) pairs across src/.
 //
+// The capture-lifetime family (tools/lint/lifetime_rules.hpp) closes a
+// deferred-sink registry over the cross-TU call graph and flags stack-scoped
+// state flowing into callbacks that outlive their frame:
+//
+//   deferred-ref-capture     — [&] defaults / explicit &name captures into a
+//                              deferred sink (waive per capture with
+//                              `LINT: deferred-capture-ok(<name>) -- why`).
+//   deferred-this-capture    — [this] registrations called on block-scoped
+//                              receivers.
+//   deferred-pointer-capture — by-value captures holding a stack address
+//                              (second severity; SARIF level "warning").
+//
 // Any rule can additionally be waived at a single site with
 // `// LINT: allow(<rule-id>, <reason>)` on the finding line or the line above.
 #pragma once
@@ -65,12 +77,30 @@ FileContext MakeFileContext(std::string path, const std::string& source);
 std::set<std::string> CollectStatusReturningFunctions(
     const std::vector<FileContext>& files);
 
+/// Wall-time spent in one rule family during a RunRules pass, for the CLI's
+/// --timings breakdown. Families: "front-end" (lexing regex + ASTs + call
+/// graph + fact tables), "lexical" (the per-line token rules), then one entry
+/// per flow/interprocedural family.
+struct FamilyTiming {
+  std::string family;
+  double ms = 0.0;
+};
+
 /// Runs every rule over `files` (two passes: Status registry, then checks).
 /// `determinism_allowlist` holds path prefixes exempt from the determinism
 /// rule — the designated host-time boundaries (bench drivers, exporters).
 /// Findings are ordered by (file, line, rule).
+///
+/// `timings`, when non-null, receives the per-family wall-time breakdown.
+/// `report_only`, when non-null, restricts *reported* findings to the given
+/// repo-relative paths (the --changed-only mode): the cross-TU analysis
+/// context is still built from every file, so the findings on the reported
+/// subset are byte-identical to a full run's — only per-file rule execution
+/// for unreported files is skipped (those families are file-local).
 std::vector<Finding> RunRules(const std::vector<FileContext>& files,
-                              const std::vector<std::string>& determinism_allowlist);
+                              const std::vector<std::string>& determinism_allowlist,
+                              std::vector<FamilyTiming>* timings = nullptr,
+                              const std::set<std::string>* report_only = nullptr);
 
 /// True when the finding at `line` (1-based) carries a
 /// `LINT: allow(<rule>` or — for status-discard — `LINT: discard(`
